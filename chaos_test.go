@@ -1,0 +1,162 @@
+package qpipe
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// TestChaosConcurrentWorkload is the engine's liveness and consistency
+// stress test: many goroutines fire random reads (scans, sorts, joins,
+// aggregates — overlapping signatures so OSP fires constantly) mixed with
+// writers inserting through the update µEngine. Invariants:
+//
+//   - no query hangs (global deadline),
+//   - no query fails,
+//   - counts are monotonically consistent with the inserts (a count is
+//     never below the initial size nor above initial+inserted-so-far),
+//   - the engine's own bookkeeping (shares, queries) stays coherent.
+func TestChaosConcurrentWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const initial = 4000
+	mgr := newTestDB(t, initial)
+	mgr.Disk.SetLatency(5*time.Microsecond, 8*time.Microsecond, 0)
+	defer mgr.Disk.SetLatency(0, 0, 0)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	schema := tableSchema(mgr)
+
+	var inserted atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	deadline := time.After(60 * time.Second)
+	done := make(chan struct{})
+
+	readWorker := func(seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 30; iter++ {
+			insBefore := inserted.Load()
+			var p plan.Node
+			switch rng.Intn(5) {
+			case 0: // count scan (shared circularly across workers)
+				p = plan.NewAggregate(
+					plan.NewTableScan("t", schema, nil, nil, false),
+					[]expr.AggSpec{{Kind: expr.AggCount}})
+			case 1: // filtered scan
+				p = plan.NewAggregate(
+					plan.NewTableScan("t", schema,
+						expr.GE(expr.Col(0), expr.CInt(int64(rng.Intn(initial)))), nil, false),
+					[]expr.AggSpec{{Kind: expr.AggCount}})
+			case 2: // sort (identical across workers -> sort sharing)
+				p = plan.NewSort(
+					plan.NewTableScan("t", schema, expr.LT(expr.Col(0), expr.CInt(500)), []int{0}, false),
+					[]int{0}, false)
+			case 3: // group-by
+				p = plan.NewGroupBy(
+					plan.NewTableScan("t", schema, nil, nil, false),
+					[]int{1}, []expr.AggSpec{{Kind: expr.AggCount}})
+			default: // self hash join on grp
+				l := plan.NewTableScan("t", schema, expr.LT(expr.Col(0), expr.CInt(200)), []int{1}, false)
+				r := plan.NewTableScan("t", schema, expr.LT(expr.Col(0), expr.CInt(300)), []int{1}, false)
+				p = plan.NewAggregate(plan.NewHashJoin(l, r, 0, 0),
+					[]expr.AggSpec{{Kind: expr.AggCount}})
+			}
+			res, err := eng.Query(context.Background(), p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rows, err := res.All()
+			if err != nil {
+				errs <- fmt.Errorf("reader %d iter %d: %w", seed, iter, err)
+				return
+			}
+			// Consistency check for the plain count query.
+			if ag, ok := p.(*plan.Aggregate); ok {
+				if ts, ok2 := ag.Child.(*plan.TableScan); ok2 && ts.Filter == nil {
+					n := rows[0][0].I
+					insAfter := inserted.Load()
+					if n < initial+insBefore-insBefore || n < initial || n > initial+insAfter {
+						errs <- fmt.Errorf("count %d outside [%d, %d]", n, initial, initial+insAfter)
+						return
+					}
+				}
+			}
+		}
+	}
+
+	writeWorker := func(seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 10; iter++ {
+			n := 1 + rng.Intn(5)
+			rows := make([]tuple.Tuple, n)
+			for i := range rows {
+				id := int64(1_000_000) + seed*10_000 + int64(iter*10+i)
+				rows[i] = tuple.Tuple{tuple.I64(id), tuple.I64(0), tuple.F64(0), tuple.Str("chaos")}
+			}
+			res, err := eng.Query(context.Background(), plan.NewUpdate("t", rows))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := res.All(); err != nil {
+				errs <- fmt.Errorf("writer %d iter %d: %w", seed, iter, err)
+				return
+			}
+			inserted.Add(int64(n))
+			time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+		}
+	}
+
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go readWorker(int64(i))
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go writeWorker(int64(100 + i))
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case err := <-errs:
+		t.Fatal(err)
+	case <-deadline:
+		t.Fatalf("chaos workload hung; runtime state:\n%s", eng.Runtime().DumpState())
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Final consistency: exact count.
+	res, _ := eng.Query(context.Background(), plan.NewAggregate(
+		plan.NewTableScan("t", schema, nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rows[0][0].I, int64(initial)+inserted.Load(); got != want {
+		t.Fatalf("final count %d, want %d", got, want)
+	}
+	st := eng.Stats()
+	t.Logf("chaos: %d queries, shares=%v, deadlocks=%d materialized=%d",
+		st.Queries, st.SharesByOp, st.DeadlocksSeen, st.Materialized)
+}

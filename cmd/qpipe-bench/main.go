@@ -1,0 +1,153 @@
+// qpipe-bench regenerates the paper's tables and figures (see DESIGN.md §4
+// for the experiment index). Each figure runs the same three systems the
+// paper evaluates — Baseline (QPipe, OSP off), QPipe w/OSP, and DBMS X (the
+// Volcano-style comparator) — over one shared simulated disk.
+//
+// Usage:
+//
+//	qpipe-bench -fig all                # every figure, small scale
+//	qpipe-bench -fig 8 -scale paper     # Figure 8 at the heavier scale
+//	qpipe-bench -fig 12 -clients 12 -queries 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qpipe/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13 or all")
+	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
+	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
+	queries := flag.Int("queries", 0, "queries per client (figs 12/13)")
+	flag.Parse()
+
+	var sc harness.Scale
+	switch *scaleName {
+	case "small":
+		sc = harness.SmallScale()
+	case "paper":
+		sc = harness.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	start := time.Now()
+
+	if want("1a") {
+		run("Figure 1a", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, false)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.Fig1aTimeBreakdown(env)
+			return []harness.Figure{f}, err
+		})
+	}
+	if want("4a") {
+		run("Figure 4a", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, true)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.Fig4aWindowsOfOpportunity(env)
+			return []harness.Figure{f}, err
+		})
+	}
+	if want("8") {
+		run("Figure 8", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, false)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			return harness.Fig8CircularScan(env, nil, nil)
+		})
+	}
+	if want("9") {
+		run("Figure 9", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, true)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.Fig9OrderedScans(env, nil)
+			return []harness.Figure{f}, err
+		})
+	}
+	if want("10") {
+		run("Figure 10", func() ([]harness.Figure, error) {
+			env, err := harness.NewWisconsinEnv(sc)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.Fig10SortMerge(env, nil)
+			return []harness.Figure{f}, err
+		})
+	}
+	if want("11") {
+		run("Figure 11", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, false)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.Fig11HashJoin(env, nil)
+			return []harness.Figure{f}, err
+		})
+	}
+	if want("12") || want("1b") {
+		run("Figure 12 / 1b", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, false)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			var cc []int
+			if *clients > 0 {
+				for n := 1; n <= *clients; n += 2 {
+					cc = append(cc, n)
+				}
+			}
+			f, err := harness.Fig12Throughput(env, cc, *queries)
+			return []harness.Figure{f}, err
+		})
+	}
+	if want("13") {
+		run("Figure 13", func() ([]harness.Figure, error) {
+			env, err := harness.NewTPCHEnv(sc, false)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.Fig13ThinkTime(env, nil, 10, *queries)
+			return []harness.Figure{f}, err
+		})
+	}
+
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(name string, fn func() ([]harness.Figure, error)) {
+	fmt.Printf("--- %s ---\n", name)
+	start := time.Now()
+	figs, err := fn()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+		os.Exit(1)
+	}
+	for _, f := range figs {
+		fmt.Println(f.Format())
+	}
+	fmt.Printf("(%s in %s)\n\n", strings.ToLower(name), time.Since(start).Round(time.Millisecond))
+}

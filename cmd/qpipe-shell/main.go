@@ -1,0 +1,146 @@
+// qpipe-shell loads the scaled TPC-H dataset and runs one of the paper's
+// queries on a chosen system, printing the plan, the first rows, and the
+// engine's sharing statistics. Handy for poking at the engine without
+// writing a program:
+//
+//	qpipe-shell -q 6                       # TPC-H Q6 on QPipe w/OSP
+//	qpipe-shell -q 4 -system volcano       # Q4 on the iterator engine
+//	qpipe-shell -q 8 -system baseline -sf 0.005 -concurrency 4
+//	qpipe-shell -q 4 -variant mj -explain  # print the merge-join plan only
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"qpipe"
+	"qpipe/internal/harness"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+	"qpipe/internal/workload/tpch"
+)
+
+func main() {
+	qnum := flag.Int("q", 6, "TPC-H query number (1, 4, 6, 8, 12, 13, 14, 19)")
+	system := flag.String("system", "qpipe", "system: qpipe, baseline, or volcano")
+	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
+	variant := flag.String("variant", "hj", "Q4 variant: hj (hash join) or mj (merge join)")
+	concurrency := flag.Int("concurrency", 1, "concurrent instances (qgen-randomized params)")
+	explainOnly := flag.Bool("explain", false, "print the plan and exit")
+	maxRows := flag.Int("rows", 10, "result rows to print")
+	seed := flag.Int64("seed", 1, "random seed for qgen parameters")
+	stagger := flag.Duration("stagger", 20*time.Millisecond, "delay between concurrent instances (0 = simultaneous)")
+	flag.Parse()
+
+	mkPlan := func(p tpch.Params) plan.Node {
+		if *qnum == 4 && *variant == "mj" {
+			return tpch.Q4MergeJoin(p)
+		}
+		return tpch.Query(*qnum, p)
+	}
+
+	if *explainOnly {
+		fmt.Print(qpipe.Explain(mkPlan(tpch.DefaultParams())))
+		return
+	}
+
+	needClustered := *qnum == 4 && *variant == "mj"
+	fmt.Printf("loading TPC-H SF=%g ...\n", *sf)
+	sc := harness.SmallScale()
+	sc.SF = *sf
+	env, err := harness.NewTPCHEnv(sc, needClustered)
+	if err != nil {
+		fatal(err)
+	}
+	defer env.Close()
+
+	var sys harness.System
+	switch *system {
+	case "qpipe":
+		sys, err = env.NewQPipe()
+	case "baseline":
+		sys, err = env.NewBaseline()
+	case "volcano":
+		sys, err = env.NewVolcano()
+	default:
+		fatal(fmt.Errorf("unknown system %q", *system))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	env.SetMeasuring(true)
+	defer env.SetMeasuring(false)
+	env.Disk.ResetStats()
+
+	fmt.Printf("\nplan (Q%d):\n%s\n", *qnum, qpipe.Explain(mkPlan(tpch.DefaultParams())))
+
+	rng := rand.New(rand.NewSource(*seed))
+	start := time.Now()
+	var firstRows []tuple.Tuple
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < *concurrency; c++ {
+		params := tpch.DefaultParams()
+		if c > 0 {
+			params = tpch.RandomParams(rng)
+			if *stagger > 0 {
+				time.Sleep(*stagger)
+			}
+		}
+		wg.Add(1)
+		go func(c int, p plan.Node) {
+			defer wg.Done()
+			if qs, ok := sys.(*harness.QPipeSystem); ok && c == 0 {
+				res, err := qs.Eng.Query(context.Background(), p)
+				if err != nil {
+					fatal(err)
+				}
+				rows, err := res.All()
+				if err != nil {
+					fatal(err)
+				}
+				mu.Lock()
+				firstRows = rows
+				mu.Unlock()
+				return
+			}
+			if err := sys.Exec(context.Background(), p); err != nil {
+				fatal(err)
+			}
+		}(c, mkPlan(params))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if firstRows != nil {
+		fmt.Printf("results (%d rows", len(firstRows))
+		if len(firstRows) > *maxRows {
+			fmt.Printf(", first %d shown", *maxRows)
+		}
+		fmt.Println("):")
+		for i, r := range firstRows {
+			if i >= *maxRows {
+				break
+			}
+			fmt.Println("  " + r.String())
+		}
+	}
+	st := env.Disk.Stats()
+	fmt.Printf("\n%d instance(s) on %s in %s\n", *concurrency, sys.Name(), elapsed.Round(time.Millisecond))
+	fmt.Printf("disk: %d blocks read (%d sequential), %d written\n", st.Reads, st.SeqReads, st.Writes)
+	if qs, ok := sys.(*harness.QPipeSystem); ok {
+		est := qs.Eng.Stats()
+		fmt.Printf("OSP shares by operator: %v\n", est.SharesByOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qpipe-shell:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Quickstart: create a storage manager, load a table, and run queries
+// through the QPipe engine — the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"qpipe"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+func main() {
+	// 1. Storage manager: simulated disk + buffer pool + lock manager.
+	mgr := sm.New(sm.Config{PoolPages: 256})
+
+	// 2. Define and load a table.
+	schema := tuple.NewSchema(
+		tuple.Col("id", tuple.KindInt),
+		tuple.Col("city", tuple.KindString),
+		tuple.Col("pop", tuple.KindFloat),
+	)
+	if _, err := mgr.CreateTable("cities", schema); err != nil {
+		log.Fatal(err)
+	}
+	rows := []tuple.Tuple{
+		{tuple.I64(1), tuple.Str("Pittsburgh"), tuple.F64(0.30)},
+		{tuple.I64(2), tuple.Str("Baltimore"), tuple.F64(0.61)},
+		{tuple.I64(3), tuple.Str("Boston"), tuple.F64(0.65)},
+		{tuple.I64(4), tuple.Str("Madison"), tuple.F64(0.27)},
+		{tuple.I64(5), tuple.Str("Seattle"), tuple.F64(0.74)},
+	}
+	if err := mgr.Load("cities", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Start QPipe (OSP enabled) — one µEngine per relational operator.
+	eng := qpipe.New(mgr, qpipe.DefaultConfig())
+	defer eng.Close()
+
+	// 4. Build a plan: scan -> filter -> project. Plans are precompiled
+	// trees (QPipe's input format, paper §4.2).
+	scan := plan.NewTableScan("cities", schema, nil, nil, false)
+	big := plan.NewFilter(scan, expr.GT(expr.Col(2), expr.CFloat(0.5)))
+	names := plan.NewProject(big,
+		[]expr.Expr{expr.Col(1), expr.Mul(expr.Col(2), expr.CFloat(1e6))},
+		[]string{"city", "population"})
+
+	res, err := eng.Query(context.Background(), names)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := res.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cities with pop > 500k:")
+	for _, r := range out {
+		fmt.Printf("  %-12s %8.0f\n", r[0].S, r[1].F)
+	}
+
+	// 5. An aggregate over the same table.
+	agg := plan.NewAggregate(
+		plan.NewTableScan("cities", schema, nil, nil, false),
+		[]expr.AggSpec{
+			{Kind: expr.AggCount, Name: "n"},
+			{Kind: expr.AggSum, Arg: expr.Col(2), Name: "total_pop"},
+		})
+	res2, err := eng.Query(context.Background(), agg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out2, err := res2.All()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count=%d total=%.2fM\n", out2[0][0].I, out2[0][1].F)
+
+	st := eng.Stats()
+	fmt.Printf("queries executed: %d\n", st.Queries)
+}

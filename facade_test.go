@@ -1,0 +1,175 @@
+package qpipe
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+func TestQueryCachedHitAndMiss(t *testing.T) {
+	mgr := newTestDB(t, 500)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	eng.EnableResultCache(10_000, 5_000)
+	mk := func() plan.Node {
+		scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+		return plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(0)}})
+	}
+	rows1, hit1, err := eng.QueryCached(context.Background(), mk())
+	if err != nil || hit1 {
+		t.Fatalf("first query: hit=%v err=%v", hit1, err)
+	}
+	rows2, hit2, err := eng.QueryCached(context.Background(), mk())
+	if err != nil || !hit2 {
+		t.Fatalf("second query should hit: hit=%v err=%v", hit2, err)
+	}
+	if rows1[0][0].F != rows2[0][0].F {
+		t.Fatalf("cached result differs: %v vs %v", rows1[0], rows2[0])
+	}
+	st := eng.CacheStats()
+	if st.Hits != 1 || st.Insertions != 1 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+	// Mutating the returned rows must not corrupt the cache.
+	rows2[0][0] = tuple.F64(-1)
+	rows3, _, _ := eng.QueryCached(context.Background(), mk())
+	if rows3[0][0].F == -1 {
+		t.Fatal("cache entry was mutated through a returned row")
+	}
+}
+
+func TestQueryCachedInvalidatedByUpdate(t *testing.T) {
+	mgr := newTestDB(t, 100)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	eng.EnableResultCache(10_000, 5_000)
+	count := func() int64 {
+		scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+		p := plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}})
+		rows, _, err := eng.QueryCached(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows[0][0].I
+	}
+	if count() != 100 {
+		t.Fatal("initial count")
+	}
+	up := plan.NewUpdate("t", []tuple.Tuple{
+		{tuple.I64(9999), tuple.I64(0), tuple.F64(0), tuple.Str("x")},
+	})
+	if _, _, err := eng.QueryCached(context.Background(), up); err != nil {
+		t.Fatal(err)
+	}
+	// Cache must have been invalidated: fresh count includes the insert.
+	if got := count(); got != 101 {
+		t.Fatalf("post-update count: %d (stale cache?)", got)
+	}
+	if eng.CacheStats().Invalidation == 0 {
+		t.Fatal("no invalidations recorded")
+	}
+}
+
+func TestQueryCachedWithoutCacheEnabled(t *testing.T) {
+	mgr := newTestDB(t, 50)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	p := plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}})
+	rows, hit, err := eng.QueryCached(context.Background(), p)
+	if err != nil || hit || rows[0][0].I != 50 {
+		t.Fatalf("cache-disabled path: %v %v %v", rows, hit, err)
+	}
+	if st := eng.CacheStats(); st != (eng.CacheStats()) {
+		t.Fatal("zero stats expected")
+	}
+}
+
+// TestQueryBatchSharesCommonSubtrees: an MQO-style batch whose queries
+// share a common subexpression must execute the common part once.
+func TestQueryBatchSharesCommonSubtrees(t *testing.T) {
+	mgr := newTestDB(t, 3000)
+	// Slow disk so batch members genuinely overlap.
+	mgr.Disk.SetLatency(40*time.Microsecond, 60*time.Microsecond, 0)
+	defer mgr.Disk.SetLatency(0, 0, 0)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+
+	common := func() plan.Node {
+		// Identical subtree in both queries: sorted scan.
+		scan := plan.NewTableScan("t", tableSchema(mgr), nil, []int{1, 2}, false)
+		return plan.NewSort(scan, []int{0}, false)
+	}
+	q1 := plan.NewAggregate(common(), []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(1)}})
+	q2 := plan.NewGroupBy(common(), []int{0}, []expr.AggSpec{{Kind: expr.AggCount}})
+
+	results, err := eng.QueryBatch(context.Background(), []plan.Node{q1, q2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, r := range results {
+		wg.Add(1)
+		go func(r *Result) {
+			defer wg.Done()
+			if _, err := r.Discard(); err != nil {
+				t.Error(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if eng.Runtime().TotalShares() == 0 {
+		t.Fatal("batch with common subtree produced no sharing")
+	}
+}
+
+func TestExplain(t *testing.T) {
+	mgr := newTestDB(t, 10)
+	scan := plan.NewTableScan("t", tableSchema(mgr), expr.LT(expr.Col(0), expr.CInt(5)), nil, false)
+	srt := plan.NewSort(scan, []int{0}, false)
+	gb := plan.NewGroupBy(srt, []int{1}, []expr.AggSpec{{Kind: expr.AggCount}})
+	out := Explain(gb)
+	for _, want := range []string{"GroupBy", "Sort", "TableScan t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// Root first, indented children.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Errorf("explain layout:\n%s", out)
+	}
+}
+
+func TestQueryBatchErrorCancelsPrior(t *testing.T) {
+	mgr := newTestDB(t, 50)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	good := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	// A plan with an unknown operator type triggers a submit error; the
+	// already-submitted batch members must be cancelled.
+	results, err := eng.QueryBatch(context.Background(), []plan.Node{good, badPlanNode{}})
+	if err == nil {
+		for _, r := range results {
+			r.Cancel()
+		}
+		t.Fatal("batch with invalid plan should fail")
+	}
+	if results != nil {
+		t.Fatal("failed batch should return no results")
+	}
+}
+
+// badPlanNode is a plan node with an operator type no µEngine serves.
+type badPlanNode struct{}
+
+func (badPlanNode) Op() plan.OpType       { return "nonexistent" }
+func (badPlanNode) Children() []plan.Node { return nil }
+func (badPlanNode) Schema() *tuple.Schema { return tuple.NewSchema() }
+func (badPlanNode) Signature() string     { return "bad" }

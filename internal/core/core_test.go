@@ -1,0 +1,445 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// fakeOp is a configurable operator for runtime tests.
+type fakeOp struct {
+	op    plan.OpType
+	run   func(rt *Runtime, pkt *Packet) error
+	share func(rt *Runtime, host, sat *Packet) bool
+}
+
+func (f *fakeOp) Op() plan.OpType { return f.op }
+
+func (f *fakeOp) Run(rt *Runtime, pkt *Packet) error { return f.run(rt, pkt) }
+
+func (f *fakeOp) TryShare(rt *Runtime, host, sat *Packet) bool {
+	if f.share == nil {
+		return false
+	}
+	return f.share(rt, host, sat)
+}
+
+// fakeNode is a minimal leaf plan node with a controllable signature.
+type fakeNode struct {
+	op  plan.OpType
+	sig string
+}
+
+func (n *fakeNode) Op() plan.OpType       { return n.op }
+func (n *fakeNode) Children() []plan.Node { return nil }
+func (n *fakeNode) Schema() *tuple.Schema { return tuple.NewSchema(tuple.Col("v", tuple.KindInt)) }
+func (n *fakeNode) Signature() string     { return n.sig }
+
+func newTestRuntime(t *testing.T, ops ...Operator) *Runtime {
+	t.Helper()
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 512}, PoolPages: 8})
+	rt := NewRuntime(mgr, Config{OSP: true, DeadlockInterval: 5 * time.Millisecond}, ops)
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestSubmitUnknownOperator(t *testing.T) {
+	rt := newTestRuntime(t, &fakeOp{op: "x", run: func(*Runtime, *Packet) error { return nil }})
+	_, err := rt.Submit(context.Background(), &fakeNode{op: "zzz", sig: "s"})
+	if err == nil {
+		t.Fatal("submit with unknown operator should fail")
+	}
+}
+
+func TestRunPacketProducesAndCloses(t *testing.T) {
+	op := &fakeOp{op: "x", run: func(rt *Runtime, pkt *Packet) error {
+		return pkt.Out.Put(tbuf.Batch{tuple.Tuple{tuple.I64(7)}})
+	}}
+	rt := newTestRuntime(t, op)
+	q, err := rt.Submit(context.Background(), &fakeNode{op: "x", sig: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := q.Result.Drain()
+	if err != nil || n != 1 {
+		t.Fatalf("drain: %d %v", n, err)
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Root.State() != PacketDone {
+		t.Fatalf("state: %v", q.Root.State())
+	}
+}
+
+func TestRunPacketErrorPropagates(t *testing.T) {
+	want := errors.New("op failed")
+	op := &fakeOp{op: "x", run: func(*Runtime, *Packet) error { return want }}
+	rt := newTestRuntime(t, op)
+	q, _ := rt.Submit(context.Background(), &fakeNode{op: "x", sig: "a"})
+	if _, err := q.Result.Drain(); !errors.Is(err, want) {
+		t.Fatalf("drain err: %v", err)
+	}
+	if err := q.Wait(); !errors.Is(err, want) {
+		t.Fatalf("wait err: %v", err)
+	}
+}
+
+func TestRunPacketPanicRecovered(t *testing.T) {
+	op := &fakeOp{op: "x", run: func(*Runtime, *Packet) error { panic("boom") }}
+	rt := newTestRuntime(t, op)
+	q, _ := rt.Submit(context.Background(), &fakeNode{op: "x", sig: "a"})
+	if _, err := q.Result.Drain(); err == nil {
+		t.Fatal("panic should surface as error")
+	}
+	if err := q.Wait(); err == nil {
+		t.Fatal("wait should report panic error")
+	}
+}
+
+func TestSignatureShareAbsorbsSatellite(t *testing.T) {
+	started := make(chan *Packet, 1)
+	release := make(chan struct{})
+	op := &fakeOp{
+		op: "x",
+		run: func(rt *Runtime, pkt *Packet) error {
+			started <- pkt
+			<-release
+			return pkt.Out.Put(tbuf.Batch{tuple.Tuple{tuple.I64(1)}})
+		},
+		share: func(rt *Runtime, host, sat *Packet) bool {
+			return host.Out.Attach(sat.OutBuf)
+		},
+	}
+	rt := newTestRuntime(t, op)
+	node := &fakeNode{op: "x", sig: "same"}
+	q1, _ := rt.Submit(context.Background(), node)
+	<-started
+	q2, _ := rt.Submit(context.Background(), node)
+	close(release)
+	n1, err1 := q1.Result.Drain()
+	n2, err2 := q2.Result.Drain()
+	if err1 != nil || err2 != nil || n1 != 1 || n2 != 1 {
+		t.Fatalf("results: %d %v / %d %v", n1, err1, n2, err2)
+	}
+	if err := q2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := q2.Stats.SatelliteAttaches.Load(); got != 1 {
+		t.Fatalf("satellite attaches: %d", got)
+	}
+	if got := q1.Stats.HostedSatellites.Load(); got != 1 {
+		t.Fatalf("hosted satellites: %d", got)
+	}
+	st := rt.Stats()
+	if st.SharesByOp["x"] != 1 {
+		t.Fatalf("shares: %v", st.SharesByOp)
+	}
+	if rt.TotalShares() != 1 {
+		t.Fatal("TotalShares")
+	}
+}
+
+func TestNoShareAcrossSameQuery(t *testing.T) {
+	// Two identical nodes inside ONE query must not satellite each other.
+	release := make(chan struct{})
+	var runs atomic.Int32
+	op := &fakeOp{
+		op: "x",
+		run: func(rt *Runtime, pkt *Packet) error {
+			runs.Add(1)
+			<-release
+			return nil
+		},
+		share: func(rt *Runtime, host, sat *Packet) bool {
+			t.Error("TryShare must not be consulted for same-query packets")
+			return false
+		},
+	}
+	rt := newTestRuntime(t, op)
+	q := newQuery(context.Background())
+	buf1 := tbuf.New(2)
+	q.addBuffer(buf1)
+	node := &fakeNode{op: "x", sig: "same"}
+	rt.dispatch(q, node, buf1, false)
+	buf2 := tbuf.New(2)
+	q.addBuffer(buf2)
+	rt.dispatch(q, node, buf2, false)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("runs: %d", got)
+	}
+}
+
+func TestOSPDisabledNeverShares(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 512}, PoolPages: 8})
+	var shares int
+	op := &fakeOp{
+		op:  "x",
+		run: func(rt *Runtime, pkt *Packet) error { return nil },
+		share: func(rt *Runtime, host, sat *Packet) bool {
+			shares++
+			return true
+		},
+	}
+	rt := NewRuntime(mgr, Config{OSP: false}, []Operator{op})
+	defer rt.Close()
+	node := &fakeNode{op: "x", sig: "same"}
+	q1, _ := rt.Submit(context.Background(), node)
+	q2, _ := rt.Submit(context.Background(), node)
+	q1.Result.Drain()
+	q2.Result.Drain()
+	q1.Wait()
+	q2.Wait()
+	if shares != 0 {
+		t.Fatalf("OSP off but TryShare called %d times", shares)
+	}
+}
+
+func TestQueryCancelAbandonsBuffers(t *testing.T) {
+	blocked := make(chan struct{})
+	op := &fakeOp{op: "x", run: func(rt *Runtime, pkt *Packet) error {
+		close(blocked)
+		for {
+			// Produce until the consumer disappears.
+			if err := pkt.Out.Put(tbuf.Batch{tuple.Tuple{tuple.I64(1)}}); err != nil {
+				return nil
+			}
+		}
+	}}
+	rt := newTestRuntime(t, op)
+	q, _ := rt.Submit(context.Background(), &fakeNode{op: "x", sig: "a"})
+	<-blocked
+	q.Cancel()
+	done := make(chan struct{})
+	go func() {
+		q.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled query never finished")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	op := &fakeOp{op: "x", run: func(*Runtime, *Packet) error { return nil }}
+	rt := newTestRuntime(t, op)
+	for i := 0; i < 3; i++ {
+		q, _ := rt.Submit(context.Background(), &fakeNode{op: "x", sig: fmt.Sprintf("s%d", i)})
+		q.Result.Drain()
+		q.Wait()
+	}
+	st := rt.Stats()
+	if st.Queries != 3 {
+		t.Fatalf("queries: %d", st.Queries)
+	}
+	if es := st.EngineStats["x"]; es.Enqueued != 3 || es.Completed != 3 {
+		t.Fatalf("engine stats: %+v", es)
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 512}, PoolPages: 8})
+	rt := NewRuntime(mgr, Config{}, []Operator{
+		&fakeOp{op: "x", run: func(*Runtime, *Packet) error { return nil }},
+	})
+	rt.Close()
+	if _, err := rt.Submit(context.Background(), &fakeNode{op: "x", sig: "a"}); err == nil {
+		t.Fatal("submit after close should fail")
+	}
+	rt.Close() // idempotent
+}
+
+func TestDuplicateOperatorPanics(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 512}, PoolPages: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate operator registration should panic")
+		}
+	}()
+	mk := func() Operator { return &fakeOp{op: "x", run: func(*Runtime, *Packet) error { return nil }} }
+	NewRuntime(mgr, Config{}, []Operator{mk(), mk()})
+}
+
+func TestPacketStateStrings(t *testing.T) {
+	for s := PacketQueued; s <= PacketSatellite; s++ {
+		if s.String() == "" {
+			t.Fatalf("state %d has no name", s)
+		}
+	}
+}
+
+func TestFixedWorkerPool(t *testing.T) {
+	// With a fixed pool of 1 worker, packets serialize.
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 512}, PoolPages: 8})
+	var active, maxActive int
+	var mu = make(chan struct{}, 1)
+	mu <- struct{}{}
+	op := &fakeOp{op: "x", run: func(*Runtime, *Packet) error {
+		<-mu
+		active++
+		if active > maxActive {
+			maxActive = active
+		}
+		mu <- struct{}{}
+		time.Sleep(5 * time.Millisecond)
+		<-mu
+		active--
+		mu <- struct{}{}
+		return nil
+	}}
+	rt := NewRuntime(mgr, Config{WorkersPerEngine: 1}, []Operator{op})
+	defer rt.Close()
+	var qs []*Query
+	for i := 0; i < 4; i++ {
+		q, _ := rt.Submit(context.Background(), &fakeNode{op: "x", sig: fmt.Sprintf("s%d", i)})
+		qs = append(qs, q)
+	}
+	for _, q := range qs {
+		q.Result.Drain()
+		q.Wait()
+	}
+	if maxActive != 1 {
+		t.Fatalf("max concurrent packets with 1 worker: %d", maxActive)
+	}
+}
+
+// ---- Deadlock detector ---------------------------------------------------------
+
+// TestDeadlockDetectorBreaksCycle constructs the paper's §3.3 scenario
+// artificially: two "queries" each consume two shared producers in opposite
+// orders, with tiny buffers, guaranteeing a pipeline deadlock. The detector
+// must materialize a buffer and let everything finish.
+func TestDeadlockDetectorBreaksCycle(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 512}, PoolPages: 8})
+	rt := NewRuntime(mgr, Config{OSP: true, BufferCapacity: 1, DeadlockInterval: 5 * time.Millisecond}, nil)
+	defer rt.Close()
+
+	q := newQuery(context.Background())
+	// Producer A feeds bufA1 (consumer 100) and bufA2 (consumer 200);
+	// producer B feeds bufB1 (consumer 100) and bufB2 (consumer 200).
+	// Consumer 100 drains A then B; consumer 200 drains B then A. With
+	// 1-batch buffers both producers block and both consumers starve.
+	mkBuf := func(prod, cons int64, label string) *tbuf.Buffer {
+		b := tbuf.New(1)
+		b.Producer.Store(prod)
+		b.Consumer.Store(cons)
+		b.Label = label
+		q.addBuffer(b)
+		return b
+	}
+	bufA1 := mkBuf(1, 100, "A->c1")
+	bufA2 := mkBuf(1, 200, "A->c2")
+	bufB1 := mkBuf(2, 100, "B->c1")
+	bufB2 := mkBuf(2, 200, "B->c2")
+	rt.mu.Lock()
+	rt.queries[q.ID] = q
+	rt.mu.Unlock()
+
+	const rows = 50
+	produce := func(b1, b2 *tbuf.Buffer) {
+		for i := 0; i < rows; i++ {
+			batch := tbuf.Batch{tuple.Tuple{tuple.I64(int64(i))}}
+			if err := b1.Put(batch); err != nil {
+				break
+			}
+			if err := b2.Put(append(tbuf.Batch{}, batch...)); err != nil {
+				break
+			}
+		}
+		b1.Close(nil)
+		b2.Close(nil)
+	}
+	consume := func(first, second *tbuf.Buffer) error {
+		if _, err := first.Drain(); err != nil {
+			return err
+		}
+		_, err := second.Drain()
+		return err
+	}
+	errs := make(chan error, 4)
+	go func() { produce(bufA1, bufA2); errs <- nil }()
+	go func() { produce(bufB1, bufB2); errs <- nil }()
+	go func() { errs <- consume(bufA1, bufB1) }()
+	go func() { errs <- consume(bufB2, bufA2) }()
+
+	timeout := time.After(5 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-timeout:
+			t.Fatal("pipeline deadlock was not resolved")
+		}
+	}
+	if rt.Stats().Materialized == 0 {
+		t.Fatal("detector should have materialized at least one buffer")
+	}
+	if rt.Stats().DeadlocksSeen == 0 {
+		t.Fatal("detector should have counted a deadlock")
+	}
+}
+
+func TestDetectorNoFalsePositives(t *testing.T) {
+	// A plain linear pipeline under load must not trigger materialization.
+	op := &fakeOp{op: "x", run: func(rt *Runtime, pkt *Packet) error {
+		for i := 0; i < 200; i++ {
+			if err := pkt.Out.Put(tbuf.Batch{tuple.Tuple{tuple.I64(int64(i))}}); err != nil {
+				return nil
+			}
+			time.Sleep(time.Millisecond / 4)
+		}
+		return nil
+	}}
+	rt := newTestRuntime(t, op)
+	q, _ := rt.Submit(context.Background(), &fakeNode{op: "x", sig: "a"})
+	// Slow consumer.
+	for {
+		_, err := q.Result.Get()
+		if err != nil {
+			break
+		}
+		time.Sleep(time.Millisecond / 2)
+	}
+	if rt.Stats().Materialized != 0 {
+		t.Fatalf("false-positive materialization: %d", rt.Stats().Materialized)
+	}
+}
+
+func TestFindCycleDirect(t *testing.T) {
+	b := tbuf.New(1)
+	g := map[int64][]edge{
+		1: {{to: 2, buf: b, putEdge: true}},
+		2: {{to: 3, buf: b}},
+		3: {{to: 1, buf: b}},
+	}
+	if findCycle(g) == nil {
+		t.Fatal("3-cycle not found")
+	}
+	g2 := map[int64][]edge{
+		1: {{to: 2, buf: b}},
+		2: {{to: 3, buf: b}},
+	}
+	if findCycle(g2) != nil {
+		t.Fatal("acyclic graph reported a cycle")
+	}
+	// Self-loop.
+	g3 := map[int64][]edge{1: {{to: 1, buf: b, putEdge: true}}}
+	if findCycle(g3) == nil {
+		t.Fatal("self-loop not found")
+	}
+}

@@ -1,0 +1,240 @@
+// µEngine: the per-operator micro-engine (paper Figure 6a). Each µEngine
+// owns an incoming packet queue, a pool of worker goroutines (the paper's
+// "local thread pool"), and the OSP admission hook that scans in-progress
+// work for overlap whenever a new packet queues up.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qpipe/internal/plan"
+)
+
+// Operator is the relational code a µEngine runs per packet. Run consumes
+// pkt.Inputs and writes to pkt.Out; the engine closes pkt.Out when Run
+// returns (clean EOF on nil error).
+type Operator interface {
+	// Op names the µEngine this operator serves.
+	Op() plan.OpType
+	// Run executes one packet to completion.
+	Run(rt *Runtime, pkt *Packet) error
+}
+
+// Sharer is implemented by operators supporting the default signature-based
+// OSP attach: when a new packet's signature matches an in-progress host,
+// TryShare attempts the attachment (checking the operator's window of
+// opportunity) and returns whether the new packet became a satellite.
+type Sharer interface {
+	TryShare(rt *Runtime, host, sat *Packet) bool
+}
+
+// Admitter is implemented by operators that control admission beyond
+// signature matching — the scan µEngines, whose circular scans share page
+// streams between packets with *different* predicates (§4.3.1). TryAdmit
+// returns true if the packet was absorbed without queueing.
+type Admitter interface {
+	TryAdmit(rt *Runtime, pkt *Packet) bool
+}
+
+// EngineStats counts a µEngine's activity.
+type EngineStats struct {
+	Enqueued   int64
+	Completed  int64
+	Satellites int64 // packets absorbed by OSP instead of executing
+	Errors     int64
+}
+
+// MicroEngine serves one operator type from a queue. Two worker models are
+// supported:
+//
+//   - Fixed pool (workers > 0): the paper's model — a local thread pool of
+//     that many workers serves the queue. A plan that stacks two nodes of
+//     the same type (e.g. a 3-way merge-join) needs at least 2 workers at
+//     that engine or the parent can starve its own child.
+//   - Elastic (workers <= 0, the default): one goroutine per admitted
+//     packet. Goroutines are the natural Go analogue of the paper's
+//     threads; elasticity removes pool-sizing deadlocks while preserving
+//     the admission queue semantics OSP needs.
+type MicroEngine struct {
+	rt      *Runtime
+	op      plan.OpType
+	impl    Operator
+	elastic bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Packet
+	inflight map[string][]*Packet // sig -> queued/running host packets
+	closed   bool
+
+	wg sync.WaitGroup
+
+	enq  atomic.Int64
+	done atomic.Int64
+	sats atomic.Int64
+	errs atomic.Int64
+}
+
+func newMicroEngine(rt *Runtime, impl Operator, workers int) *MicroEngine {
+	e := &MicroEngine{rt: rt, op: impl.Op(), impl: impl, inflight: make(map[string][]*Packet)}
+	e.cond = sync.NewCond(&e.mu)
+	if workers <= 0 {
+		e.elastic = true
+		return e
+	}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Stats snapshots the engine counters.
+func (e *MicroEngine) Stats() EngineStats {
+	return EngineStats{
+		Enqueued:   e.enq.Load(),
+		Completed:  e.done.Load(),
+		Satellites: e.sats.Load(),
+		Errors:     e.errs.Load(),
+	}
+}
+
+// Enqueue admits a packet: OSP overlap check first (paper §4.3: "every time
+// a new packet queues up in a µEngine, we scan the queue with the existing
+// packets to check for overlapping work"), then normal queueing.
+func (e *MicroEngine) Enqueue(pkt *Packet) {
+	e.enq.Add(1)
+	if e.rt.Cfg.OSP {
+		// Signature-exact sharing against queued and running packets.
+		if sharer, ok := e.impl.(Sharer); ok {
+			e.mu.Lock()
+			hosts := append([]*Packet(nil), e.inflight[pkt.Sig]...)
+			e.mu.Unlock()
+			for _, host := range hosts {
+				if host.Query == pkt.Query || host.Cancelled() {
+					continue
+				}
+				if sharer.TryShare(e.rt, host, pkt) {
+					e.absorb(host, pkt)
+					return
+				}
+			}
+		}
+		// Operator-specific admission (circular scans etc.).
+		if adm, ok := e.impl.(Admitter); ok {
+			if adm.TryAdmit(e.rt, pkt) {
+				e.sats.Add(1)
+				return
+			}
+		}
+	}
+	pkt.setState(PacketQueued)
+	e.mu.Lock()
+	e.inflight[pkt.Sig] = append(e.inflight[pkt.Sig], pkt)
+	if e.elastic {
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go func() {
+			defer e.wg.Done()
+			e.runPacket(pkt)
+		}()
+		return
+	}
+	e.queue = append(e.queue, pkt)
+	e.mu.Unlock()
+	e.cond.Signal()
+}
+
+// absorb completes the satellite bookkeeping after a successful TryShare:
+// the satellite's children are cancelled and the packet is parked on the
+// host (OSP coordinator steps 1-2, Figure 6b).
+func (e *MicroEngine) absorb(host, sat *Packet) {
+	host.AddSatellite(sat)
+	// Terminate everything *beneath* the satellite — but not the satellite
+	// packet itself: its output port stays live (the host, or a
+	// materialization streamer, feeds it).
+	for _, in := range sat.Inputs {
+		in.Abandon()
+	}
+	for _, c := range sat.Children {
+		c.CancelSubtree()
+		c.markDone(nil, PacketCancelled)
+		sat.Query.Stats.CancelledSubtreePackets.Add(1)
+	}
+	e.sats.Add(1)
+	e.rt.noteShare(e.op)
+}
+
+func (e *MicroEngine) removeInflight(pkt *Packet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	list := e.inflight[pkt.Sig]
+	for i, p := range list {
+		if p == pkt {
+			e.inflight[pkt.Sig] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(e.inflight[pkt.Sig]) == 0 {
+		delete(e.inflight, pkt.Sig)
+	}
+}
+
+func (e *MicroEngine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if e.closed && len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		pkt := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+
+		e.runPacket(pkt)
+	}
+}
+
+func (e *MicroEngine) runPacket(pkt *Packet) {
+	defer e.removeInflight(pkt)
+	if pkt.Cancelled() {
+		pkt.Out.Close(pkt.Query.ctx.Err())
+		pkt.finish(pkt.Query.ctx.Err())
+		return
+	}
+	pkt.setState(PacketRunning)
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("µEngine %s: packet %s panicked: %v", e.op, pkt, r)
+			}
+		}()
+		return e.impl.Run(e.rt, pkt)
+	}()
+	if err != nil {
+		e.errs.Add(1)
+	}
+	e.done.Add(1)
+	// Abandon any input not drained to EOF: operators may legitimately
+	// finish early (a merge join stops when one side is exhausted), and
+	// their producers must not stay blocked on full buffers forever.
+	for _, in := range pkt.Inputs {
+		in.Abandon()
+	}
+	pkt.Out.Close(err)
+	pkt.finish(err)
+}
+
+func (e *MicroEngine) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.cond.Broadcast()
+	e.wg.Wait()
+}

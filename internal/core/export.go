@@ -1,0 +1,87 @@
+// Exported hooks used by operator implementations (the ops package): packet
+// completion outside the engine loop and sharing statistics.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/plan"
+)
+
+// Complete finishes a packet that an operator served outside the normal
+// engine worker loop — absorbed circular-scan consumers and file-streaming
+// sort satellites complete this way. Idempotent.
+func (p *Packet) Complete(err error) {
+	p.Out.Close(err)
+	p.finish(err)
+}
+
+// NoteShare records one OSP sharing event at the given operator type
+// (exposed for operator-specific admission paths like circular scans; the
+// default signature-based path records automatically).
+func (rt *Runtime) NoteShare(op plan.OpType) { rt.noteShare(op) }
+
+// BatchSize returns the configured tuples-per-batch target for operators.
+func (rt *Runtime) BatchSize() int { return rt.Cfg.BatchSize }
+
+// Discard cancels a packet that was never (and will never be) executed —
+// typically a gated child the OSP coordinator replaced with a rewritten
+// evaluation strategy.
+func (p *Packet) Discard() {
+	p.CancelSubtree()
+	p.markDone(nil, PacketCancelled)
+}
+
+// DumpState renders every live query's packets and buffer snapshots — the
+// operator's view of a stuck pipeline (blocked producers/consumers, buffer
+// occupancy, satellite relationships). Used by tests on timeouts and
+// available to embedders for debugging.
+func (rt *Runtime) DumpState() string {
+	var b strings.Builder
+	for _, q := range rt.liveQueries() {
+		fmt.Fprintf(&b, "query %d:\n", q.ID)
+		for _, p := range q.Packets() {
+			host := ""
+			if h := p.Host(); h != nil {
+				host = fmt.Sprintf(" host=pkt%d", h.ID)
+			}
+			fmt.Fprintf(&b, "  %s%s\n", p, host)
+		}
+		for _, buf := range q.Buffers() {
+			s := buf.Snapshot()
+			flags := ""
+			if s.PutBlocked {
+				flags += " PUT-BLOCKED"
+			}
+			if s.GetBlocked {
+				flags += " GET-BLOCKED"
+			}
+			if s.Closed {
+				flags += " closed"
+			}
+			if s.Abandoned {
+				flags += " abandoned"
+			}
+			fmt.Fprintf(&b, "  buf %-24s %s prod=%d cons=%d q=%d%s\n",
+				s.Label, s.State, s.Producer, s.Consumer, s.Queued, flags)
+		}
+	}
+	return b.String()
+}
+
+// NewInternalPacket creates a packet owned by an operator's run-time
+// rewiring rather than dispatched to a µEngine — e.g. the suffix consumer
+// the merge-join split attaches to an in-progress ordered scan. The packet
+// has a fresh output buffer; whoever feeds it must call Complete.
+func (rt *Runtime) NewInternalPacket(q *Query, node plan.Node) (*Packet, *tbuf.Buffer) {
+	buf := tbuf.New(rt.Cfg.BufferCapacity)
+	q.addBuffer(buf)
+	pkt := newPacket(q, node)
+	pkt.OutBuf = buf
+	pkt.Out = tbuf.NewSharedOut(buf, rt.Cfg.ReplayWindow)
+	pkt.Out.SetProducer(pkt.ID)
+	q.addPacket(pkt)
+	return pkt, buf
+}

@@ -1,0 +1,264 @@
+// Package core implements the QPipe runtime: the paper's primary
+// contribution (§4). Queries arrive as precompiled plans, are cut into one
+// packet per plan node by the packet dispatcher, and queue up at per-operator
+// micro-engines (µEngines) that serve them with worker pools. On-demand
+// simultaneous pipelining (OSP) happens at packet admission: a new packet
+// whose encoded argument list matches in-progress work becomes a *satellite*
+// of the in-progress *host* packet and receives the host's output
+// simultaneously, while its own child subtree is cancelled.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/plan"
+)
+
+// PacketState tracks a packet through its lifecycle.
+type PacketState int32
+
+// Packet lifecycle states.
+const (
+	PacketQueued PacketState = iota
+	PacketGated              // created but awaiting late activation (§4.3.1)
+	PacketRunning
+	PacketDone
+	PacketCancelled
+	PacketSatellite // absorbed by a host packet; never executed itself
+)
+
+func (s PacketState) String() string {
+	return [...]string{"queued", "gated", "running", "done", "cancelled", "satellite"}[s]
+}
+
+var packetSeq atomic.Int64
+
+// Packet is the unit of work a query enqueues at a µEngine: one plan node
+// plus its input buffers (fed by child packets) and its output port.
+type Packet struct {
+	ID    int64
+	Query *Query
+	Node  plan.Node
+	// Sig is the encoded argument list produced by the packet dispatcher;
+	// µEngines compare signatures to detect overlapping work (§4.3).
+	Sig string
+
+	// Out is the packet's output port; satellites attach here.
+	Out *tbuf.SharedOut
+	// OutBuf is the primary consumer buffer behind Out (the parent's input,
+	// or the query's result buffer for the root packet).
+	OutBuf *tbuf.Buffer
+	// Inputs are the buffers filled by child packets, in child order.
+	Inputs []*tbuf.Buffer
+	// Children are the packets producing Inputs.
+	Children []*Packet
+
+	state     atomic.Int32
+	host      atomic.Pointer[Packet] // non-nil when satellite
+	done      chan struct{}
+	doneOnce  sync.Once
+	runErr    error
+	cancelled atomic.Bool
+
+	satMu      sync.Mutex
+	satellites []*Packet // packets absorbed by this host
+}
+
+// AddSatellite records sat as absorbed by this host packet; sat is marked
+// done when the host completes.
+func (p *Packet) AddSatellite(sat *Packet) {
+	sat.host.Store(p)
+	sat.setState(PacketSatellite)
+	p.satMu.Lock()
+	p.satellites = append(p.satellites, sat)
+	p.satMu.Unlock()
+	p.Query.Stats.HostedSatellites.Add(1)
+	sat.Query.Stats.SatelliteAttaches.Add(1)
+}
+
+// Satellites snapshots the absorbed packets.
+func (p *Packet) Satellites() []*Packet {
+	p.satMu.Lock()
+	defer p.satMu.Unlock()
+	return append([]*Packet(nil), p.satellites...)
+}
+
+// finish marks the host done and releases its satellites with the same
+// terminal error.
+func (p *Packet) finish(err error) {
+	st := PacketDone
+	if err != nil {
+		st = PacketCancelled
+	}
+	p.markDone(err, st)
+	for _, s := range p.Satellites() {
+		s.markDone(err, PacketSatellite)
+	}
+}
+
+func newPacket(q *Query, node plan.Node) *Packet {
+	return &Packet{
+		ID:    packetSeq.Add(1),
+		Query: q,
+		Node:  node,
+		Sig:   node.Signature(),
+		done:  make(chan struct{}),
+	}
+}
+
+// State returns the packet's current lifecycle state.
+func (p *Packet) State() PacketState { return PacketState(p.state.Load()) }
+
+func (p *Packet) setState(s PacketState) { p.state.Store(int32(s)) }
+
+// Host returns the host packet if this packet was absorbed as a satellite.
+func (p *Packet) Host() *Packet { return p.host.Load() }
+
+// Cancelled reports whether the packet (or its query) was cancelled.
+func (p *Packet) Cancelled() bool {
+	return p.cancelled.Load() || p.Query.ctx.Err() != nil
+}
+
+// markDone finalizes the packet with an error (nil on success).
+func (p *Packet) markDone(err error, st PacketState) {
+	p.doneOnce.Do(func() {
+		p.runErr = err
+		p.setState(st)
+		close(p.done)
+	})
+}
+
+// Done returns a channel closed when the packet finishes (done, cancelled,
+// or absorbed as a satellite whose host finished).
+func (p *Packet) Done() <-chan struct{} { return p.done }
+
+// Err returns the packet's terminal error after Done.
+func (p *Packet) Err() error { return p.runErr }
+
+// CancelSubtree cancels this packet and everything beneath it: input buffers
+// are abandoned so producing children unblock and stop, and child packets
+// are cancelled recursively. This is OSP coordinator step 2 — "notifies
+// Q2's children operators to terminate (recursively, for the entire subtree
+// underneath the join node)".
+func (p *Packet) CancelSubtree() {
+	p.cancelled.Store(true)
+	for _, in := range p.Inputs {
+		in.Abandon()
+	}
+	for _, c := range p.Children {
+		c.CancelSubtree()
+		c.markDone(nil, PacketCancelled)
+	}
+}
+
+// String renders the packet for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt%d[%s q%d %s]", p.ID, p.Node.Op(), p.Query.ID, p.State())
+}
+
+// ---- Query -------------------------------------------------------------------
+
+var querySeq atomic.Int64
+
+// QueryStats accumulates per-query sharing counters.
+type QueryStats struct {
+	// Packets is the number of packets dispatched (plan nodes).
+	Packets int64
+	// SatelliteAttaches counts this query's packets absorbed by hosts.
+	SatelliteAttaches atomic.Int64
+	// HostedSatellites counts foreign packets attached to this query's hosts.
+	HostedSatellites atomic.Int64
+	// CancelledSubtreePackets counts child packets cancelled by OSP attaches.
+	CancelledSubtreePackets atomic.Int64
+}
+
+// Query is one client request in flight.
+type Query struct {
+	ID   int64
+	ctx  context.Context
+	stop context.CancelFunc
+
+	Root *Packet
+	// Result is the buffer the root packet's output lands in; the client
+	// drains it.
+	Result *tbuf.Buffer
+
+	Stats QueryStats
+
+	mu      sync.Mutex
+	packets []*Packet
+	buffers []*tbuf.Buffer
+	gated   []*Packet
+}
+
+func newQuery(ctx context.Context) *Query {
+	qctx, cancel := context.WithCancel(ctx)
+	return &Query{ID: querySeq.Add(1), ctx: qctx, stop: cancel}
+}
+
+// Ctx returns the query's context.
+func (q *Query) Ctx() context.Context { return q.ctx }
+
+// Cancel aborts the query: all its buffers wake with abandonment so blocked
+// operators unwind.
+func (q *Query) Cancel() {
+	q.stop()
+	q.mu.Lock()
+	bufs := append([]*tbuf.Buffer(nil), q.buffers...)
+	packets := append([]*Packet(nil), q.packets...)
+	q.mu.Unlock()
+	for _, p := range packets {
+		p.cancelled.Store(true)
+	}
+	for _, b := range bufs {
+		b.Abandon()
+	}
+}
+
+func (q *Query) addPacket(p *Packet) {
+	q.mu.Lock()
+	q.packets = append(q.packets, p)
+	q.Stats.Packets++
+	q.mu.Unlock()
+}
+
+func (q *Query) addBuffer(b *tbuf.Buffer) {
+	q.mu.Lock()
+	q.buffers = append(q.buffers, b)
+	q.mu.Unlock()
+}
+
+// Packets snapshots the query's dispatched packets.
+func (q *Query) Packets() []*Packet {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*Packet(nil), q.packets...)
+}
+
+// Buffers snapshots the query's buffers (deadlock detector input).
+func (q *Query) Buffers() []*tbuf.Buffer {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]*tbuf.Buffer(nil), q.buffers...)
+}
+
+// Wait blocks until the root packet (or its host chain) finishes and
+// returns its terminal error. The result buffer may still hold undrained
+// batches; callers normally Drain first.
+func (q *Query) Wait() error {
+	root := q.Root
+	for {
+		<-root.Done()
+		if root.State() == PacketSatellite {
+			if h := root.Host(); h != nil {
+				root = h
+				continue
+			}
+		}
+		return root.Err()
+	}
+}

@@ -1,0 +1,311 @@
+// Runtime: engine assembly, the packet dispatcher, and query admission.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/sm"
+)
+
+// Config tunes the QPipe runtime.
+type Config struct {
+	// OSP enables on-demand simultaneous pipelining. Disabled, the runtime
+	// is the paper's "Baseline": same engine, no sharing beyond the pool.
+	OSP bool
+	// WorkersPerEngine sizes each µEngine's worker pool; <= 0 selects
+	// elastic mode (a goroutine per packet — see MicroEngine).
+	WorkersPerEngine int
+	// BufferCapacity bounds intermediate buffers, in batches (default 8).
+	BufferCapacity int
+	// BatchSize is the tuple count operators aim for per produced batch
+	// (default 64).
+	BatchSize int
+	// ReplayWindow is the number of produced tuples a packet retains for
+	// late satellite attachment — the buffering enhancement of §3.2
+	// (default 1024; 0 gives strict step/spike semantics).
+	ReplayWindow int
+	// DeadlockInterval is the Waits-For scan period (default 25ms;
+	// negative disables the detector).
+	DeadlockInterval time.Duration
+	// LateActivation gates merge-join children until the join decides how
+	// to evaluate them (§4.3.1/§4.3.2). Meaningful only with OSP.
+	LateActivation bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferCapacity <= 0 {
+		c.BufferCapacity = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.ReplayWindow == 0 {
+		c.ReplayWindow = 1024
+	}
+	if c.DeadlockInterval == 0 {
+		c.DeadlockInterval = 25 * time.Millisecond
+	}
+	return c
+}
+
+// DefaultConfig returns the configuration used by the experiments'
+// "QPipe w/OSP" system.
+func DefaultConfig() Config {
+	return Config{OSP: true, LateActivation: true}.withDefaults()
+}
+
+// BaselineConfig returns the "Baseline" system: QPipe with OSP disabled.
+func BaselineConfig() Config {
+	return Config{OSP: false}.withDefaults()
+}
+
+// RuntimeStats aggregates engine and sharing counters.
+type RuntimeStats struct {
+	Queries       int64
+	SharesByOp    map[plan.OpType]int64
+	EngineStats   map[plan.OpType]EngineStats
+	DeadlocksSeen int64
+	Materialized  int64 // buffers switched to unbounded by the detector
+}
+
+// Runtime is the assembled QPipe engine: one µEngine per operator type, a
+// packet dispatcher, and the deadlock detector.
+type Runtime struct {
+	SM  *sm.Manager
+	Cfg Config
+
+	engines map[plan.OpType]*MicroEngine
+
+	mu      sync.Mutex
+	queries map[int64]*Query
+	closed  bool
+
+	shareMu sync.Mutex
+	shares  map[plan.OpType]int64
+
+	nQueries     atomic.Int64
+	deadlocks    atomic.Int64
+	materialized atomic.Int64
+
+	detector *detector
+}
+
+// NewRuntime assembles a runtime over the storage manager with the given
+// operator implementations (one per OpType; the ops package provides the
+// standard set).
+func NewRuntime(s *sm.Manager, cfg Config, operators []Operator) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		SM:      s,
+		Cfg:     cfg,
+		engines: make(map[plan.OpType]*MicroEngine),
+		queries: make(map[int64]*Query),
+		shares:  make(map[plan.OpType]int64),
+	}
+	for _, op := range operators {
+		if _, dup := rt.engines[op.Op()]; dup {
+			panic(fmt.Sprintf("core: duplicate operator for %s", op.Op()))
+		}
+		rt.engines[op.Op()] = newMicroEngine(rt, op, cfg.WorkersPerEngine)
+	}
+	if cfg.DeadlockInterval > 0 {
+		rt.detector = newDetector(rt, cfg.DeadlockInterval)
+		rt.detector.start()
+	}
+	return rt
+}
+
+// Engine returns the µEngine for an operator type (nil if absent).
+func (rt *Runtime) Engine(op plan.OpType) *MicroEngine { return rt.engines[op] }
+
+// Submit admits a query plan: the packet dispatcher creates one packet per
+// plan node (paper §4.2) and enqueues them bottom-up. The returned Query's
+// Result buffer carries root output; drain it and Wait for completion.
+func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("core: runtime closed")
+	}
+	rt.mu.Unlock()
+	if err := rt.validate(node); err != nil {
+		return nil, err
+	}
+	q := newQuery(ctx)
+	result := tbuf.New(rt.Cfg.BufferCapacity)
+	result.Label = fmt.Sprintf("q%d/result", q.ID)
+	q.addBuffer(result)
+	q.Result = result
+	q.Root = rt.dispatch(q, node, result, false)
+
+	rt.mu.Lock()
+	rt.queries[q.ID] = q
+	rt.mu.Unlock()
+	rt.nQueries.Add(1)
+
+	go func() {
+		q.Wait()
+		rt.mu.Lock()
+		delete(rt.queries, q.ID)
+		rt.mu.Unlock()
+	}()
+	return q, nil
+}
+
+func (rt *Runtime) validate(node plan.Node) error {
+	var err error
+	plan.Walk(node, func(n plan.Node) {
+		if rt.engines[n.Op()] == nil && err == nil {
+			err = fmt.Errorf("core: no µEngine for operator %s", n.Op())
+		}
+	})
+	return err
+}
+
+// dispatch recursively creates and enqueues packets for the subtree rooted
+// at node, writing output into out. When gated, the packet is created but
+// not enqueued (late activation); its owner must Activate or cancel it.
+func (rt *Runtime) dispatch(q *Query, node plan.Node, out *tbuf.Buffer, gated bool) *Packet {
+	pkt := newPacket(q, node)
+	pkt.OutBuf = out
+	pkt.Out = tbuf.NewSharedOut(out, rt.Cfg.ReplayWindow)
+	pkt.Out.SetProducer(pkt.ID)
+	q.addPacket(pkt)
+
+	gateKids := rt.shouldGateChildren(node)
+	for _, cn := range node.Children() {
+		buf := tbuf.New(rt.Cfg.BufferCapacity)
+		buf.Consumer.Store(pkt.ID)
+		buf.Label = fmt.Sprintf("q%d/%s->%s", q.ID, cn.Op(), node.Op())
+		q.addBuffer(buf)
+		// The child's dispatch sets buf's producer itself — and OSP may
+		// have immediately re-bound it to a shared scanner's host, so it
+		// must NOT be overwritten here.
+		child := rt.dispatch(q, cn, buf, gateKids)
+		pkt.Inputs = append(pkt.Inputs, buf)
+		pkt.Children = append(pkt.Children, child)
+	}
+	if gated {
+		pkt.setState(PacketGated)
+	} else {
+		rt.engines[node.Op()].Enqueue(pkt)
+	}
+	return pkt
+}
+
+// shouldGateChildren applies late activation to merge-join inputs so the
+// join µEngine can rewire them (two-packet split, §4.3.2) before they read
+// a page.
+func (rt *Runtime) shouldGateChildren(node plan.Node) bool {
+	if !rt.Cfg.OSP || !rt.Cfg.LateActivation {
+		return false
+	}
+	mj, ok := node.(*plan.MergeJoin)
+	if !ok {
+		return false
+	}
+	for _, c := range mj.Children() {
+		if is, ok := c.(*plan.IndexScan); ok && is.Clustered && is.Ordered {
+			return true
+		}
+	}
+	return false
+}
+
+// Activate enqueues a gated packet (late activation release).
+func (rt *Runtime) Activate(pkt *Packet) {
+	if pkt.State() == PacketGated {
+		rt.engines[pkt.Node.Op()].Enqueue(pkt)
+	}
+}
+
+// DispatchSubtree creates and runs a fresh subtree for an existing query at
+// run time (used by the OSP coordinator when it rewrites an evaluation
+// strategy, e.g. the ordered-scan join split). It returns the buffer the
+// subtree's root writes into.
+func (rt *Runtime) DispatchSubtree(q *Query, node plan.Node) (*tbuf.Buffer, *Packet) {
+	buf := tbuf.New(rt.Cfg.BufferCapacity)
+	buf.Label = fmt.Sprintf("q%d/sub-%s", q.ID, node.Op())
+	q.addBuffer(buf)
+	pkt := rt.dispatch(q, node, buf, false)
+	return buf, pkt
+}
+
+func (rt *Runtime) noteShare(op plan.OpType) {
+	rt.shareMu.Lock()
+	rt.shares[op]++
+	rt.shareMu.Unlock()
+}
+
+// liveQueries snapshots active queries (deadlock detector input).
+func (rt *Runtime) liveQueries() []*Query {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*Query, 0, len(rt.queries))
+	for _, q := range rt.queries {
+		out = append(out, q)
+	}
+	return out
+}
+
+// Stats snapshots runtime counters.
+func (rt *Runtime) Stats() RuntimeStats {
+	st := RuntimeStats{
+		Queries:       rt.nQueries.Load(),
+		SharesByOp:    make(map[plan.OpType]int64),
+		EngineStats:   make(map[plan.OpType]EngineStats),
+		DeadlocksSeen: rt.deadlocks.Load(),
+		Materialized:  rt.materialized.Load(),
+	}
+	rt.shareMu.Lock()
+	for k, v := range rt.shares {
+		st.SharesByOp[k] = v
+	}
+	rt.shareMu.Unlock()
+	for op, e := range rt.engines {
+		st.EngineStats[op] = e.Stats()
+	}
+	return st
+}
+
+// TotalShares sums OSP attaches across µEngines.
+func (rt *Runtime) TotalShares() int64 {
+	rt.shareMu.Lock()
+	defer rt.shareMu.Unlock()
+	var n int64
+	for _, v := range rt.shares {
+		n += v
+	}
+	return n
+}
+
+// Close drains the engines and stops the detector. Outstanding queries are
+// cancelled.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	qs := make([]*Query, 0, len(rt.queries))
+	for _, q := range rt.queries {
+		qs = append(qs, q)
+	}
+	rt.mu.Unlock()
+	for _, q := range qs {
+		q.Cancel()
+	}
+	if rt.detector != nil {
+		rt.detector.stop()
+	}
+	for _, e := range rt.engines {
+		e.close()
+	}
+}

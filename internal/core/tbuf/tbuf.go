@@ -1,0 +1,437 @@
+// Package tbuf implements QPipe's intermediate tuple buffers: the bounded
+// producer/consumer queues that link µEngines into pipelines (paper §4.2,
+// "data flow between µEngines occurs through dedicated buffers"), and the
+// fan-out ports that pipeline one operator's output to many queries
+// simultaneously (the 1-producer, N-consumers relationship of §4.3).
+//
+// Three paper mechanisms live here:
+//
+//   - Bounded flow control: a full buffer blocks the producer, so all
+//     participants "adjust their consuming speed to the speed of the
+//     slowest consumer".
+//   - The buffering enhancement function (§3.2, Figure 4b): SharedOut
+//     retains a bounded replay window of produced tuples so a satellite can
+//     attach after the first output tuple and still receive everything
+//     (OSP coordinator step 3: "copies the output tuples ... still in Q1's
+//     buffer, to Q2's output buffer").
+//   - Materialization on demand: SetUnbounded lifts a buffer's bound, which
+//     is how the deadlock detector breaks cycles by materializing a buffer
+//     instead of blocking (§4.3.3).
+package tbuf
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"qpipe/internal/tuple"
+)
+
+// Batch is a group of tuples moved through a buffer at once (push-based
+// engines move batches, not single tuples, to amortize synchronization; cf.
+// the paper's discussion of buffering [31]).
+type Batch = []tuple.Tuple
+
+// ErrAbandoned is returned by Put after the consumer abandoned the buffer
+// (its query was cancelled or became a satellite of another packet).
+var ErrAbandoned = errors.New("tbuf: consumer abandoned buffer")
+
+// State classifies buffer occupancy for the deadlock detector's Waits-For
+// graph, which needs exactly the full/empty/non-empty distinction of the
+// paper's model (§4.3.3).
+type State int
+
+// Buffer occupancy states.
+const (
+	StateEmpty State = iota
+	StatePartial
+	StateFull
+)
+
+func (s State) String() string {
+	return [...]string{"empty", "partial", "full"}[s]
+}
+
+// Buffer is a bounded FIFO of batches with one producer and one consumer.
+type Buffer struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	queue     []Batch
+	capacity  int // max queued batches; <=0 means unbounded
+	closed    bool
+	closeErr  error
+	abandoned bool
+
+	putBlocked bool
+	getBlocked bool
+
+	totalIn  int64
+	totalOut int64
+
+	// Producer and Consumer are packet IDs used by the deadlock detector
+	// to build Waits-For edges. They are atomics because OSP re-binds a
+	// buffer's producer at run time: a scan consumer attached to a shared
+	// circular scanner reports the scanner's host packet as its producer,
+	// so the detector sees the 1-producer-N-consumers structure (§4.3.3).
+	Producer atomic.Int64
+	Consumer atomic.Int64
+
+	// Label names the buffer in diagnostics (e.g. "q3/sort->mjoin").
+	Label string
+}
+
+// New creates a buffer bounded to capacity batches (minimum 1).
+func New(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &Buffer{capacity: capacity}
+	b.notFull = sync.NewCond(&b.mu)
+	b.notEmpty = sync.NewCond(&b.mu)
+	return b
+}
+
+// Put enqueues one batch, blocking while the buffer is full. It returns
+// ErrAbandoned if the consumer is gone, or the close error if the buffer was
+// force-closed underneath the producer.
+func (b *Buffer) Put(batch Batch) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.abandoned {
+			return ErrAbandoned
+		}
+		if b.closed {
+			if b.closeErr != nil {
+				return b.closeErr
+			}
+			return errors.New("tbuf: put on closed buffer")
+		}
+		if b.capacity <= 0 || len(b.queue) < b.capacity {
+			break
+		}
+		b.putBlocked = true
+		b.notFull.Wait()
+		b.putBlocked = false
+	}
+	b.queue = append(b.queue, batch)
+	b.totalIn += int64(len(batch))
+	b.notEmpty.Signal()
+	return nil
+}
+
+// Get dequeues one batch, blocking while the buffer is empty and open.
+// After the producer closes the buffer and the queue drains, Get returns
+// (nil, io.EOF) on a clean close or (nil, err) on an errored close.
+func (b *Buffer) Get() (Batch, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(b.queue) > 0 {
+			batch := b.queue[0]
+			b.queue = b.queue[1:]
+			b.totalOut += int64(len(batch))
+			b.notFull.Signal()
+			return batch, nil
+		}
+		if b.closed {
+			if b.closeErr != nil {
+				return nil, b.closeErr
+			}
+			return nil, io.EOF
+		}
+		if b.abandoned {
+			return nil, ErrAbandoned
+		}
+		b.getBlocked = true
+		b.notEmpty.Wait()
+		b.getBlocked = false
+	}
+}
+
+// Close marks the producer done. A nil err means clean end-of-stream; the
+// consumer sees io.EOF after draining. A non-nil err propagates to both
+// sides. Closing twice keeps the first error.
+func (b *Buffer) Close(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.closeErr = err
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+}
+
+// Abandon marks the consumer gone: pending and future Puts fail with
+// ErrAbandoned and queued batches are dropped.
+func (b *Buffer) Abandon() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.abandoned = true
+	b.queue = nil
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+}
+
+// SetUnbounded removes the capacity bound (deadlock resolution by
+// materialization): any blocked producer wakes and completes its Put.
+func (b *Buffer) SetUnbounded() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.capacity = 0
+	b.notFull.Broadcast()
+}
+
+// Unbounded reports whether the capacity bound has been lifted.
+func (b *Buffer) Unbounded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacity <= 0
+}
+
+// Snapshot captures the buffer's occupancy and blocking state.
+type Snapshot struct {
+	State      State
+	PutBlocked bool
+	GetBlocked bool
+	Closed     bool
+	Abandoned  bool
+	Queued     int // batches
+	QueuedTup  int64
+	Producer   int64
+	Consumer   int64
+	Label      string
+}
+
+// Snapshot returns the current state for the deadlock detector.
+func (b *Buffer) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := StatePartial
+	switch {
+	case len(b.queue) == 0:
+		st = StateEmpty
+	case b.capacity > 0 && len(b.queue) >= b.capacity:
+		st = StateFull
+	}
+	var queuedTup int64
+	for _, batch := range b.queue {
+		queuedTup += int64(len(batch))
+	}
+	return Snapshot{
+		State:      st,
+		PutBlocked: b.putBlocked,
+		GetBlocked: b.getBlocked,
+		Closed:     b.closed,
+		Abandoned:  b.abandoned,
+		Queued:     len(b.queue),
+		QueuedTup:  queuedTup,
+		Producer:   b.Producer.Load(),
+		Consumer:   b.Consumer.Load(),
+		Label:      b.Label,
+	}
+}
+
+// Totals returns cumulative tuples in and out.
+func (b *Buffer) Totals() (in, out int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.totalIn, b.totalOut
+}
+
+// Drain consumes the buffer to EOF, returning the tuple count (test/client
+// helper for queries whose results are discarded, as in the paper's setup).
+func (b *Buffer) Drain() (int64, error) {
+	var n int64
+	for {
+		batch, err := b.Get()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n += int64(len(batch))
+	}
+}
+
+// ---- SharedOut ---------------------------------------------------------------
+
+// SharedOut is an operator's output port. It starts with one target buffer
+// (the packet's own consumer) and accepts additional satellite buffers at
+// run time; every produced batch is pipelined to all attached targets
+// simultaneously, with deep copies so consumers never alias each other's
+// tuples. A bounded replay window of produced tuples supports late
+// attachment (the buffering enhancement).
+//
+// SharedOut assumes a single producing goroutine (one worker drives a host
+// packet), which is QPipe's execution model.
+type SharedOut struct {
+	mu   sync.Mutex
+	outs []*Buffer
+	// producerID is the packet identity stamped onto every attached
+	// buffer for the deadlock detector; rebindable when a shared scanner
+	// takes over production (see Buffer.Producer).
+	producerID int64
+
+	replay      []tuple.Tuple
+	replayLimit int
+	replayValid bool
+	produced    int64
+	closed      bool
+}
+
+// NewSharedOut creates a port writing to primary, retaining up to
+// replayLimit produced tuples for late attachment. replayLimit zero
+// disables replay (spike semantics after the first tuple); negative retains
+// everything (full materialization).
+func NewSharedOut(primary *Buffer, replayLimit int) *SharedOut {
+	return &SharedOut{outs: []*Buffer{primary}, replayLimit: replayLimit, replayValid: true}
+}
+
+// Put pipelines one batch to every attached consumer, blocking on the
+// slowest. Consumers that abandoned their buffer are detached. Put returns
+// ErrAbandoned only when no consumers remain (the producing operator should
+// then stop — its work is wanted by nobody).
+func (s *SharedOut) Put(batch Batch) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	s.produced += int64(len(batch))
+	if s.replayValid {
+		if s.replayLimit >= 0 && s.produced > int64(s.replayLimit) {
+			s.replayValid = false
+			s.replay = nil
+		} else {
+			for _, t := range batch {
+				s.replay = append(s.replay, t.Clone())
+			}
+		}
+	}
+	targets := make([]*Buffer, len(s.outs))
+	copy(targets, s.outs)
+	s.mu.Unlock()
+
+	alive := 0
+	for i, out := range targets {
+		var toSend Batch
+		if i == 0 {
+			toSend = batch
+		} else {
+			// Deep copy per extra consumer: satellites own their tuples.
+			toSend = make(Batch, len(batch))
+			for j, t := range batch {
+				toSend[j] = t.Clone()
+			}
+		}
+		if err := out.Put(toSend); err != nil {
+			s.detach(out)
+			continue
+		}
+		alive++
+	}
+	if alive == 0 {
+		return ErrAbandoned
+	}
+	return nil
+}
+
+func (s *SharedOut) detach(buf *Buffer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, o := range s.outs {
+		if o == buf {
+			s.outs = append(s.outs[:i], s.outs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetProducer stamps the producing packet's identity onto every attached
+// buffer (current and future) so the deadlock detector attributes blocked
+// Puts to the packet actually producing — which OSP may change at run time
+// (circular-scan admission hands production to the scanner's host).
+func (s *SharedOut) SetProducer(id int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.producerID = id
+	for _, o := range s.outs {
+		o.Producer.Store(id)
+	}
+}
+
+// Attach adds a satellite consumer. If output was already produced, the
+// satellite first receives the replay window — provided it still covers
+// everything produced; otherwise Attach fails (the window of opportunity
+// has expired) and the caller must run the operator independently.
+func (s *SharedOut) Attach(buf *Buffer) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.produced > 0 {
+		if !s.replayValid {
+			return false
+		}
+		replayCopy := make(Batch, len(s.replay))
+		for i, t := range s.replay {
+			replayCopy[i] = t.Clone()
+		}
+		// A fresh satellite buffer is empty, so a single Put cannot block.
+		if err := buf.Put(replayCopy); err != nil {
+			return false
+		}
+	}
+	s.outs = append(s.outs, buf)
+	if s.producerID != 0 {
+		buf.Producer.Store(s.producerID)
+	}
+	return true
+}
+
+// Close ends the stream for every attached consumer.
+func (s *SharedOut) Close(err error) {
+	s.mu.Lock()
+	s.closed = true
+	outs := make([]*Buffer, len(s.outs))
+	copy(outs, s.outs)
+	s.replay = nil
+	s.mu.Unlock()
+	for _, o := range outs {
+		o.Close(err)
+	}
+}
+
+// Produced returns the number of tuples produced so far.
+func (s *SharedOut) Produced() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.produced
+}
+
+// NumConsumers returns the number of currently attached consumers.
+func (s *SharedOut) NumConsumers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.outs)
+}
+
+// Consumers snapshots the attached buffers (deadlock detector edges from a
+// host producer to every satellite consumer).
+func (s *SharedOut) Consumers() []*Buffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	outs := make([]*Buffer, len(s.outs))
+	copy(outs, s.outs)
+	return outs
+}

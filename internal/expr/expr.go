@@ -1,0 +1,443 @@
+// Package expr provides the scalar-expression and predicate language used
+// by plan nodes: column references, constants, arithmetic, comparisons and
+// boolean connectives. Expressions evaluate against a tuple.Tuple and carry
+// a stable Signature() string so the OSP coordinator can compare the encoded
+// argument lists of two packets cheaply (paper §4.3: "a quick check of the
+// encoded argument list for each packet").
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"qpipe/internal/tuple"
+)
+
+// Expr is a scalar expression over an input tuple.
+type Expr interface {
+	// Eval computes the expression's value for one input tuple.
+	Eval(t tuple.Tuple) tuple.Value
+	// Signature renders a canonical encoding of the expression used for
+	// run-time overlap detection. Structurally identical expressions have
+	// identical signatures.
+	Signature() string
+}
+
+// ---- Leaves ----------------------------------------------------------------
+
+// ColRef references an input column by position.
+type ColRef struct {
+	Ix   int
+	Name string // optional, for display only
+}
+
+// Col constructs a column reference.
+func Col(ix int) *ColRef { return &ColRef{Ix: ix} }
+
+// NamedCol constructs a column reference that remembers its display name.
+func NamedCol(ix int, name string) *ColRef { return &ColRef{Ix: ix, Name: name} }
+
+// Eval implements Expr.
+func (c *ColRef) Eval(t tuple.Tuple) tuple.Value { return t[c.Ix] }
+
+// Signature implements Expr. Only the position matters for equivalence.
+func (c *ColRef) Signature() string { return fmt.Sprintf("c%d", c.Ix) }
+
+// Const is a constant value.
+type Const struct{ V tuple.Value }
+
+// CInt, CFloat, CStr and CDate build constants of each kind.
+func CInt(v int64) *Const     { return &Const{V: tuple.I64(v)} }
+func CFloat(v float64) *Const { return &Const{V: tuple.F64(v)} }
+func CStr(v string) *Const    { return &Const{V: tuple.Str(v)} }
+func CDate(v int64) *Const    { return &Const{V: tuple.Date(v)} }
+
+// Eval implements Expr.
+func (c *Const) Eval(tuple.Tuple) tuple.Value { return c.V }
+
+// Signature implements Expr.
+func (c *Const) Signature() string {
+	return fmt.Sprintf("k%d:%s", c.V.K, c.V.String())
+}
+
+// ---- Arithmetic ------------------------------------------------------------
+
+// ArithOp enumerates binary arithmetic operators.
+type ArithOp uint8
+
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Arith is a binary arithmetic expression. Integer inputs produce integer
+// results except for division, which always produces a float (matching how
+// the TPC-H aggregate expressions like l_extendedprice*(1-l_discount) are
+// computed in practice).
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Add, Sub, Mul and Div build arithmetic nodes.
+func Add(l, r Expr) *Arith { return &Arith{Op: OpAdd, L: l, R: r} }
+func Sub(l, r Expr) *Arith { return &Arith{Op: OpSub, L: l, R: r} }
+func Mul(l, r Expr) *Arith { return &Arith{Op: OpMul, L: l, R: r} }
+func Div(l, r Expr) *Arith { return &Arith{Op: OpDiv, L: l, R: r} }
+
+// Eval implements Expr.
+func (a *Arith) Eval(t tuple.Tuple) tuple.Value {
+	l, r := a.L.Eval(t), a.R.Eval(t)
+	if a.Op == OpDiv {
+		rf := r.AsFloat()
+		if rf == 0 {
+			return tuple.F64(0)
+		}
+		return tuple.F64(l.AsFloat() / rf)
+	}
+	if l.K == tuple.KindInt && r.K == tuple.KindInt {
+		switch a.Op {
+		case OpAdd:
+			return tuple.I64(l.I + r.I)
+		case OpSub:
+			return tuple.I64(l.I - r.I)
+		case OpMul:
+			return tuple.I64(l.I * r.I)
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch a.Op {
+	case OpAdd:
+		return tuple.F64(lf + rf)
+	case OpSub:
+		return tuple.F64(lf - rf)
+	default:
+		return tuple.F64(lf * rf)
+	}
+}
+
+// Signature implements Expr.
+func (a *Arith) Signature() string {
+	return "(" + a.L.Signature() + a.Op.String() + a.R.Signature() + ")"
+}
+
+// ---- Predicates ------------------------------------------------------------
+
+// Pred is a boolean predicate over an input tuple.
+type Pred interface {
+	Test(t tuple.Tuple) bool
+	Signature() string
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (o CmpOp) String() string { return [...]string{"=", "<>", "<", "<=", ">", ">="}[o] }
+
+// Cmp compares two scalar expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// EQ..GE build comparison predicates.
+func EQ(l, r Expr) *Cmp { return &Cmp{Op: CmpEQ, L: l, R: r} }
+func NE(l, r Expr) *Cmp { return &Cmp{Op: CmpNE, L: l, R: r} }
+func LT(l, r Expr) *Cmp { return &Cmp{Op: CmpLT, L: l, R: r} }
+func LE(l, r Expr) *Cmp { return &Cmp{Op: CmpLE, L: l, R: r} }
+func GT(l, r Expr) *Cmp { return &Cmp{Op: CmpGT, L: l, R: r} }
+func GE(l, r Expr) *Cmp { return &Cmp{Op: CmpGE, L: l, R: r} }
+
+// Test implements Pred.
+func (c *Cmp) Test(t tuple.Tuple) bool {
+	r := tuple.Compare(c.L.Eval(t), c.R.Eval(t))
+	switch c.Op {
+	case CmpEQ:
+		return r == 0
+	case CmpNE:
+		return r != 0
+	case CmpLT:
+		return r < 0
+	case CmpLE:
+		return r <= 0
+	case CmpGT:
+		return r > 0
+	default:
+		return r >= 0
+	}
+}
+
+// Signature implements Pred.
+func (c *Cmp) Signature() string {
+	return "(" + c.L.Signature() + c.Op.String() + c.R.Signature() + ")"
+}
+
+// And is an n-ary conjunction.
+type And struct{ Ps []Pred }
+
+// AndOf builds a conjunction; nil and empty conjunctions are always true.
+func AndOf(ps ...Pred) *And { return &And{Ps: ps} }
+
+// Test implements Pred.
+func (a *And) Test(t tuple.Tuple) bool {
+	for _, p := range a.Ps {
+		if !p.Test(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature implements Pred.
+func (a *And) Signature() string {
+	parts := make([]string, len(a.Ps))
+	for i, p := range a.Ps {
+		parts[i] = p.Signature()
+	}
+	return "and(" + strings.Join(parts, ",") + ")"
+}
+
+// Or is an n-ary disjunction.
+type Or struct{ Ps []Pred }
+
+// OrOf builds a disjunction; empty disjunctions are always false.
+func OrOf(ps ...Pred) *Or { return &Or{Ps: ps} }
+
+// Test implements Pred.
+func (o *Or) Test(t tuple.Tuple) bool {
+	for _, p := range o.Ps {
+		if p.Test(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Signature implements Pred.
+func (o *Or) Signature() string {
+	parts := make([]string, len(o.Ps))
+	for i, p := range o.Ps {
+		parts[i] = p.Signature()
+	}
+	return "or(" + strings.Join(parts, ",") + ")"
+}
+
+// Not negates a predicate.
+type Not struct{ P Pred }
+
+// NotOf builds a negation.
+func NotOf(p Pred) *Not { return &Not{P: p} }
+
+// Test implements Pred.
+func (n *Not) Test(t tuple.Tuple) bool { return !n.P.Test(t) }
+
+// Signature implements Pred.
+func (n *Not) Signature() string { return "not(" + n.P.Signature() + ")" }
+
+// True is a predicate that always holds; used where a plan slot requires a
+// predicate but the query has none.
+type True struct{}
+
+// Test implements Pred.
+func (True) Test(tuple.Tuple) bool { return true }
+
+// Signature implements Pred.
+func (True) Signature() string { return "true" }
+
+// In tests membership of an expression in a fixed set of values (used by
+// TPC-H Q12's l_shipmode IN ('MAIL','SHIP') and Q19's bracket predicates).
+type In struct {
+	E    Expr
+	Vals []tuple.Value
+}
+
+// InOf builds a membership predicate.
+func InOf(e Expr, vals ...tuple.Value) *In { return &In{E: e, Vals: vals} }
+
+// Test implements Pred.
+func (in *In) Test(t tuple.Tuple) bool {
+	v := in.E.Eval(t)
+	for _, w := range in.Vals {
+		if tuple.Equal(v, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Signature implements Pred.
+func (in *In) Signature() string {
+	parts := make([]string, len(in.Vals))
+	for i, v := range in.Vals {
+		parts[i] = v.String()
+	}
+	return "in(" + in.E.Signature() + ";" + strings.Join(parts, ",") + ")"
+}
+
+// Between is an inclusive range predicate, common in TPC-H date filters.
+type Between struct {
+	E        Expr
+	Lo, Hi   tuple.Value
+	LoX, HiX bool // exclusive bounds when true
+}
+
+// BetweenOf builds an inclusive range predicate lo <= e <= hi.
+func BetweenOf(e Expr, lo, hi tuple.Value) *Between { return &Between{E: e, Lo: lo, Hi: hi} }
+
+// Test implements Pred.
+func (b *Between) Test(t tuple.Tuple) bool {
+	v := b.E.Eval(t)
+	lc := tuple.Compare(v, b.Lo)
+	hc := tuple.Compare(v, b.Hi)
+	if b.LoX {
+		if lc <= 0 {
+			return false
+		}
+	} else if lc < 0 {
+		return false
+	}
+	if b.HiX {
+		return hc < 0
+	}
+	return hc <= 0
+}
+
+// Signature implements Pred.
+func (b *Between) Signature() string {
+	return fmt.Sprintf("btw(%s;%s;%s;%v;%v)", b.E.Signature(), b.Lo, b.Hi, b.LoX, b.HiX)
+}
+
+// Cond is a conditional expression (CASE WHEN p THEN a ELSE b END), used by
+// TPC-H-style conditional aggregates such as Q14's promo revenue share.
+type Cond struct {
+	If         Pred
+	Then, Else Expr
+}
+
+// CondOf builds a conditional expression.
+func CondOf(p Pred, then, els Expr) *Cond { return &Cond{If: p, Then: then, Else: els} }
+
+// Eval implements Expr.
+func (c *Cond) Eval(t tuple.Tuple) tuple.Value {
+	if c.If.Test(t) {
+		return c.Then.Eval(t)
+	}
+	return c.Else.Eval(t)
+}
+
+// Signature implements Expr.
+func (c *Cond) Signature() string {
+	return "cond(" + c.If.Signature() + ";" + c.Then.Signature() + ";" + c.Else.Signature() + ")"
+}
+
+// ---- Aggregates ------------------------------------------------------------
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (k AggKind) String() string {
+	return [...]string{"count", "sum", "min", "max", "avg"}[k]
+}
+
+// AggSpec describes one aggregate output column: a function applied to an
+// input expression (nil for COUNT(*)).
+type AggSpec struct {
+	Kind AggKind
+	Arg  Expr // nil allowed for AggCount
+	Name string
+}
+
+// Signature renders the aggregate spec canonically.
+func (a AggSpec) Signature() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.Signature()
+	}
+	return a.Kind.String() + "(" + arg + ")"
+}
+
+// AggState accumulates one aggregate.
+type AggState struct {
+	spec  AggSpec
+	count int64
+	sum   float64
+	min   tuple.Value
+	max   tuple.Value
+	seen  bool
+}
+
+// NewAggState creates an accumulator for the spec.
+func NewAggState(spec AggSpec) *AggState { return &AggState{spec: spec} }
+
+// Add folds one input tuple into the accumulator.
+func (s *AggState) Add(t tuple.Tuple) {
+	s.count++
+	if s.spec.Arg == nil {
+		return
+	}
+	v := s.spec.Arg.Eval(t)
+	s.sum += v.AsFloat()
+	if !s.seen || tuple.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if !s.seen || tuple.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+	s.seen = true
+}
+
+// Merge folds another accumulator of the same spec into s (used by the
+// parallel aggregate µEngine when multiple workers partition the input).
+func (s *AggState) Merge(o *AggState) {
+	s.count += o.count
+	s.sum += o.sum
+	if o.seen {
+		if !s.seen || tuple.Compare(o.min, s.min) < 0 {
+			s.min = o.min
+		}
+		if !s.seen || tuple.Compare(o.max, s.max) > 0 {
+			s.max = o.max
+		}
+		s.seen = true
+	}
+}
+
+// Result returns the aggregate's final value.
+func (s *AggState) Result() tuple.Value {
+	switch s.spec.Kind {
+	case AggCount:
+		return tuple.I64(s.count)
+	case AggSum:
+		return tuple.F64(s.sum)
+	case AggAvg:
+		if s.count == 0 {
+			return tuple.F64(0)
+		}
+		return tuple.F64(s.sum / float64(s.count))
+	case AggMin:
+		return s.min
+	default:
+		return s.max
+	}
+}

@@ -1,0 +1,213 @@
+package expr
+
+import (
+	"testing"
+
+	"qpipe/internal/tuple"
+)
+
+var row = tuple.Tuple{tuple.I64(10), tuple.F64(2.5), tuple.Str("mail"), tuple.Date(100)}
+
+func TestColAndConst(t *testing.T) {
+	if v := Col(0).Eval(row); v.I != 10 {
+		t.Errorf("Col(0): %v", v)
+	}
+	if v := CInt(7).Eval(row); v.I != 7 {
+		t.Errorf("CInt: %v", v)
+	}
+	if v := CFloat(1.5).Eval(row); v.F != 1.5 {
+		t.Errorf("CFloat: %v", v)
+	}
+	if v := CStr("x").Eval(row); v.S != "x" {
+		t.Errorf("CStr: %v", v)
+	}
+	if v := CDate(5).Eval(row); v.I != 5 || v.K != tuple.KindDate {
+		t.Errorf("CDate: %v", v)
+	}
+}
+
+func TestArithInt(t *testing.T) {
+	if v := Add(Col(0), CInt(5)).Eval(row); v.K != tuple.KindInt || v.I != 15 {
+		t.Errorf("Add: %v", v)
+	}
+	if v := Sub(Col(0), CInt(3)).Eval(row); v.I != 7 {
+		t.Errorf("Sub: %v", v)
+	}
+	if v := Mul(Col(0), CInt(4)).Eval(row); v.I != 40 {
+		t.Errorf("Mul: %v", v)
+	}
+}
+
+func TestArithFloatPromotion(t *testing.T) {
+	if v := Add(Col(0), Col(1)).Eval(row); v.K != tuple.KindFloat || v.F != 12.5 {
+		t.Errorf("int+float: %v", v)
+	}
+	if v := Div(Col(0), CInt(4)).Eval(row); v.K != tuple.KindFloat || v.F != 2.5 {
+		t.Errorf("Div always float: %v", v)
+	}
+	if v := Div(Col(0), CInt(0)).Eval(row); v.F != 0 {
+		t.Errorf("Div by zero: %v", v)
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		want bool
+	}{
+		{EQ(Col(0), CInt(10)), true},
+		{NE(Col(0), CInt(10)), false},
+		{LT(Col(0), CInt(11)), true},
+		{LE(Col(0), CInt(10)), true},
+		{GT(Col(0), CInt(10)), false},
+		{GE(Col(0), CInt(10)), true},
+		{EQ(Col(2), CStr("mail")), true},
+		{LT(Col(3), CDate(200)), true},
+	}
+	for i, c := range cases {
+		if got := c.p.Test(row); got != c.want {
+			t.Errorf("case %d (%s): got %v", i, c.p.Signature(), got)
+		}
+	}
+}
+
+func TestBoolConnectives(t *testing.T) {
+	tr := EQ(Col(0), CInt(10))
+	fa := EQ(Col(0), CInt(11))
+	if !AndOf(tr, tr).Test(row) || AndOf(tr, fa).Test(row) {
+		t.Error("And")
+	}
+	if !AndOf().Test(row) {
+		t.Error("empty And should be true")
+	}
+	if !OrOf(fa, tr).Test(row) || OrOf(fa, fa).Test(row) {
+		t.Error("Or")
+	}
+	if OrOf().Test(row) {
+		t.Error("empty Or should be false")
+	}
+	if NotOf(tr).Test(row) || !NotOf(fa).Test(row) {
+		t.Error("Not")
+	}
+	if !(True{}).Test(row) {
+		t.Error("True")
+	}
+}
+
+func TestInAndBetween(t *testing.T) {
+	in := InOf(Col(2), tuple.Str("ship"), tuple.Str("mail"))
+	if !in.Test(row) {
+		t.Error("In should match")
+	}
+	in2 := InOf(Col(2), tuple.Str("air"))
+	if in2.Test(row) {
+		t.Error("In should not match")
+	}
+	b := BetweenOf(Col(3), tuple.Date(100), tuple.Date(200))
+	if !b.Test(row) {
+		t.Error("Between inclusive lo")
+	}
+	bx := &Between{E: Col(3), Lo: tuple.Date(100), Hi: tuple.Date(200), LoX: true}
+	if bx.Test(row) {
+		t.Error("Between exclusive lo")
+	}
+	bh := &Between{E: Col(3), Lo: tuple.Date(0), Hi: tuple.Date(100), HiX: true}
+	if bh.Test(row) {
+		t.Error("Between exclusive hi")
+	}
+}
+
+func TestSignatureStability(t *testing.T) {
+	// Structurally identical expressions must have identical signatures
+	// (this is what OSP's packet comparison relies on).
+	p1 := AndOf(EQ(Col(0), CInt(10)), BetweenOf(Col(3), tuple.Date(1), tuple.Date(2)))
+	p2 := AndOf(EQ(Col(0), CInt(10)), BetweenOf(Col(3), tuple.Date(1), tuple.Date(2)))
+	if p1.Signature() != p2.Signature() {
+		t.Errorf("identical predicates differ: %q vs %q", p1.Signature(), p2.Signature())
+	}
+	p3 := AndOf(EQ(Col(0), CInt(11)), BetweenOf(Col(3), tuple.Date(1), tuple.Date(2)))
+	if p1.Signature() == p3.Signature() {
+		t.Error("different constants must differ in signature")
+	}
+	p4 := AndOf(EQ(Col(1), CInt(10)), BetweenOf(Col(3), tuple.Date(1), tuple.Date(2)))
+	if p1.Signature() == p4.Signature() {
+		t.Error("different columns must differ in signature")
+	}
+}
+
+func TestSignatureDistinguishesOps(t *testing.T) {
+	if EQ(Col(0), CInt(1)).Signature() == NE(Col(0), CInt(1)).Signature() {
+		t.Error("EQ vs NE")
+	}
+	if Add(Col(0), CInt(1)).Signature() == Sub(Col(0), CInt(1)).Signature() {
+		t.Error("Add vs Sub")
+	}
+	if InOf(Col(0), tuple.I64(1)).Signature() == InOf(Col(0), tuple.I64(2)).Signature() {
+		t.Error("In values")
+	}
+	if NotOf(True{}).Signature() == (True{}).Signature() {
+		t.Error("Not vs True")
+	}
+	if OrOf(True{}).Signature() == AndOf(True{}).Signature() {
+		t.Error("Or vs And")
+	}
+}
+
+func TestAggStates(t *testing.T) {
+	rows := []tuple.Tuple{
+		{tuple.F64(1)}, {tuple.F64(3)}, {tuple.F64(2)},
+	}
+	specs := []struct {
+		spec AggSpec
+		want tuple.Value
+	}{
+		{AggSpec{Kind: AggCount}, tuple.I64(3)},
+		{AggSpec{Kind: AggSum, Arg: Col(0)}, tuple.F64(6)},
+		{AggSpec{Kind: AggAvg, Arg: Col(0)}, tuple.F64(2)},
+		{AggSpec{Kind: AggMin, Arg: Col(0)}, tuple.F64(1)},
+		{AggSpec{Kind: AggMax, Arg: Col(0)}, tuple.F64(3)},
+	}
+	for _, s := range specs {
+		st := NewAggState(s.spec)
+		for _, r := range rows {
+			st.Add(r)
+		}
+		if got := st.Result(); tuple.Compare(got, s.want) != 0 {
+			t.Errorf("%s: got %v want %v", s.spec.Signature(), got, s.want)
+		}
+	}
+}
+
+func TestAggMerge(t *testing.T) {
+	spec := AggSpec{Kind: AggMin, Arg: Col(0)}
+	a, b := NewAggState(spec), NewAggState(spec)
+	a.Add(tuple.Tuple{tuple.F64(5)})
+	b.Add(tuple.Tuple{tuple.F64(2)})
+	a.Merge(b)
+	if got := a.Result(); got.F != 2 {
+		t.Errorf("merged min: %v", got)
+	}
+	// Merge into empty state.
+	c := NewAggState(spec)
+	c.Merge(a)
+	if got := c.Result(); got.F != 2 {
+		t.Errorf("merge into empty: %v", got)
+	}
+	// Count through merge.
+	sc := AggSpec{Kind: AggCount}
+	x, y := NewAggState(sc), NewAggState(sc)
+	x.Add(row)
+	y.Add(row)
+	y.Add(row)
+	x.Merge(y)
+	if got := x.Result(); got.I != 3 {
+		t.Errorf("merged count: %v", got)
+	}
+}
+
+func TestAvgEmpty(t *testing.T) {
+	st := NewAggState(AggSpec{Kind: AggAvg, Arg: Col(0)})
+	if got := st.Result(); got.F != 0 {
+		t.Errorf("avg of empty: %v", got)
+	}
+}

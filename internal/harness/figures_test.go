@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// midScale gives queries long enough lifetimes that a second arrival at
+// 30-50% of the response time lands well inside the windows of opportunity.
+func midScale() Scale {
+	return Scale{SF: 0.002, BigRows: 3000, PoolPages: 48,
+		SeqLat: 50 * time.Microsecond, RandLat: 80 * time.Microsecond, Spindles: 1, Seed: 11}
+}
+
+// assertSharingWins checks the common Figures 9-11 shape: at small-to-mid
+// interarrival fractions QPipe w/OSP total response is clearly below
+// Baseline's.
+func assertSharingWins(t *testing.T, fig Figure, atIdx int, factor float64) {
+	t.Helper()
+	if len(fig.Series) != 2 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	base, osp := fig.Series[0], fig.Series[1]
+	b, o := base.Points[atIdx].Y, osp.Points[atIdx].Y
+	if o*factor >= b {
+		t.Errorf("%s at frac %.2f: OSP %.0fms not %.2fx better than baseline %.0fms",
+			fig.Name, base.Points[atIdx].X, o, factor, b)
+	}
+	t.Log("\n" + fig.Format())
+}
+
+func TestFig9OrderedScansShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	env, err := NewTPCHEnv(midScale(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	fig, err := Fig9OrderedScans(env, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The split must let Q2 reuse the in-progress ordered scans: some
+	// speedup over baseline is required (paper shows ~2x across the WoP).
+	assertSharingWins(t, fig, 0, 1.05)
+}
+
+func TestFig10SortMergeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	env, err := NewWisconsinEnv(midScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	fig, err := Fig10SortMerge(env, []float64{0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSharingWins(t, fig, 0, 1.05)
+}
+
+func TestFig11HashJoinShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	env, err := NewTPCHEnv(midScale(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	fig, err := Fig11HashJoin(env, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSharingWins(t, fig, 0, 1.05)
+}
+
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	env, err := NewTPCHEnv(tinyScale(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	fig, err := Fig13ThinkTime(env, []float64{0, 2}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	// Response time should drop (or at least not rise) as think time grows
+	// (lower system load), for both systems.
+	for _, s := range fig.Series {
+		if s.Points[1].Y > s.Points[0].Y*1.5 {
+			t.Errorf("%s: response grew with think time: %v", s.Label, s.Points)
+		}
+	}
+	t.Log("\n" + fig.Format())
+}

@@ -1,0 +1,388 @@
+// Package harness reproduces the paper's experimental setup (§5): three
+// systems over identical data — "Baseline" (QPipe with OSP disabled),
+// "QPipe w/OSP", and "DBMS X" (the conventional iterator engine) — each
+// with its own buffer pool over one shared simulated disk, plus the client
+// drivers (staggered arrivals for Figures 8-11, closed-loop clients with
+// think time for Figures 12-13) and the per-figure experiment functions.
+//
+// Time scaling: the paper's x-axes are wall-clock seconds on a 2005-era
+// 4-disk server where one TPC-H query ran for minutes. The harness
+// normalizes interarrival sweeps to fractions of a query's standalone
+// response time on the system under test, which preserves every curve's
+// shape at any scale factor and disk speed (DESIGN.md §2).
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"qpipe"
+	"qpipe/internal/core"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/buffer"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/volcano"
+)
+
+// System abstracts an engine under test.
+type System interface {
+	Name() string
+	// Exec runs the plan to completion, discarding results (the paper's
+	// client behaviour).
+	Exec(ctx context.Context, p plan.Node) error
+	// Shares reports cumulative OSP sharing events (0 for non-OSP systems).
+	Shares() int64
+	// Manager returns the system's storage manager.
+	Manager() *sm.Manager
+	// Close releases engine resources.
+	Close()
+}
+
+// QPipeSystem wraps a QPipe engine (with or without OSP).
+type QPipeSystem struct {
+	name string
+	Eng  *qpipe.Engine
+	mgr  *sm.Manager
+}
+
+// Name implements System.
+func (s *QPipeSystem) Name() string { return s.name }
+
+// Exec implements System.
+func (s *QPipeSystem) Exec(ctx context.Context, p plan.Node) error {
+	res, err := s.Eng.Query(ctx, p)
+	if err != nil {
+		return err
+	}
+	_, err = res.Discard()
+	return err
+}
+
+// Shares implements System.
+func (s *QPipeSystem) Shares() int64 { return s.Eng.Runtime().TotalShares() }
+
+// Manager implements System.
+func (s *QPipeSystem) Manager() *sm.Manager { return s.mgr }
+
+// Close implements System.
+func (s *QPipeSystem) Close() { s.Eng.Close() }
+
+// VolcanoSystem wraps the iterator-model comparator ("DBMS X").
+type VolcanoSystem struct {
+	Eng *volcano.Engine
+	mgr *sm.Manager
+}
+
+// Name implements System.
+func (s *VolcanoSystem) Name() string { return "DBMS X" }
+
+// Exec implements System.
+func (s *VolcanoSystem) Exec(ctx context.Context, p plan.Node) error {
+	_, err := s.Eng.RunDiscard(ctx, p)
+	return err
+}
+
+// Shares implements System.
+func (s *VolcanoSystem) Shares() int64 { return 0 }
+
+// Manager implements System.
+func (s *VolcanoSystem) Manager() *sm.Manager { return s.mgr }
+
+// Close implements System.
+func (s *VolcanoSystem) Close() {}
+
+// Scale parameterizes an experiment environment.
+type Scale struct {
+	SF        float64       // TPC-H scale factor
+	BigRows   int           // Wisconsin BIG1/BIG2 rows
+	PoolPages int           // buffer-pool pages per system
+	SeqLat    time.Duration // per-block sequential read latency
+	RandLat   time.Duration // per-block random read latency
+	Spindles  int           // concurrent-latency bound (paper testbed: 4-disk RAID-0)
+	Seed      int64
+}
+
+// SmallScale is the fast configuration used by `go test -bench` and unit
+// tests: a few hundred pages per table, tens of milliseconds per query.
+func SmallScale() Scale {
+	return Scale{SF: 0.002, BigRows: 4000, PoolPages: 48, SeqLat: 60 * time.Microsecond, RandLat: 90 * time.Microsecond, Spindles: 2, Seed: 42}
+}
+
+// PaperScale is the heavier configuration the CLI uses for figure-quality
+// curves (seconds per query).
+func PaperScale() Scale {
+	return Scale{SF: 0.01, BigRows: 20000, PoolPages: 192, SeqLat: 120 * time.Microsecond, RandLat: 200 * time.Microsecond, Spindles: 4, Seed: 42}
+}
+
+// Env is a loaded experiment environment: one shared disk, per-system
+// storage managers created on demand.
+type Env struct {
+	Scale Scale
+	Disk  *disk.Disk
+
+	loadMgr  *sm.Manager
+	attach   func(mgr *sm.Manager) error
+	withCIdx bool
+
+	mu      sync.Mutex
+	systems []System
+}
+
+// NewTPCHEnv loads the TPC-H dataset (optionally with the clustered
+// indexes Figure 9 needs) at the given scale.
+func NewTPCHEnv(sc Scale, withClustered bool) (*Env, error) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{Spindles: sc.Spindles}, PoolPages: sc.PoolPages})
+	if _, err := tpchLoad(mgr, sc.SF, sc.Seed, withClustered); err != nil {
+		return nil, err
+	}
+	env := &Env{Scale: sc, Disk: mgr.Disk, loadMgr: mgr, withCIdx: withClustered,
+		attach: func(m *sm.Manager) error { return tpchAttach(m, withClustered) }}
+	return env, nil
+}
+
+// NewWisconsinEnv loads the Wisconsin dataset at the given scale.
+func NewWisconsinEnv(sc Scale) (*Env, error) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{Spindles: sc.Spindles}, PoolPages: sc.PoolPages})
+	if err := wisconsinLoad(mgr, sc.BigRows, sc.Seed); err != nil {
+		return nil, err
+	}
+	env := &Env{Scale: sc, Disk: mgr.Disk, loadMgr: mgr,
+		attach: wisconsinAttach}
+	return env, nil
+}
+
+// SetMeasuring toggles the disk latency model: off for loading and
+// warmup, on for measured runs.
+func (e *Env) SetMeasuring(on bool) {
+	if on {
+		e.Disk.SetLatency(e.Scale.SeqLat, e.Scale.RandLat, 0)
+	} else {
+		e.Disk.SetLatency(0, 0, 0)
+	}
+}
+
+func (e *Env) newManager(policy buffer.Policy) (*sm.Manager, error) {
+	mgr := sm.NewSharedDisk(e.Disk, e.Scale.PoolPages, policy)
+	if err := e.attach(mgr); err != nil {
+		return nil, err
+	}
+	return mgr, nil
+}
+
+// NewQPipe creates a "QPipe w/OSP" system (plain LRU pool, like the
+// BerkeleyDB-backed prototype).
+func (e *Env) NewQPipe() (System, error) { return e.newQPipe("QPipe w/OSP", qpipe.DefaultConfig()) }
+
+// NewBaseline creates the "Baseline" system: the same engine, OSP off.
+func (e *Env) NewBaseline() (System, error) { return e.newQPipe("Baseline", qpipe.BaselineConfig()) }
+
+// NewQPipeWith creates a QPipe system with a custom runtime config
+// (ablation experiments).
+func (e *Env) NewQPipeWith(name string, cfg core.Config) (System, error) {
+	return e.newQPipe(name, cfg)
+}
+
+func (e *Env) newQPipe(name string, cfg core.Config) (System, error) {
+	mgr, err := e.newManager(buffer.NewLRU())
+	if err != nil {
+		return nil, err
+	}
+	sys := &QPipeSystem{name: name, Eng: qpipe.New(mgr, cfg), mgr: mgr}
+	e.track(sys)
+	return sys, nil
+}
+
+// NewVolcano creates the "DBMS X" comparator: iterator engine with a
+// scan-resistant (2Q) buffer pool, per the paper's observation that X's
+// pool shared better than BerkeleyDB's LRU.
+func (e *Env) NewVolcano() (System, error) {
+	mgr, err := e.newManager(buffer.NewTwoQ(e.Scale.PoolPages))
+	if err != nil {
+		return nil, err
+	}
+	sys := &VolcanoSystem{Eng: volcano.New(mgr), mgr: mgr}
+	e.track(sys)
+	return sys, nil
+}
+
+func (e *Env) track(s System) {
+	e.mu.Lock()
+	e.systems = append(e.systems, s)
+	e.mu.Unlock()
+}
+
+// Close shuts down every system created from this environment.
+func (e *Env) Close() {
+	e.mu.Lock()
+	systems := e.systems
+	e.systems = nil
+	e.mu.Unlock()
+	for _, s := range systems {
+		s.Close()
+	}
+}
+
+// ---- Measurement primitives ---------------------------------------------------
+
+// StaggeredResult is the outcome of a staggered-arrival run.
+type StaggeredResult struct {
+	Total      time.Duration   // first submit to last completion
+	PerQuery   []time.Duration // per-query response times
+	BlocksRead int64           // disk blocks read during the run
+	Shares     int64           // OSP sharing events during the run
+	Err        error
+}
+
+// RunStaggered submits plans[i] at i*interarrival and waits for all to
+// complete, measuring total elapsed time and disk blocks read.
+func RunStaggered(env *Env, sys System, plans []plan.Node, interarrival time.Duration) StaggeredResult {
+	env.Disk.ResetStats()
+	sharesBefore := sys.Shares()
+	ctx := context.Background()
+	res := StaggeredResult{PerQuery: make([]time.Duration, len(plans))}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	start := time.Now()
+	for i, p := range plans {
+		if i > 0 && interarrival > 0 {
+			target := time.Duration(i) * interarrival
+			if sleep := target - time.Since(start); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+		wg.Add(1)
+		go func(i int, p plan.Node) {
+			defer wg.Done()
+			qStart := time.Now()
+			err := sys.Exec(ctx, p)
+			mu.Lock()
+			res.PerQuery[i] = time.Since(qStart)
+			if err != nil && res.Err == nil {
+				res.Err = err
+			}
+			mu.Unlock()
+		}(i, p)
+	}
+	wg.Wait()
+	res.Total = time.Since(start)
+	res.BlocksRead = env.Disk.Stats().Reads
+	res.Shares = sys.Shares() - sharesBefore
+	return res
+}
+
+// ClosedLoopResult is the outcome of a closed-loop multi-client run.
+type ClosedLoopResult struct {
+	Elapsed     time.Duration
+	Completed   int64
+	Throughput  float64 // queries per hour of simulated wall time
+	AvgResponse time.Duration
+	Err         error
+}
+
+// RunClosedLoop drives nClients closed-loop clients, each executing
+// queriesPerClient queries drawn from mk (seeded per client), sleeping
+// think between completion and next submission.
+func RunClosedLoop(env *Env, sys System, nClients, queriesPerClient int, think time.Duration, mk func(rng *rand.Rand) plan.Node) ClosedLoopResult {
+	env.Disk.ResetStats()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var res ClosedLoopResult
+	var totalResp time.Duration
+	start := time.Now()
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(env.Scale.Seed + int64(c)*7919))
+			for q := 0; q < queriesPerClient; q++ {
+				p := mk(rng)
+				qStart := time.Now()
+				err := sys.Exec(ctx, p)
+				d := time.Since(qStart)
+				mu.Lock()
+				res.Completed++
+				totalResp += d
+				if err != nil && res.Err == nil {
+					res.Err = err
+				}
+				mu.Unlock()
+				if think > 0 && q < queriesPerClient-1 {
+					time.Sleep(think)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if res.Completed > 0 {
+		res.AvgResponse = totalResp / time.Duration(res.Completed)
+		res.Throughput = float64(res.Completed) / res.Elapsed.Hours()
+	}
+	return res
+}
+
+// StandaloneResponse measures one query's response time on an idle system
+// with a cold pool (used to normalize interarrival sweeps).
+func StandaloneResponse(env *Env, sys System, mk func() plan.Node) (time.Duration, error) {
+	sys.Manager().Pool.Invalidate()
+	env.Disk.ResetStats()
+	start := time.Now()
+	err := sys.Exec(context.Background(), mk())
+	return time.Since(start), err
+}
+
+// ---- Reporting ----------------------------------------------------------------
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure: a set of curves plus axis labels.
+type Figure struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table (one row per X, one
+// column per series).
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.Name, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%18s", s.Label)
+	}
+	b.WriteString(fmt.Sprintf("    (%s)\n", f.YLabel))
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-14.3g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, "%18.4g", s.Points[i].Y)
+			} else {
+				fmt.Fprintf(&b, "%18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,200 @@
+// Figure 4a reproduction: measured windows of opportunity. For each of the
+// paper's four overlap classes we start query Q1, submit an overlapping Q2
+// once Q1 has progressed a given fraction of its lifetime, and report Q2's
+// *gain* — the fraction of its standalone I/O cost it avoided by sharing:
+//
+//	gain(f) = 1 - marginalBlocks(Q2 @ f) / standaloneBlocks(Q2)
+//
+// Expected shapes (paper §3.2): linear decays ~1-f (circular scan re-reads
+// the missed prefix), full stays ~1 for the whole lifetime (single
+// aggregate), step stays ~1 until the operator's first output leaves the
+// replay window, spike is ~0 anywhere past the start.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+	"qpipe/internal/workload/tpch"
+)
+
+// wopClass describes one measured overlap class.
+type wopClass struct {
+	name string
+	// mk returns the plan for instance i (0 = Q1, 1 = Q2); classes whose
+	// sharing is signature-exact return identical plans, the linear class
+	// varies the predicate so only the scan overlaps.
+	mk func(i int) plan.Node
+}
+
+func wopClasses() []wopClass {
+	return []wopClass{
+		{name: "linear", mk: func(i int) plan.Node {
+			// Unordered scans with different predicates: only the circular
+			// scan is shared; Q2 re-reads the prefix it missed.
+			p := tpch.DefaultParams()
+			p.Q6Quantity = float64(24 + i) // differentiates the signatures
+			return tpch.Q6(p)
+		}},
+		{name: "step", mk: func(int) plan.Node {
+			// Identical hash joins: shareable through build and early probe
+			// (until output exceeds the replay window).
+			return tpch.Q12(tpch.DefaultParams())
+		}},
+		{name: "full", mk: func(int) plan.Node {
+			// Identical single-aggregate queries: shareable for the entire
+			// lifetime.
+			return tpch.Q6(tpch.DefaultParams())
+		}},
+		{name: "spike", mk: func(int) plan.Node {
+			// Order-sensitive clustered scans delivered to an
+			// order-sensitive consumer: no window past the start (beyond
+			// the small buffering-enhancement window). LINEITEM is used so
+			// the scanned index exceeds the buffer pool — otherwise pool
+			// hits mask the lack of OSP sharing at this scale.
+			return plan.NewIndexScan("LINEITEM", tpch.LineitemSchema, "l_orderkey",
+				tuple.Value{}, tuple.Value{}, true, true, nil, nil)
+		}},
+	}
+}
+
+// Fig4aWindowsOfOpportunity measures Q2 gain vs Q1 progress for the four
+// overlap classes. Requires a TPC-H environment loaded with clustered
+// indexes (the spike class scans one).
+func Fig4aWindowsOfOpportunity(env *Env) (Figure, error) {
+	sys, err := env.NewQPipe()
+	if err != nil {
+		return Figure{}, err
+	}
+	env.SetMeasuring(true)
+	defer env.SetMeasuring(false)
+	fracs := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	fig := Figure{
+		Name:   "Figure 4a",
+		Title:  "Measured windows of opportunity: Q2 gain vs Q1 progress",
+		XLabel: "Q1 progress",
+		YLabel: "Q2 gain (I/O saved)",
+	}
+	ctx := context.Background()
+	for _, cls := range wopClasses() {
+		if err := warmup(env, sys, cls.mk(1)); err != nil {
+			return fig, err
+		}
+		// Standalone cost and response of Q2's plan, cold.
+		if err := sys.Manager().Pool.Invalidate(); err != nil {
+			return fig, err
+		}
+		env.Disk.ResetStats()
+		t0 := time.Now()
+		if err := sys.Exec(ctx, cls.mk(1)); err != nil {
+			return fig, fmt.Errorf("%s standalone: %w", cls.name, err)
+		}
+		standaloneBlocks := env.Disk.Stats().Reads
+		standaloneResp := time.Since(t0)
+		// Q1 standalone cost (for marginal attribution).
+		if err := sys.Manager().Pool.Invalidate(); err != nil {
+			return fig, err
+		}
+		env.Disk.ResetStats()
+		if err := sys.Exec(ctx, cls.mk(0)); err != nil {
+			return fig, fmt.Errorf("%s q1 standalone: %w", cls.name, err)
+		}
+		q1Blocks := env.Disk.Stats().Reads
+
+		s := Series{Label: cls.name}
+		for _, f := range fracs {
+			if err := sys.Manager().Pool.Invalidate(); err != nil {
+				return fig, err
+			}
+			env.Disk.ResetStats()
+			var wg sync.WaitGroup
+			var err1, err2 error
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err1 = sys.Exec(ctx, cls.mk(0))
+			}()
+			time.Sleep(time.Duration(f * float64(standaloneResp)))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				err2 = sys.Exec(ctx, cls.mk(1))
+			}()
+			wg.Wait()
+			if err1 != nil || err2 != nil {
+				return fig, fmt.Errorf("%s @%.1f: %v %v", cls.name, f, err1, err2)
+			}
+			marginal := env.Disk.Stats().Reads - q1Blocks
+			if marginal < 0 {
+				marginal = 0
+			}
+			gain := 1 - float64(marginal)/float64(max64(standaloneBlocks, 1))
+			if gain < 0 {
+				gain = 0
+			}
+			s.Points = append(s.Points, Point{X: f, Y: gain})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// OSPOverheadResult quantifies the §5 claim that "when running QPipe with
+// queries that present no sharing opportunities, the overhead of the OSP
+// coordinator is negligible".
+type OSPOverheadResult struct {
+	BaselineAvg time.Duration
+	OSPAvg      time.Duration
+	OverheadPct float64
+}
+
+// OSPOverhead runs a stream of non-overlapping queries (distinct tables /
+// disjoint signatures, serial submission) on Baseline and on QPipe w/OSP
+// and compares mean response times.
+func OSPOverhead(env *Env, queries int) (OSPOverheadResult, error) {
+	base, err := env.NewBaseline()
+	if err != nil {
+		return OSPOverheadResult{}, err
+	}
+	osp, err := env.NewQPipe()
+	if err != nil {
+		return OSPOverheadResult{}, err
+	}
+	env.SetMeasuring(true)
+	defer env.SetMeasuring(false)
+	ctx := context.Background()
+	run := func(sys System) (time.Duration, error) {
+		if err := warmup(env, sys, tpch.Q6(tpch.DefaultParams())); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < queries; i++ {
+			p := tpch.DefaultParams()
+			p.Q6Year = 1993 + i%5 // distinct signatures, run serially
+			if err := sys.Exec(ctx, tpch.Q6(p)); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / time.Duration(queries), nil
+	}
+	var res OSPOverheadResult
+	if res.BaselineAvg, err = run(base); err != nil {
+		return res, err
+	}
+	if res.OSPAvg, err = run(osp); err != nil {
+		return res, err
+	}
+	res.OverheadPct = 100 * (float64(res.OSPAvg) - float64(res.BaselineAvg)) / float64(res.BaselineAvg)
+	return res, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+// Package ops implements the relational µEngines QPipe serves: circular
+// table scans, clustered/unclustered index scans, filter, project, external
+// sort, merge join (with the ordered-scan split of §4.3.2), hybrid hash
+// join, nested-loop join, scalar aggregation, hash group-by and the update
+// engine. Each operator encapsulates its own sharing mechanism, per the
+// paper ("each µEngine employs a different sharing mechanism, depending on
+// the encapsulated relational operation").
+package ops
+
+import (
+	"io"
+
+	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/expr"
+	"qpipe/internal/tuple"
+)
+
+// emitter accumulates tuples and flushes them in batches to a packet's
+// output port.
+type emitter struct {
+	out   *tbuf.SharedOut
+	batch tbuf.Batch
+	size  int
+}
+
+func newEmitter(out *tbuf.SharedOut, batchSize int) *emitter {
+	if batchSize < 1 {
+		batchSize = 64
+	}
+	return &emitter{out: out, size: batchSize}
+}
+
+func (e *emitter) add(t tuple.Tuple) error {
+	e.batch = append(e.batch, t)
+	if len(e.batch) >= e.size {
+		return e.flush()
+	}
+	return nil
+}
+
+func (e *emitter) flush() error {
+	if len(e.batch) == 0 {
+		return nil
+	}
+	b := e.batch
+	e.batch = nil
+	return e.out.Put(b)
+}
+
+// cursor reads a buffer one tuple at a time with single-tuple lookahead
+// (merge join needs peek).
+type cursor struct {
+	buf   *tbuf.Buffer
+	batch tbuf.Batch
+	i     int
+	eof   bool
+}
+
+func newCursor(buf *tbuf.Buffer) *cursor { return &cursor{buf: buf} }
+
+// peek returns the next tuple without consuming it; ok is false at EOF.
+func (c *cursor) peek() (tuple.Tuple, bool, error) {
+	for !c.eof && c.i >= len(c.batch) {
+		b, err := c.buf.Get()
+		if err == io.EOF {
+			c.eof = true
+			break
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		c.batch, c.i = b, 0
+	}
+	if c.eof {
+		return nil, false, nil
+	}
+	return c.batch[c.i], true, nil
+}
+
+// next consumes and returns the next tuple; ok is false at EOF.
+func (c *cursor) next() (tuple.Tuple, bool, error) {
+	t, ok, err := c.peek()
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	c.i++
+	return t, true, nil
+}
+
+// drainAll reads a buffer to EOF, returning all tuples.
+func drainAll(buf *tbuf.Buffer) ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	for {
+		b, err := buf.Get()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+}
+
+// applyFilterProject filters and projects one page worth of tuples for a
+// scan consumer. Returns a fresh slice (tuples cloned on projection so the
+// page batch is never aliased across consumers).
+func applyFilterProject(in []tuple.Tuple, filter expr.Pred, project []int) []tuple.Tuple {
+	out := make([]tuple.Tuple, 0, len(in))
+	for _, t := range in {
+		if filter != nil && !filter.Test(t) {
+			continue
+		}
+		if project != nil {
+			out = append(out, t.Project(project))
+		} else {
+			out = append(out, t.Clone())
+		}
+	}
+	return out
+}
+
+// defaultTryShare is the signature-exact OSP attach used by operators whose
+// window of opportunity is fully captured by output timing: attach succeeds
+// while the host has produced nothing (full/step overlap) or while all its
+// output still fits the replay window (the buffering enhancement).
+func defaultTryShare(host, sat *core.Packet) bool {
+	st := host.State()
+	if st == core.PacketDone || st == core.PacketCancelled || st == core.PacketSatellite {
+		return false
+	}
+	return host.Out.Attach(sat.OutBuf)
+}

@@ -1,0 +1,398 @@
+// Index-scan µEngine. Two access paths (paper §3.2):
+//
+//   - Clustered index scans stream B+tree leaves in key order. Unordered
+//     consumers get linear overlap via the same circular scanner as table
+//     scans (over leaves instead of heap pages); ordered consumers have a
+//     spike WoP, except that the merge-join µEngine can attach to an
+//     in-progress ordered scan's *suffix* and complete the prefix with a
+//     second packet (§4.3.2, Figure 9) through AttachOrderedSuffix.
+//   - Unclustered index scans run in two phases: probe the index building a
+//     RID list (full overlap — shareable for its whole duration via the
+//     default signature attach), sort RIDs in ascending page order to avoid
+//     revisiting heap pages, then fetch.
+package ops
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/btree"
+	"qpipe/internal/storage/heap"
+	"qpipe/internal/storage/lock"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// leafSource adapts a clustered B+tree's leaf chain to the circular
+// scanner's page abstraction.
+type leafSource struct {
+	tree  *btree.Tree
+	pnos  []int64
+	ncols int
+}
+
+func (l *leafSource) numPages() int64 { return int64(len(l.pnos)) }
+
+func (l *leafSource) readPage(ord int64) ([]tuple.Tuple, error) {
+	return l.tree.ReadLeafTuples(l.pnos[ord], l.ncols)
+}
+
+// IndexScanOp is the index-scan µEngine.
+type IndexScanOp struct {
+	reg *scanRegistry
+
+	// leafCache memoizes leaf-page-number lists per tree (invalidated
+	// never: experiment tables are bulk-loaded once; updates go to heaps).
+	leafMu    sync.Mutex
+	leafCache map[string][]int64
+}
+
+// NewIndexScanOp creates the index-scan µEngine implementation.
+func NewIndexScanOp() *IndexScanOp {
+	return &IndexScanOp{reg: newScanRegistry(), leafCache: make(map[string][]int64)}
+}
+
+// Op implements core.Operator.
+func (o *IndexScanOp) Op() plan.OpType { return plan.OpIndexScan }
+
+// TryShare is the signature-exact attach (identical index scans dedupe; an
+// unclustered scan is shareable during its whole RID-building phase).
+func (o *IndexScanOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// TryAdmit admits clustered full scans onto in-progress scanners of the
+// same index (linear overlap when unordered, spike when ordered). For
+// ordered *selective* scans whose spike WoP has expired, it applies the
+// paper's materialization enhancement (§4.3.2 second case / Figure 4b):
+// the packet attaches to the in-progress scan anyway, saving the cheap
+// qualifying suffix tuples out of order; when its own fresh scan of the
+// missed prefix completes (delivered in order), the saved results — which
+// are already in key order, being leaf-ordered — complete the stream.
+func (o *IndexScanOp) TryAdmit(rt *core.Runtime, pkt *core.Packet) bool {
+	node := pkt.Node.(*plan.IndexScan)
+	if !node.Clustered || node.Lo.IsValid() || node.Hi.IsValid() {
+		return false
+	}
+	attached := o.reg.visit(o.key(node), func(s *scanner) bool {
+		requireStart := node.Ordered || !s.circular
+		c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
+		_, ok := s.attach(c, requireStart)
+		return ok
+	})
+	if !attached && node.Ordered && node.Filter != nil {
+		attached = o.tryMaterializedOrderedShare(rt, pkt)
+	}
+	if attached {
+		pkt.Query.Stats.SatelliteAttaches.Add(1)
+		rt.NoteShare(plan.OpIndexScan)
+		for _, ch := range pkt.Children {
+			ch.CancelSubtree()
+		}
+	}
+	return attached
+}
+
+// tryMaterializedOrderedShare implements the §4.3.2 materialization path
+// for a selective order-sensitive scan: piggyback on the in-progress scan
+// for the suffix (materializing qualifying tuples), read the missed prefix
+// fresh and in order, then emit the saved suffix — whose leaf order IS key
+// order — giving the consumer a fully ordered stream while skipping the
+// suffix's I/O.
+func (o *IndexScanOp) tryMaterializedOrderedShare(rt *core.Runtime, pkt *core.Packet) bool {
+	node := pkt.Node.(*plan.IndexScan)
+	collector, colBuf := rt.NewInternalPacket(pkt.Query, node)
+	colBuf.SetUnbounded() // materialization: never throttle the host scan
+	start, ok := o.AttachOrderedSuffix(node.Table, node.Col, collector, node.Filter, node.Project)
+	if !ok || start == 0 {
+		if ok {
+			collector.Complete(nil)
+		}
+		return false
+	}
+	go func() {
+		err := o.runMaterializedOrdered(rt, pkt, node, colBuf, int(start))
+		pkt.Complete(err)
+	}()
+	return true
+}
+
+func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet, node *plan.IndexScan, colBuf *tbuf.Buffer, start int) error {
+	tb, err := rt.SM.Table(node.Table)
+	if err != nil {
+		return err
+	}
+	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Shared); err != nil {
+		return err
+	}
+	defer rt.SM.Locks.Unlock(node.Table, lock.Shared)
+	tr := tb.Clustered
+	pnos, err := o.leaves(tr)
+	if err != nil {
+		return err
+	}
+	// Phase 1: read the missed prefix [0, start) fresh, in key order,
+	// streaming straight to the consumer.
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	for ord := 0; ord < start && ord < len(pnos); ord++ {
+		if pkt.Cancelled() {
+			return nil
+		}
+		rows, err := tr.ReadLeafTuples(pnos[ord], tb.Schema.Len())
+		if err != nil {
+			return err
+		}
+		for _, row := range applyFilterProject(rows, node.Filter, node.Project) {
+			if err := em.add(row); err != nil {
+				return nil
+			}
+		}
+	}
+	// Phase 2: the saved suffix results arrive (and are drained) in leaf
+	// order == key order; append them after the prefix.
+	for {
+		batch, err := colBuf.Get()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, row := range batch {
+			if err := em.add(row); err != nil {
+				return nil
+			}
+		}
+	}
+	return em.flush()
+}
+
+func (o *IndexScanOp) key(node *plan.IndexScan) string {
+	return "cix:" + node.Table + ":" + node.Col
+}
+
+func (o *IndexScanOp) leaves(tr *btree.Tree) ([]int64, error) {
+	o.leafMu.Lock()
+	if pnos, ok := o.leafCache[tr.Name]; ok {
+		o.leafMu.Unlock()
+		return pnos, nil
+	}
+	o.leafMu.Unlock()
+	pnos, err := tr.LeafPageNos()
+	if err != nil {
+		return nil, err
+	}
+	o.leafMu.Lock()
+	o.leafCache[tr.Name] = pnos
+	o.leafMu.Unlock()
+	return pnos, nil
+}
+
+// ScanProgress reports an in-progress full clustered ordered scan's
+// position and total leaf count for the merge-join split's cost model.
+// ok is false when no shareable ordered scan is in progress.
+func (o *IndexScanOp) ScanProgress(table, col string) (pos, total int64, ok bool) {
+	o.reg.visit("cix:"+table+":"+col, func(s *scanner) bool {
+		if s.circular {
+			return false
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.done || s.pos == 0 || s.pos >= s.n {
+			return false
+		}
+		pos, total, ok = s.pos, s.n, true
+		return true
+	})
+	return pos, total, ok
+}
+
+// AttachOrderedSuffix attaches a consumer to an in-progress ordered
+// clustered scan, receiving leaves from the scanner's current position to
+// the end (in key order). Returns the start position. The caller owns the
+// complement (leaves 0..start-1). This is the §4.3.2 mechanism.
+func (o *IndexScanOp) AttachOrderedSuffix(table, col string, pkt *core.Packet, filter expr.Pred, project []int) (int64, bool) {
+	var start int64
+	ok := o.reg.visit("cix:"+table+":"+col, func(s *scanner) bool {
+		if s.circular {
+			return false
+		}
+		c := &scanConsumer{pkt: pkt, filter: filter, project: project}
+		p, attached := s.attachSuffix(c)
+		if attached {
+			start = p
+		}
+		return attached
+	})
+	return start, ok
+}
+
+// Run implements core.Operator.
+func (o *IndexScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.IndexScan)
+	tb, err := rt.SM.Table(node.Table)
+	if err != nil {
+		return err
+	}
+	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Shared); err != nil {
+		return err
+	}
+	defer rt.SM.Locks.Unlock(node.Table, lock.Shared)
+	if node.Clustered {
+		return o.runClustered(rt, pkt, tb, node)
+	}
+	return o.runUnclustered(rt, pkt, tb, node)
+}
+
+func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Table, node *plan.IndexScan) error {
+	tr := tb.Clustered
+	if tr == nil || tb.ClusteredKey != node.Col {
+		return fmt.Errorf("ops: table %q has no clustered index on %q", node.Table, node.Col)
+	}
+	ncols := tb.Schema.Len()
+	if node.Lo.IsValid() || node.Hi.IsValid() {
+		// Bounded clustered scan: stream the B+tree range directly (no
+		// page-stream sharing; signature-identical packets still dedupe).
+		em := newEmitter(pkt.Out, rt.BatchSize())
+		var derr error
+		err := tr.Range(node.Lo, node.Hi, func(_ tuple.Value, payload []byte) bool {
+			row, _, e := tuple.Decode(payload, ncols)
+			if e != nil {
+				derr = e
+				return false
+			}
+			if node.Filter != nil && !node.Filter.Test(row) {
+				return true
+			}
+			if node.Project != nil {
+				row = row.Project(node.Project)
+			}
+			if pkt.Cancelled() || em.add(row) != nil {
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if derr != nil {
+			return derr
+		}
+		return em.flush()
+	}
+	pnos, err := o.leaves(tr)
+	if err != nil {
+		return err
+	}
+	src := &leafSource{tree: tr, pnos: pnos, ncols: ncols}
+	// LeafFrom/LeafTo restrict a partial scan (the complement packet the
+	// merge-join split dispatches).
+	lo, hi := node.LeafFrom, node.LeafTo
+	if hi < 0 || hi > len(pnos) {
+		hi = len(pnos)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > 0 || hi < len(pnos) {
+		// Partial scans stream their range directly and never host sharing.
+		em := newEmitter(pkt.Out, rt.BatchSize())
+		for ord := lo; ord < hi; ord++ {
+			if pkt.Cancelled() {
+				return nil
+			}
+			rows, err := src.readPage(int64(ord))
+			if err != nil {
+				return err
+			}
+			for _, row := range applyFilterProject(rows, node.Filter, node.Project) {
+				if err := em.add(row); err != nil {
+					return nil
+				}
+			}
+		}
+		return em.flush()
+	}
+	s := &scanner{hostID: pkt.ID, src: src, n: src.numPages(), circular: !node.Ordered}
+	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project, remaining: s.n}
+	s.consumers = []*scanConsumer{c}
+	if rt.Cfg.OSP {
+		key := o.key(node)
+		o.reg.add(key, s)
+		defer o.reg.remove(key, s)
+	}
+	return s.run()
+}
+
+func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Table, node *plan.IndexScan) error {
+	tr := tb.Unclustered[node.Col]
+	if tr == nil {
+		return fmt.Errorf("ops: table %q has no unclustered index on %q", node.Table, node.Col)
+	}
+	// Phase 1: probe the index, building the RID list. Full overlap: any
+	// identical packet arriving now attaches via TryShare since no output
+	// has been produced.
+	var rids []heap.RID
+	var derr error
+	err := tr.Range(node.Lo, node.Hi, func(_ tuple.Value, payload []byte) bool {
+		rid, e := sm.DecodeRID(payload)
+		if e != nil {
+			derr = e
+			return false
+		}
+		rids = append(rids, rid)
+		return !pkt.Cancelled()
+	})
+	if err != nil {
+		return err
+	}
+	if derr != nil {
+		return derr
+	}
+	if !node.Ordered {
+		// Sort RIDs in ascending page order to visit each heap page once.
+		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+	}
+	// Phase 2: fetch. Group consecutive same-page RIDs so each heap page is
+	// pinned once.
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	i := 0
+	for i < len(rids) {
+		if pkt.Cancelled() {
+			return nil
+		}
+		pno := rids[i].Page
+		rows, err := tb.Heap.ReadPage(pno)
+		if err != nil {
+			return err
+		}
+		for i < len(rids) && rids[i].Page == pno {
+			row := rows[rids[i].Slot]
+			if node.Filter == nil || node.Filter.Test(row) {
+				out := row
+				if node.Project != nil {
+					out = row.Project(node.Project)
+				} else {
+					out = row.Clone()
+				}
+				if err := em.add(out); err != nil {
+					return nil
+				}
+			}
+			i++
+		}
+	}
+	return em.flush()
+}
+
+var _ interface {
+	core.Operator
+	core.Sharer
+	core.Admitter
+} = (*IndexScanOp)(nil)

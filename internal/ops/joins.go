@@ -1,0 +1,504 @@
+// Join µEngines.
+//
+//   - Merge join: step overlap via the default attach; additionally
+//     implements the §4.3.2 ordered-scan split (Figure 9): when its parent
+//     is order-insensitive and an identical ordered clustered scan is
+//     already in progress, the OSP coordinator evaluates the join as two
+//     packets — the in-progress scan's suffix joined against a fresh read
+//     of the non-shared input, then the missed prefix joined against a
+//     second read — at worst reading the non-shared relation twice, and
+//     only when the cost model says the sharing pays off.
+//   - Hybrid hash join: the build phase is a full overlap, probe is step
+//     (Figure 11). Small builds stay in memory; larger ones partition both
+//     inputs to spill files with partition 0 memory-resident (hybrid).
+//   - Nested-loop join: step overlap; inner input is materialized.
+package ops
+
+import (
+	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// ---- Merge join ---------------------------------------------------------------
+
+// MergeJoinOp is the merge-join µEngine.
+type MergeJoinOp struct {
+	iscan *IndexScanOp // consulted for in-progress ordered scans
+}
+
+// NewMergeJoinOp creates the merge-join µEngine; it consults the index-scan
+// µEngine's registry for the ordered-scan split.
+func NewMergeJoinOp(iscan *IndexScanOp) *MergeJoinOp { return &MergeJoinOp{iscan: iscan} }
+
+// Op implements core.Operator.
+func (*MergeJoinOp) Op() plan.OpType { return plan.OpMergeJoin }
+
+// TryShare implements signature-exact sharing (step WoP + replay window).
+func (*MergeJoinOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator.
+func (o *MergeJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.MergeJoin)
+	gated := len(pkt.Children) == 2 &&
+		(pkt.Children[0].State() == core.PacketGated || pkt.Children[1].State() == core.PacketGated)
+	if gated && rt.Cfg.OSP && !node.OrderedParent {
+		if done, err := o.trySplit(rt, pkt, node); done {
+			return err
+		}
+	}
+	// Normal evaluation: release gated children (late activation) and merge.
+	for _, c := range pkt.Children {
+		rt.Activate(c)
+	}
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	if err := mergeJoin(newCursor(pkt.Inputs[0]), newCursor(pkt.Inputs[1]), node.LKey, node.RKey, em); err != nil {
+		return err
+	}
+	return em.flush()
+}
+
+// splitCandidate finds a gated ordered clustered full scan child with an
+// in-progress host scan, returning its index and progress.
+func (o *MergeJoinOp) splitCandidate(node *plan.MergeJoin, pkt *core.Packet) (idx int, is *plan.IndexScan, pos, total int64, ok bool) {
+	for i, c := range node.Children() {
+		cis, isScan := c.(*plan.IndexScan)
+		if !isScan || !cis.Clustered || !cis.Ordered || cis.Lo.IsValid() || cis.Hi.IsValid() {
+			continue
+		}
+		if pkt.Children[i].State() != core.PacketGated {
+			continue
+		}
+		p, t, live := o.iscan.ScanProgress(cis.Table, cis.Col)
+		if live {
+			return i, cis, p, t, true
+		}
+	}
+	return 0, nil, 0, 0, false
+}
+
+// otherSideCost estimates the page count of re-reading the non-shared input
+// once more (the split's worst-case added cost).
+func (o *MergeJoinOp) otherSideCost(rt *core.Runtime, other plan.Node) int64 {
+	switch n := other.(type) {
+	case *plan.TableScan:
+		if tb, err := rt.SM.Table(n.Table); err == nil {
+			return tb.Heap.NumPages()
+		}
+	case *plan.IndexScan:
+		if tb, err := rt.SM.Table(n.Table); err == nil {
+			if n.Clustered && tb.Clustered != nil {
+				return tb.Clustered.NumPages()
+			}
+			return tb.Heap.NumPages()
+		}
+	}
+	// Non-scan input (e.g. a sort): treat as expensive — do not split.
+	return 1 << 40
+}
+
+// trySplit attempts the two-packet evaluation. Returns done=true when the
+// split ran (err carries its outcome); done=false falls back to normal
+// evaluation.
+func (o *MergeJoinOp) trySplit(rt *core.Runtime, pkt *core.Packet, node *plan.MergeJoin) (bool, error) {
+	idx, sharedScan, pos, total, ok := o.splitCandidate(node, pkt)
+	if !ok {
+		return false, nil
+	}
+	otherNode := node.Children()[1-idx]
+	// Cost check (§4.3.2): sharing saves re-reading the suffix of the
+	// shared relation but costs one extra read of the non-shared relation.
+	saved := total - pos
+	if saved <= o.otherSideCost(rt, otherNode) {
+		return false, nil
+	}
+
+	q := pkt.Query
+	// Attach the suffix consumer to the in-progress scan.
+	sufPkt, sufBuf := rt.NewInternalPacket(q, sharedScan)
+	start, attached := o.iscan.AttachOrderedSuffix(sharedScan.Table, sharedScan.Col, sufPkt, sharedScan.Filter, sharedScan.Project)
+	if !attached {
+		sufPkt.Discard()
+		return false, nil
+	}
+	rt.NoteShare(plan.OpMergeJoin)
+	q.Stats.SatelliteAttaches.Add(1)
+	// The original gated children are replaced entirely.
+	for _, c := range pkt.Children {
+		c.Discard()
+	}
+
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	// Packet 1: suffix of the shared relation ⋈ fresh read of the other.
+	other1, _ := rt.DispatchSubtree(q, otherNode)
+	err1 := o.mergeSides(idx, sufBuf, other1, node, em)
+	// Whatever the outcome, release producers still feeding these buffers.
+	sufBuf.Abandon()
+	other1.Abandon()
+	if err1 != nil {
+		return true, err1
+	}
+	// Packet 2: the missed prefix (leaves [0, start)) ⋈ the other side
+	// again (the worst-case second read the cost model accounted for).
+	prefix := *sharedScan
+	prefix.LeafFrom, prefix.LeafTo = 0, int(start)
+	prefixBuf, _ := rt.DispatchSubtree(q, &prefix)
+	other2, _ := rt.DispatchSubtree(q, otherNode)
+	err2 := o.mergeSides(idx, prefixBuf, other2, node, em)
+	prefixBuf.Abandon()
+	other2.Abandon()
+	if err2 != nil {
+		return true, err2
+	}
+	return true, em.flush()
+}
+
+// mergeSides runs one merge placing the shared stream on the correct side.
+func (o *MergeJoinOp) mergeSides(sharedIdx int, shared, other *tbuf.Buffer, node *plan.MergeJoin, em *emitter) error {
+	if sharedIdx == 0 {
+		return mergeJoin(newCursor(shared), newCursor(other), node.LKey, node.RKey, em)
+	}
+	return mergeJoin(newCursor(other), newCursor(shared), node.LKey, node.RKey, em)
+}
+
+// mergeJoin is the standard ordered merge with duplicate-group handling.
+func mergeJoin(l, r *cursor, lkey, rkey int, em *emitter) error {
+	for {
+		lt, lok, err := l.peek()
+		if err != nil {
+			return err
+		}
+		rtup, rok, err := r.peek()
+		if err != nil {
+			return err
+		}
+		if !lok || !rok {
+			return nil
+		}
+		c := tuple.Compare(lt[lkey], rtup[rkey])
+		switch {
+		case c < 0:
+			if _, _, err := l.next(); err != nil {
+				return err
+			}
+		case c > 0:
+			if _, _, err := r.next(); err != nil {
+				return err
+			}
+		default:
+			key := lt[lkey]
+			var lg, rg []tuple.Tuple
+			for {
+				t, ok, err := l.peek()
+				if err != nil {
+					return err
+				}
+				if !ok || !tuple.Equal(t[lkey], key) {
+					break
+				}
+				l.next()
+				lg = append(lg, t)
+			}
+			for {
+				t, ok, err := r.peek()
+				if err != nil {
+					return err
+				}
+				if !ok || !tuple.Equal(t[rkey], key) {
+					break
+				}
+				r.next()
+				rg = append(rg, t)
+			}
+			for _, a := range lg {
+				for _, b := range rg {
+					if err := em.add(tuple.Concat(a, b)); err != nil {
+						return nil
+					}
+				}
+			}
+		}
+	}
+}
+
+// ---- Hybrid hash join -----------------------------------------------------------
+
+// hashJoinMaxBuild is the in-memory build limit in tuples; larger builds
+// partition to disk.
+const hashJoinMaxBuild = 1 << 16
+
+// HashJoinOp is the hybrid-hash-join µEngine.
+type HashJoinOp struct{}
+
+// NewHashJoinOp creates the hash-join µEngine implementation.
+func NewHashJoinOp() *HashJoinOp { return &HashJoinOp{} }
+
+// Op implements core.Operator.
+func (*HashJoinOp) Op() plan.OpType { return plan.OpHashJoin }
+
+// TryShare implements signature-exact sharing. The attach succeeds through
+// the entire build phase (full overlap — no output is produced while
+// building) and into the probe phase while output fits the replay window
+// (step overlap + buffering), reproducing Figure 11's WoP.
+func (*HashJoinOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator.
+func (o *HashJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.HashJoin)
+	em := newEmitter(pkt.Out, rt.BatchSize())
+
+	// Build phase: drain the left input. If it stays small, join in memory.
+	build := make(map[uint64][]tuple.Tuple)
+	nBuild := 0
+	lcur := newCursor(pkt.Inputs[0])
+	small := true
+	var overflow []tuple.Tuple
+	for {
+		t, ok, err := lcur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		nBuild++
+		if nBuild > hashJoinMaxBuild {
+			// Switch to the partitioned path; the rest of the build input
+			// is drained there, straight into partition files.
+			small = false
+			overflow = append(overflow, t)
+			break
+		}
+		h := tuple.HashAt(t, []int{node.LKey})
+		build[h] = append(build[h], t)
+	}
+	if small {
+		return o.probeInMemory(rt, pkt, node, build, em)
+	}
+	return o.partitionedJoin(rt, pkt, node, build, overflow, lcur, em)
+}
+
+func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, build map[uint64][]tuple.Tuple, em *emitter) error {
+	rcur := newCursor(pkt.Inputs[1])
+	for {
+		t, ok, err := rcur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return em.flush()
+		}
+		h := tuple.HashAt(t, []int{node.RKey})
+		for _, b := range build[h] {
+			if tuple.Equal(b[node.LKey], t[node.RKey]) {
+				if err := em.add(tuple.Concat(b, t)); err != nil {
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// partitionedJoin is the hybrid path: partition 0 of the build side stays
+// memory-resident (it is already in `build`), the rest spills; the probe
+// side joins partition 0 on the fly while spilling the others; remaining
+// partitions then join pairwise from disk.
+func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, mem map[uint64][]tuple.Tuple, overflow []tuple.Tuple, lcur *cursor, em *emitter) error {
+	const parts = 8 // spill fan-out for partitions 1..parts
+	lcols := node.Left.Schema().Len()
+	rcols := node.Right.Schema().Len()
+
+	// Re-partition: the in-memory map keeps only tuples hashing to
+	// partition 0; everything else (plus overflow) spills.
+	partOf := func(h uint64) int { return int((h >> 32) % uint64(parts+1)) }
+	buildFiles := make([]*spillWriter, parts+1)
+	for i := 1; i <= parts; i++ {
+		buildFiles[i] = newSpillWriter(rt.SM.Disk, rt.SM.TempName("hjb"))
+	}
+	mem0 := make(map[uint64][]tuple.Tuple)
+	spillBuild := func(t tuple.Tuple) error {
+		h := tuple.HashAt(t, []int{node.LKey})
+		p := partOf(h)
+		if p == 0 {
+			mem0[h] = append(mem0[h], t)
+			return nil
+		}
+		return buildFiles[p].add(t)
+	}
+	for _, bucket := range mem {
+		for _, t := range bucket {
+			if err := spillBuild(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range overflow {
+		if err := spillBuild(t); err != nil {
+			return err
+		}
+	}
+	// Continue draining the remaining build input (the in-memory phase
+	// stopped at the first over-limit tuple).
+	for {
+		t, ok, err := lcur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := spillBuild(t); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= parts; i++ {
+		if _, err := buildFiles[i].close(); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for i := 1; i <= parts; i++ {
+			rt.SM.DropTemp(buildFiles[i].name)
+		}
+	}()
+
+	// Probe: join partition 0 immediately, spill the rest.
+	probeFiles := make([]*spillWriter, parts+1)
+	for i := 1; i <= parts; i++ {
+		probeFiles[i] = newSpillWriter(rt.SM.Disk, rt.SM.TempName("hjp"))
+	}
+	defer func() {
+		for i := 1; i <= parts; i++ {
+			rt.SM.DropTemp(probeFiles[i].name)
+		}
+	}()
+	rcur := newCursor(pkt.Inputs[1])
+	for {
+		t, ok, err := rcur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h := tuple.HashAt(t, []int{node.RKey})
+		p := partOf(h)
+		if p == 0 {
+			for _, b := range mem0[h] {
+				if tuple.Equal(b[node.LKey], t[node.RKey]) {
+					if err := em.add(tuple.Concat(b, t)); err != nil {
+						return nil
+					}
+				}
+			}
+			continue
+		}
+		if err := probeFiles[p].add(t); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= parts; i++ {
+		if _, err := probeFiles[i].close(); err != nil {
+			return err
+		}
+	}
+
+	// Per-partition joins from disk.
+	for i := 1; i <= parts; i++ {
+		table := make(map[uint64][]tuple.Tuple)
+		br := newSpillReader(rt.SM.Disk, buildFiles[i].name, lcols)
+		for {
+			t, ok, err := br.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			h := tuple.HashAt(t, []int{node.LKey})
+			table[h] = append(table[h], t)
+		}
+		pr := newSpillReader(rt.SM.Disk, probeFiles[i].name, rcols)
+		for {
+			t, ok, err := pr.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			h := tuple.HashAt(t, []int{node.RKey})
+			for _, b := range table[h] {
+				if tuple.Equal(b[node.LKey], t[node.RKey]) {
+					if err := em.add(tuple.Concat(b, t)); err != nil {
+						return nil
+					}
+				}
+			}
+		}
+	}
+	return em.flush()
+}
+
+// ---- Nested-loop join -----------------------------------------------------------
+
+// NLJoinOp is the nested-loop join µEngine (step overlap).
+type NLJoinOp struct{}
+
+// NewNLJoinOp creates the nested-loop-join µEngine implementation.
+func NewNLJoinOp() *NLJoinOp { return &NLJoinOp{} }
+
+// Op implements core.Operator.
+func (*NLJoinOp) Op() plan.OpType { return plan.OpNLJoin }
+
+// TryShare implements signature-exact sharing.
+func (*NLJoinOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator: the inner (right) input is materialized in
+// memory, the outer streams.
+func (*NLJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.NLJoin)
+	inner, err := drainAll(pkt.Inputs[1])
+	if err != nil {
+		return err
+	}
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	lcur := newCursor(pkt.Inputs[0])
+	for {
+		t, ok, err := lcur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return em.flush()
+		}
+		for _, in := range inner {
+			joined := tuple.Concat(t, in)
+			if node.Pred == nil || node.Pred.Test(joined) {
+				if err := em.add(joined); err != nil {
+					return nil
+				}
+			}
+		}
+	}
+}
+
+var _ interface {
+	core.Operator
+	core.Sharer
+} = (*MergeJoinOp)(nil)
+var _ interface {
+	core.Operator
+	core.Sharer
+} = (*HashJoinOp)(nil)
+var _ interface {
+	core.Operator
+	core.Sharer
+} = (*NLJoinOp)(nil)

@@ -1,0 +1,372 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+func testSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("k", tuple.KindInt),
+		tuple.Col("g", tuple.KindInt),
+		tuple.Col("v", tuple.KindFloat),
+	)
+}
+
+func newRT(t *testing.T, n int, cfg core.Config) *core.Runtime {
+	t.Helper()
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 1024}, PoolPages: 32})
+	if _, err := mgr.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.Tuple{tuple.I64(int64(i)), tuple.I64(int64(i % 7)), tuple.F64(float64(i))}
+	}
+	if err := mgr.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(mgr, cfg, All())
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func runPlan(t *testing.T, rt *core.Runtime, p plan.Node) []tuple.Tuple {
+	t.Helper()
+	q, err := rt.Submit(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []tuple.Tuple
+	for {
+		b, err := q.Result.Get()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b...)
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCursorPeekNext(t *testing.T) {
+	b := tbuf.New(4)
+	b.Put(tbuf.Batch{{tuple.I64(1)}, {tuple.I64(2)}})
+	b.Close(nil)
+	c := newCursor(b)
+	p1, ok, err := c.peek()
+	if err != nil || !ok || p1[0].I != 1 {
+		t.Fatalf("peek: %v %v %v", p1, ok, err)
+	}
+	// Peek is idempotent.
+	p2, _, _ := c.peek()
+	if p2[0].I != 1 {
+		t.Fatal("peek consumed")
+	}
+	n1, _, _ := c.next()
+	n2, _, _ := c.next()
+	if n1[0].I != 1 || n2[0].I != 2 {
+		t.Fatalf("next: %v %v", n1, n2)
+	}
+	if _, ok, _ := c.next(); ok {
+		t.Fatal("next past EOF")
+	}
+}
+
+func TestEmitterBatching(t *testing.T) {
+	b := tbuf.New(64)
+	so := tbuf.NewSharedOut(b, -1)
+	em := newEmitter(so, 3)
+	for i := 0; i < 7; i++ {
+		if err := em.add(tuple.Tuple{tuple.I64(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := em.flush(); err != nil {
+		t.Fatal(err)
+	}
+	so.Close(nil)
+	var sizes []int
+	for {
+		batch, err := b.Get()
+		if err == io.EOF {
+			break
+		}
+		sizes = append(sizes, len(batch))
+	}
+	if len(sizes) != 3 || sizes[0] != 3 || sizes[1] != 3 || sizes[2] != 1 {
+		t.Fatalf("batch sizes: %v", sizes)
+	}
+}
+
+func TestScanOrderedVsUnordered(t *testing.T) {
+	rt := newRT(t, 500, core.DefaultConfig())
+	ordered := runPlan(t, rt, plan.NewTableScan("t", testSchema(), nil, nil, true))
+	if len(ordered) != 500 {
+		t.Fatalf("ordered scan rows: %d", len(ordered))
+	}
+	for i := range ordered {
+		if ordered[i][0].I != int64(i) {
+			t.Fatalf("ordered scan out of order at %d: %v", i, ordered[i])
+		}
+	}
+	unordered := runPlan(t, rt, plan.NewTableScan("t", testSchema(), nil, nil, false))
+	if len(unordered) != 500 {
+		t.Fatalf("unordered scan rows: %d", len(unordered))
+	}
+}
+
+func TestSortDescending(t *testing.T) {
+	rt := newRT(t, 200, core.DefaultConfig())
+	scan := plan.NewTableScan("t", testSchema(), nil, nil, false)
+	rows := runPlan(t, rt, plan.NewSort(scan, []int{0}, true))
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].I < rows[i][0].I {
+			t.Fatalf("descending sort violated at %d", i)
+		}
+	}
+}
+
+func TestSortExternalRuns(t *testing.T) {
+	// More rows than sortRunSize forces multi-run external merge.
+	rt := newRT(t, sortRunSize+2500, core.DefaultConfig())
+	scan := plan.NewTableScan("t", testSchema(), nil, nil, false)
+	rows := runPlan(t, rt, plan.NewSort(scan, []int{2}, false))
+	if len(rows) != sortRunSize+2500 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][2].F > rows[i][2].F {
+			t.Fatalf("external sort out of order at %d", i)
+		}
+	}
+}
+
+func TestSortFileReuseSatellite(t *testing.T) {
+	// A second identical sort arriving during the host's emit phase must
+	// reuse the materialized sorted file (phase-2 materialization reuse).
+	rt := newRT(t, 3000, core.DefaultConfig())
+	mgr := rt.SM
+	mgr.Disk.SetLatency(30*time.Microsecond, 30*time.Microsecond, 0)
+	defer mgr.Disk.SetLatency(0, 0, 0)
+	mk := func() plan.Node {
+		return plan.NewSort(plan.NewTableScan("t", testSchema(), nil, nil, false), []int{0}, false)
+	}
+	q1, err := rt.Submit(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume a little of q1's output so the sort is in phase 2 with
+	// produced tuples beyond the replay window.
+	consumed := int64(0)
+	for consumed < 2000 {
+		b, err := q1.Result.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		consumed += int64(len(b))
+	}
+	q2, err := rt.Submit(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := q2.Result.Drain()
+	if err != nil || n2 != 3000 {
+		t.Fatalf("satellite rows: %d %v", n2, err)
+	}
+	rest, err := q1.Result.Drain()
+	if err != nil || consumed+rest != 3000 {
+		t.Fatalf("host rows: %d %v", consumed+rest, err)
+	}
+	if err := q2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().SharesByOp[plan.OpSort] != 1 {
+		t.Fatalf("sort shares: %v", rt.Stats().SharesByOp)
+	}
+	// Temp files must be cleaned up after both finish.
+	q1.Wait()
+}
+
+func TestHashJoinPartitionedPath(t *testing.T) {
+	// Build side above hashJoinMaxBuild forces the hybrid partitioned path.
+	n := hashJoinMaxBuild + 3000
+	rt := newRT(t, n, core.DefaultConfig())
+	l := plan.NewTableScan("t", testSchema(), nil, []int{0}, false)
+	r := plan.NewTableScan("t", testSchema(), expr.LT(expr.Col(0), expr.CInt(100)), []int{0}, false)
+	j := plan.NewHashJoin(l, r, 0, 0)
+	agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+	rows := runPlan(t, rt, agg)
+	if rows[0][0].I != 100 {
+		t.Fatalf("partitioned join count: %v, want 100", rows[0][0])
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	rt := newRT(t, 100, core.DefaultConfig())
+	scan := plan.NewTableScan("t", testSchema(), expr.LT(expr.Col(0), expr.CInt(-1)), nil, false)
+	rows := runPlan(t, rt, plan.NewGroupBy(scan, []int{1}, []expr.AggSpec{{Kind: expr.AggCount}}))
+	if len(rows) != 0 {
+		t.Fatalf("groupby of empty input: %d rows", len(rows))
+	}
+	// Aggregate of empty input still emits one row.
+	rows = runPlan(t, rt, plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}}))
+	if len(rows) != 1 || rows[0][0].I != 0 {
+		t.Fatalf("aggregate of empty input: %v", rows)
+	}
+}
+
+func TestCircularScanManyConsumers(t *testing.T) {
+	// Several staggered scans share one scanner; each must still see every
+	// row exactly once.
+	rt := newRT(t, 4000, core.DefaultConfig())
+	rt.SM.Disk.SetLatency(20*time.Microsecond, 30*time.Microsecond, 0)
+	defer rt.SM.Disk.SetLatency(0, 0, 0)
+	const clients = 5
+	type result struct {
+		n   int64
+		err error
+	}
+	results := make(chan result, clients)
+	for i := 0; i < clients; i++ {
+		// Different predicates -> page-level sharing only.
+		pred := expr.GE(expr.Col(0), expr.CInt(int64(i)))
+		p := plan.NewAggregate(
+			plan.NewTableScan("t", testSchema(), pred, nil, false),
+			[]expr.AggSpec{{Kind: expr.AggCount}})
+		q, err := rt.Submit(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			b, err := q.Result.Get()
+			if err != nil {
+				results <- result{0, err}
+				return
+			}
+			q.Result.Drain()
+			results <- result{b[0][0].I, q.Wait()}
+		}()
+		time.Sleep(3 * time.Millisecond)
+	}
+	for i := 0; i < clients; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		// Each count must be exactly 4000 - pred_i... collect and check set.
+		if r.n < 4000-int64(clients) || r.n > 4000 {
+			t.Fatalf("consumer count out of range: %d", r.n)
+		}
+	}
+}
+
+func TestMergeJoinDuplicateGroups(t *testing.T) {
+	rt := newRT(t, 70, core.DefaultConfig())
+	// Join on g (7 groups of 10): 7 * 10 * 10 = 700 rows.
+	l := plan.NewSort(plan.NewTableScan("t", testSchema(), nil, []int{1, 0}, false), []int{0}, false)
+	r := plan.NewSort(plan.NewTableScan("t", testSchema(), nil, []int{1, 2}, false), []int{0}, false)
+	j := plan.NewMergeJoin(l, r, 0, 0, false)
+	rows := runPlan(t, rt, plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}}))
+	if rows[0][0].I != 700 {
+		t.Fatalf("merge join with dups: %v, want 700", rows[0][0])
+	}
+}
+
+func TestUpdateSerializedAgainstScan(t *testing.T) {
+	rt := newRT(t, 300, core.DefaultConfig())
+	// Run a slow scan concurrently with updates; counts must be consistent
+	// (either before or after the inserts, never torn).
+	var inserted []tuple.Tuple
+	for i := 0; i < 50; i++ {
+		inserted = append(inserted, tuple.Tuple{tuple.I64(int64(10000 + i)), tuple.I64(0), tuple.F64(0)})
+	}
+	upQ, err := rt.Submit(context.Background(), plan.NewUpdate("t", inserted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upQ.Result.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := upQ.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rows := runPlan(t, rt, plan.NewAggregate(
+		plan.NewTableScan("t", testSchema(), nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	if rows[0][0].I != 350 {
+		t.Fatalf("count after update: %v", rows[0][0])
+	}
+}
+
+func TestApplyFilterProjectCopies(t *testing.T) {
+	in := []tuple.Tuple{{tuple.I64(1), tuple.I64(2)}}
+	out := applyFilterProject(in, nil, nil)
+	out[0][0] = tuple.I64(99)
+	if in[0][0].I == 99 {
+		t.Fatal("applyFilterProject must clone tuples")
+	}
+	filtered := applyFilterProject(in, expr.EQ(expr.Col(0), expr.CInt(5)), nil)
+	if len(filtered) != 0 {
+		t.Fatal("filter not applied")
+	}
+	proj := applyFilterProject(in, nil, []int{1})
+	if len(proj[0]) != 1 || proj[0][0].I != 2 {
+		t.Fatalf("projection: %v", proj)
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	d := disk.New(disk.Config{BlockSize: 512})
+	w := newSpillWriter(d, "spill")
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := w.add(tuple.Tuple{tuple.I64(int64(i)), tuple.Str(fmt.Sprintf("v%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, err := w.close()
+	if err != nil || total != n {
+		t.Fatalf("close: %d %v", total, err)
+	}
+	r := newSpillReader(d, "spill", 2)
+	for i := 0; i < n; i++ {
+		tp, ok, err := r.next()
+		if err != nil || !ok || tp[0].I != int64(i) {
+			t.Fatalf("read %d: %v %v %v", i, tp, ok, err)
+		}
+	}
+	if _, ok, _ := r.next(); ok {
+		t.Fatal("reader should be exhausted")
+	}
+}
+
+func TestOSPOffScanIndependence(t *testing.T) {
+	rt := newRT(t, 1000, core.BaselineConfig())
+	rt.SM.Disk.ResetStats()
+	p1 := runPlan(t, rt, plan.NewAggregate(
+		plan.NewTableScan("t", testSchema(), nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	if p1[0][0].I != 1000 {
+		t.Fatal("count")
+	}
+	if rt.TotalShares() != 0 {
+		t.Fatal("baseline must not share")
+	}
+}

@@ -1,0 +1,243 @@
+package ops
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"qpipe/internal/core"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// loadRandomPair loads two tables with random join-key distributions and
+// returns the runtime plus a reference count of the equi-join cardinality.
+func loadRandomPair(t *testing.T, rng *rand.Rand, nl, nr, keyRange int) (*core.Runtime, int64) {
+	t.Helper()
+	schema := tuple.NewSchema(tuple.Col("k", tuple.KindInt), tuple.Col("v", tuple.KindInt))
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 1024}, PoolPages: 32})
+	mkRows := func(n int) ([]tuple.Tuple, map[int64]int64) {
+		rows := make([]tuple.Tuple, n)
+		hist := make(map[int64]int64)
+		for i := range rows {
+			k := int64(rng.Intn(keyRange))
+			rows[i] = tuple.Tuple{tuple.I64(k), tuple.I64(int64(i))}
+			hist[k]++
+		}
+		return rows, hist
+	}
+	lRows, lHist := mkRows(nl)
+	rRows, rHist := mkRows(nr)
+	if _, err := mgr.CreateTable("L", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.CreateTable("R", schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Load("L", lRows); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Load("R", rRows); err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for k, c := range lHist {
+		want += c * rHist[k]
+	}
+	rt := core.NewRuntime(mgr, core.DefaultConfig(), All())
+	t.Cleanup(rt.Close)
+	return rt, want
+}
+
+// TestJoinOperatorEquivalence is the join property test: on random inputs,
+// hash join, merge join (over sorts) and nested-loop join must all produce
+// the reference equi-join cardinality.
+func TestJoinOperatorEquivalence(t *testing.T) {
+	schema := tuple.NewSchema(tuple.Col("k", tuple.KindInt), tuple.Col("v", tuple.KindInt))
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nl, nr := 50+rng.Intn(300), 50+rng.Intn(300)
+		keyRange := 1 + rng.Intn(40)
+		rt, want := loadRandomPair(t, rng, nl, nr, keyRange)
+
+		count := func(j plan.Node) int64 {
+			agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+			rows := runPlan(t, rt, agg)
+			return rows[0][0].I
+		}
+		lScan := func() plan.Node { return plan.NewTableScan("L", schema, nil, nil, false) }
+		rScan := func() plan.Node { return plan.NewTableScan("R", schema, nil, nil, false) }
+
+		hj := count(plan.NewHashJoin(lScan(), rScan(), 0, 0))
+		mj := count(plan.NewMergeJoin(
+			plan.NewSort(lScan(), []int{0}, false),
+			plan.NewSort(rScan(), []int{0}, false), 0, 0, false))
+		nj := count(plan.NewNLJoin(lScan(), rScan(), expr.EQ(expr.Col(0), expr.Col(2))))
+
+		if hj != want || mj != want || nj != want {
+			t.Fatalf("seed %d (nl=%d nr=%d kr=%d): want %d, hj=%d mj=%d nlj=%d",
+				seed, nl, nr, keyRange, want, hj, mj, nj)
+		}
+	}
+}
+
+// TestGroupByMatchesReference cross-checks hash group-by against a simple
+// in-memory reference on random data.
+func TestGroupByMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		n := 100 + rng.Intn(500)
+		schema := tuple.NewSchema(tuple.Col("g", tuple.KindInt), tuple.Col("v", tuple.KindFloat))
+		mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 1024}, PoolPages: 32})
+		mgr.CreateTable("T", schema)
+		ref := make(map[int64]struct {
+			count int64
+			sum   float64
+		})
+		rows := make([]tuple.Tuple, n)
+		for i := range rows {
+			g := int64(rng.Intn(12))
+			v := float64(rng.Intn(1000)) / 8
+			rows[i] = tuple.Tuple{tuple.I64(g), tuple.F64(v)}
+			e := ref[g]
+			e.count++
+			e.sum += v
+			ref[g] = e
+		}
+		mgr.Load("T", rows)
+		rt := core.NewRuntime(mgr, core.DefaultConfig(), All())
+
+		gb := plan.NewGroupBy(plan.NewTableScan("T", schema, nil, nil, false),
+			[]int{0}, []expr.AggSpec{
+				{Kind: expr.AggCount},
+				{Kind: expr.AggSum, Arg: expr.Col(1)},
+			})
+		out := runPlan(t, rt, gb)
+		if len(out) != len(ref) {
+			t.Fatalf("seed %d: %d groups, want %d", seed, len(out), len(ref))
+		}
+		for _, row := range out {
+			e, ok := ref[row[0].I]
+			if !ok {
+				t.Fatalf("seed %d: unexpected group %v", seed, row[0])
+			}
+			if row[1].I != e.count {
+				t.Fatalf("seed %d group %d: count %d want %d", seed, row[0].I, row[1].I, e.count)
+			}
+			if diff := row[2].F - e.sum; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("seed %d group %d: sum %f want %f", seed, row[0].I, row[2].F, e.sum)
+			}
+		}
+		rt.Close()
+	}
+}
+
+// TestSortQuickProperty: sorting any random input through the sort µEngine
+// yields the input multiset in order.
+func TestSortQuickProperty(t *testing.T) {
+	schema := tuple.NewSchema(tuple.Col("k", tuple.KindInt))
+	check := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 1024}, PoolPages: 32})
+		mgr.CreateTable("T", schema)
+		rows := make([]tuple.Tuple, len(vals))
+		want := make([]int64, len(vals))
+		for i, v := range vals {
+			rows[i] = tuple.Tuple{tuple.I64(int64(v))}
+			want[i] = int64(v)
+		}
+		mgr.Load("T", rows)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		rt := core.NewRuntime(mgr, core.DefaultConfig(), All())
+		defer rt.Close()
+		srt := plan.NewSort(plan.NewTableScan("T", schema, nil, nil, false), []int{0}, false)
+		q, err := rt.Submit(context.Background(), srt)
+		if err != nil {
+			return false
+		}
+		var got []int64
+		for {
+			b, err := q.Result.Get()
+			if err != nil {
+				break
+			}
+			for _, tp := range b {
+				got = append(got, tp[0].I)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanShareCountInvariant: N concurrent scans with OSP produce exactly
+// the same per-query counts as running them serially (sharing must never
+// change results), across random predicates.
+func TestScanShareCountInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	rt := newRT(t, 3000, core.DefaultConfig())
+	schema := testSchema()
+	type q struct {
+		pred  int64
+		count int64
+	}
+	qs := make([]q, 6)
+	for i := range qs {
+		qs[i].pred = int64(rng.Intn(3000))
+	}
+	// Serial reference.
+	for i := range qs {
+		rows := runPlan(t, rt, plan.NewAggregate(
+			plan.NewTableScan("t", schema, expr.GE(expr.Col(0), expr.CInt(qs[i].pred)), nil, false),
+			[]expr.AggSpec{{Kind: expr.AggCount}}))
+		qs[i].count = rows[0][0].I
+	}
+	// Concurrent run.
+	results := make(chan error, len(qs))
+	for i := range qs {
+		go func(i int) {
+			p := plan.NewAggregate(
+				plan.NewTableScan("t", schema, expr.GE(expr.Col(0), expr.CInt(qs[i].pred)), nil, false),
+				[]expr.AggSpec{{Kind: expr.AggCount}})
+			query, err := rt.Submit(context.Background(), p)
+			if err != nil {
+				results <- err
+				return
+			}
+			b, err := query.Result.Get()
+			if err != nil {
+				results <- err
+				return
+			}
+			query.Result.Drain()
+			if got := b[0][0].I; got != qs[i].count {
+				results <- fmt.Errorf("query %d: concurrent count %d != serial %d", i, got, qs[i].count)
+				return
+			}
+			results <- query.Wait()
+		}(i)
+	}
+	for range qs {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Pass-through µEngines (filter, project), aggregation µEngines (scalar
+// aggregate: full overlap; hash group-by: step overlap) and the update
+// µEngine (no OSP, table X locks — paper §4.3.4).
+package ops
+
+import (
+	"qpipe/internal/core"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/lock"
+	"qpipe/internal/tuple"
+)
+
+// FilterOp drops tuples failing its predicate.
+type FilterOp struct{}
+
+// NewFilterOp creates the filter µEngine implementation.
+func NewFilterOp() *FilterOp { return &FilterOp{} }
+
+// Op implements core.Operator.
+func (*FilterOp) Op() plan.OpType { return plan.OpFilter }
+
+// TryShare implements signature-exact sharing.
+func (*FilterOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator.
+func (*FilterOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.Filter)
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	cur := newCursor(pkt.Inputs[0])
+	for {
+		t, ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return em.flush()
+		}
+		if node.Pred.Test(t) {
+			if err := em.add(t); err != nil {
+				return nil // all consumers gone
+			}
+		}
+	}
+}
+
+// ProjectOp evaluates output expressions per input tuple.
+type ProjectOp struct{}
+
+// NewProjectOp creates the project µEngine implementation.
+func NewProjectOp() *ProjectOp { return &ProjectOp{} }
+
+// Op implements core.Operator.
+func (*ProjectOp) Op() plan.OpType { return plan.OpProject }
+
+// TryShare implements signature-exact sharing.
+func (*ProjectOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator.
+func (*ProjectOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.Project)
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	cur := newCursor(pkt.Inputs[0])
+	for {
+		t, ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return em.flush()
+		}
+		out := make(tuple.Tuple, len(node.Exprs))
+		for i, e := range node.Exprs {
+			out[i] = e.Eval(t)
+		}
+		if err := em.add(out); err != nil {
+			return nil
+		}
+	}
+}
+
+// AggregateOp computes scalar aggregates — the canonical full-overlap
+// operator: it emits nothing until the very end, so an identical packet can
+// attach at any point of its lifetime and save 100% of the work.
+type AggregateOp struct{}
+
+// NewAggregateOp creates the scalar-aggregate µEngine implementation.
+func NewAggregateOp() *AggregateOp { return &AggregateOp{} }
+
+// Op implements core.Operator.
+func (*AggregateOp) Op() plan.OpType { return plan.OpAggregate }
+
+// TryShare implements signature-exact sharing (full WoP).
+func (*AggregateOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator.
+func (*AggregateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.Aggregate)
+	states := make([]*expr.AggState, len(node.Specs))
+	for i, s := range node.Specs {
+		states[i] = expr.NewAggState(s)
+	}
+	cur := newCursor(pkt.Inputs[0])
+	for {
+		t, ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for _, st := range states {
+			st.Add(t)
+		}
+	}
+	row := make(tuple.Tuple, len(states))
+	for i, st := range states {
+		row[i] = st.Result()
+	}
+	return pkt.Out.Put(tbufBatch(row))
+}
+
+// GroupByOp computes hash-grouped aggregates (step overlap: attachable
+// until results start flowing; the burst emit at the end plus the replay
+// window give satellites nearly the whole lifetime in practice, which is
+// the paper's "buffering can significantly increase the WoP for group-by").
+type GroupByOp struct{}
+
+// NewGroupByOp creates the hash group-by µEngine implementation.
+func NewGroupByOp() *GroupByOp { return &GroupByOp{} }
+
+// Op implements core.Operator.
+func (*GroupByOp) Op() plan.OpType { return plan.OpGroupBy }
+
+// TryShare implements signature-exact sharing.
+func (*GroupByOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// Run implements core.Operator.
+func (*GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.GroupBy)
+	type group struct {
+		key    tuple.Tuple
+		states []*expr.AggState
+	}
+	groups := make(map[uint64][]*group)
+	cur := newCursor(pkt.Inputs[0])
+	for {
+		t, ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h := tuple.HashAt(t, node.Keys)
+		var g *group
+		for _, cand := range groups[h] {
+			match := true
+			for i, k := range node.Keys {
+				if !tuple.Equal(cand.key[i], t[k]) {
+					match = false
+					break
+				}
+			}
+			if match {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{key: t.Project(node.Keys), states: make([]*expr.AggState, len(node.Specs))}
+			for i, s := range node.Specs {
+				g.states[i] = expr.NewAggState(s)
+			}
+			groups[h] = append(groups[h], g)
+		}
+		for _, st := range g.states {
+			st.Add(t)
+		}
+	}
+	em := newEmitter(pkt.Out, rt.BatchSize())
+	for _, bucket := range groups {
+		for _, g := range bucket {
+			row := make(tuple.Tuple, 0, len(g.key)+len(g.states))
+			row = append(row, g.key...)
+			for _, st := range g.states {
+				row = append(row, st.Result())
+			}
+			if err := em.add(row); err != nil {
+				return nil
+			}
+		}
+	}
+	return em.flush()
+}
+
+// UpdateOp inserts rows under a table X lock. It deliberately implements
+// neither Sharer nor Admitter: update packets are never shared.
+type UpdateOp struct{}
+
+// NewUpdateOp creates the update µEngine implementation.
+func NewUpdateOp() *UpdateOp { return &UpdateOp{} }
+
+// Op implements core.Operator.
+func (*UpdateOp) Op() plan.OpType { return plan.OpUpdate }
+
+// Run implements core.Operator.
+func (*UpdateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.Update)
+	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Exclusive); err != nil {
+		return err
+	}
+	defer rt.SM.Locks.Unlock(node.Table, lock.Exclusive)
+	for _, row := range node.Rows {
+		if err := rt.SM.Insert(node.Table, row); err != nil {
+			return err
+		}
+	}
+	return pkt.Out.Put(tbufBatch(tuple.Tuple{tuple.I64(int64(len(node.Rows)))}))
+}
+
+// tbufBatch wraps a single tuple as a batch.
+func tbufBatch(t tuple.Tuple) []tuple.Tuple { return []tuple.Tuple{t} }

@@ -1,0 +1,316 @@
+// Circular table scans (paper §4.3.1): one scanner per in-progress relation
+// scan; late-arriving scan packets attach immediately, set a new termination
+// point at the scanner's current position, and the scanner wraps at
+// end-of-file to serve the pages they missed. Per-consumer predicates and
+// projections are applied inside the scan µEngine, so packets with
+// *different* predicates still share one page stream — which is exactly why
+// QPipe keeps saving I/O in the full-workload experiment (Figure 12) even
+// though qgen randomizes every query's selection predicates.
+package ops
+
+import (
+	"sync"
+
+	"qpipe/internal/core"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/lock"
+	"qpipe/internal/tuple"
+)
+
+// pageSource abstracts the page-granular data under a scan: heap files for
+// table scans, B+tree leaf chains for clustered index scans.
+type pageSource interface {
+	numPages() int64
+	readPage(ord int64) ([]tuple.Tuple, error)
+}
+
+// scanConsumer is one packet attached to a scanner.
+type scanConsumer struct {
+	pkt       *core.Packet
+	filter    expr.Pred
+	project   []int
+	remaining int64 // pages still owed
+}
+
+// scanner is the paper's "scanner thread": it owns the position in the page
+// stream and multiplexes pages to all attached consumers.
+type scanner struct {
+	mu sync.Mutex
+	// hostID is the packet whose worker runs this scanner; every attached
+	// consumer's output buffer reports it as producer so the deadlock
+	// detector sees the real 1-producer-N-consumers structure (one stalled
+	// scanner can otherwise hide a Waits-For cycle — e.g. a self-join whose
+	// two inputs ride the same scanner).
+	hostID    int64
+	src       pageSource
+	n         int64
+	pos       int64 // next page ordinal to read
+	circular  bool  // wrap at EOF while consumers still need pages
+	consumers []*scanConsumer
+	done      bool
+}
+
+// bindProducer points the consumer's output port at this scanner for the
+// deadlock detector (covers the packet's own buffer and any satellites
+// attached to it, now or later).
+func (s *scanner) bindProducer(c *scanConsumer) {
+	if c.pkt.Out != nil {
+		c.pkt.Out.SetProducer(s.hostID)
+	}
+}
+
+// attach adds a consumer at the current position (its termination point).
+// Returns the start position. Fails once the scanner has finished, or — when
+// requireStart is set (spike-overlap semantics, and unordered consumers
+// joining a non-circular scanner) — once the scanner has moved past page 0.
+func (s *scanner) attach(c *scanConsumer, requireStart bool) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return 0, false
+	}
+	if requireStart && s.pos != 0 {
+		return 0, false
+	}
+	c.remaining = s.n
+	s.consumers = append(s.consumers, c)
+	s.bindProducer(c)
+	return s.pos, true
+}
+
+// attachSuffix adds a consumer that only wants the remaining (suffix) part
+// of an ordered scan: pages pos..n-1. Used by the merge-join split.
+func (s *scanner) attachSuffix(c *scanConsumer) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return 0, false
+	}
+	c.remaining = s.n - s.pos
+	if c.remaining <= 0 {
+		return 0, false
+	}
+	s.consumers = append(s.consumers, c)
+	s.bindProducer(c)
+	return s.pos, true
+}
+
+// position reports the scanner's current page ordinal.
+func (s *scanner) position() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pos
+}
+
+// run drives the scanner until every consumer is served (or gone). The
+// calling worker is the dedicated scanner thread.
+func (s *scanner) run() error {
+	for {
+		s.mu.Lock()
+		if len(s.consumers) == 0 {
+			s.done = true
+			s.mu.Unlock()
+			return nil
+		}
+		if s.pos >= s.n {
+			if !s.circular {
+				// Ordered scan reached EOF: any remaining consumers are
+				// fully served by construction.
+				for _, c := range s.consumers {
+					c.pkt.Complete(nil)
+				}
+				s.consumers = nil
+				s.done = true
+				s.mu.Unlock()
+				return nil
+			}
+			s.pos = 0
+		}
+		p := s.pos
+		s.pos++
+		consumers := append([]*scanConsumer(nil), s.consumers...)
+		s.mu.Unlock()
+
+		tuples, err := s.src.readPage(p)
+		if err != nil {
+			s.fail(err)
+			return err
+		}
+		for _, c := range consumers {
+			if c.remaining <= 0 {
+				continue
+			}
+			if c.pkt.Cancelled() {
+				s.detach(c, nil)
+				continue
+			}
+			out := applyFilterProject(tuples, c.filter, c.project)
+			if len(out) > 0 {
+				if err := c.pkt.Out.Put(out); err != nil {
+					// Consumer gone (query cancelled or absorbed elsewhere).
+					s.detach(c, nil)
+					continue
+				}
+			}
+			c.remaining--
+			if c.remaining == 0 {
+				s.detach(c, nil)
+			}
+		}
+	}
+}
+
+func (s *scanner) detach(c *scanConsumer, err error) {
+	s.mu.Lock()
+	for i, x := range s.consumers {
+		if x == c {
+			s.consumers = append(s.consumers[:i], s.consumers[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	c.pkt.Complete(err)
+}
+
+func (s *scanner) fail(err error) {
+	s.mu.Lock()
+	consumers := s.consumers
+	s.consumers = nil
+	s.done = true
+	s.mu.Unlock()
+	for _, c := range consumers {
+		c.pkt.Complete(err)
+	}
+}
+
+// scanRegistry tracks live scanners per key (table, or table+index).
+type scanRegistry struct {
+	mu       sync.Mutex
+	scanners map[string][]*scanner
+}
+
+func newScanRegistry() *scanRegistry {
+	return &scanRegistry{scanners: make(map[string][]*scanner)}
+}
+
+func (r *scanRegistry) add(key string, s *scanner) {
+	r.mu.Lock()
+	r.scanners[key] = append(r.scanners[key], s)
+	r.mu.Unlock()
+}
+
+func (r *scanRegistry) remove(key string, s *scanner) {
+	r.mu.Lock()
+	list := r.scanners[key]
+	for i, x := range list {
+		if x == s {
+			r.scanners[key] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(r.scanners[key]) == 0 {
+		delete(r.scanners, key)
+	}
+	r.mu.Unlock()
+}
+
+// visit iterates live scanners for a key until fn returns true.
+func (r *scanRegistry) visit(key string, fn func(*scanner) bool) bool {
+	r.mu.Lock()
+	list := append([]*scanner(nil), r.scanners[key]...)
+	r.mu.Unlock()
+	for _, s := range list {
+		if fn(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- Table-scan µEngine -------------------------------------------------------
+
+// heapSource reads heap-file pages.
+type heapSource struct {
+	f interface {
+		NumPages() int64
+		ReadPage(int64) ([]tuple.Tuple, error)
+	}
+}
+
+func (h heapSource) numPages() int64                         { return h.f.NumPages() }
+func (h heapSource) readPage(p int64) ([]tuple.Tuple, error) { return h.f.ReadPage(p) }
+
+// TableScanOp is the file-scan µEngine with circular-scan sharing.
+type TableScanOp struct {
+	reg *scanRegistry
+}
+
+// NewTableScanOp creates the table-scan µEngine implementation.
+func NewTableScanOp() *TableScanOp { return &TableScanOp{reg: newScanRegistry()} }
+
+// Op implements core.Operator.
+func (o *TableScanOp) Op() plan.OpType { return plan.OpTableScan }
+
+// TryShare implements the signature-exact fast path: two packets with
+// identical table, predicate and ordering dedupe completely.
+func (o *TableScanOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	return defaultTryShare(host, sat)
+}
+
+// TryAdmit implements circular-scan admission: an unordered scan packet
+// piggybacks on any in-progress scanner of the same table regardless of
+// predicates. Ordered scans have a spike WoP — they may only piggyback on a
+// scanner still at page 0 (the "first output page still in memory" case).
+func (o *TableScanOp) TryAdmit(rt *core.Runtime, pkt *core.Packet) bool {
+	node := pkt.Node.(*plan.TableScan)
+	attached := o.reg.visit("tbl:"+node.Table, func(s *scanner) bool {
+		// Ordered consumers have a spike WoP; unordered consumers can join a
+		// circular scanner anywhere but a one-shot (ordered) scanner only at
+		// its very start.
+		requireStart := node.Ordered || !s.circular
+		c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
+		_, ok := s.attach(c, requireStart)
+		return ok
+	})
+	if attached {
+		pkt.Query.Stats.SatelliteAttaches.Add(1)
+		rt.NoteShare(plan.OpTableScan)
+		for _, ch := range pkt.Children {
+			ch.CancelSubtree()
+		}
+	}
+	return attached
+}
+
+// Run implements core.Operator: the packet becomes the host of a new
+// scanner thread serving itself and any satellites that attach later.
+func (o *TableScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.TableScan)
+	tb, err := rt.SM.Table(node.Table)
+	if err != nil {
+		return err
+	}
+	src := heapSource{f: tb.Heap}
+	s := &scanner{hostID: pkt.ID, src: src, n: src.numPages(), circular: !node.Ordered}
+	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project, remaining: s.n}
+	s.consumers = []*scanConsumer{c}
+	key := "tbl:" + node.Table
+	if rt.Cfg.OSP {
+		o.reg.add(key, s)
+		defer o.reg.remove(key, s)
+	}
+	// Table-level S lock: waits while an update holds X (§4.3.4), and with
+	// it wait all satellites.
+	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Shared); err != nil {
+		return err
+	}
+	defer rt.SM.Locks.Unlock(node.Table, lock.Shared)
+	return s.run()
+}
+
+var _ interface {
+	core.Operator
+	core.Sharer
+	core.Admitter
+} = (*TableScanOp)(nil)

@@ -1,0 +1,33 @@
+package ops
+
+import (
+	"testing"
+	"time"
+
+	"qpipe/internal/core"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+)
+
+func TestSelfJoinSharedScannerDeadlockResolved(t *testing.T) {
+	rt := newRT(t, 3000, core.DefaultConfig())
+	rt.SM.Disk.SetLatency(10*time.Microsecond, 15*time.Microsecond, 0)
+	defer rt.SM.Disk.SetLatency(0, 0, 0)
+	l := plan.NewTableScan("t", testSchema(), expr.LT(expr.Col(0), expr.CInt(200)), []int{1}, false)
+	r := plan.NewTableScan("t", testSchema(), expr.LT(expr.Col(0), expr.CInt(300)), []int{1}, false)
+	p := plan.NewAggregate(plan.NewHashJoin(l, r, 0, 0), []expr.AggSpec{{Kind: expr.AggCount}})
+	done := make(chan struct{})
+	go func() {
+		rows := runPlan(t, rt, p)
+		if rows[0][0].I == 0 {
+			t.Error("zero join rows")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Logf("stats: %+v mat=%d dl=%d", rt.Stats().SharesByOp, rt.Stats().Materialized, rt.Stats().DeadlocksSeen)
+	case <-time.After(20 * time.Second):
+		t.Fatal("self-join over shared scanner hung")
+	}
+}

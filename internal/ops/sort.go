@@ -1,0 +1,269 @@
+// The sort µEngine: external merge sort with materialized sorted output.
+//
+// Phase structure follows the paper's treatment of sort as a two-phase
+// operator (§3.2): phase 1 (consume input, sort runs, merge to a sorted
+// temp file) is a *full* overlap — identical packets attach at any point —
+// and phase 2 (streaming the sorted file to the parent) offers the
+// *materialization* enhancement: a late-arriving identical sort reuses the
+// host's sorted file instead of re-sorting ("one query may have already
+// sorted a file that another query is about to start sorting; by monitoring
+// the sort operator we can detect this overlap and reuse the sorted file").
+package ops
+
+import (
+	"container/heap"
+	"sort"
+	"sync"
+
+	"qpipe/internal/core"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// sortRunSize is the number of tuples sorted in memory per spilled run.
+const sortRunSize = 16384
+
+// sortState tracks a host packet's materialized output for phase-2 reuse.
+type sortState struct {
+	mu        sync.Mutex
+	fileReady bool
+	fileName  string
+	ncols     int
+	readers   int
+	hostDone  bool
+	dropped   bool
+}
+
+// SortOp is the sort µEngine implementation.
+type SortOp struct {
+	mu     sync.Mutex
+	states map[int64]*sortState // host packet ID -> state
+}
+
+// NewSortOp creates the sort µEngine implementation.
+func NewSortOp() *SortOp { return &SortOp{states: make(map[int64]*sortState)} }
+
+// Op implements core.Operator.
+func (*SortOp) Op() plan.OpType { return plan.OpSort }
+
+// TryShare implements the sort µEngine's sharing mechanism. During phase 1
+// the default attach succeeds (no output yet). During phase 2 the satellite
+// reuses the host's materialized sorted file, streamed by a dedicated
+// goroutine; the satellite skips the entire sort cost.
+func (o *SortOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
+	if defaultTryShare(host, sat) {
+		return true
+	}
+	o.mu.Lock()
+	st := o.states[host.ID]
+	o.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	st.mu.Lock()
+	if !st.fileReady || st.dropped {
+		st.mu.Unlock()
+		return false
+	}
+	st.readers++
+	st.mu.Unlock()
+
+	go func() {
+		err := o.streamFile(rt, st, sat)
+		sat.Complete(err)
+		st.mu.Lock()
+		st.readers--
+		drop := st.hostDone && st.readers == 0 && !st.dropped
+		if drop {
+			st.dropped = true
+		}
+		st.mu.Unlock()
+		if drop {
+			o.drop(rt, host.ID, st)
+		}
+	}()
+	return true
+}
+
+func (o *SortOp) streamFile(rt *core.Runtime, st *sortState, sat *core.Packet) error {
+	n := int64(rt.SM.Disk.NumBlocks(st.fileName))
+	for pno := int64(0); pno < n; pno++ {
+		if sat.Cancelled() {
+			return nil
+		}
+		rows, err := readSpillPage(rt.SM.Disk, st.fileName, st.ncols, pno)
+		if err != nil {
+			return err
+		}
+		if err := sat.Out.Put(rows); err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (o *SortOp) drop(rt *core.Runtime, hostID int64, st *sortState) {
+	rt.SM.DropTemp(st.fileName)
+	o.mu.Lock()
+	delete(o.states, hostID)
+	o.mu.Unlock()
+}
+
+// Run implements core.Operator.
+func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+	node := pkt.Node.(*plan.Sort)
+	ncols := node.Schema().Len()
+	less := func(a, b tuple.Tuple) bool {
+		c := tuple.CompareAt(a, b, node.Keys)
+		if node.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+
+	// Phase 1a: consume input into sorted runs spilled to temp files.
+	var runNames []string
+	var run []tuple.Tuple
+	spillRun := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		sort.SliceStable(run, func(i, j int) bool { return less(run[i], run[j]) })
+		name := rt.SM.TempName("sortrun")
+		w := newSpillWriter(rt.SM.Disk, name)
+		for _, t := range run {
+			if err := w.add(t); err != nil {
+				return err
+			}
+		}
+		if _, err := w.close(); err != nil {
+			return err
+		}
+		runNames = append(runNames, name)
+		run = run[:0]
+		return nil
+	}
+	cur := newCursor(pkt.Inputs[0])
+	for {
+		t, ok, err := cur.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		run = append(run, t)
+		if len(run) >= sortRunSize {
+			if err := spillRun(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := spillRun(); err != nil {
+		return err
+	}
+	defer func() {
+		for _, name := range runNames {
+			rt.SM.DropTemp(name)
+		}
+	}()
+
+	// Phase 1b: merge runs into the materialized sorted file.
+	outName := rt.SM.TempName("sorted")
+	w := newSpillWriter(rt.SM.Disk, outName)
+	if err := o.mergeRuns(rt, runNames, ncols, less, w); err != nil {
+		return err
+	}
+	if _, err := w.close(); err != nil {
+		return err
+	}
+	st := &sortState{fileReady: true, fileName: outName, ncols: ncols}
+	o.mu.Lock()
+	o.states[pkt.ID] = st
+	o.mu.Unlock()
+	defer func() {
+		st.mu.Lock()
+		st.hostDone = true
+		drop := st.readers == 0 && !st.dropped
+		if drop {
+			st.dropped = true
+		}
+		st.mu.Unlock()
+		if drop {
+			o.drop(rt, pkt.ID, st)
+		}
+	}()
+
+	// Phase 2: stream the sorted file (linear overlap; late arrivals read
+	// the same file through TryShare instead).
+	n := int64(rt.SM.Disk.NumBlocks(outName))
+	for pno := int64(0); pno < n; pno++ {
+		if pkt.Cancelled() {
+			return nil
+		}
+		rows, err := readSpillPage(rt.SM.Disk, outName, ncols, pno)
+		if err != nil {
+			return err
+		}
+		if err := pkt.Out.Put(rows); err != nil {
+			return nil
+		}
+	}
+	return nil
+}
+
+// mergeItem is one head-of-run entry in the k-way merge heap.
+type mergeItem struct {
+	t   tuple.Tuple
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	less  func(a, b tuple.Tuple) bool
+}
+
+func (h *mergeHeap) Len() int           { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool { return h.less(h.items[i].t, h.items[j].t) }
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	it := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return it
+}
+
+func (o *SortOp) mergeRuns(rt *core.Runtime, runNames []string, ncols int, less func(a, b tuple.Tuple) bool, w *spillWriter) error {
+	readers := make([]*spillReader, len(runNames))
+	h := &mergeHeap{less: less}
+	for i, name := range runNames {
+		readers[i] = newSpillReader(rt.SM.Disk, name, ncols)
+		t, ok, err := readers[i].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem{t: t, src: i})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(mergeItem)
+		if err := w.add(it.t); err != nil {
+			return err
+		}
+		t, ok, err := readers[it.src].next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(h, mergeItem{t: t, src: it.src})
+		}
+	}
+	return nil
+}
+
+var _ interface {
+	core.Operator
+	core.Sharer
+} = (*SortOp)(nil)

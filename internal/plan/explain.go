@@ -1,0 +1,82 @@
+// Explain renders plans as indented trees for logs, CLIs and examples.
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// describe returns a one-line summary of a node (operator + key args).
+func describe(n Node) string {
+	switch x := n.(type) {
+	case *TableScan:
+		mode := "unordered"
+		if x.Ordered {
+			mode = "ordered"
+		}
+		f := ""
+		if x.Filter != nil {
+			f = " filter=" + x.Filter.Signature()
+		}
+		return fmt.Sprintf("TableScan %s (%s)%s", x.Table, mode, f)
+	case *IndexScan:
+		kind := "unclustered"
+		if x.Clustered {
+			kind = "clustered"
+		}
+		mode := "unordered"
+		if x.Ordered {
+			mode = "ordered"
+		}
+		rng := ""
+		if x.Lo.IsValid() || x.Hi.IsValid() {
+			rng = fmt.Sprintf(" range=[%s,%s]", x.Lo, x.Hi)
+		}
+		return fmt.Sprintf("IndexScan %s.%s (%s, %s)%s", x.Table, x.Col, kind, mode, rng)
+	case *Filter:
+		return "Filter " + x.Pred.Signature()
+	case *Project:
+		return fmt.Sprintf("Project %d exprs", len(x.Exprs))
+	case *Sort:
+		dir := "asc"
+		if x.Desc {
+			dir = "desc"
+		}
+		return fmt.Sprintf("Sort keys=%v %s", x.Keys, dir)
+	case *MergeJoin:
+		return fmt.Sprintf("MergeJoin L[%d]=R[%d]", x.LKey, x.RKey)
+	case *HashJoin:
+		return fmt.Sprintf("HashJoin build[%d]=probe[%d]", x.LKey, x.RKey)
+	case *NLJoin:
+		return "NLJoin " + x.Pred.Signature()
+	case *Aggregate:
+		parts := make([]string, len(x.Specs))
+		for i, s := range x.Specs {
+			parts[i] = s.Signature()
+		}
+		return "Aggregate " + strings.Join(parts, ", ")
+	case *GroupBy:
+		return fmt.Sprintf("GroupBy keys=%v (%d aggs)", x.Keys, len(x.Specs))
+	case *Update:
+		return fmt.Sprintf("Update %s (%d rows)", x.Table, len(x.Rows))
+	default:
+		return string(n.Op())
+	}
+}
+
+// Explain renders the plan as an indented tree, one node per line, the way
+// EXPLAIN output reads in most engines (root first).
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(describe(n))
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

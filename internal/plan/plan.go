@@ -1,0 +1,489 @@
+// Package plan defines physical query plans: trees of operator nodes, each
+// of which becomes one QPipe packet (or one Volcano iterator in the
+// comparator engine). QPipe's input is precompiled plans — the paper used
+// plans derived from a commercial optimizer (§4.2); this repo's workload
+// package plays that role, hand-building the TPC-H and Wisconsin plans.
+//
+// Every node carries a Signature: the canonical "encoded argument list" the
+// packet dispatcher attaches to packets so a µEngine can detect overlapping
+// work with a cheap string comparison (§4.3). Two nodes with equal
+// signatures compute identical results.
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/tuple"
+)
+
+// OpType identifies which µEngine executes a node.
+type OpType string
+
+// The µEngine families. Each value names a dedicated micro-engine in the
+// QPipe runtime (paper Figure 5b shows S, I, J, A).
+const (
+	OpTableScan OpType = "tscan"
+	OpIndexScan OpType = "iscan"
+	OpFilter    OpType = "filter"
+	OpProject   OpType = "project"
+	OpSort      OpType = "sort"
+	OpMergeJoin OpType = "mjoin"
+	OpHashJoin  OpType = "hjoin"
+	OpNLJoin    OpType = "nljoin"
+	OpAggregate OpType = "agg"
+	OpGroupBy   OpType = "groupby"
+	OpUpdate    OpType = "update"
+)
+
+// Node is one physical operator.
+type Node interface {
+	// Op names the µEngine that executes this node.
+	Op() OpType
+	// Children returns input nodes (leaves return nil).
+	Children() []Node
+	// Schema is the output schema.
+	Schema() *tuple.Schema
+	// Signature canonically encodes the node and its subtree.
+	Signature() string
+}
+
+func childSigs(ns []Node) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.Signature()
+	}
+	return strings.Join(parts, "|")
+}
+
+// ---- Leaves -----------------------------------------------------------------
+
+// TableScan reads a heap file. Filter and Project are applied per-consumer
+// inside the scan µEngine (so scans with different predicates still share
+// one circular page stream). Ordered scans require tuples in stored page
+// order — a spike overlap; unordered scans are linear.
+type TableScan struct {
+	Table       string
+	TableSchema *tuple.Schema
+	Filter      expr.Pred // nil = no filter
+	Project     []int     // nil = all columns
+	Ordered     bool      // require page order (spike WoP)
+
+	out *tuple.Schema
+}
+
+// NewTableScan builds a table-scan node.
+func NewTableScan(table string, schema *tuple.Schema, filter expr.Pred, project []int, ordered bool) *TableScan {
+	ts := &TableScan{Table: table, TableSchema: schema, Filter: filter, Project: project, Ordered: ordered}
+	if project == nil {
+		ts.out = schema
+	} else {
+		ts.out = schema.Project(project)
+	}
+	return ts
+}
+
+// Op implements Node.
+func (s *TableScan) Op() OpType { return OpTableScan }
+
+// Children implements Node.
+func (s *TableScan) Children() []Node { return nil }
+
+// Schema implements Node.
+func (s *TableScan) Schema() *tuple.Schema { return s.out }
+
+// Signature implements Node.
+func (s *TableScan) Signature() string {
+	f := "true"
+	if s.Filter != nil {
+		f = s.Filter.Signature()
+	}
+	return fmt.Sprintf("tscan(%s;%s;%v;%v)", s.Table, f, s.Project, s.Ordered)
+}
+
+// IndexScan reads via a B+tree index. Clustered scans produce full tuples in
+// key order; unclustered scans probe for RIDs, sort them in page order and
+// fetch from the heap (two phases: full-overlap RID-list build, then
+// linear/spike fetch).
+type IndexScan struct {
+	Table       string
+	TableSchema *tuple.Schema
+	Col         string      // indexed column
+	Lo, Hi      tuple.Value // invalid = open bound
+	Clustered   bool
+	Ordered     bool // consumer requires key order (spike WoP when clustered)
+	Filter      expr.Pred
+	Project     []int
+
+	// LeafFrom/LeafTo restrict a clustered scan to a leaf-ordinal range
+	// [LeafFrom, LeafTo). LeafTo < 0 means to-the-end. The OSP coordinator
+	// uses these for the complement packet of an ordered-scan split
+	// (§4.3.2); ordinary plans leave them at 0/-1.
+	LeafFrom int
+	LeafTo   int
+
+	out *tuple.Schema
+}
+
+// NewIndexScan builds an index-scan node.
+func NewIndexScan(table string, schema *tuple.Schema, col string, lo, hi tuple.Value, clustered, ordered bool, filter expr.Pred, project []int) *IndexScan {
+	is := &IndexScan{Table: table, TableSchema: schema, Col: col, Lo: lo, Hi: hi,
+		Clustered: clustered, Ordered: ordered, Filter: filter, Project: project, LeafTo: -1}
+	if project == nil {
+		is.out = schema
+	} else {
+		is.out = schema.Project(project)
+	}
+	return is
+}
+
+// Op implements Node.
+func (s *IndexScan) Op() OpType { return OpIndexScan }
+
+// Children implements Node.
+func (s *IndexScan) Children() []Node { return nil }
+
+// Schema implements Node.
+func (s *IndexScan) Schema() *tuple.Schema { return s.out }
+
+// Signature implements Node.
+func (s *IndexScan) Signature() string {
+	f := "true"
+	if s.Filter != nil {
+		f = s.Filter.Signature()
+	}
+	return fmt.Sprintf("iscan(%s;%s;%s;%s;%v;%v;%s;%v;%d:%d)",
+		s.Table, s.Col, s.Lo, s.Hi, s.Clustered, s.Ordered, f, s.Project, s.LeafFrom, s.LeafTo)
+}
+
+// ---- Unary operators ---------------------------------------------------------
+
+// Filter drops tuples failing the predicate.
+type Filter struct {
+	Child Node
+	Pred  expr.Pred
+}
+
+// NewFilter builds a filter node.
+func NewFilter(child Node, pred expr.Pred) *Filter { return &Filter{Child: child, Pred: pred} }
+
+// Op implements Node.
+func (f *Filter) Op() OpType { return OpFilter }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// Schema implements Node.
+func (f *Filter) Schema() *tuple.Schema { return f.Child.Schema() }
+
+// Signature implements Node.
+func (f *Filter) Signature() string {
+	return fmt.Sprintf("filter(%s;%s)", f.Pred.Signature(), f.Child.Signature())
+}
+
+// Project computes output expressions.
+type Project struct {
+	Child Node
+	Exprs []expr.Expr
+	Names []string
+
+	out *tuple.Schema
+}
+
+// NewProject builds a projection node. Names label output columns; kinds are
+// inferred lazily as KindInvalid (projection outputs are intermediate).
+func NewProject(child Node, exprs []expr.Expr, names []string) *Project {
+	cols := make([]tuple.Column, len(exprs))
+	for i := range exprs {
+		name := fmt.Sprintf("e%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		cols[i] = tuple.Column{Name: name, Kind: tuple.KindInvalid}
+	}
+	return &Project{Child: child, Exprs: exprs, Names: names, out: &tuple.Schema{Cols: cols}}
+}
+
+// Op implements Node.
+func (p *Project) Op() OpType { return OpProject }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// Schema implements Node.
+func (p *Project) Schema() *tuple.Schema { return p.out }
+
+// Signature implements Node.
+func (p *Project) Signature() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.Signature()
+	}
+	return fmt.Sprintf("project(%s;%s)", strings.Join(parts, ","), p.Child.Signature())
+}
+
+// Sort orders its input on key columns. Phase 1 (sorting) is a full
+// overlap; phase 2 (emitting the sorted stream) is linear via the
+// materialized sorted run (§3.2: "one query may have already sorted a file
+// that another query is about to start sorting").
+type Sort struct {
+	Child Node
+	Keys  []int
+	Desc  bool
+}
+
+// NewSort builds a sort node.
+func NewSort(child Node, keys []int, desc bool) *Sort {
+	return &Sort{Child: child, Keys: keys, Desc: desc}
+}
+
+// Op implements Node.
+func (s *Sort) Op() OpType { return OpSort }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// Schema implements Node.
+func (s *Sort) Schema() *tuple.Schema { return s.Child.Schema() }
+
+// Signature implements Node.
+func (s *Sort) Signature() string {
+	return fmt.Sprintf("sort(%v;%v;%s)", s.Keys, s.Desc, s.Child.Signature())
+}
+
+// ---- Joins -------------------------------------------------------------------
+
+// MergeJoin equi-joins two key-ordered inputs (step overlap). OrderedParent
+// records whether the *consumer* of this join depends on output order: when
+// false, the OSP coordinator may split the join in two to exploit an
+// in-progress ordered scan (§4.3.2, Figure 9).
+type MergeJoin struct {
+	Left, Right   Node
+	LKey, RKey    int
+	OrderedParent bool
+
+	out *tuple.Schema
+}
+
+// NewMergeJoin builds a merge-join node.
+func NewMergeJoin(l, r Node, lkey, rkey int, orderedParent bool) *MergeJoin {
+	return &MergeJoin{Left: l, Right: r, LKey: lkey, RKey: rkey,
+		OrderedParent: orderedParent, out: l.Schema().Concat(r.Schema())}
+}
+
+// Op implements Node.
+func (j *MergeJoin) Op() OpType { return OpMergeJoin }
+
+// Children implements Node.
+func (j *MergeJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Schema implements Node.
+func (j *MergeJoin) Schema() *tuple.Schema { return j.out }
+
+// Signature implements Node.
+func (j *MergeJoin) Signature() string {
+	return fmt.Sprintf("mjoin(%d=%d;%s)", j.LKey, j.RKey, childSigs(j.Children()))
+}
+
+// HashJoin equi-joins by building a hash table on Left and probing with
+// Right. The build phase is a full overlap; the probe phase is step (§3.2),
+// which Figure 11 exercises.
+type HashJoin struct {
+	Left, Right Node // Left = build side
+	LKey, RKey  int
+
+	out *tuple.Schema
+}
+
+// NewHashJoin builds a hash-join node (left input is the build side).
+func NewHashJoin(l, r Node, lkey, rkey int) *HashJoin {
+	return &HashJoin{Left: l, Right: r, LKey: lkey, RKey: rkey, out: l.Schema().Concat(r.Schema())}
+}
+
+// Op implements Node.
+func (j *HashJoin) Op() OpType { return OpHashJoin }
+
+// Children implements Node.
+func (j *HashJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Schema implements Node.
+func (j *HashJoin) Schema() *tuple.Schema { return j.out }
+
+// Signature implements Node.
+func (j *HashJoin) Signature() string {
+	return fmt.Sprintf("hjoin(%d=%d;%s)", j.LKey, j.RKey, childSigs(j.Children()))
+}
+
+// BuildSignature canonically encodes only the build side; satellites whose
+// probe differs can still reuse a completed build (hash-table reuse is the
+// materialization enhancement applied to hjoin's full-overlap phase).
+func (j *HashJoin) BuildSignature() string {
+	return fmt.Sprintf("hbuild(%d;%s)", j.LKey, j.Left.Signature())
+}
+
+// NLJoin is a nested-loop join with an arbitrary predicate over the
+// concatenated tuple (step overlap).
+type NLJoin struct {
+	Left, Right Node // Left = outer
+	Pred        expr.Pred
+
+	out *tuple.Schema
+}
+
+// NewNLJoin builds a nested-loop join node.
+func NewNLJoin(l, r Node, pred expr.Pred) *NLJoin {
+	return &NLJoin{Left: l, Right: r, Pred: pred, out: l.Schema().Concat(r.Schema())}
+}
+
+// Op implements Node.
+func (j *NLJoin) Op() OpType { return OpNLJoin }
+
+// Children implements Node.
+func (j *NLJoin) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Schema implements Node.
+func (j *NLJoin) Schema() *tuple.Schema { return j.out }
+
+// Signature implements Node.
+func (j *NLJoin) Signature() string {
+	return fmt.Sprintf("nljoin(%s;%s)", j.Pred.Signature(), childSigs(j.Children()))
+}
+
+// ---- Aggregation -------------------------------------------------------------
+
+// Aggregate computes scalar aggregates over its whole input, emitting one
+// row (full overlap — shareable for its entire lifetime, §3.2).
+type Aggregate struct {
+	Child Node
+	Specs []expr.AggSpec
+
+	out *tuple.Schema
+}
+
+// NewAggregate builds a scalar-aggregate node.
+func NewAggregate(child Node, specs []expr.AggSpec) *Aggregate {
+	cols := make([]tuple.Column, len(specs))
+	for i, s := range specs {
+		name := s.Name
+		if name == "" {
+			name = s.Signature()
+		}
+		cols[i] = tuple.Column{Name: name, Kind: tuple.KindFloat}
+	}
+	return &Aggregate{Child: child, Specs: specs, out: &tuple.Schema{Cols: cols}}
+}
+
+// Op implements Node.
+func (a *Aggregate) Op() OpType { return OpAggregate }
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+// Schema implements Node.
+func (a *Aggregate) Schema() *tuple.Schema { return a.out }
+
+// Signature implements Node.
+func (a *Aggregate) Signature() string {
+	parts := make([]string, len(a.Specs))
+	for i, s := range a.Specs {
+		parts[i] = s.Signature()
+	}
+	return fmt.Sprintf("agg(%s;%s)", strings.Join(parts, ","), a.Child.Signature())
+}
+
+// GroupBy computes hash-grouped aggregates (step overlap: multiple results).
+type GroupBy struct {
+	Child Node
+	Keys  []int
+	Specs []expr.AggSpec
+
+	out *tuple.Schema
+}
+
+// NewGroupBy builds a hash group-by node. Output columns are the group keys
+// followed by the aggregates.
+func NewGroupBy(child Node, keys []int, specs []expr.AggSpec) *GroupBy {
+	in := child.Schema()
+	cols := make([]tuple.Column, 0, len(keys)+len(specs))
+	for _, k := range keys {
+		cols = append(cols, in.Cols[k])
+	}
+	for _, s := range specs {
+		name := s.Name
+		if name == "" {
+			name = s.Signature()
+		}
+		cols = append(cols, tuple.Column{Name: name, Kind: tuple.KindFloat})
+	}
+	return &GroupBy{Child: child, Keys: keys, Specs: specs, out: &tuple.Schema{Cols: cols}}
+}
+
+// Op implements Node.
+func (g *GroupBy) Op() OpType { return OpGroupBy }
+
+// Children implements Node.
+func (g *GroupBy) Children() []Node { return []Node{g.Child} }
+
+// Schema implements Node.
+func (g *GroupBy) Schema() *tuple.Schema { return g.out }
+
+// Signature implements Node.
+func (g *GroupBy) Signature() string {
+	parts := make([]string, len(g.Specs))
+	for i, s := range g.Specs {
+		parts[i] = s.Signature()
+	}
+	return fmt.Sprintf("groupby(%v;%s;%s)", g.Keys, strings.Join(parts, ","), g.Child.Signature())
+}
+
+// ---- Updates -----------------------------------------------------------------
+
+// Update inserts rows into a table. Updates are never shared (§3.2: sharing
+// would violate transactional semantics); the update µEngine has no OSP
+// functionality and serializes through the lock manager (§4.3.4).
+type Update struct {
+	Table string
+	Rows  []tuple.Tuple
+	seq   int64 // distinguishes otherwise-identical updates in signatures
+}
+
+var updateSeq atomic.Int64
+
+// NewUpdate builds an insert node.
+func NewUpdate(table string, rows []tuple.Tuple) *Update {
+	return &Update{Table: table, Rows: rows, seq: updateSeq.Add(1)}
+}
+
+// Op implements Node.
+func (u *Update) Op() OpType { return OpUpdate }
+
+// Children implements Node.
+func (u *Update) Children() []Node { return nil }
+
+// Schema implements Node: one row with the count of inserted tuples.
+func (u *Update) Schema() *tuple.Schema {
+	return tuple.NewSchema(tuple.Col("inserted", tuple.KindInt))
+}
+
+// Signature implements Node. Includes a sequence number: two textually
+// identical updates must never match as overlapping work.
+func (u *Update) Signature() string {
+	return fmt.Sprintf("update(%s;%d;#%d)", u.Table, len(u.Rows), u.seq)
+}
+
+// Walk visits the plan tree depth-first (children before parents).
+func Walk(n Node, fn func(Node)) {
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+	fn(n)
+}
+
+// CountNodes returns the number of nodes in the plan.
+func CountNodes(n Node) int {
+	c := 0
+	Walk(n, func(Node) { c++ })
+	return c
+}

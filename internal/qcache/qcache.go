@@ -1,0 +1,218 @@
+// Package qcache implements the query-result cache that fronts the engine —
+// the first stage in the paper's Figure 2 ("once a query is submitted, it
+// first performs a lookup to a cache of recently completed queries; on a
+// match, the query returns the stored results and avoids execution
+// altogether"). The admission/eviction policy follows the dynamic cache
+// manager the paper cites [29] (Shim, Scheuermann, Vingralek — SSDBM 1999):
+// entries are weighted by result computation cost, size and reference
+// frequency, and evicted lowest-benefit-first.
+//
+// Entries are keyed by the plan's canonical signature — the same encoded
+// argument list OSP uses — so a cache hit requires exact structural
+// equality, and entries remember which base tables they read so updates
+// invalidate them (the maintenance-cost dimension of [29]).
+package qcache
+
+import (
+	"sync"
+	"time"
+
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// Stats snapshots cache counters.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	Insertions   int64
+	Evictions    int64
+	Invalidation int64
+	Entries      int
+	Tuples       int64
+}
+
+type entry struct {
+	sig      string
+	rows     []tuple.Tuple
+	tables   []string
+	cost     time.Duration // measured execution time (benefit numerator)
+	size     int64         // tuples (benefit denominator)
+	refs     int64
+	lastUsed time.Time
+}
+
+// benefit is the [29]-style goodness metric: cost saved per tuple of cache
+// space, scaled by observed reference frequency.
+func (e *entry) benefit() float64 {
+	sz := float64(e.size)
+	if sz < 1 {
+		sz = 1
+	}
+	return float64(e.cost) * float64(e.refs) / sz
+}
+
+// Cache is a bounded query-result cache. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64 // max cached tuples across all entries
+	maxEntry int64 // max tuples for a single admitted result
+	entries  map[string]*entry
+	byTable  map[string]map[string]*entry
+	tuples   int64
+	now      func() time.Time
+
+	hits, misses, inserts, evicts, invals int64
+}
+
+// New creates a cache bounded to capacity total tuples; single results
+// larger than maxEntry tuples are never admitted (0 defaults to
+// capacity/4).
+func New(capacity, maxEntry int64) *Cache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	if maxEntry <= 0 {
+		maxEntry = capacity / 4
+	}
+	return &Cache{
+		capacity: capacity,
+		maxEntry: maxEntry,
+		entries:  make(map[string]*entry),
+		byTable:  make(map[string]map[string]*entry),
+		now:      time.Now,
+	}
+}
+
+// Get returns the cached result rows for a plan signature. The returned
+// slice is shared — callers must not mutate tuples (Result wrappers clone
+// on read).
+func (c *Cache) Get(sig string) ([]tuple.Tuple, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[sig]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e.refs++
+	e.lastUsed = c.now()
+	c.hits++
+	return e.rows, true
+}
+
+// Put admits a completed query's result. tables lists the base relations
+// the plan read (for invalidation); cost is the measured execution time.
+// Oversized results are rejected.
+func (c *Cache) Put(sig string, tables []string, rows []tuple.Tuple, cost time.Duration) bool {
+	size := int64(len(rows))
+	if size > c.maxEntry {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[sig]; dup {
+		return false
+	}
+	// Evict lowest-benefit entries until the new result fits.
+	for c.tuples+size > c.capacity {
+		victim := c.lowestBenefitLocked()
+		if victim == nil {
+			return false
+		}
+		c.removeLocked(victim)
+		c.evicts++
+	}
+	e := &entry{sig: sig, rows: rows, tables: tables, cost: cost, size: size, refs: 1, lastUsed: c.now()}
+	c.entries[sig] = e
+	for _, t := range tables {
+		if c.byTable[t] == nil {
+			c.byTable[t] = make(map[string]*entry)
+		}
+		c.byTable[t][sig] = e
+	}
+	c.tuples += size
+	c.inserts++
+	return true
+}
+
+func (c *Cache) lowestBenefitLocked() *entry {
+	var victim *entry
+	for _, e := range c.entries {
+		if victim == nil || e.benefit() < victim.benefit() ||
+			(e.benefit() == victim.benefit() && e.lastUsed.Before(victim.lastUsed)) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.sig)
+	for _, t := range e.tables {
+		delete(c.byTable[t], e.sig)
+	}
+	c.tuples -= e.size
+}
+
+// InvalidateTable drops every entry that read the given table (called on
+// updates — cached results would otherwise serve stale data).
+func (c *Cache) InvalidateTable(table string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.byTable[table] {
+		c.removeLocked(e)
+		n++
+	}
+	c.invals += int64(n)
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Insertions: c.inserts,
+		Evictions: c.evicts, Invalidation: c.invals,
+		Entries: len(c.entries), Tuples: c.tuples,
+	}
+}
+
+// TablesOf walks a plan collecting the base tables it reads (the
+// invalidation key set) — scans and index scans contribute; updates are
+// writers, not readers.
+func TablesOf(p plan.Node) []string {
+	seen := make(map[string]bool)
+	var out []string
+	plan.Walk(p, func(n plan.Node) {
+		var t string
+		switch s := n.(type) {
+		case *plan.TableScan:
+			t = s.Table
+		case *plan.IndexScan:
+			t = s.Table
+		default:
+			return
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	})
+	return out
+}
+
+// IsUpdate reports whether the plan contains a write (never cacheable, and
+// triggers invalidation of its target table).
+func IsUpdate(p plan.Node) (string, bool) {
+	var table string
+	found := false
+	plan.Walk(p, func(n plan.Node) {
+		if u, ok := n.(*plan.Update); ok {
+			table, found = u.Table, true
+		}
+	})
+	return table, found
+}

@@ -1,0 +1,135 @@
+package qcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+func rows(n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		out[i] = tuple.Tuple{tuple.I64(int64(i))}
+	}
+	return out
+}
+
+func TestPutGetHitMiss(t *testing.T) {
+	c := New(100, 50)
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("empty cache hit")
+	}
+	if !c.Put("q1", []string{"t"}, rows(10), time.Second) {
+		t.Fatal("put rejected")
+	}
+	got, ok := c.Get("q1")
+	if !ok || len(got) != 10 {
+		t.Fatalf("get: %d %v", len(got), ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Tuples != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestOversizedRejected(t *testing.T) {
+	c := New(100, 20)
+	if c.Put("big", nil, rows(21), time.Second) {
+		t.Fatal("oversized result admitted")
+	}
+	if c.Put("ok", nil, rows(20), time.Second) != true {
+		t.Fatal("boundary result rejected")
+	}
+}
+
+func TestDuplicatePutRejected(t *testing.T) {
+	c := New(100, 50)
+	c.Put("q", nil, rows(5), time.Second)
+	if c.Put("q", nil, rows(5), time.Second) {
+		t.Fatal("duplicate signature admitted twice")
+	}
+}
+
+func TestEvictionByBenefit(t *testing.T) {
+	c := New(30, 30)
+	// cheap: low cost, never re-referenced -> low benefit.
+	c.Put("cheap", nil, rows(10), time.Millisecond)
+	// hot: expensive and re-referenced -> high benefit.
+	c.Put("hot", nil, rows(10), time.Second)
+	c.Get("hot")
+	c.Get("hot")
+	// Needs 20 free tuples: must evict "cheap", keep "hot".
+	if !c.Put("new", nil, rows(20), time.Second) {
+		t.Fatal("put with eviction failed")
+	}
+	if _, ok := c.Get("hot"); !ok {
+		t.Fatal("high-benefit entry evicted")
+	}
+	if _, ok := c.Get("cheap"); ok {
+		t.Fatal("low-benefit entry survived")
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestInvalidateTable(t *testing.T) {
+	c := New(1000, 500)
+	c.Put("q1", []string{"a", "b"}, rows(5), time.Second)
+	c.Put("q2", []string{"b"}, rows(5), time.Second)
+	c.Put("q3", []string{"c"}, rows(5), time.Second)
+	if n := c.InvalidateTable("b"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := c.Get("q1"); ok {
+		t.Fatal("q1 should be invalidated")
+	}
+	if _, ok := c.Get("q3"); !ok {
+		t.Fatal("q3 should survive")
+	}
+	if st := c.Stats(); st.Tuples != 5 {
+		t.Fatalf("tuples after invalidation: %d", st.Tuples)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New(50, 25)
+	for i := 0; i < 20; i++ {
+		c.Put(fmt.Sprintf("q%d", i), nil, rows(10), time.Duration(i)*time.Millisecond)
+		if st := c.Stats(); st.Tuples > 50 {
+			t.Fatalf("capacity exceeded: %d", st.Tuples)
+		}
+	}
+}
+
+func TestTablesOf(t *testing.T) {
+	s := tuple.NewSchema(tuple.Col("k", tuple.KindInt))
+	l := plan.NewTableScan("A", s, nil, nil, false)
+	r := plan.NewIndexScan("B", s, "k", tuple.Value{}, tuple.Value{}, true, false, nil, nil)
+	j := plan.NewHashJoin(l, r, 0, 0)
+	agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+	tables := TablesOf(agg)
+	if len(tables) != 2 {
+		t.Fatalf("tables: %v", tables)
+	}
+	// Duplicate table referenced twice counts once.
+	j2 := plan.NewHashJoin(l, plan.NewTableScan("A", s, nil, nil, false), 0, 0)
+	if got := TablesOf(j2); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("dedup: %v", got)
+	}
+}
+
+func TestIsUpdate(t *testing.T) {
+	s := tuple.NewSchema(tuple.Col("k", tuple.KindInt))
+	if _, ok := IsUpdate(plan.NewTableScan("A", s, nil, nil, false)); ok {
+		t.Fatal("scan is not an update")
+	}
+	table, ok := IsUpdate(plan.NewUpdate("T", nil))
+	if !ok || table != "T" {
+		t.Fatalf("update detection: %v %v", table, ok)
+	}
+}

@@ -1,0 +1,190 @@
+// ARC replacement (Megiddo & Modha — FAST 2003), cited by the paper [21]:
+// self-tuning between recency (T1) and frequency (T2) using two ghost lists
+// (B1, B2) and an adaptation parameter p. No tunables, scan-resistant.
+package buffer
+
+import "container/list"
+
+// ARC implements the Adaptive Replacement Cache policy.
+type ARC struct {
+	c int // target cache size (pool capacity)
+	p int // adaptation: target size of T1
+
+	t1, t2 *list.List // resident: recency / frequency (front = MRU)
+	b1, b2 *list.List // ghosts
+
+	where map[PageID]*arcEntry
+}
+
+type arcEntry struct {
+	el   *list.Element
+	list int // 0=t1 1=t2 2=b1 3=b2
+}
+
+const (
+	arcT1 = iota
+	arcT2
+	arcB1
+	arcB2
+)
+
+// NewARC creates an ARC policy for a pool of the given capacity.
+func NewARC(capacity int) *ARC {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ARC{
+		c:  capacity,
+		t1: list.New(), t2: list.New(), b1: list.New(), b2: list.New(),
+		where: make(map[PageID]*arcEntry),
+	}
+}
+
+// Name implements Policy.
+func (a *ARC) Name() string { return "arc" }
+
+func (a *ARC) move(e *arcEntry, id PageID, to int) {
+	switch e.list {
+	case arcT1:
+		a.t1.Remove(e.el)
+	case arcT2:
+		a.t2.Remove(e.el)
+	case arcB1:
+		a.b1.Remove(e.el)
+	case arcB2:
+		a.b2.Remove(e.el)
+	}
+	var ll *list.List
+	switch to {
+	case arcT1:
+		ll = a.t1
+	case arcT2:
+		ll = a.t2
+	case arcB1:
+		ll = a.b1
+	case arcB2:
+		ll = a.b2
+	}
+	e.el = ll.PushFront(id)
+	e.list = to
+}
+
+// Insert implements Policy: a page became resident.
+func (a *ARC) Insert(id PageID) {
+	if e, ok := a.where[id]; ok {
+		switch e.list {
+		case arcB1:
+			// Ghost hit in B1: favor recency — grow p.
+			delta := 1
+			if a.b1.Len() > 0 && a.b2.Len() > a.b1.Len() {
+				delta = a.b2.Len() / a.b1.Len()
+			}
+			a.p = min(a.p+delta, a.c)
+			a.move(e, id, arcT2)
+		case arcB2:
+			// Ghost hit in B2: favor frequency — shrink p.
+			delta := 1
+			if a.b2.Len() > 0 && a.b1.Len() > a.b2.Len() {
+				delta = a.b1.Len() / a.b2.Len()
+			}
+			a.p = max(a.p-delta, 0)
+			a.move(e, id, arcT2)
+		case arcT1, arcT2:
+			a.move(e, id, arcT2)
+		}
+		return
+	}
+	// Brand-new page: goes to T1. Bound the ghost lists per the ARC paper.
+	if a.t1.Len()+a.b1.Len() >= a.c {
+		if a.b1.Len() > 0 {
+			back := a.b1.Back()
+			delete(a.where, back.Value.(PageID))
+			a.b1.Remove(back)
+		}
+	} else if a.t1.Len()+a.t2.Len()+a.b1.Len()+a.b2.Len() >= 2*a.c {
+		if a.b2.Len() > 0 {
+			back := a.b2.Back()
+			delete(a.where, back.Value.(PageID))
+			a.b2.Remove(back)
+		}
+	}
+	e := &arcEntry{}
+	a.where[id] = e
+	e.el = a.t1.PushFront(id)
+	e.list = arcT1
+}
+
+// Touch implements Policy: hit on a resident page promotes it to T2's MRU.
+func (a *ARC) Touch(id PageID) {
+	if e, ok := a.where[id]; ok && (e.list == arcT1 || e.list == arcT2) {
+		a.move(e, id, arcT2)
+	}
+}
+
+// Evict implements Policy: ARC's REPLACE — evict from T1 if |T1| > p (tail
+// first), else from T2; the victim becomes a ghost in B1/B2.
+func (a *ARC) Evict(evictable func(PageID) bool) (PageID, bool) {
+	pick := func(ll *list.List) (*list.Element, bool) {
+		for el := ll.Back(); el != nil; el = el.Prev() {
+			if evictable(el.Value.(PageID)) {
+				return el, true
+			}
+		}
+		return nil, false
+	}
+	tryT1 := a.t1.Len() > 0 && (a.t1.Len() > a.p || a.t2.Len() == 0)
+	if tryT1 {
+		if el, ok := pick(a.t1); ok {
+			id := el.Value.(PageID)
+			a.move(a.where[id], id, arcB1)
+			return id, true
+		}
+	}
+	if el, ok := pick(a.t2); ok {
+		id := el.Value.(PageID)
+		a.move(a.where[id], id, arcB2)
+		return id, true
+	}
+	if !tryT1 {
+		if el, ok := pick(a.t1); ok {
+			id := el.Value.(PageID)
+			a.move(a.where[id], id, arcB1)
+			return id, true
+		}
+	}
+	return PageID{}, false
+}
+
+// Remove implements Policy. Residents evicted by Evict already moved to a
+// ghost list, so Remove (which the pool calls right after) must keep ghosts;
+// it only drops entries still marked resident (invalidation path).
+func (a *ARC) Remove(id PageID) {
+	e, ok := a.where[id]
+	if !ok {
+		return
+	}
+	switch e.list {
+	case arcT1:
+		a.t1.Remove(e.el)
+		delete(a.where, id)
+	case arcT2:
+		a.t2.Remove(e.el)
+		delete(a.where, id)
+	case arcB1, arcB2:
+		// Ghost memory retained on purpose.
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

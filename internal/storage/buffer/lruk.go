@@ -1,0 +1,131 @@
+// LRU-K replacement (O'Neil, O'Neil, Weikum — SIGMOD 1993), cited by the
+// paper [22] as an improvement over plain LRU: the victim is the page whose
+// K-th most recent reference is furthest in the past, which makes one-off
+// sequential scans unable to flush frequently re-referenced pages.
+package buffer
+
+// LRUK implements the LRU-K policy with a logical clock (one tick per
+// Insert/Touch), which is what the original paper's analysis uses. Reference
+// history is retained after eviction (the paper's "retained information
+// period") so a page's K-distance survives a round trip through the disk;
+// retained histories are pruned once they exceed retain entries.
+type LRUK struct {
+	k      int
+	now    int64
+	retain int
+	hist   map[PageID][]int64 // most recent first, at most k entries
+	order  []PageID           // insertion order for deterministic tie-breaks
+	pos    map[PageID]int
+}
+
+// NewLRUK creates an LRU-K policy; k must be >= 1 (k=1 degenerates to LRU
+// with logical time).
+func NewLRUK(k int) *LRUK {
+	if k < 1 {
+		k = 2
+	}
+	return &LRUK{k: k, retain: 4096, hist: make(map[PageID][]int64), pos: make(map[PageID]int)}
+}
+
+// Name implements Policy.
+func (l *LRUK) Name() string {
+	if l.k == 2 {
+		return "lru-2"
+	}
+	return "lru-k"
+}
+
+func (l *LRUK) ref(id PageID) {
+	l.now++
+	h := l.hist[id]
+	h = append([]int64{l.now}, h...)
+	if len(h) > l.k {
+		h = h[:l.k]
+	}
+	l.hist[id] = h
+}
+
+// Insert implements Policy.
+func (l *LRUK) Insert(id PageID) {
+	if _, ok := l.hist[id]; !ok {
+		l.pos[id] = len(l.order)
+		l.order = append(l.order, id)
+	}
+	l.ref(id)
+}
+
+// Touch implements Policy.
+func (l *LRUK) Touch(id PageID) { l.ref(id) }
+
+// backwardK returns the K-distance: the time of the K-th most recent
+// reference, or a very small number when the page has fewer than K
+// references (such pages are preferred victims, per the LRU-K paper's
+// treatment of pages with incomplete history).
+func (l *LRUK) backwardK(id PageID) int64 {
+	h := l.hist[id]
+	if len(h) < l.k {
+		// Fewer than K references: order among these by their most recent
+		// reference (approximating the paper's LRU fallback) but always
+		// before any full-history page.
+		const bias = int64(1) << 40
+		if len(h) == 0 {
+			return -bias
+		}
+		return h[len(h)-1] - bias
+	}
+	return h[l.k-1]
+}
+
+// Evict implements Policy.
+func (l *LRUK) Evict(evictable func(PageID) bool) (PageID, bool) {
+	var best PageID
+	bestSet := false
+	var bestK int64
+	for id := range l.hist {
+		if !evictable(id) {
+			continue
+		}
+		bk := l.backwardK(id)
+		if !bestSet || bk < bestK || (bk == bestK && l.pos[id] < l.pos[best]) {
+			best, bestK, bestSet = id, bk, true
+		}
+	}
+	return best, bestSet
+}
+
+// Remove implements Policy. History is intentionally retained (the pool's
+// evictable predicate already filters non-resident pages out of Evict), but
+// bounded: when the history map outgrows the retention limit, the entries
+// with the oldest most-recent references are pruned.
+func (l *LRUK) Remove(id PageID) {
+	if len(l.hist) <= l.retain {
+		return
+	}
+	type cand struct {
+		id   PageID
+		last int64
+	}
+	cands := make([]cand, 0, len(l.hist))
+	for hid, h := range l.hist {
+		last := int64(-1)
+		if len(h) > 0 {
+			last = h[0]
+		}
+		cands = append(cands, cand{hid, last})
+	}
+	// Drop the stalest quarter.
+	target := l.retain * 3 / 4
+	for len(cands) > target {
+		// Selection of the minimum each round is O(n) but pruning is rare.
+		minIx := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].last < cands[minIx].last {
+				minIx = i
+			}
+		}
+		delete(l.hist, cands[minIx].id)
+		delete(l.pos, cands[minIx].id)
+		cands[minIx] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+}

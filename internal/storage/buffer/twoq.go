@@ -1,0 +1,166 @@
+// 2Q replacement (Johnson & Shasha — VLDB 1994), cited by the paper [18].
+// 2Q keeps newly-admitted pages in a FIFO probation queue (A1in); only pages
+// re-referenced after leaving probation (tracked by the ghost queue A1out)
+// are promoted to the main LRU (Am). Large sequential scans therefore wash
+// through A1in without disturbing Am — exactly the scan-resistance the
+// paper's "DBMS X" buffer pool exhibited against BerkeleyDB's plain LRU, so
+// our Volcano comparator uses 2Q by default.
+package buffer
+
+import "container/list"
+
+// TwoQ implements the full (non-simplified) 2Q algorithm.
+type TwoQ struct {
+	kin, kout int // capacity shares for A1in and A1out (in pages)
+
+	a1in  *list.List // FIFO of resident probation pages (front = newest)
+	a1out *list.List // FIFO of ghost entries (ids only)
+	am    *list.List // LRU of resident hot pages (front = most recent)
+
+	where map[PageID]*twoQEntry
+}
+
+type twoQEntry struct {
+	el    *list.Element
+	queue int // 0=a1in, 1=a1out(ghost), 2=am
+}
+
+const (
+	q2A1in = iota
+	q2A1out
+	q2Am
+)
+
+// NewTwoQ creates a 2Q policy for a pool of the given capacity. Kin is the
+// original paper's 25% of capacity; Kout is one full capacity's worth of
+// ghost identifiers (ghosts are 16-byte ids, so the memory cost is
+// negligible, and the longer history survives a capacity-sized scan between
+// re-references of the hot set).
+func NewTwoQ(capacity int) *TwoQ {
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity
+	if kout < 1 {
+		kout = 1
+	}
+	return &TwoQ{
+		kin: kin, kout: kout,
+		a1in: list.New(), a1out: list.New(), am: list.New(),
+		where: make(map[PageID]*twoQEntry),
+	}
+}
+
+// Name implements Policy.
+func (q *TwoQ) Name() string { return "2q" }
+
+// Insert implements Policy.
+func (q *TwoQ) Insert(id PageID) {
+	if e, ok := q.where[id]; ok {
+		switch e.queue {
+		case q2A1out:
+			// Re-reference after probation: promote to Am (the 2Q rule).
+			q.a1out.Remove(e.el)
+			e.el = q.am.PushFront(id)
+			e.queue = q2Am
+		case q2Am:
+			q.am.MoveToFront(e.el)
+		case q2A1in:
+			// Still in probation; FIFO order unchanged by design.
+		}
+		return
+	}
+	el := q.a1in.PushFront(id)
+	q.where[id] = &twoQEntry{el: el, queue: q2A1in}
+}
+
+// Touch implements Policy.
+func (q *TwoQ) Touch(id PageID) {
+	e, ok := q.where[id]
+	if !ok {
+		return
+	}
+	switch e.queue {
+	case q2Am:
+		q.am.MoveToFront(e.el)
+	case q2A1in:
+		// 2Q ignores hits while in A1in (FIFO semantics).
+	case q2A1out:
+		q.a1out.Remove(e.el)
+		e.el = q.am.PushFront(id)
+		e.queue = q2Am
+	}
+}
+
+// trimGhosts bounds A1out to kout entries.
+func (q *TwoQ) trimGhosts() {
+	for q.a1out.Len() > q.kout {
+		back := q.a1out.Back()
+		id := back.Value.(PageID)
+		q.a1out.Remove(back)
+		delete(q.where, id)
+	}
+}
+
+// Evict implements Policy. Victims come from A1in's tail when A1in exceeds
+// its share (the evicted id becomes a ghost in A1out), otherwise from Am's
+// tail.
+func (q *TwoQ) Evict(evictable func(PageID) bool) (PageID, bool) {
+	pick := func(ll *list.List) (PageID, *list.Element, bool) {
+		for el := ll.Back(); el != nil; el = el.Prev() {
+			id := el.Value.(PageID)
+			if evictable(id) {
+				return id, el, true
+			}
+		}
+		return PageID{}, nil, false
+	}
+	if q.a1in.Len() > q.kin {
+		if id, el, ok := pick(q.a1in); ok {
+			q.a1in.Remove(el)
+			// Demote to ghost: remember that this page was here so a
+			// re-reference promotes it to Am.
+			ge := q.where[id]
+			ge.el = q.a1out.PushFront(id)
+			ge.queue = q2A1out
+			q.trimGhosts()
+			return id, true
+		}
+	}
+	if id, el, ok := pick(q.am); ok {
+		q.am.Remove(el)
+		delete(q.where, id)
+		return id, true
+	}
+	// Fall back to A1in even under its share, otherwise we cannot evict.
+	if id, el, ok := pick(q.a1in); ok {
+		q.a1in.Remove(el)
+		ge := q.where[id]
+		ge.el = q.a1out.PushFront(id)
+		ge.queue = q2A1out
+		q.trimGhosts()
+		return id, true
+	}
+	return PageID{}, false
+}
+
+// Remove implements Policy. Called by the pool after Evict (the ghost entry
+// must survive, so Remove only deletes residents) and on invalidation.
+func (q *TwoQ) Remove(id PageID) {
+	e, ok := q.where[id]
+	if !ok {
+		return
+	}
+	switch e.queue {
+	case q2A1in:
+		q.a1in.Remove(e.el)
+		delete(q.where, id)
+	case q2Am:
+		q.am.Remove(e.el)
+		delete(q.where, id)
+	case q2A1out:
+		// Ghost: intentionally retained. The pool calls Remove right after
+		// Evict moved the id to A1out; deleting it would destroy 2Q's memory.
+	}
+}

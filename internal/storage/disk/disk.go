@@ -1,0 +1,327 @@
+// Package disk implements the simulated block device underneath the buffer
+// pool. The paper ran on a 4-disk SCSI RAID-0 array; this repo substitutes a
+// latency-modelled in-memory block store so that experiments reproduce the
+// *shape* of the paper's I/O-bound results at laptop scale (see DESIGN.md §2).
+//
+// The device exposes named files of fixed-size blocks, charges a configurable
+// per-block latency (cheaper for sequential access, like a real spindle), and
+// keeps per-file read counters — Figures 1a and 8 are plotted straight from
+// these counters.
+package disk
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config controls the latency model. Zero latencies make the device a plain
+// in-memory store, which is what the unit tests use for determinism.
+type Config struct {
+	BlockSize  int           // bytes per block (default 8192)
+	SeqRead    time.Duration // latency charged for a sequential block read
+	RandRead   time.Duration // latency charged for a non-sequential block read
+	Write      time.Duration // latency charged per block write
+	LatencyDiv int           // charge latency once per LatencyDiv blocks (batching; default 1)
+	// Spindles bounds how many latency charges proceed in parallel,
+	// modelling aggregate device bandwidth (the paper's testbed was a
+	// 4-disk RAID-0 array — Spindles=4). Default 4.
+	Spindles int
+}
+
+// DefaultBlockSize is used when Config.BlockSize is zero.
+const DefaultBlockSize = 8192
+
+// Stats is a snapshot of device counters.
+type Stats struct {
+	Reads      int64 // total block reads that reached the device
+	Writes     int64 // total block writes
+	SeqReads   int64 // reads that were sequential w.r.t. the previous read of the same file
+	ByFile     map[string]int64
+	SleepTotal time.Duration // total simulated latency charged
+}
+
+// Disk is a simulated block device. All methods are safe for concurrent use.
+type Disk struct {
+	cfg Config
+
+	// Latencies are runtime-adjustable (SetLatency) so the harness can bulk
+	// load at full speed and then enable the latency model for measurement.
+	seqLat   atomic.Int64
+	randLat  atomic.Int64
+	writeLat atomic.Int64
+
+	mu    sync.RWMutex
+	files map[string]*file
+
+	reads    atomic.Int64
+	writes   atomic.Int64
+	seqReads atomic.Int64
+	sleepNS  atomic.Int64
+
+	// spindles is a semaphore bounding concurrent latency charges.
+	spindles chan struct{}
+
+	// Fault injection (tests): while remaining > 0, reads of matching
+	// files fail and decrement the counter.
+	faultMu        sync.Mutex
+	faultFile      string
+	faultRemaining int64
+	faultErr       error
+}
+
+// InjectReadFaults makes the next n reads of the named file fail with err
+// (an empty name matches every file). Used by failure-injection tests to
+// verify that I/O errors propagate cleanly through both engines.
+func (d *Disk) InjectReadFaults(file string, n int64, err error) {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	d.faultFile = file
+	d.faultRemaining = n
+	d.faultErr = err
+}
+
+// takeFault consumes one injected fault if armed for this file.
+func (d *Disk) takeFault(name string) error {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	if d.faultRemaining <= 0 {
+		return nil
+	}
+	if d.faultFile != "" && d.faultFile != name {
+		return nil
+	}
+	d.faultRemaining--
+	return d.faultErr
+}
+
+type file struct {
+	mu     sync.RWMutex
+	blocks [][]byte
+	// lastRead tracks the most recent block read for sequential detection.
+	lastRead atomic.Int64
+	reads    atomic.Int64
+	// pending accumulates blocks read since the last latency charge when
+	// LatencyDiv batching is enabled.
+	pending atomic.Int64
+}
+
+// New creates a device with the given configuration.
+func New(cfg Config) *Disk {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.LatencyDiv <= 0 {
+		cfg.LatencyDiv = 1
+	}
+	if cfg.Spindles <= 0 {
+		cfg.Spindles = 4
+	}
+	d := &Disk{cfg: cfg, files: make(map[string]*file)}
+	d.spindles = make(chan struct{}, cfg.Spindles)
+	d.seqLat.Store(int64(cfg.SeqRead))
+	d.randLat.Store(int64(cfg.RandRead))
+	d.writeLat.Store(int64(cfg.Write))
+	return d
+}
+
+// SetLatency changes the latency model at run time (harnesses load data
+// with zero latency, then enable the model for the measured phase).
+func (d *Disk) SetLatency(seq, rand, write time.Duration) {
+	d.seqLat.Store(int64(seq))
+	d.randLat.Store(int64(rand))
+	d.writeLat.Store(int64(write))
+}
+
+// BlockSize returns the device block size in bytes.
+func (d *Disk) BlockSize() int { return d.cfg.BlockSize }
+
+// Create makes an empty file, replacing any existing file of the same name.
+func (d *Disk) Create(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f := &file{}
+	f.lastRead.Store(-2)
+	d.files[name] = f
+}
+
+// Exists reports whether the named file exists.
+func (d *Disk) Exists(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.files[name]
+	return ok
+}
+
+// Remove deletes a file. Removing a missing file is a no-op.
+func (d *Disk) Remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.files, name)
+}
+
+func (d *Disk) get(name string) (*file, error) {
+	d.mu.RLock()
+	f, ok := d.files[name]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("disk: no such file %q", name)
+	}
+	return f, nil
+}
+
+// NumBlocks returns the number of blocks in the file (0 if missing).
+func (d *Disk) NumBlocks(name string) int {
+	f, err := d.get(name)
+	if err != nil {
+		return 0
+	}
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.blocks)
+}
+
+// Append adds a block to the end of the file and returns its block number.
+// The block is copied; callers may reuse buf.
+func (d *Disk) Append(name string, buf []byte) (int64, error) {
+	f, err := d.get(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) > d.cfg.BlockSize {
+		return 0, fmt.Errorf("disk: block of %d bytes exceeds block size %d", len(buf), d.cfg.BlockSize)
+	}
+	b := make([]byte, d.cfg.BlockSize)
+	copy(b, buf)
+	f.mu.Lock()
+	f.blocks = append(f.blocks, b)
+	n := int64(len(f.blocks) - 1)
+	f.mu.Unlock()
+	d.writes.Add(1)
+	d.charge(time.Duration(d.writeLat.Load()))
+	return n, nil
+}
+
+// Write overwrites an existing block.
+func (d *Disk) Write(name string, blockNo int64, buf []byte) error {
+	f, err := d.get(name)
+	if err != nil {
+		return err
+	}
+	if len(buf) > d.cfg.BlockSize {
+		return fmt.Errorf("disk: block of %d bytes exceeds block size %d", len(buf), d.cfg.BlockSize)
+	}
+	f.mu.Lock()
+	if blockNo < 0 || blockNo >= int64(len(f.blocks)) {
+		f.mu.Unlock()
+		return fmt.Errorf("disk: write to %q block %d out of range [0,%d)", name, blockNo, len(f.blocks))
+	}
+	copy(f.blocks[blockNo], buf)
+	for i := len(buf); i < d.cfg.BlockSize; i++ {
+		f.blocks[blockNo][i] = 0
+	}
+	f.mu.Unlock()
+	d.writes.Add(1)
+	d.charge(time.Duration(d.writeLat.Load()))
+	return nil
+}
+
+// Read fetches a block, charging simulated latency. The returned slice is a
+// copy and may be retained by the caller.
+func (d *Disk) Read(name string, blockNo int64) ([]byte, error) {
+	f, err := d.get(name)
+	if err != nil {
+		return nil, err
+	}
+	if ferr := d.takeFault(name); ferr != nil {
+		return nil, ferr
+	}
+	f.mu.RLock()
+	if blockNo < 0 || blockNo >= int64(len(f.blocks)) {
+		f.mu.RUnlock()
+		return nil, fmt.Errorf("disk: read of %q block %d out of range [0,%d)", name, blockNo, len(f.blocks))
+	}
+	b := make([]byte, d.cfg.BlockSize)
+	copy(b, f.blocks[blockNo])
+	f.mu.RUnlock()
+
+	prev := f.lastRead.Swap(blockNo)
+	seq := prev+1 == blockNo
+	d.reads.Add(1)
+	f.reads.Add(1)
+	if seq {
+		d.seqReads.Add(1)
+	}
+	lat := time.Duration(d.randLat.Load())
+	if seq {
+		lat = time.Duration(d.seqLat.Load())
+	}
+	if lat > 0 {
+		if d.cfg.LatencyDiv > 1 {
+			// Batch the sleep: charge LatencyDiv blocks' worth at once so the
+			// OS sleep granularity does not dominate tiny per-block latencies.
+			if p := f.pending.Add(1); p%int64(d.cfg.LatencyDiv) == 0 {
+				d.charge(lat * time.Duration(d.cfg.LatencyDiv))
+			} else {
+				d.sleepNS.Add(int64(lat)) // accounted but deferred
+			}
+		} else {
+			d.charge(lat)
+		}
+	}
+	return b, nil
+}
+
+func (d *Disk) charge(lat time.Duration) {
+	if lat <= 0 {
+		return
+	}
+	d.sleepNS.Add(int64(lat))
+	// One spindle serves one request at a time: concurrent requests beyond
+	// the spindle count queue here, which is what makes multi-client
+	// workloads disk-bound like the paper's testbed.
+	d.spindles <- struct{}{}
+	time.Sleep(lat)
+	<-d.spindles
+}
+
+// Stats snapshots the device counters.
+func (d *Disk) Stats() Stats {
+	d.mu.RLock()
+	byFile := make(map[string]int64, len(d.files))
+	for name, f := range d.files {
+		byFile[name] = f.reads.Load()
+	}
+	d.mu.RUnlock()
+	return Stats{
+		Reads:      d.reads.Load(),
+		Writes:     d.writes.Load(),
+		SeqReads:   d.seqReads.Load(),
+		ByFile:     byFile,
+		SleepTotal: time.Duration(d.sleepNS.Load()),
+	}
+}
+
+// ResetStats zeroes all counters (per-experiment isolation in the harness).
+func (d *Disk) ResetStats() {
+	d.reads.Store(0)
+	d.writes.Store(0)
+	d.seqReads.Store(0)
+	d.sleepNS.Store(0)
+	d.mu.RLock()
+	for _, f := range d.files {
+		f.reads.Store(0)
+		f.pending.Store(0)
+	}
+	d.mu.RUnlock()
+}
+
+// FileReads returns the read counter for one file.
+func (d *Disk) FileReads(name string) int64 {
+	f, err := d.get(name)
+	if err != nil {
+		return 0
+	}
+	return f.reads.Load()
+}

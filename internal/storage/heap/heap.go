@@ -1,0 +1,163 @@
+// Package heap implements heap files: unordered sequences of slotted pages
+// holding one table's tuples, accessed through the buffer pool. Heap files
+// are the substrate for file scans — the operator whose sharing behaviour
+// (linear WoP, circular scans) drives most of the paper's experiments.
+package heap
+
+import (
+	"fmt"
+	"sync"
+
+	"qpipe/internal/storage/buffer"
+	"qpipe/internal/storage/page"
+	"qpipe/internal/tuple"
+)
+
+// RID identifies a tuple by page number and slot.
+type RID struct {
+	Page int64
+	Slot int
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Less orders RIDs by page then slot — unclustered index scans sort RID
+// lists in ascending page order to avoid revisiting pages (paper §3.2).
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// File is a heap file bound to a disk file name and a schema.
+type File struct {
+	Name   string
+	Schema *tuple.Schema
+	pool   *buffer.Pool
+
+	mu       sync.Mutex
+	npages   int64
+	lastPage *page.Page // write buffer for bulk loading (not yet flushed)
+}
+
+// Create makes a new empty heap file on the pool's disk.
+func Create(pool *buffer.Pool, name string, schema *tuple.Schema) *File {
+	pool.Disk().Create(name)
+	return &File{Name: name, Schema: schema, pool: pool}
+}
+
+// Open binds to an existing heap file.
+func Open(pool *buffer.Pool, name string, schema *tuple.Schema) (*File, error) {
+	if !pool.Disk().Exists(name) {
+		return nil, fmt.Errorf("heap: no such file %q", name)
+	}
+	return &File{
+		Name:   name,
+		Schema: schema,
+		pool:   pool,
+		npages: int64(pool.Disk().NumBlocks(name)),
+	}, nil
+}
+
+// Pool returns the buffer pool the file reads through.
+func (f *File) Pool() *buffer.Pool { return f.pool }
+
+// NumPages returns the number of flushed pages.
+func (f *File) NumPages() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.npages
+}
+
+// Append inserts a tuple at the end of the file (bulk-load path; goes
+// straight to disk, bypassing the pool, like a real bulk loader would).
+// Returns the tuple's RID.
+func (f *File) Append(t tuple.Tuple) (RID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	enc := t.Encode(nil)
+	if f.lastPage != nil && !f.lastPage.HasRoomFor(len(enc)) {
+		if err := f.flushLastLocked(); err != nil {
+			return RID{}, err
+		}
+	}
+	if f.lastPage == nil {
+		f.lastPage = page.New(f.pool.Disk().BlockSize())
+	}
+	slot, err := f.lastPage.Insert(enc)
+	if err != nil {
+		return RID{}, fmt.Errorf("heap: tuple larger than a page: %w", err)
+	}
+	return RID{Page: f.npages, Slot: slot}, nil
+}
+
+func (f *File) flushLastLocked() error {
+	if f.lastPage == nil {
+		return nil
+	}
+	if _, err := f.pool.Disk().Append(f.Name, f.lastPage.Bytes()); err != nil {
+		return err
+	}
+	f.npages++
+	f.lastPage = nil
+	return nil
+}
+
+// Sync flushes the partially-filled tail page, making all appended tuples
+// visible to scans.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushLastLocked()
+}
+
+// ReadPage pins page pno and decodes all its tuples. The page is unpinned
+// before returning (tuples are copies).
+func (f *File) ReadPage(pno int64) ([]tuple.Tuple, error) {
+	id := buffer.PageID{File: f.Name, Block: pno}
+	raw, err := f.pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	defer f.pool.Unpin(id)
+	p := page.FromBytes(raw)
+	return p.Tuples(f.Schema.Len())
+}
+
+// ReadTuple fetches a single tuple by RID.
+func (f *File) ReadTuple(rid RID) (tuple.Tuple, error) {
+	id := buffer.PageID{File: f.Name, Block: rid.Page}
+	raw, err := f.pool.Pin(id)
+	if err != nil {
+		return nil, err
+	}
+	defer f.pool.Unpin(id)
+	p := page.FromBytes(raw)
+	return p.Tuple(rid.Slot, f.Schema.Len())
+}
+
+// Scan iterates all tuples in page order, invoking fn per tuple. fn
+// returning false stops the scan early.
+func (f *File) Scan(fn func(rid RID, t tuple.Tuple) bool) error {
+	n := f.NumPages()
+	for pno := int64(0); pno < n; pno++ {
+		ts, err := f.ReadPage(pno)
+		if err != nil {
+			return err
+		}
+		for slot, t := range ts {
+			if !fn(RID{Page: pno, Slot: slot}, t) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples (full scan).
+func (f *File) Count() (int64, error) {
+	var n int64
+	err := f.Scan(func(RID, tuple.Tuple) bool { n++; return true })
+	return n, err
+}

@@ -1,0 +1,138 @@
+// Package lock implements the table-level shared/exclusive lock manager the
+// update path relies on (paper §4.3.4: update packets are routed to a
+// dedicated µEngine with no OSP; "if a table is locked for writing, the scan
+// packet will simply wait — and with it, all satellite ones — until the lock
+// is released"). QPipe delegates locking to the storage manager exactly as
+// the prototype delegated it to BerkeleyDB.
+package lock
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+type tableLock struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	readers  int
+	writer   bool
+	waitersX int // writers queued; blocks new readers (no writer starvation)
+}
+
+// Manager hands out table-level S/X locks. Locks are not reentrant and have
+// no owner tracking — callers (the update µEngine and the scan path) pair
+// Lock/Unlock themselves, which is all the experiments need.
+type Manager struct {
+	mu     sync.Mutex
+	tables map[string]*tableLock
+}
+
+// NewManager creates an empty lock manager.
+func NewManager() *Manager { return &Manager{tables: make(map[string]*tableLock)} }
+
+func (m *Manager) table(name string) *tableLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tl, ok := m.tables[name]
+	if !ok {
+		tl = &tableLock{}
+		tl.cond = sync.NewCond(&tl.mu)
+		m.tables[name] = tl
+	}
+	return tl
+}
+
+// Lock acquires the table in the given mode, blocking until granted or ctx
+// is done.
+func (m *Manager) Lock(ctx context.Context, table string, mode Mode) error {
+	tl := m.table(table)
+	done := make(chan struct{})
+	defer close(done)
+	// Wake waiters if the context is cancelled so they can observe it.
+	stop := context.AfterFunc(ctx, func() {
+		tl.mu.Lock()
+		tl.cond.Broadcast()
+		tl.mu.Unlock()
+	})
+	defer stop()
+
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if mode == Exclusive {
+		tl.waitersX++
+		for tl.writer || tl.readers > 0 {
+			if ctx.Err() != nil {
+				tl.waitersX--
+				return ctx.Err()
+			}
+			tl.cond.Wait()
+		}
+		tl.waitersX--
+		tl.writer = true
+		return nil
+	}
+	for tl.writer || tl.waitersX > 0 {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		tl.cond.Wait()
+	}
+	tl.readers++
+	return nil
+}
+
+// TryLock acquires the lock without blocking, reporting success.
+func (m *Manager) TryLock(table string, mode Mode) bool {
+	tl := m.table(table)
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if mode == Exclusive {
+		if tl.writer || tl.readers > 0 {
+			return false
+		}
+		tl.writer = true
+		return true
+	}
+	if tl.writer || tl.waitersX > 0 {
+		return false
+	}
+	tl.readers++
+	return true
+}
+
+// Unlock releases a lock previously granted in the given mode.
+func (m *Manager) Unlock(table string, mode Mode) {
+	tl := m.table(table)
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	if mode == Exclusive {
+		if !tl.writer {
+			panic(fmt.Sprintf("lock: X-unlock of %q not held", table))
+		}
+		tl.writer = false
+	} else {
+		if tl.readers <= 0 {
+			panic(fmt.Sprintf("lock: S-unlock of %q not held", table))
+		}
+		tl.readers--
+	}
+	tl.cond.Broadcast()
+}

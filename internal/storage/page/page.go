@@ -1,0 +1,131 @@
+// Package page implements the slotted-page layout used by heap files and
+// B+tree nodes. A page is a fixed-size byte array with a small header, a slot
+// directory growing from the front and tuple payloads growing from the back —
+// the classic layout every disk-based storage manager (including BerkeleyDB,
+// the paper's substrate) uses.
+//
+// Layout:
+//
+//	[0:2)   uint16 slot count
+//	[2:4)   uint16 free-space offset (start of payload region)
+//	[4:4+4n) per-slot: uint16 payload offset, uint16 payload length
+//	[...]   free space
+//	[off:]  payloads (packed toward the end)
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"qpipe/internal/tuple"
+)
+
+const headerSize = 4
+const slotSize = 4
+
+// Page wraps a fixed-size buffer with slotted-tuple accessors.
+type Page struct {
+	buf []byte
+}
+
+// New initializes an empty page over a zeroed buffer of the given size.
+func New(size int) *Page {
+	p := &Page{buf: make([]byte, size)}
+	p.setFreeOff(uint16(size))
+	return p
+}
+
+// FromBytes interprets an existing buffer as a page (no copy).
+func FromBytes(buf []byte) *Page { return &Page{buf: buf} }
+
+// Bytes returns the underlying buffer.
+func (p *Page) Bytes() []byte { return p.buf }
+
+// Size returns the page size in bytes.
+func (p *Page) Size() int { return len(p.buf) }
+
+// NumSlots returns the number of tuples stored in the page.
+func (p *Page) NumSlots() int { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
+
+func (p *Page) setNumSlots(n uint16) { binary.LittleEndian.PutUint16(p.buf[0:2], n) }
+
+func (p *Page) freeOff() uint16 { return binary.LittleEndian.Uint16(p.buf[2:4]) }
+
+func (p *Page) setFreeOff(v uint16) { binary.LittleEndian.PutUint16(p.buf[2:4], v) }
+
+func (p *Page) slot(i int) (off, ln uint16) {
+	base := headerSize + i*slotSize
+	return binary.LittleEndian.Uint16(p.buf[base : base+2]),
+		binary.LittleEndian.Uint16(p.buf[base+2 : base+4])
+}
+
+func (p *Page) setSlot(i int, off, ln uint16) {
+	base := headerSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:base+2], off)
+	binary.LittleEndian.PutUint16(p.buf[base+2:base+4], ln)
+}
+
+// FreeSpace returns the bytes available for one more insert (payload+slot).
+func (p *Page) FreeSpace() int {
+	used := headerSize + p.NumSlots()*slotSize
+	free := int(p.freeOff()) - used
+	if free < slotSize {
+		return 0
+	}
+	return free - slotSize
+}
+
+// HasRoomFor reports whether a payload of n bytes fits.
+func (p *Page) HasRoomFor(n int) bool { return p.FreeSpace() >= n }
+
+// Insert appends a payload, returning its slot number.
+func (p *Page) Insert(payload []byte) (int, error) {
+	if !p.HasRoomFor(len(payload)) {
+		return 0, fmt.Errorf("page: full (free=%d, need=%d)", p.FreeSpace(), len(payload))
+	}
+	n := p.NumSlots()
+	off := p.freeOff() - uint16(len(payload))
+	copy(p.buf[off:], payload)
+	p.setSlot(n, off, uint16(len(payload)))
+	p.setFreeOff(off)
+	p.setNumSlots(uint16(n + 1))
+	return n, nil
+}
+
+// Payload returns the raw bytes of slot i (aliasing the page buffer).
+func (p *Page) Payload(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("page: slot %d out of range [0,%d)", i, p.NumSlots())
+	}
+	off, ln := p.slot(i)
+	return p.buf[off : off+ln], nil
+}
+
+// InsertTuple encodes and inserts a tuple, returning its slot number.
+func (p *Page) InsertTuple(t tuple.Tuple) (int, error) {
+	return p.Insert(t.Encode(nil))
+}
+
+// Tuple decodes the tuple in slot i, which must have ncols columns.
+func (p *Page) Tuple(i, ncols int) (tuple.Tuple, error) {
+	raw, err := p.Payload(i)
+	if err != nil {
+		return nil, err
+	}
+	t, _, err := tuple.Decode(raw, ncols)
+	return t, err
+}
+
+// Tuples decodes every tuple in the page.
+func (p *Page) Tuples(ncols int) ([]tuple.Tuple, error) {
+	n := p.NumSlots()
+	out := make([]tuple.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := p.Tuple(i, ncols)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

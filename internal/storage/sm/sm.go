@@ -1,0 +1,313 @@
+// Package sm is the storage-manager facade: it owns the simulated disk, the
+// buffer pool, the lock manager and a catalog of tables with their access
+// methods (heap file, optional clustered B+tree, any number of unclustered
+// B+trees). This is the layer that stands in for BerkeleyDB in the paper's
+// prototype ("calls to data access methods are wrappers for the underlying
+// storage manager", §4.4): both execution engines — QPipe and the Volcano
+// comparator — run on top of it.
+package sm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qpipe/internal/storage/btree"
+	"qpipe/internal/storage/buffer"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/heap"
+	"qpipe/internal/storage/lock"
+	"qpipe/internal/tuple"
+)
+
+// Table bundles one relation's schema and access methods.
+type Table struct {
+	Name   string
+	Schema *tuple.Schema
+	Heap   *heap.File
+
+	// Clustered, when non-nil, is a B+tree whose leaves hold the full
+	// tuples in key order; ClusteredKey names the key column.
+	Clustered    *btree.Tree
+	ClusteredKey string
+
+	// Unclustered maps an indexed column name to a B+tree whose payloads
+	// are encoded heap RIDs.
+	Unclustered map[string]*btree.Tree
+}
+
+// Manager is the storage manager.
+type Manager struct {
+	Disk  *disk.Disk
+	Pool  *buffer.Pool
+	Locks *lock.Manager
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+	// tempSeq numbers temporary spill files (sort runs, materialized
+	// buffers) so names never collide.
+	tempSeq int64
+}
+
+// Config sizes a storage manager.
+type Config struct {
+	Disk       disk.Config
+	PoolPages  int           // buffer-pool capacity in pages
+	PoolPolicy buffer.Policy // nil = LRU
+}
+
+// New creates a storage manager with a fresh disk and pool.
+func New(cfg Config) *Manager {
+	d := disk.New(cfg.Disk)
+	return &Manager{
+		Disk:   d,
+		Pool:   buffer.NewPool(d, cfg.PoolPages, cfg.PoolPolicy),
+		Locks:  lock.NewManager(),
+		tables: make(map[string]*Table),
+	}
+}
+
+// NewSharedDisk creates a manager with its own pool and locks over an
+// existing disk. The harness uses this to give QPipe and Volcano separate
+// buffer pools over identical data, as the paper's three systems had.
+func NewSharedDisk(d *disk.Disk, poolPages int, policy buffer.Policy) *Manager {
+	return &Manager{
+		Disk:   d,
+		Pool:   buffer.NewPool(d, poolPages, policy),
+		Locks:  lock.NewManager(),
+		tables: make(map[string]*Table),
+	}
+}
+
+// CreateTable registers a new table backed by a fresh heap file.
+func (m *Manager) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tables[name]; ok {
+		return nil, fmt.Errorf("sm: table %q already exists", name)
+	}
+	t := &Table{
+		Name:        name,
+		Schema:      schema,
+		Heap:        heap.Create(m.Pool, "tbl:"+name, schema),
+		Unclustered: make(map[string]*btree.Tree),
+	}
+	m.tables[name] = t
+	return t, nil
+}
+
+// AttachTable registers a table backed by existing files on a shared disk
+// (second engine opening data loaded by the first).
+func (m *Manager) AttachTable(name string, schema *tuple.Schema) (*Table, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tables[name]; ok {
+		return nil, fmt.Errorf("sm: table %q already attached", name)
+	}
+	h, err := heap.Open(m.Pool, "tbl:"+name, schema)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Name: name, Schema: schema, Heap: h, Unclustered: make(map[string]*btree.Tree)}
+	if m.Disk.Exists("cix:" + name) {
+		tr, err := btree.Open(m.Pool, "cix:"+name)
+		if err != nil {
+			return nil, err
+		}
+		t.Clustered = tr
+	}
+	m.tables[name] = t
+	return t, nil
+}
+
+// AttachClusteredKey records the clustered key column after AttachTable
+// (file metadata does not store column names).
+func (m *Manager) AttachClusteredKey(table, col string) error {
+	t, err := m.Table(table)
+	if err != nil {
+		return err
+	}
+	if t.Clustered == nil {
+		return fmt.Errorf("sm: table %q has no clustered index", table)
+	}
+	t.ClusteredKey = col
+	return nil
+}
+
+// AttachUnclustered opens an existing unclustered index on a shared disk.
+func (m *Manager) AttachUnclustered(table, col string) error {
+	t, err := m.Table(table)
+	if err != nil {
+		return err
+	}
+	name := "uix:" + table + ":" + col
+	if !m.Disk.Exists(name) {
+		return fmt.Errorf("sm: no unclustered index file %q", name)
+	}
+	tr, err := btree.Open(m.Pool, name)
+	if err != nil {
+		return err
+	}
+	t.Unclustered[col] = tr
+	return nil
+}
+
+// Table looks up a registered table.
+func (m *Manager) Table(name string) (*Table, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sm: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table but panics; for the fixed benchmark plans.
+func (m *Manager) MustTable(name string) *Table {
+	t, err := m.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Tables returns the registered table names, sorted.
+func (m *Manager) Tables() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load bulk-appends tuples into the table's heap and syncs.
+func (m *Manager) Load(table string, rows []tuple.Tuple) error {
+	t, err := m.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := t.Heap.Append(r); err != nil {
+			return err
+		}
+	}
+	return t.Heap.Sync()
+}
+
+// Insert appends a single tuple (update µEngine path) and maintains any
+// unclustered indexes. The caller must hold the table X lock.
+func (m *Manager) Insert(table string, row tuple.Tuple) error {
+	t, err := m.Table(table)
+	if err != nil {
+		return err
+	}
+	rid, err := t.Heap.Append(row)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Sync(); err != nil {
+		return err
+	}
+	for col, tr := range t.Unclustered {
+		ix := t.Schema.MustColIndex(col)
+		if err := tr.Insert(row[ix], EncodeRID(rid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildClustered builds a clustered B+tree over the table: all tuples sorted
+// on keyCol, leaves holding full encoded tuples. (Real systems store the
+// heap itself sorted; a clustered B+tree gives the same key-ordered,
+// page-granular access path the experiments need.)
+func (m *Manager) BuildClustered(table, keyCol string) error {
+	t, err := m.Table(table)
+	if err != nil {
+		return err
+	}
+	ix := t.Schema.MustColIndex(keyCol)
+	var items []btree.Item
+	err = t.Heap.Scan(func(_ heap.RID, row tuple.Tuple) bool {
+		items = append(items, btree.Item{Key: row[ix], Payload: row.Encode(nil)})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return tuple.Compare(items[i].Key, items[j].Key) < 0
+	})
+	tr, err := btree.Create(m.Pool, "cix:"+table)
+	if err != nil {
+		return err
+	}
+	if err := tr.BulkLoad(items, 1.0); err != nil {
+		return err
+	}
+	t.Clustered = tr
+	t.ClusteredKey = keyCol
+	// Flush: bulk load links leaves through the buffer pool; other managers
+	// attaching over the same disk must see the complete chain.
+	return m.Pool.Flush()
+}
+
+// BuildUnclustered builds an unclustered B+tree mapping keyCol values to
+// heap RIDs.
+func (m *Manager) BuildUnclustered(table, keyCol string) error {
+	t, err := m.Table(table)
+	if err != nil {
+		return err
+	}
+	ix := t.Schema.MustColIndex(keyCol)
+	var items []btree.Item
+	err = t.Heap.Scan(func(rid heap.RID, row tuple.Tuple) bool {
+		items = append(items, btree.Item{Key: row[ix], Payload: EncodeRID(rid)})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		return tuple.Compare(items[i].Key, items[j].Key) < 0
+	})
+	tr, err := btree.Create(m.Pool, "uix:"+table+":"+keyCol)
+	if err != nil {
+		return err
+	}
+	if err := tr.BulkLoad(items, 1.0); err != nil {
+		return err
+	}
+	t.Unclustered[keyCol] = tr
+	return m.Pool.Flush()
+}
+
+// TempName reserves a unique name for a temporary spill file.
+func (m *Manager) TempName(prefix string) string {
+	m.mu.Lock()
+	m.tempSeq++
+	n := m.tempSeq
+	m.mu.Unlock()
+	return fmt.Sprintf("tmp:%s:%d", prefix, n)
+}
+
+// DropTemp removes a temporary file.
+func (m *Manager) DropTemp(name string) { m.Disk.Remove(name) }
+
+// EncodeRID encodes a heap RID as a B+tree payload.
+func EncodeRID(r heap.RID) []byte {
+	return tuple.Tuple{tuple.I64(r.Page), tuple.I64(int64(r.Slot))}.Encode(nil)
+}
+
+// DecodeRID reverses EncodeRID.
+func DecodeRID(b []byte) (heap.RID, error) {
+	t, _, err := tuple.Decode(b, 2)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	return heap.RID{Page: t[0].I, Slot: int(t[1].I)}, nil
+}

@@ -1,0 +1,405 @@
+// Package tuple defines the value, tuple and schema model shared by the
+// storage manager and both execution engines.
+//
+// Values are small tagged unions (no interface boxing on the hot path),
+// tuples are flat slices of values, and schemas carry column names and
+// kinds. The package also provides total ordering, equality, hashing and a
+// compact binary encoding used by the slotted-page layer.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Kind enumerates the supported column types. The set mirrors what the
+// QPipe/BerkeleyDB prototype needed for the Wisconsin and TPC-H schemas:
+// integers, floats, fixed-point decimals (stored as float64), strings and
+// dates (stored as days since epoch in an int64).
+type Kind uint8
+
+const (
+	KindInvalid Kind = iota
+	KindInt          // int64
+	KindFloat        // float64
+	KindString       // string
+	KindDate         // int64 days since 1970-01-01
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindDate:
+		return "date"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is a tagged union holding a single column value.
+// The zero Value has KindInvalid and is used to represent NULL-ish holes in
+// intermediate results (the paper's workloads never produce SQL NULLs).
+type Value struct {
+	K Kind
+	I int64   // KindInt, KindDate
+	F float64 // KindFloat
+	S string  // KindString
+}
+
+// I64 constructs an integer value.
+func I64(v int64) Value { return Value{K: KindInt, I: v} }
+
+// F64 constructs a float value.
+func F64(v float64) Value { return Value{K: KindFloat, F: v} }
+
+// Str constructs a string value.
+func Str(v string) Value { return Value{K: KindString, S: v} }
+
+// Date constructs a date value from days since epoch.
+func Date(days int64) Value { return Value{K: KindDate, I: days} }
+
+// IsValid reports whether the value holds a concrete kind.
+func (v Value) IsValid() bool { return v.K != KindInvalid }
+
+// AsFloat coerces numeric values to float64. Strings return 0.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindDate:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt coerces numeric values to int64. Strings return 0.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindDate:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value for debugging and result printing.
+func (v Value) String() string {
+	switch v.K {
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return v.S
+	case KindDate:
+		return fmt.Sprintf("d%d", v.I)
+	default:
+		return "<invalid>"
+	}
+}
+
+// kindGroup buckets kinds so that all numeric kinds (int/float/date) form a
+// single comparison group: invalid < numeric < string. Grouping (rather than
+// ordering by raw kind tag) keeps Compare a total preorder — transitivity
+// would break if Str("c") < Date(1) by tag while Date(1) < F64(1.5)
+// numerically but Str("c") > F64(1.5) by tag.
+func kindGroup(k Kind) int {
+	switch k {
+	case KindInt, KindFloat, KindDate:
+		return 1
+	case KindString:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Compare returns -1, 0 or +1 ordering a before/equal/after b.
+// Numeric kinds (int/float/date) compare numerically against each other so
+// that predicates over mixed int/float columns behave naturally; all
+// numerics order before all strings (transitive total preorder).
+func Compare(a, b Value) int {
+	an := kindGroup(a.K) == 1
+	bn := kindGroup(b.K) == 1
+	if an && bn {
+		if a.K == KindFloat || b.K == KindFloat {
+			af, bf := a.AsFloat(), b.AsFloat()
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	}
+	ga, gb := kindGroup(a.K), kindGroup(b.K)
+	if ga != gb {
+		if ga < gb {
+			return -1
+		}
+		return 1
+	}
+	// Same non-numeric group: only strings (or both invalid) remain.
+	return strings.Compare(a.S, b.S)
+}
+
+// Equal reports value equality under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Tuple is a flat row of values. Tuples are value types; the engines copy
+// tuples when fanning a single producer out to multiple consumers so that
+// satellites can never observe aliased mutation.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple (value slice is copied; strings are
+// immutable in Go so sharing their bytes is safe).
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Concat returns a new tuple holding a's values followed by b's.
+func Concat(a, b Tuple) Tuple {
+	c := make(Tuple, 0, len(a)+len(b))
+	c = append(c, a...)
+	c = append(c, b...)
+	return c
+}
+
+// Project returns a new tuple keeping only the columns at idxs.
+func (t Tuple) Project(idxs []int) Tuple {
+	c := make(Tuple, len(idxs))
+	for i, ix := range idxs {
+		c[i] = t[ix]
+	}
+	return c
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// CompareAt orders two tuples on the given key columns.
+func CompareAt(a, b Tuple, keys []int) int {
+	for _, k := range keys {
+		if c := Compare(a[k], b[k]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// HashAt returns a 64-bit hash of the key columns, suitable for hash joins
+// and hash aggregation.
+func HashAt(t Tuple, keys []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, k := range keys {
+		v := t[k]
+		buf[0] = byte(v.K)
+		h.Write(buf[:1])
+		switch v.K {
+		case KindInt, KindDate:
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+			h.Write(buf[:])
+		case KindFloat:
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+			h.Write(buf[:])
+		case KindString:
+			h.Write([]byte(v.S))
+		}
+	}
+	return h.Sum64()
+}
+
+// Column describes one schema column.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+}
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return &Schema{Cols: cols} }
+
+// Col is shorthand for constructing a Column.
+func Col(name string, k Kind) Column { return Column{Name: name, Kind: k} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Cols) }
+
+// ColIndex returns the index of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColIndex is ColIndex but panics on unknown names; used when building
+// the fixed benchmark plans where a miss is a programming error.
+func (s *Schema) MustColIndex(name string) int {
+	ix := s.ColIndex(name)
+	if ix < 0 {
+		panic(fmt.Sprintf("tuple: schema has no column %q (have %s)", name, s))
+	}
+	return ix
+}
+
+// Project returns the schema of a projection keeping columns at idxs.
+func (s *Schema) Project(idxs []int) *Schema {
+	out := &Schema{Cols: make([]Column, len(idxs))}
+	for i, ix := range idxs {
+		out.Cols[i] = s.Cols[ix]
+	}
+	return out
+}
+
+// Concat returns the schema of a join output (a's columns then b's).
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Cols: make([]Column, 0, len(s.Cols)+len(o.Cols))}
+	out.Cols = append(out.Cols, s.Cols...)
+	out.Cols = append(out.Cols, o.Cols...)
+	return out
+}
+
+// String renders the schema as name:kind pairs.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, c := range s.Cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Kind)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// ---- Binary encoding -------------------------------------------------------
+//
+// The slotted-page layer stores tuples with a simple self-describing
+// encoding: per value a 1-byte kind tag followed by 8 bytes (int/float/date)
+// or a uvarint length + bytes (string). The encoding is stable so signatures
+// and on-"disk" bytes are deterministic across runs.
+
+// EncodedSize returns the number of bytes Encode will produce.
+func (t Tuple) EncodedSize() int {
+	n := 0
+	for _, v := range t {
+		n++ // kind tag
+		switch v.K {
+		case KindInt, KindFloat, KindDate:
+			n += 8
+		case KindString:
+			var tmp [binary.MaxVarintLen64]byte
+			n += binary.PutUvarint(tmp[:], uint64(len(v.S)))
+			n += len(v.S)
+		}
+	}
+	return n
+}
+
+// Encode appends the tuple's binary form to dst and returns the result.
+func (t Tuple) Encode(dst []byte) []byte {
+	for _, v := range t {
+		dst = append(dst, byte(v.K))
+		switch v.K {
+		case KindInt, KindDate:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+			dst = append(dst, b[:]...)
+		case KindFloat:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+			dst = append(dst, b[:]...)
+		case KindString:
+			var tmp [binary.MaxVarintLen64]byte
+			n := binary.PutUvarint(tmp[:], uint64(len(v.S)))
+			dst = append(dst, tmp[:n]...)
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// Decode parses a tuple with ncols columns from b, returning the tuple and
+// the number of bytes consumed.
+func Decode(b []byte, ncols int) (Tuple, int, error) {
+	t := make(Tuple, 0, ncols)
+	off := 0
+	for i := 0; i < ncols; i++ {
+		if off >= len(b) {
+			return nil, 0, fmt.Errorf("tuple: truncated encoding at column %d", i)
+		}
+		k := Kind(b[off])
+		off++
+		switch k {
+		case KindInt, KindDate:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("tuple: truncated int at column %d", i)
+			}
+			v := int64(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+			t = append(t, Value{K: k, I: v})
+		case KindFloat:
+			if off+8 > len(b) {
+				return nil, 0, fmt.Errorf("tuple: truncated float at column %d", i)
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
+			off += 8
+			t = append(t, Value{K: k, F: v})
+		case KindString:
+			n, w := binary.Uvarint(b[off:])
+			if w <= 0 || off+w+int(n) > len(b) {
+				return nil, 0, fmt.Errorf("tuple: truncated string at column %d", i)
+			}
+			off += w
+			t = append(t, Value{K: KindString, S: string(b[off : off+int(n)])})
+			off += int(n)
+		default:
+			return nil, 0, fmt.Errorf("tuple: bad kind tag %d at column %d", k, i)
+		}
+	}
+	return t, off, nil
+}

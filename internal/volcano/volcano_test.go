@@ -1,0 +1,226 @@
+package volcano
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+func schema3() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("k", tuple.KindInt),
+		tuple.Col("g", tuple.KindInt),
+		tuple.Col("v", tuple.KindFloat),
+	)
+}
+
+func newEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 1024}, PoolPages: 32})
+	if _, err := mgr.CreateTable("t", schema3()); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		rows[i] = tuple.Tuple{tuple.I64(int64(i)), tuple.I64(int64(i % 5)), tuple.F64(float64(i) / 4)}
+	}
+	if err := mgr.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	return New(mgr)
+}
+
+func TestScanFilterProject(t *testing.T) {
+	e := newEngine(t, 200)
+	scan := plan.NewTableScan("t", schema3(), expr.LT(expr.Col(0), expr.CInt(10)), []int{0}, false)
+	rows, err := e.Run(context.Background(), scan)
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("scan: %d %v", len(rows), err)
+	}
+	f := plan.NewFilter(plan.NewTableScan("t", schema3(), nil, nil, false),
+		expr.GE(expr.Col(0), expr.CInt(195)))
+	rows, err = e.Run(context.Background(), f)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("filter node: %d %v", len(rows), err)
+	}
+	p := plan.NewProject(f, []expr.Expr{expr.Add(expr.Col(0), expr.CInt(1))}, []string{"k1"})
+	rows, err = e.Run(context.Background(), p)
+	if err != nil || len(rows) != 5 || rows[0][0].I != 196 {
+		t.Fatalf("project: %v %v", rows, err)
+	}
+}
+
+func TestSortSpillsAndOrders(t *testing.T) {
+	e := newEngine(t, 500)
+	d := e.SM.Disk
+	writesBefore := d.Stats().Writes
+	srt := plan.NewSort(plan.NewTableScan("t", schema3(), nil, nil, false), []int{2}, false)
+	rows, err := e.Run(context.Background(), srt)
+	if err != nil || len(rows) != 500 {
+		t.Fatalf("sort: %d %v", len(rows), err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][2].F > rows[i][2].F {
+			t.Fatalf("unsorted at %d", i)
+		}
+	}
+	if d.Stats().Writes == writesBefore {
+		t.Fatal("external sort should spill to disk")
+	}
+	// Descending.
+	srtD := plan.NewSort(plan.NewTableScan("t", schema3(), nil, nil, false), []int{0}, true)
+	rows, _ = e.Run(context.Background(), srtD)
+	if rows[0][0].I != 499 {
+		t.Fatalf("descending: %v", rows[0])
+	}
+}
+
+func TestJoins(t *testing.T) {
+	e := newEngine(t, 50)
+	l := plan.NewTableScan("t", schema3(), nil, []int{1, 0}, false)
+	r := plan.NewTableScan("t", schema3(), nil, []int{1, 2}, false)
+	// Hash join on g: 5 groups of 10 -> 500 rows.
+	hj := plan.NewHashJoin(l, r, 0, 0)
+	n, err := e.RunDiscard(context.Background(), hj)
+	if err != nil || n != 500 {
+		t.Fatalf("hash join: %d %v", n, err)
+	}
+	// Merge join over sorted inputs.
+	mj := plan.NewMergeJoin(plan.NewSort(l, []int{0}, false), plan.NewSort(r, []int{0}, false), 0, 0, false)
+	n, err = e.RunDiscard(context.Background(), mj)
+	if err != nil || n != 500 {
+		t.Fatalf("merge join: %d %v", n, err)
+	}
+	// NL join with a < predicate.
+	small := plan.NewTableScan("t", schema3(), expr.LT(expr.Col(0), expr.CInt(4)), []int{0}, false)
+	nl := plan.NewNLJoin(small, small, expr.LT(expr.Col(0), expr.Col(1)))
+	n, err = e.RunDiscard(context.Background(), nl)
+	if err != nil || n != 6 {
+		t.Fatalf("nl join: %d %v", n, err)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := newEngine(t, 100)
+	scan := plan.NewTableScan("t", schema3(), nil, nil, false)
+	agg := plan.NewAggregate(scan, []expr.AggSpec{
+		{Kind: expr.AggCount},
+		{Kind: expr.AggSum, Arg: expr.Col(0)},
+		{Kind: expr.AggAvg, Arg: expr.Col(0)},
+	})
+	rows, err := e.Run(context.Background(), agg)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("agg: %v %v", rows, err)
+	}
+	if rows[0][0].I != 100 || rows[0][1].F != 4950 || rows[0][2].F != 49.5 {
+		t.Fatalf("agg values: %v", rows[0])
+	}
+	gb := plan.NewGroupBy(scan, []int{1}, []expr.AggSpec{{Kind: expr.AggCount}})
+	rows, err = e.Run(context.Background(), gb)
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("groupby: %d %v", len(rows), err)
+	}
+	for _, r := range rows {
+		if r[1].I != 20 {
+			t.Fatalf("group size: %v", r)
+		}
+	}
+}
+
+func TestIndexScans(t *testing.T) {
+	e := newEngine(t, 300)
+	if err := e.SM.BuildClustered("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SM.BuildUnclustered("t", "g"); err != nil {
+		t.Fatal(err)
+	}
+	ci := plan.NewIndexScan("t", schema3(), "k", tuple.I64(50), tuple.I64(59), true, true, nil, nil)
+	rows, err := e.Run(context.Background(), ci)
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("clustered: %d %v", len(rows), err)
+	}
+	ui := plan.NewIndexScan("t", schema3(), "g", tuple.I64(2), tuple.I64(2), false, false, nil, nil)
+	rows, err = e.Run(context.Background(), ui)
+	if err != nil || len(rows) != 60 {
+		t.Fatalf("unclustered: %d %v", len(rows), err)
+	}
+	for _, r := range rows {
+		if r[1].I != 2 {
+			t.Fatalf("wrong group: %v", r)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	e := newEngine(t, 10)
+	up := plan.NewUpdate("t", []tuple.Tuple{{tuple.I64(100), tuple.I64(0), tuple.F64(0)}})
+	rows, err := e.Run(context.Background(), up)
+	if err != nil || rows[0][0].I != 1 {
+		t.Fatalf("update: %v %v", rows, err)
+	}
+	n, err := e.RunDiscard(context.Background(), plan.NewTableScan("t", schema3(), nil, nil, false))
+	if err != nil || n != 11 {
+		t.Fatalf("count after update: %d %v", n, err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	e := newEngine(t, 5000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunDiscard(ctx, plan.NewTableScan("t", schema3(), nil, nil, false)); err == nil {
+		t.Fatal("cancelled context should abort scan")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	e := newEngine(t, 10)
+	if _, err := e.Run(context.Background(), plan.NewTableScan("missing", schema3(), nil, nil, false)); err == nil {
+		t.Fatal("missing table should error")
+	}
+	ci := plan.NewIndexScan("t", schema3(), "k", tuple.Value{}, tuple.Value{}, true, true, nil, nil)
+	if _, err := e.Run(context.Background(), ci); err == nil {
+		t.Fatal("missing clustered index should error")
+	}
+	ui := plan.NewIndexScan("t", schema3(), "g", tuple.Value{}, tuple.Value{}, false, false, nil, nil)
+	if _, err := e.Run(context.Background(), ui); err == nil {
+		t.Fatal("missing unclustered index should error")
+	}
+}
+
+func TestRunDiscardCounts(t *testing.T) {
+	e := newEngine(t, 77)
+	n, err := e.RunDiscard(context.Background(), plan.NewTableScan("t", schema3(), nil, nil, false))
+	if err != nil || n != 77 {
+		t.Fatalf("discard count: %d %v", n, err)
+	}
+}
+
+func TestManyConcurrentQueries(t *testing.T) {
+	e := newEngine(t, 500)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			p := plan.NewAggregate(
+				plan.NewTableScan("t", schema3(), expr.GE(expr.Col(0), expr.CInt(int64(i))), nil, false),
+				[]expr.AggSpec{{Kind: expr.AggCount}})
+			rows, err := e.Run(context.Background(), p)
+			if err == nil && rows[0][0].I != int64(500-i) {
+				err = fmt.Errorf("count %v, want %d", rows[0][0], 500-i)
+			}
+			errs <- err
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

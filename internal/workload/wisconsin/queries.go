@@ -1,0 +1,122 @@
+// The Wisconsin Benchmark's standard query categories (DeWitt [11]) as plan
+// builders. The benchmark defines 32 queries in families; these builders
+// cover the families a relational engine's evaluation exercises —
+// selections at 1% and 10% selectivity (with and without an index), the
+// three join patterns (JoinAselB, JoinABprime, JoinCselAselB), projections
+// with and without duplicates, and the aggregate trio (MIN, MIN-grouped,
+// SUM-grouped). Figure 10's 3-way sort-merge query lives in wisconsin.go.
+package wisconsin
+
+import (
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// sel returns a unique1 range predicate selecting n of total rows starting
+// at lo (the benchmark's selections are ranges over unique1/unique2).
+func sel(col int, lo, n int64) expr.Pred {
+	return expr.AndOf(
+		expr.GE(expr.Col(col), expr.CInt(lo)),
+		expr.LT(expr.Col(col), expr.CInt(lo+n)),
+	)
+}
+
+// Sel1Percent is query family 1/3: a 1% range selection on unique2 (no
+// index; sequential scan).
+func (db *DB) Sel1Percent(table string, lo int64) plan.Node {
+	n := int64(db.rowsOf(table)) / 100
+	if n < 1 {
+		n = 1
+	}
+	return plan.NewTableScan(table, Schema(), sel(ColUnique2, lo, n), nil, false)
+}
+
+// Sel10Percent is query family 2/4: a 10% range selection.
+func (db *DB) Sel10Percent(table string, lo int64) plan.Node {
+	n := int64(db.rowsOf(table)) / 10
+	if n < 1 {
+		n = 1
+	}
+	return plan.NewTableScan(table, Schema(), sel(ColUnique2, lo, n), nil, false)
+}
+
+// SelIndexed1Percent is the clustered-index variant of the 1% selection
+// (query family 3): requires BuildClustered(table, "unique2").
+func (db *DB) SelIndexed1Percent(table string, lo int64) plan.Node {
+	n := int64(db.rowsOf(table)) / 100
+	if n < 1 {
+		n = 1
+	}
+	return plan.NewIndexScan(table, Schema(), "unique2",
+		tuple.I64(lo), tuple.I64(lo+n-1), true, true, nil, nil)
+}
+
+// JoinAselB is the benchmark's two-way join: a 10% selection of one BIG
+// table joined with the full other BIG table on unique1 (hash join, as the
+// paper's mix uses).
+func (db *DB) JoinAselB() plan.Node {
+	a := plan.NewTableScan("BIG1", Schema(), sel(ColUnique2, 0, int64(db.BigN/10)), nil, false)
+	b := plan.NewTableScan("BIG2", Schema(), nil, nil, false)
+	return plan.NewHashJoin(a, b, ColUnique1, ColUnique1)
+}
+
+// JoinABprime joins BIG1 with the SMALL table (a 10%-sized "Bprime"
+// stand-in) on unique1.
+func (db *DB) JoinABprime() plan.Node {
+	a := plan.NewTableScan("BIG1", Schema(), nil, nil, false)
+	b := plan.NewTableScan("SMALL", Schema(), nil, nil, false)
+	return plan.NewHashJoin(b, a, ColUnique1, ColUnique1)
+}
+
+// JoinCselAselB is the three-way pattern: selections of BIG1 and BIG2
+// joined, then joined with SMALL (all on unique1, hash joins).
+func (db *DB) JoinCselAselB() plan.Node {
+	selN := int64(db.BigN / 10)
+	a := plan.NewTableScan("BIG1", Schema(), sel(ColUnique2, 0, selN), nil, false)
+	b := plan.NewTableScan("BIG2", Schema(), sel(ColUnique2, 0, selN), nil, false)
+	ab := plan.NewHashJoin(a, b, ColUnique1, ColUnique1)
+	c := plan.NewTableScan("SMALL", Schema(), nil, nil, false)
+	// SMALL joins on the BIG1 side's unique1 (column 0 of the join output).
+	return plan.NewHashJoin(c, ab, ColUnique1, ColUnique1)
+}
+
+// ProjectionDistinct is query family 21-22: project onto the two/ten
+// columns and deduplicate — expressed as a group-by over the projection
+// (the classic way engines without a distinct operator run it).
+func (db *DB) ProjectionDistinct(table string) plan.Node {
+	scan := plan.NewTableScan(table, Schema(), nil, []int{ColTwo, ColTen}, false)
+	return plan.NewGroupBy(scan, []int{0, 1}, []expr.AggSpec{{Kind: expr.AggCount, Name: "n"}})
+}
+
+// AggMin is query 23: MIN over unique1 (a scalar aggregate — full-overlap
+// WoP under OSP).
+func (db *DB) AggMin(table string) plan.Node {
+	scan := plan.NewTableScan(table, Schema(), nil, nil, false)
+	return plan.NewAggregate(scan, []expr.AggSpec{
+		{Kind: expr.AggMin, Arg: expr.Col(ColUnique1), Name: "min_u1"},
+	})
+}
+
+// AggMinGrouped is query 24: MIN(unique1) grouped by hundred (100 groups).
+func (db *DB) AggMinGrouped(table string) plan.Node {
+	scan := plan.NewTableScan(table, Schema(), nil, nil, false)
+	return plan.NewGroupBy(scan, []int{ColHundred}, []expr.AggSpec{
+		{Kind: expr.AggMin, Arg: expr.Col(ColUnique1), Name: "min_u1"},
+	})
+}
+
+// AggSumGrouped is query 25: SUM(unique1) grouped by hundred.
+func (db *DB) AggSumGrouped(table string) plan.Node {
+	scan := plan.NewTableScan(table, Schema(), nil, nil, false)
+	return plan.NewGroupBy(scan, []int{ColHundred}, []expr.AggSpec{
+		{Kind: expr.AggSum, Arg: expr.Col(ColUnique1), Name: "sum_u1"},
+	})
+}
+
+func (db *DB) rowsOf(table string) int {
+	if table == "SMALL" {
+		return db.SmallN
+	}
+	return db.BigN
+}

@@ -1,0 +1,128 @@
+package wisconsin
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"qpipe/internal/core"
+	"qpipe/internal/ops"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+func loadedDB(t *testing.T, bigN int) (*DB, *core.Runtime) {
+	t.Helper()
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 2048}, PoolPages: 64})
+	db, err := Load(mgr, bigN, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BuildClustered("BIG1", "unique2"); err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRuntime(mgr, core.DefaultConfig(), ops.All())
+	t.Cleanup(rt.Close)
+	return db, rt
+}
+
+func runQ(t *testing.T, rt *core.Runtime, p plan.Node) []tuple.Tuple {
+	t.Helper()
+	q, err := rt.Submit(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []tuple.Tuple
+	for {
+		b, err := q.Result.Get()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, b...)
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestSelectionSelectivities(t *testing.T) {
+	db, rt := loadedDB(t, 1000)
+	if got := len(runQ(t, rt, db.Sel1Percent("BIG1", 100))); got != 10 {
+		t.Fatalf("1%% selection: %d rows", got)
+	}
+	if got := len(runQ(t, rt, db.Sel10Percent("BIG1", 100))); got != 100 {
+		t.Fatalf("10%% selection: %d rows", got)
+	}
+	// Indexed variant must agree with the scan variant.
+	idx := runQ(t, rt, db.SelIndexed1Percent("BIG1", 100))
+	if len(idx) != 10 {
+		t.Fatalf("indexed 1%% selection: %d rows", len(idx))
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i-1][ColUnique2].I >= idx[i][ColUnique2].I {
+			t.Fatal("indexed selection not in key order")
+		}
+	}
+}
+
+func TestJoinFamilies(t *testing.T) {
+	db, rt := loadedDB(t, 500)
+	// JoinAselB: 10% of BIG1 (unique2 range) joined on unique1 with all of
+	// BIG2 — unique1 is a permutation, so every selected row matches
+	// exactly one BIG2 row.
+	if got := len(runQ(t, rt, db.JoinAselB())); got != db.BigN/10 {
+		t.Fatalf("JoinAselB: %d rows, want %d", got, db.BigN/10)
+	}
+	// JoinABprime: SMALL's unique1 values are a permutation of 0..SmallN-1;
+	// BIG1 contains each of those values exactly once.
+	if got := len(runQ(t, rt, db.JoinABprime())); got != db.SmallN {
+		t.Fatalf("JoinABprime: %d rows, want %d", got, db.SmallN)
+	}
+	// JoinCselAselB output: rows whose BIG1-side unique1 < SmallN within
+	// the select ranges; just require non-empty and bounded.
+	got := len(runQ(t, rt, db.JoinCselAselB()))
+	if got <= 0 || got > db.BigN/10 {
+		t.Fatalf("JoinCselAselB: %d rows", got)
+	}
+}
+
+func TestProjectionAndAggregates(t *testing.T) {
+	db, rt := loadedDB(t, 800)
+	// (two, ten): two == ten % 2 by construction, so exactly 10 distinct
+	// combinations survive deduplication.
+	if got := len(runQ(t, rt, db.ProjectionDistinct("BIG1"))); got != 10 {
+		t.Fatalf("ProjectionDistinct: %d groups, want 10", got)
+	}
+	minRow := runQ(t, rt, db.AggMin("BIG1"))
+	if len(minRow) != 1 || minRow[0][0].AsInt() != 0 {
+		t.Fatalf("AggMin: %v", minRow)
+	}
+	grouped := runQ(t, rt, db.AggMinGrouped("BIG1"))
+	if len(grouped) != 100 {
+		t.Fatalf("AggMinGrouped: %d groups, want 100", len(grouped))
+	}
+	// Each group's min over unique1 % 100 == h must be h itself (perm of
+	// 0..799 covers every residue at least once with min == residue).
+	for _, g := range grouped {
+		if g[1].AsInt() != g[0].I {
+			t.Fatalf("group %d: min %v", g[0].I, g[1])
+		}
+	}
+	sums := runQ(t, rt, db.AggSumGrouped("BIG1"))
+	if len(sums) != 100 {
+		t.Fatalf("AggSumGrouped: %d groups", len(sums))
+	}
+	total := 0.0
+	for _, g := range sums {
+		total += g[1].F
+	}
+	if want := float64(800*799) / 2; total != want {
+		t.Fatalf("sum of group sums %f, want %f", total, want)
+	}
+}

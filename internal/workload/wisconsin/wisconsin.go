@@ -1,0 +1,140 @@
+// Package wisconsin generates the Wisconsin Benchmark dataset (DeWitt [11])
+// used by the paper's §5.2.1 sort-merge experiment: two large tables (BIG1,
+// BIG2) and one small table (SMALL, 10% of the big ones), each with the
+// standard derived columns (unique1 is a random permutation, unique2 is
+// sequential, the modulo columns derive from unique1) plus filler strings
+// that pad tuples toward the benchmark's 200-byte rows.
+package wisconsin
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// Schema returns the Wisconsin table schema.
+func Schema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("unique1", tuple.KindInt),
+		tuple.Col("unique2", tuple.KindInt),
+		tuple.Col("two", tuple.KindInt),
+		tuple.Col("four", tuple.KindInt),
+		tuple.Col("ten", tuple.KindInt),
+		tuple.Col("twenty", tuple.KindInt),
+		tuple.Col("hundred", tuple.KindInt),
+		tuple.Col("thousand", tuple.KindInt),
+		tuple.Col("stringu1", tuple.KindString),
+		tuple.Col("string4", tuple.KindString),
+	)
+}
+
+// Column indexes into Schema (exported for plan building).
+const (
+	ColUnique1 = iota
+	ColUnique2
+	ColTwo
+	ColFour
+	ColTen
+	ColTwenty
+	ColHundred
+	ColThousand
+	ColStringU1
+	ColString4
+)
+
+var string4Vals = []string{"AAAA", "HHHH", "OOOO", "VVVV"}
+
+// rows generates n Wisconsin rows deterministically from seed.
+func rows(n int, seed int64, pad int) []tuple.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	filler := make([]byte, pad)
+	for i := range filler {
+		filler[i] = 'x'
+	}
+	out := make([]tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		u1 := int64(perm[i])
+		out[i] = tuple.Tuple{
+			tuple.I64(u1),
+			tuple.I64(int64(i)),
+			tuple.I64(u1 % 2),
+			tuple.I64(u1 % 4),
+			tuple.I64(u1 % 10),
+			tuple.I64(u1 % 20),
+			tuple.I64(u1 % 100),
+			tuple.I64(u1 % 1000),
+			tuple.Str(fmt.Sprintf("u1-%08d%s", u1, filler)),
+			tuple.Str(string4Vals[i%4]),
+		}
+	}
+	return out
+}
+
+// DB is a loaded Wisconsin database.
+type DB struct {
+	Mgr    *sm.Manager
+	BigN   int // rows in BIG1/BIG2
+	SmallN int
+}
+
+// Load generates and loads BIG1, BIG2 and SMALL into the storage manager.
+// bigN rows for the big tables; SMALL gets bigN/10. pad sizes the filler
+// string (0 gives ~60-byte tuples; 140 approximates the benchmark's
+// 200-byte rows).
+func Load(mgr *sm.Manager, bigN int, pad int, seed int64) (*DB, error) {
+	smallN := bigN / 10
+	if smallN < 1 {
+		smallN = 1
+	}
+	for i, spec := range []struct {
+		name string
+		n    int
+		seed int64
+	}{
+		{"BIG1", bigN, seed},
+		{"BIG2", bigN, seed + 1},
+		{"SMALL", smallN, seed + 2},
+	} {
+		if _, err := mgr.CreateTable(spec.name, Schema()); err != nil {
+			return nil, err
+		}
+		if err := mgr.Load(spec.name, rows(spec.n, spec.seed, pad)); err != nil {
+			return nil, err
+		}
+		_ = i
+	}
+	return &DB{Mgr: mgr, BigN: bigN, SmallN: smallN}, nil
+}
+
+// ThreeWayJoinQuery builds the Figure 10 query: a 3-way sort-merge join
+//
+//	SORT( MJ( MJ( SORT(σ BIG1), SORT(σ BIG2) ), SORT(σ SMALL) ) )
+//
+// joining on unique1. The BIG1/BIG2 predicates are fixed (both queries in
+// the experiment share them); the SMALL predicate differs per query via
+// smallHundredLT (a selection unique to each query), so only the BIG
+// subtree overlaps — exactly the paper's setup ("the two queries have the
+// same predicates for scanning BIG1 and BIG2, but different ones for
+// SMALL").
+func (db *DB) ThreeWayJoinQuery(bigHundredLT, smallHundredLT int64) plan.Node {
+	s := Schema()
+	pred := func(lt int64) expr.Pred {
+		return expr.LT(expr.Col(ColHundred), expr.CInt(lt))
+	}
+	proj := []int{ColUnique1, ColHundred}
+	scan1 := plan.NewTableScan("BIG1", s, pred(bigHundredLT), proj, false)
+	scan2 := plan.NewTableScan("BIG2", s, pred(bigHundredLT), proj, false)
+	scanS := plan.NewTableScan("SMALL", s, pred(smallHundredLT), proj, false)
+	sort1 := plan.NewSort(scan1, []int{0}, false)
+	sort2 := plan.NewSort(scan2, []int{0}, false)
+	sortS := plan.NewSort(scanS, []int{0}, false)
+	mj12 := plan.NewMergeJoin(sort1, sort2, 0, 0, false)
+	// mj12 output: (u1, hundred, u1, hundred); join key still column 0.
+	mj3 := plan.NewMergeJoin(mj12, sortS, 0, 0, false)
+	return plan.NewSort(mj3, []int{1}, false)
+}

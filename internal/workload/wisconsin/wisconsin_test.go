@@ -1,0 +1,126 @@
+package wisconsin
+
+import (
+	"testing"
+
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/heap"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+func TestLoadShapes(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{}, PoolPages: 32})
+	db, err := Load(mgr, 1000, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.BigN != 1000 || db.SmallN != 100 {
+		t.Fatalf("sizes: %+v", db)
+	}
+	for name, want := range map[string]int64{"BIG1": 1000, "BIG2": 1000, "SMALL": 100} {
+		n, err := mgr.MustTable(name).Heap.Count()
+		if err != nil || n != want {
+			t.Fatalf("%s: %d %v", name, n, err)
+		}
+	}
+}
+
+func TestUniqueColumnsAndDerivations(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{}, PoolPages: 32})
+	if _, err := Load(mgr, 500, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	seen1 := make(map[int64]bool)
+	var seq int64
+	err := mgr.MustTable("BIG1").Heap.Scan(func(_ heap.RID, row tuple.Tuple) bool {
+		u1, u2 := row[ColUnique1].I, row[ColUnique2].I
+		if seen1[u1] {
+			t.Fatalf("unique1 %d duplicated", u1)
+		}
+		seen1[u1] = true
+		if u2 != seq {
+			t.Fatalf("unique2 not sequential: %d at %d", u2, seq)
+		}
+		seq++
+		// Derived columns follow unique1.
+		if row[ColTwo].I != u1%2 || row[ColTen].I != u1%10 ||
+			row[ColHundred].I != u1%100 || row[ColThousand].I != u1%1000 {
+			t.Fatalf("derived columns wrong for u1=%d: %v", u1, row)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen1) != 500 {
+		t.Fatalf("unique1 cardinality: %d", len(seen1))
+	}
+}
+
+func TestBig1Big2Differ(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{}, PoolPages: 32})
+	if _, err := Load(mgr, 200, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Different seeds per table: the unique1 permutations should differ.
+	first := func(name string) []int64 {
+		var out []int64
+		mgr.MustTable(name).Heap.Scan(func(_ heap.RID, row tuple.Tuple) bool {
+			out = append(out, row[ColUnique1].I)
+			return len(out) < 50
+		})
+		return out
+	}
+	a, b := first("BIG1"), first("BIG2")
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("BIG1 and BIG2 have identical permutations")
+	}
+}
+
+func TestPadGrowsTuples(t *testing.T) {
+	small := sm.New(sm.Config{Disk: disk.Config{}, PoolPages: 32})
+	big := sm.New(sm.Config{Disk: disk.Config{}, PoolPages: 32})
+	if _, err := Load(small, 300, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(big, 300, 140, 5); err != nil {
+		t.Fatal(err)
+	}
+	if big.MustTable("BIG1").Heap.NumPages() <= small.MustTable("BIG1").Heap.NumPages() {
+		t.Fatal("padding should increase page count")
+	}
+}
+
+func TestThreeWayJoinQueryShape(t *testing.T) {
+	db := &DB{BigN: 100}
+	q1 := db.ThreeWayJoinQuery(60, 40)
+	q2 := db.ThreeWayJoinQuery(60, 60)
+	if q1.Signature() == q2.Signature() {
+		t.Fatal("different SMALL predicates must differ in signature")
+	}
+	// The shared BIG subtree must be signature-identical across the two
+	// queries — that's the Figure 10 sharing premise.
+	mj1 := q1.Children()[0].Children()[0] // sort -> mj3 -> mj12
+	mj2 := q2.Children()[0].Children()[0]
+	if mj1.Signature() != mj2.Signature() {
+		t.Fatalf("BIG1⋈BIG2 subtree signatures differ:\n%s\n%s", mj1.Signature(), mj2.Signature())
+	}
+}
+
+func TestLoadDuplicateFails(t *testing.T) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{}, PoolPages: 32})
+	if _, err := Load(mgr, 100, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(mgr, 100, 0, 5); err == nil {
+		t.Fatal("second load should fail on existing tables")
+	}
+}

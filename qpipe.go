@@ -1,0 +1,213 @@
+// Package qpipe is a Go reproduction of "QPipe: A Simultaneously Pipelined
+// Relational Query Engine" (Harizopoulos, Ailamaki, Shkapenyuk — SIGMOD
+// 2005): an operator-centric relational execution engine in which every
+// relational operator is an independent micro-engine (µEngine) serving
+// query packets from a queue, and overlapping work between concurrent
+// queries is detected and shared at run time via on-demand simultaneous
+// pipelining (OSP).
+//
+// Quick start:
+//
+//	mgr := sm.New(sm.Config{PoolPages: 1024})          // storage manager
+//	... create tables, load data ...
+//	eng := qpipe.New(mgr, qpipe.DefaultConfig())        // OSP enabled
+//	defer eng.Close()
+//	res, _ := eng.Query(ctx, somePlan)                  // submit a plan
+//	rows, _ := res.All()                                // drain results
+//
+// Two engines ship in this module: this package (QPipe, with OSP on or off
+// — the paper's "QPipe w/OSP" and "Baseline" systems) and
+// internal/volcano (a conventional one-query-many-operators iterator
+// engine, standing in for the paper's commercial "DBMS X").
+package qpipe
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/ops"
+	"qpipe/internal/plan"
+	"qpipe/internal/qcache"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// Config re-exports the runtime configuration.
+type Config = core.Config
+
+// DefaultConfig returns the paper's "QPipe w/OSP" configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// BaselineConfig returns the paper's "Baseline" (OSP disabled).
+func BaselineConfig() Config { return core.BaselineConfig() }
+
+// Engine is a QPipe instance bound to a storage manager.
+type Engine struct {
+	rt    *core.Runtime
+	cache *qcache.Cache
+}
+
+// New assembles a QPipe engine over the storage manager with the standard
+// operator set.
+func New(mgr *sm.Manager, cfg Config) *Engine {
+	return &Engine{rt: core.NewRuntime(mgr, cfg, ops.All())}
+}
+
+// Runtime exposes the underlying runtime for advanced callers (harness,
+// tests).
+func (e *Engine) Runtime() *core.Runtime { return e.rt }
+
+// Stats snapshots runtime counters (shares per µEngine, deadlocks resolved,
+// queries admitted).
+func (e *Engine) Stats() core.RuntimeStats { return e.rt.Stats() }
+
+// Close shuts the engine down, cancelling outstanding queries.
+func (e *Engine) Close() { e.rt.Close() }
+
+// Result is a handle to a submitted query's output stream.
+type Result struct {
+	q *core.Query
+}
+
+// Query submits a precompiled plan for execution. The returned Result
+// streams output tuples; the caller must drain it (Next/All/Discard).
+func (e *Engine) Query(ctx context.Context, p plan.Node) (*Result, error) {
+	q, err := e.rt.Submit(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{q: q}, nil
+}
+
+// Next returns the next batch of result tuples; io.EOF signals completion.
+func (r *Result) Next() (tbuf.Batch, error) { return r.q.Result.Get() }
+
+// All drains the result completely and waits for the query to finish.
+func (r *Result) All() ([]tuple.Tuple, error) {
+	var out []tuple.Tuple
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b...)
+	}
+	return out, r.q.Wait()
+}
+
+// Discard drains and drops the results (the paper's experiments discard
+// all result tuples), returning the row count.
+func (r *Result) Discard() (int64, error) {
+	n, err := r.q.Result.Drain()
+	if err != nil {
+		return n, err
+	}
+	return n, r.q.Wait()
+}
+
+// Cancel aborts the query.
+func (r *Result) Cancel() { r.q.Cancel() }
+
+// Stats returns the query's sharing counters (valid after completion).
+func (r *Result) Stats() *core.QueryStats { return &r.q.Stats }
+
+// QueryBatch submits several plans together — the way a multi-query
+// optimizer would hand QPipe a batch (paper §2.4: "QPipe can efficiently
+// evaluate plans produced by a multi-query optimizer, since it always
+// pipelines shared intermediate results"). No static common-subexpression
+// analysis is needed: common subtrees across the batch carry identical
+// signatures, so OSP shares them at the µEngines, pipelining — not
+// materializing — each shared intermediate result to all consumers.
+func (e *Engine) QueryBatch(ctx context.Context, plans []plan.Node) ([]*Result, error) {
+	out := make([]*Result, 0, len(plans))
+	for _, p := range plans {
+		res, err := e.Query(ctx, p)
+		if err != nil {
+			for _, r := range out {
+				r.Cancel()
+			}
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Explain renders a plan as an indented tree (re-exported from the plan
+// package for API convenience).
+func Explain(p plan.Node) string { return plan.Explain(p) }
+
+// ---- Result cache (paper Figure 2, §2.3) -------------------------------------
+
+// EnableResultCache turns on the query-result cache in front of the engine:
+// the first sharing stage of the paper's Figure 2 ("a cache of recently
+// completed queries; on a match, the query returns the stored results and
+// avoids execution altogether"). capacityTuples bounds the cache's total
+// size; results larger than maxEntryTuples are never admitted. Only
+// QueryCached consults the cache.
+func (e *Engine) EnableResultCache(capacityTuples, maxEntryTuples int64) {
+	e.cache = qcache.New(capacityTuples, maxEntryTuples)
+}
+
+// CacheStats snapshots the result-cache counters (zero value when the
+// cache is disabled).
+func (e *Engine) CacheStats() qcache.Stats {
+	if e.cache == nil {
+		return qcache.Stats{}
+	}
+	return e.cache.Stats()
+}
+
+// QueryCached executes a plan through the result cache: a signature-exact
+// hit returns the stored rows without touching the execution engine;
+// misses execute normally (still benefiting from OSP against concurrent
+// queries) and admit their result on completion. Update plans execute and
+// invalidate cached results over their target table. The hit flag reports
+// whether the cache served the result.
+func (e *Engine) QueryCached(ctx context.Context, p plan.Node) (rows []tuple.Tuple, hit bool, err error) {
+	if e.cache == nil {
+		res, err := e.Query(ctx, p)
+		if err != nil {
+			return nil, false, err
+		}
+		rows, err = res.All()
+		return rows, false, err
+	}
+	if table, isUpdate := qcache.IsUpdate(p); isUpdate {
+		res, err := e.Query(ctx, p)
+		if err != nil {
+			return nil, false, err
+		}
+		rows, err = res.All()
+		if err == nil {
+			e.cache.InvalidateTable(table)
+		}
+		return rows, false, err
+	}
+	sig := p.Signature()
+	if cached, ok := e.cache.Get(sig); ok {
+		// Clone: cached tuples are shared across callers.
+		out := make([]tuple.Tuple, len(cached))
+		for i, t := range cached {
+			out[i] = t.Clone()
+		}
+		return out, true, nil
+	}
+	start := time.Now()
+	res, err := e.Query(ctx, p)
+	if err != nil {
+		return nil, false, err
+	}
+	rows, err = res.All()
+	if err != nil {
+		return rows, false, err
+	}
+	e.cache.Put(sig, qcache.TablesOf(p), rows, time.Since(start))
+	return rows, false, nil
+}

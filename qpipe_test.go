@@ -1,0 +1,479 @@
+package qpipe
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// newTestDB creates a storage manager with one table "t"(k int, grp int,
+// val float, name string) holding n rows: k=i, grp=i%10, val=i/2, name="r<i>".
+func newTestDB(t testing.TB, n int) *sm.Manager {
+	t.Helper()
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: 1024}, PoolPages: 64})
+	schema := tuple.NewSchema(
+		tuple.Col("k", tuple.KindInt),
+		tuple.Col("grp", tuple.KindInt),
+		tuple.Col("val", tuple.KindFloat),
+		tuple.Col("name", tuple.KindString),
+	)
+	if _, err := mgr.CreateTable("t", schema); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]tuple.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = tuple.Tuple{
+			tuple.I64(int64(i)), tuple.I64(int64(i % 10)),
+			tuple.F64(float64(i) / 2), tuple.Str(fmt.Sprintf("r%d", i)),
+		}
+	}
+	if err := mgr.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func tableSchema(mgr *sm.Manager) *tuple.Schema { return mgr.MustTable("t").Schema }
+
+func TestScanAll(t *testing.T) {
+	mgr := newTestDB(t, 500)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	p := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	res, err := eng.Query(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("scan returned %d rows, want 500", len(rows))
+	}
+}
+
+func TestScanWithFilterAndProject(t *testing.T) {
+	mgr := newTestDB(t, 300)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	pred := expr.LT(expr.Col(0), expr.CInt(50))
+	p := plan.NewTableScan("t", tableSchema(mgr), pred, []int{0, 2}, false)
+	res, _ := eng.Query(context.Background(), p)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("filtered scan: %d rows, want 50", len(rows))
+	}
+	for _, r := range rows {
+		if len(r) != 2 {
+			t.Fatalf("projection width: %v", r)
+		}
+		if r[0].I >= 50 {
+			t.Fatalf("filter leak: %v", r)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	mgr := newTestDB(t, 100)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	agg := plan.NewAggregate(scan, []expr.AggSpec{
+		{Kind: expr.AggCount},
+		{Kind: expr.AggSum, Arg: expr.Col(0)},
+		{Kind: expr.AggMin, Arg: expr.Col(0)},
+		{Kind: expr.AggMax, Arg: expr.Col(0)},
+	})
+	res, _ := eng.Query(context.Background(), agg)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("aggregate rows: %d", len(rows))
+	}
+	r := rows[0]
+	if r[0].I != 100 || r[1].F != 4950 || r[2].AsFloat() != 0 || r[3].AsFloat() != 99 {
+		t.Fatalf("aggregate values: %v", r)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	mgr := newTestDB(t, 100)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	gb := plan.NewGroupBy(scan, []int{1}, []expr.AggSpec{{Kind: expr.AggCount}})
+	res, _ := eng.Query(context.Background(), gb)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("groups: %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].I != 10 {
+			t.Fatalf("group count: %v", r)
+		}
+	}
+}
+
+func TestSortOrdersOutput(t *testing.T) {
+	mgr := newTestDB(t, 200)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	srt := plan.NewSort(scan, []int{3}, false) // sort by name (string)
+	res, _ := eng.Query(context.Background(), srt)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 200 {
+		t.Fatalf("sorted rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if tuple.Compare(rows[i-1][3], rows[i][3]) > 0 {
+			t.Fatalf("not sorted at %d: %v > %v", i, rows[i-1][3], rows[i][3])
+		}
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	mgr := newTestDB(t, 100)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	// Self-join on grp: each of 100 rows matches 10 rows → 1000.
+	l := plan.NewTableScan("t", tableSchema(mgr), nil, []int{1, 0}, false)
+	r := plan.NewTableScan("t", tableSchema(mgr), nil, []int{1, 2}, false)
+	j := plan.NewHashJoin(l, r, 0, 0)
+	agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+	res, _ := eng.Query(context.Background(), agg)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 1000 {
+		t.Fatalf("join cardinality: %v, want 1000", rows[0][0])
+	}
+}
+
+func TestMergeJoinOverSortedInputs(t *testing.T) {
+	mgr := newTestDB(t, 120)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	l := plan.NewSort(plan.NewTableScan("t", tableSchema(mgr), nil, []int{1, 0}, false), []int{0}, false)
+	r := plan.NewSort(plan.NewTableScan("t", tableSchema(mgr), nil, []int{1, 2}, false), []int{0}, false)
+	j := plan.NewMergeJoin(l, r, 0, 0, false)
+	agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+	res, _ := eng.Query(context.Background(), agg)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 rows, 10 groups of 12: 10 * 12 * 12 = 1440.
+	if rows[0][0].I != 1440 {
+		t.Fatalf("merge join cardinality: %v, want 1440", rows[0][0])
+	}
+}
+
+func TestNLJoin(t *testing.T) {
+	mgr := newTestDB(t, 40)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	l := plan.NewTableScan("t", tableSchema(mgr), expr.LT(expr.Col(0), expr.CInt(5)), []int{0}, false)
+	r := plan.NewTableScan("t", tableSchema(mgr), expr.LT(expr.Col(0), expr.CInt(8)), []int{0}, false)
+	j := plan.NewNLJoin(l, r, expr.LT(expr.Col(0), expr.Col(1)))
+	agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+	res, _ := eng.Query(context.Background(), agg)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pairs (a,b) a in 0..4, b in 0..7, a<b: sum_{a=0}^{4} (7-a) = 7+6+5+4+3 = 25.
+	if rows[0][0].I != 25 {
+		t.Fatalf("nljoin cardinality: %v, want 25", rows[0][0])
+	}
+}
+
+func TestFilterAndProjectNodes(t *testing.T) {
+	mgr := newTestDB(t, 60)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	f := plan.NewFilter(scan, expr.GE(expr.Col(0), expr.CInt(50)))
+	pr := plan.NewProject(f, []expr.Expr{expr.Mul(expr.Col(0), expr.CInt(2))}, []string{"k2"})
+	res, _ := eng.Query(context.Background(), pr)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	sum := int64(0)
+	for _, r := range rows {
+		sum += r[0].I
+	}
+	if sum != 2*(50+51+52+53+54+55+56+57+58+59) {
+		t.Fatalf("sum: %d", sum)
+	}
+}
+
+func TestUpdateThenScan(t *testing.T) {
+	mgr := newTestDB(t, 10)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	up := plan.NewUpdate("t", []tuple.Tuple{
+		{tuple.I64(1000), tuple.I64(0), tuple.F64(1), tuple.Str("new1")},
+		{tuple.I64(1001), tuple.I64(1), tuple.F64(2), tuple.Str("new2")},
+	})
+	res, _ := eng.Query(context.Background(), up)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 2 {
+		t.Fatalf("update count: %v", rows[0])
+	}
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	res2, _ := eng.Query(context.Background(), scan)
+	all, _ := res2.All()
+	if len(all) != 12 {
+		t.Fatalf("rows after insert: %d", len(all))
+	}
+}
+
+func TestClusteredIndexScan(t *testing.T) {
+	mgr := newTestDB(t, 150)
+	if err := mgr.BuildClustered("t", "k"); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	p := plan.NewIndexScan("t", tableSchema(mgr), "k", tuple.Value{}, tuple.Value{}, true, true, nil, nil)
+	res, _ := eng.Query(context.Background(), p)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 150 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][0].I > rows[i][0].I {
+			t.Fatalf("clustered scan out of key order at %d", i)
+		}
+	}
+	// Bounded scan.
+	p2 := plan.NewIndexScan("t", tableSchema(mgr), "k", tuple.I64(10), tuple.I64(19), true, true, nil, nil)
+	res2, _ := eng.Query(context.Background(), p2)
+	rows2, err := res2.All()
+	if err != nil || len(rows2) != 10 {
+		t.Fatalf("bounded clustered scan: %d %v", len(rows2), err)
+	}
+}
+
+func TestUnclusteredIndexScan(t *testing.T) {
+	mgr := newTestDB(t, 150)
+	if err := mgr.BuildUnclustered("t", "grp"); err != nil {
+		t.Fatal(err)
+	}
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	p := plan.NewIndexScan("t", tableSchema(mgr), "grp", tuple.I64(3), tuple.I64(4), false, false, nil, nil)
+	res, _ := eng.Query(context.Background(), p)
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("unclustered probe: %d rows, want 30", len(rows))
+	}
+	for _, r := range rows {
+		if g := r[1].I; g != 3 && g != 4 {
+			t.Fatalf("wrong group: %v", r)
+		}
+	}
+}
+
+// TestConcurrentIdenticalQueriesShare exercises OSP end to end: two
+// identical aggregate queries submitted together must share work (one
+// becomes a satellite) and produce identical results.
+func TestConcurrentIdenticalQueriesShare(t *testing.T) {
+	mgr := newTestDB(t, 2000)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	mkPlan := func() plan.Node {
+		scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+		return plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(0)}})
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	results := make([]float64, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := eng.Query(context.Background(), mkPlan())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows, err := res.All()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = rows[0][0].F
+		}(i)
+	}
+	wg.Wait()
+	want := float64(2000*1999) / 2
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d: %v", i, errs[i])
+		}
+		if results[i] != want {
+			t.Fatalf("query %d: sum %v, want %v", i, results[i], want)
+		}
+	}
+}
+
+// TestCircularScanSharesIO: with OSP, a second scan arriving mid-flight
+// must not re-read pages the scanner is currently producing — total disk
+// reads stay well below 2 full scans.
+func TestCircularScanSharesIO(t *testing.T) {
+	mgr := newTestDB(t, 5000)
+	// Tiny pool so there is no buffer-pool sharing; slow disk so the second
+	// query arrives mid-scan.
+	mgr2 := sm.NewSharedDisk(mgr.Disk, 8, nil)
+	if _, err := mgr2.AttachTable("t", tableSchema(mgr)); err != nil {
+		t.Fatal(err)
+	}
+	mgr2.Disk.ResetStats()
+	mgr2.Disk.SetLatency(200*time.Microsecond, 200*time.Microsecond, 0)
+	defer mgr2.Disk.SetLatency(0, 0, 0)
+
+	eng := New(mgr2, DefaultConfig())
+	defer eng.Close()
+	schema := tableSchema(mgr)
+	mk := func(pred expr.Pred) plan.Node {
+		scan := plan.NewTableScan("t", schema, pred, nil, false)
+		return plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}})
+	}
+	full := int64(mgr2.MustTable("t").Heap.NumPages())
+
+	// First query starts; second (different predicate!) arrives mid-scan.
+	res1, _ := eng.Query(context.Background(), mk(nil))
+	time.Sleep(10 * time.Millisecond)
+	res2, _ := eng.Query(context.Background(), mk(expr.LT(expr.Col(0), expr.CInt(100))))
+	n1, err1 := res1.Discard()
+	n2, err2 := res2.Discard()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if n1 != 1 || n2 != 1 {
+		t.Fatalf("result rows: %d %d", n1, n2)
+	}
+	reads := mgr2.Disk.Stats().Reads
+	if reads < full {
+		t.Fatalf("reads %d below one full scan %d", reads, full)
+	}
+	if reads >= 2*full {
+		t.Fatalf("no sharing: %d reads for 2 scans of %d pages", reads, full)
+	}
+	if eng.Stats().SharesByOp[plan.OpTableScan] == 0 {
+		t.Fatal("expected a circular-scan share")
+	}
+}
+
+// TestBaselineNoSharing: with OSP off, the same scenario reads ~2 full
+// scans.
+func TestBaselineNoSharing(t *testing.T) {
+	mgr := newTestDB(t, 5000)
+	mgr2 := sm.NewSharedDisk(mgr.Disk, 8, nil)
+	if _, err := mgr2.AttachTable("t", tableSchema(mgr)); err != nil {
+		t.Fatal(err)
+	}
+	mgr2.Disk.ResetStats()
+	mgr2.Disk.SetLatency(200*time.Microsecond, 200*time.Microsecond, 0)
+	defer mgr2.Disk.SetLatency(0, 0, 0)
+	eng := New(mgr2, BaselineConfig())
+	defer eng.Close()
+	schema := tableSchema(mgr)
+	mk := func() plan.Node {
+		scan := plan.NewTableScan("t", schema, nil, nil, false)
+		return plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}})
+	}
+	full := int64(mgr2.MustTable("t").Heap.NumPages())
+	res1, _ := eng.Query(context.Background(), mk())
+	time.Sleep(10 * time.Millisecond)
+	res2, _ := eng.Query(context.Background(), mk())
+	res1.Discard()
+	res2.Discard()
+	reads := mgr2.Disk.Stats().Reads
+	// The 8-page pool plus scheduling jitter can save a few reads, but the
+	// baseline must stay close to two full scans (no proactive sharing).
+	if reads < 2*full*9/10 {
+		t.Fatalf("baseline should read ~2 full scans: %d vs %d", reads, 2*full)
+	}
+	if eng.Stats().SharesByOp[plan.OpTableScan] != 0 {
+		t.Fatal("baseline must not share")
+	}
+}
+
+func TestQueryCancel(t *testing.T) {
+	mgr := newTestDB(t, 20000)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	res, err := eng.Query(context.Background(), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one batch then cancel.
+	if _, err := res.Next(); err != nil {
+		t.Fatal(err)
+	}
+	res.Cancel()
+	// Engine must stay usable.
+	res2, _ := eng.Query(context.Background(), plan.NewAggregate(
+		plan.NewTableScan("t", tableSchema(mgr), nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	rows, err := res2.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 20000 {
+		t.Fatalf("count after cancel: %v", rows[0])
+	}
+}
+
+func TestUnknownTableFails(t *testing.T) {
+	mgr := newTestDB(t, 10)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	scan := plan.NewTableScan("missing", tableSchema(mgr), nil, nil, false)
+	res, err := eng.Query(context.Background(), scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.All(); err == nil {
+		t.Fatal("scan of missing table should error")
+	}
+}
