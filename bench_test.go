@@ -11,8 +11,10 @@ package qpipe_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"qpipe"
 	"qpipe/internal/expr"
@@ -327,6 +329,72 @@ func BenchmarkWorkerModel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkScanParallelism measures the partitioned parallel scan on a
+// 100k-row table: a cold full-table count at ScanParallelism 1/2/4/8
+// (partitioned P>=4 should beat the single-reader scan), plus a
+// multi-consumer case at P=4 where three staggered scans with distinct
+// predicates must merge onto one partitioned scan group (reported shares
+// metric > 0 proves OSP still engages alongside partitioning).
+func BenchmarkScanParallelism(b *testing.B) {
+	sc := harness.SmallScale()
+	sc.Spindles = 8
+	env, err := harness.NewScanEnv(sc, 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", w), func(b *testing.B) {
+			cfg := qpipe.DefaultConfig()
+			cfg.ScanParallelism = w
+			sys, err := env.NewQPipeWith(fmt.Sprintf("qpipe-scanpar%d", w), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			schema := sys.Manager().MustTable(harness.ScanTable).Schema
+			env.SetMeasuring(true)
+			defer env.SetMeasuring(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := sys.Manager().Pool.Invalidate(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := sys.Exec(context.Background(), harness.ScanCountPlan(schema, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("P4-shared-3clients", func(b *testing.B) {
+		cfg := qpipe.DefaultConfig()
+		cfg.ScanParallelism = 4
+		sys, err := env.NewQPipeWith("qpipe-scanpar4-shared", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		schema := sys.Manager().MustTable(harness.ScanTable).Schema
+		env.SetMeasuring(true)
+		defer env.SetMeasuring(false)
+		var shares int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := sys.Manager().Pool.Invalidate(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res := harness.RunStaggered(env, sys, harness.ScanSharePlans(schema, 3), time.Millisecond)
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			shares += res.Shares
+		}
+		b.ReportMetric(float64(shares)/float64(b.N), "shares/op")
+	})
 }
 
 // ---- Micro-benchmarks of the substrates ---------------------------------------

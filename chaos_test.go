@@ -23,7 +23,10 @@ import (
 //   - no query fails,
 //   - counts are monotonically consistent with the inserts (a count is
 //     never below the initial size nor above initial+inserted-so-far),
-//   - the engine's own bookkeeping (shares, queries) stays coherent.
+//   - the engine's own bookkeeping (shares, queries) stays coherent,
+//   - cancelling one consumer of an in-flight partitioned scan group (the
+//     cancel workers below fire constantly into the shared circular scans)
+//     never stalls the group's other consumers.
 func TestChaosConcurrentWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
@@ -96,6 +99,36 @@ func TestChaosConcurrentWorkload(t *testing.T) {
 		}
 	}
 
+	// cancelWorker fires count scans that share the partitioned circular
+	// scan group with the read workers' queries, then cancels them mid
+	// flight. The group must drop the cancelled consumer from every
+	// partition without stalling the survivors (the final exact-count check
+	// below would hang or miscount otherwise).
+	cancelWorker := func(seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		for iter := 0; iter < 20; iter++ {
+			ctx, cancel := context.WithCancel(context.Background())
+			p := plan.NewAggregate(
+				plan.NewTableScan("t", schema, nil, nil, false),
+				[]expr.AggSpec{{Kind: expr.AggCount}})
+			res, err := eng.Query(ctx, p)
+			if err != nil {
+				cancel()
+				errs <- err
+				return
+			}
+			delay := time.Duration(rng.Intn(800)) * time.Microsecond
+			go func() {
+				time.Sleep(delay)
+				cancel()
+			}()
+			// Either outcome is legal — completed before the cancel landed,
+			// or aborted with the context error — but it must not hang.
+			_, _ = res.All()
+		}
+	}
+
 	writeWorker := func(seed int64) {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(seed))
@@ -128,6 +161,10 @@ func TestChaosConcurrentWorkload(t *testing.T) {
 		wg.Add(1)
 		go writeWorker(int64(100 + i))
 	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go cancelWorker(int64(200 + i))
+	}
 	go func() {
 		wg.Wait()
 		close(done)
@@ -145,11 +182,28 @@ func TestChaosConcurrentWorkload(t *testing.T) {
 	default:
 	}
 
-	// Final consistency: exact count.
+	// Final consistency: exact count (time-bounded so a stuck pipeline
+	// yields a state dump instead of a test-harness timeout).
 	res, _ := eng.Query(context.Background(), plan.NewAggregate(
 		plan.NewTableScan("t", schema, nil, nil, false),
 		[]expr.AggSpec{{Kind: expr.AggCount}}))
-	rows, err := res.All()
+	type countResult struct {
+		rows []tuple.Tuple
+		err  error
+	}
+	final := make(chan countResult, 1)
+	go func() {
+		rows, err := res.All()
+		final <- countResult{rows, err}
+	}()
+	var rows []tuple.Tuple
+	var err error
+	select {
+	case r := <-final:
+		rows, err = r.rows, r.err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("final count hung; runtime state:\n%s", eng.Runtime().DumpState())
+	}
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,12 +8,14 @@
 //	qpipe-bench -fig all                # every figure, small scale
 //	qpipe-bench -fig 8 -scale paper     # Figure 8 at the heavier scale
 //	qpipe-bench -fig 12 -clients 12 -queries 3
+//	qpipe-bench -fig scanpar -scanworkers 1,2,4,8 -scanrows 100000
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,10 +23,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13 or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
 	queries := flag.Int("queries", 0, "queries per client (figs 12/13)")
+	scanWorkers := flag.String("scanworkers", "1,2,4,8", "comma-separated ScanParallelism sweep (fig scanpar)")
+	scanRows := flag.Int("scanrows", 100_000, "rows in the scan-sweep table (fig scanpar)")
+	scanClients := flag.Int("scanclients", 3, "concurrent sharing clients (fig scanpar)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -134,8 +139,53 @@ func main() {
 			return []harness.Figure{f}, err
 		})
 	}
+	if want("scanpar") {
+		run("Scan parallelism", func() ([]harness.Figure, error) {
+			workers, err := parseIntList(*scanWorkers)
+			if err != nil {
+				return nil, err
+			}
+			if len(workers) == 0 {
+				workers = []int{1, 2, 4, 8}
+			}
+			// Give the simulated array one spindle per scan worker so the
+			// sweep shows the engine's scaling rather than the device cap.
+			scanSc := sc
+			for _, w := range workers {
+				if w > scanSc.Spindles {
+					scanSc.Spindles = w
+				}
+			}
+			env, err := harness.NewScanEnv(scanSc, *scanRows)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, shares, err := harness.ScanParallelism(env, workers, *scanClients)
+			if err == nil {
+				fmt.Printf("OSP scan shares across multi-client runs: %d\n", shares)
+			}
+			return []harness.Figure{f}, err
+		})
+	}
 
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func run(name string, fn func() ([]harness.Figure, error)) {

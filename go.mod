@@ -1,0 +1,3 @@
+module qpipe
+
+go 1.24

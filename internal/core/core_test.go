@@ -117,7 +117,7 @@ func TestSignatureShareAbsorbsSatellite(t *testing.T) {
 			return pkt.Out.Put(tbuf.Batch{tuple.Tuple{tuple.I64(1)}})
 		},
 		share: func(rt *Runtime, host, sat *Packet) bool {
-			return host.Out.Attach(sat.OutBuf)
+			return host.AbsorbSatellite(sat)
 		},
 	}
 	rt := newTestRuntime(t, op)

@@ -43,6 +43,7 @@ type EngineStats struct {
 	Enqueued   int64
 	Completed  int64
 	Satellites int64 // packets absorbed by OSP instead of executing
+	SubWorkers int64 // sub-workers spawned by running packets (scan partitions)
 	Errors     int64
 }
 
@@ -74,6 +75,7 @@ type MicroEngine struct {
 	enq  atomic.Int64
 	done atomic.Int64
 	sats atomic.Int64
+	subs atomic.Int64
 	errs atomic.Int64
 }
 
@@ -97,8 +99,25 @@ func (e *MicroEngine) Stats() EngineStats {
 		Enqueued:   e.enq.Load(),
 		Completed:  e.done.Load(),
 		Satellites: e.sats.Load(),
+		SubWorkers: e.subs.Load(),
 		Errors:     e.errs.Load(),
 	}
+}
+
+// SpawnSub runs fn as a sub-worker of this µEngine on behalf of a running
+// packet — the partitioned scan's fan-out (one sub-worker per extra
+// partition). Sub-workers are tracked by the engine's WaitGroup so close
+// waits for them, but they always run elastically (a fresh goroutine) even
+// when the engine uses a fixed pool: a partition queued behind the very
+// packet that spawned it would deadlock the scan group against pool sizing.
+// Callers must guarantee fn returns; the scan group's teardown does.
+func (e *MicroEngine) SpawnSub(fn func()) {
+	e.subs.Add(1)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		fn()
+	}()
 }
 
 // Enqueue admits a packet: OSP overlap check first (paper §4.3: "every time
@@ -149,9 +168,10 @@ func (e *MicroEngine) Enqueue(pkt *Packet) {
 
 // absorb completes the satellite bookkeeping after a successful TryShare:
 // the satellite's children are cancelled and the packet is parked on the
-// host (OSP coordinator steps 1-2, Figure 6b).
+// host (OSP coordinator steps 1-2, Figure 6b). The list/port commit itself
+// already happened atomically inside TryShare (Packet.AbsorbSatellite or an
+// operator-specific mechanism like the sort file streamer).
 func (e *MicroEngine) absorb(host, sat *Packet) {
-	host.AddSatellite(sat)
 	// Terminate everything *beneath* the satellite — but not the satellite
 	// packet itself: its output port stays live (the host, or a
 	// materialization streamer, feeds it).
@@ -204,6 +224,11 @@ func (e *MicroEngine) worker() {
 func (e *MicroEngine) runPacket(pkt *Packet) {
 	defer e.removeInflight(pkt)
 	if pkt.Cancelled() {
+		e.rescueSatellites(pkt)
+		// Unblock producing children exactly as the normal exit path does.
+		for _, in := range pkt.Inputs {
+			in.Abandon()
+		}
 		pkt.Out.Close(pkt.Query.ctx.Err())
 		pkt.finish(pkt.Query.ctx.Err())
 		return
@@ -227,8 +252,49 @@ func (e *MicroEngine) runPacket(pkt *Packet) {
 	for _, in := range pkt.Inputs {
 		in.Abandon()
 	}
+	if err != nil || pkt.Cancelled() {
+		e.rescueSatellites(pkt)
+	}
 	pkt.Out.Close(err)
 	pkt.finish(err)
+}
+
+// rescueSatellites re-homes live satellites of a host that is dying before
+// producing any output — typically a host whose own query was cancelled
+// after the absorb, which is the host's failure, not the satellites'. Each
+// rescued satellite's plan subtree is re-dispatched inside its own query and
+// pumped into the satellite's existing output port. A host that already
+// produced output cannot be rescued from: its satellites hold that prefix,
+// and re-running would duplicate tuples — they stay absorbed and inherit the
+// host's terminal state. Must run before the host closes its port. Sealing
+// the satellite list first closes the absorb race: an AbsorbSatellite
+// against this dying host after the seal fails, and its packet queues
+// normally instead of missing both rescue and finish.
+func (e *MicroEngine) rescueSatellites(pkt *Packet) {
+	sats := pkt.sealSatellites()
+	if pkt.Out.Produced() > 0 {
+		return
+	}
+	for _, sat := range sats {
+		select {
+		case <-sat.Done():
+			// Already finalized — e.g. the host completed through an
+			// operator path (a scan group's Complete) before runPacket
+			// observed the cancellation, and finish released the satellites
+			// with a genuine result. Re-dispatching would launch a ghost
+			// subtree whose output nobody reads.
+			continue
+		default:
+		}
+		if sat.Cancelled() {
+			continue
+		}
+		pkt.removeSatellite(sat)
+		pkt.Out.Detach(sat.OutBuf)
+		sat.host.Store(nil)
+		sat.setState(PacketQueued)
+		e.rt.rescue(sat)
+	}
 }
 
 func (e *MicroEngine) close() {

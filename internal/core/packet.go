@@ -66,24 +66,54 @@ type Packet struct {
 
 	satMu      sync.Mutex
 	satellites []*Packet // packets absorbed by this host
+	satSealed  bool      // host finished/finishing; no more satellites
 }
 
-// AddSatellite records sat as absorbed by this host packet; sat is marked
-// done when the host completes.
-func (p *Packet) AddSatellite(sat *Packet) {
-	sat.host.Store(p)
-	sat.setState(PacketSatellite)
-	p.satMu.Lock()
-	p.satellites = append(p.satellites, sat)
-	p.satMu.Unlock()
-	p.Query.Stats.HostedSatellites.Add(1)
-	sat.Query.Stats.SatelliteAttaches.Add(1)
-}
-
-// Satellites snapshots the absorbed packets.
-func (p *Packet) Satellites() []*Packet {
+// AbsorbSatellite atomically commits sat as a satellite of this host: the
+// port attach and the satellite-list append happen under the same lock that
+// finish and the rescue path use to seal the list, so a committing absorb
+// can never interleave with the host's teardown — which would otherwise
+// strand the satellite (attached after the final sweep, done channel never
+// closed) or hand an innocent query the host's terminal error. Fails once
+// the host has sealed or its port stopped accepting consumers; the caller
+// then falls back to normal queueing.
+func (p *Packet) AbsorbSatellite(sat *Packet) bool {
 	p.satMu.Lock()
 	defer p.satMu.Unlock()
+	if p.satSealed {
+		return false
+	}
+	if !p.Out.Attach(sat.OutBuf) {
+		return false
+	}
+	sat.host.Store(p)
+	sat.setState(PacketSatellite)
+	p.satellites = append(p.satellites, sat)
+	p.Query.Stats.HostedSatellites.Add(1)
+	sat.Query.Stats.SatelliteAttaches.Add(1)
+	return true
+}
+
+// removeSatellite detaches sat from the host's satellite list (the rescue
+// path re-homes it) so the host's finish no longer owns its completion.
+func (p *Packet) removeSatellite(sat *Packet) {
+	p.satMu.Lock()
+	defer p.satMu.Unlock()
+	for i, s := range p.satellites {
+		if s == sat {
+			p.satellites = append(p.satellites[:i], p.satellites[i+1:]...)
+			return
+		}
+	}
+}
+
+// sealSatellites closes the host's satellite list to further absorbs (a
+// late AbsorbSatellite fails and its packet falls back to normal queueing)
+// and returns the current set. Idempotent.
+func (p *Packet) sealSatellites() []*Packet {
+	p.satMu.Lock()
+	defer p.satMu.Unlock()
+	p.satSealed = true
 	return append([]*Packet(nil), p.satellites...)
 }
 
@@ -95,7 +125,7 @@ func (p *Packet) finish(err error) {
 		st = PacketCancelled
 	}
 	p.markDone(err, st)
-	for _, s := range p.Satellites() {
+	for _, s := range p.sealSatellites() {
 		s.markDone(err, PacketSatellite)
 	}
 }
@@ -181,6 +211,9 @@ type Query struct {
 	ID   int64
 	ctx  context.Context
 	stop context.CancelFunc
+	// finished closes once the root packet's chain completes (set by the
+	// runtime's cleanup goroutine); the context watcher exits on it.
+	finished chan struct{}
 
 	Root *Packet
 	// Result is the buffer the root packet's output lands in; the client
@@ -197,7 +230,7 @@ type Query struct {
 
 func newQuery(ctx context.Context) *Query {
 	qctx, cancel := context.WithCancel(ctx)
-	return &Query{ID: querySeq.Add(1), ctx: qctx, stop: cancel}
+	return &Query{ID: querySeq.Add(1), ctx: qctx, stop: cancel, finished: make(chan struct{})}
 }
 
 // Ctx returns the query's context.

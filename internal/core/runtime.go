@@ -4,12 +4,16 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"qpipe/internal/core/tbuf"
 	"qpipe/internal/plan"
+	"qpipe/internal/storage/lock"
 	"qpipe/internal/storage/sm"
 )
 
@@ -21,6 +25,13 @@ type Config struct {
 	// WorkersPerEngine sizes each µEngine's worker pool; <= 0 selects
 	// elastic mode (a goroutine per packet — see MicroEngine).
 	WorkersPerEngine int
+	// ScanParallelism is the partition fan-out for unordered table and
+	// clustered-index scans: the page range splits into that many contiguous
+	// partitions served concurrently by scan sub-workers, each with its own
+	// circular cursor. 1 (or negative) keeps the single-reader scanner; 0
+	// defaults to GOMAXPROCS. Plan nodes can override per scan via
+	// TableScan.Parallelism.
+	ScanParallelism int
 	// BufferCapacity bounds intermediate buffers, in batches (default 8).
 	BufferCapacity int
 	// BatchSize is the tuple count operators aim for per produced batch
@@ -39,6 +50,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.ScanParallelism == 0 {
+		c.ScanParallelism = runtime.GOMAXPROCS(0)
+	}
 	if c.BufferCapacity <= 0 {
 		c.BufferCapacity = 8
 	}
@@ -138,6 +152,26 @@ func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
 		return nil, err
 	}
 	q := newQuery(ctx)
+	// Query-level read locking (§4.3.4): acquire a shared lock on every
+	// table the plan reads *before* any packet is dispatched, released when
+	// the query finishes. Taking the whole read set up front — instead of
+	// inside each scan packet — means no lock is ever requested while the
+	// query already holds buffer dependencies. Per-scan locking deadlocked
+	// a two-scan join against a queued writer: scan B holds S with a full
+	// output buffer, a writer queues for X, scan A's S request then blocks
+	// behind the writer, and the join waits on A while B waits on the join
+	// — a cycle through the lock manager that the buffer-level deadlock
+	// detector cannot see.
+	tables := readTables(node)
+	for i, tb := range tables {
+		if err := rt.SM.Locks.Lock(q.ctx, tb, lock.Shared); err != nil {
+			for _, held := range tables[:i] {
+				rt.SM.Locks.Unlock(held, lock.Shared)
+			}
+			q.stop()
+			return nil, err
+		}
+	}
 	result := tbuf.New(rt.Cfg.BufferCapacity)
 	result.Label = fmt.Sprintf("q%d/result", q.ID)
 	q.addBuffer(result)
@@ -151,21 +185,83 @@ func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
 
 	go func() {
 		q.Wait()
+		for _, tb := range tables {
+			rt.SM.Locks.Unlock(tb, lock.Shared)
+		}
+		close(q.finished)
+		// Release the query's cancel context so long-lived parent contexts
+		// don't accumulate a child registration per completed query.
+		// Ordered after the finished close so the context watcher can tell
+		// this apart from a real caller cancellation.
+		q.stop()
 		rt.mu.Lock()
 		delete(rt.queries, q.ID)
 		rt.mu.Unlock()
 	}()
+	// Context watcher: cancellation through the caller's context must tear
+	// the query down actively (abandon its buffers, flag its packets) —
+	// otherwise a packet that never polls Cancelled() blocks its producers
+	// on full buffers forever. A finished query is never torn down: its
+	// result buffer may still hold batches the client is draining.
+	go func() {
+		select {
+		case <-q.ctx.Done():
+			select {
+			case <-q.finished:
+			default:
+				q.Cancel()
+			}
+		case <-q.finished:
+		}
+	}()
 	return q, nil
+}
+
+// readTables returns the distinct tables a plan reads, sorted (the query's
+// shared-lock set, acquired in deterministic order at submit).
+func readTables(node plan.Node) []string {
+	seen := make(map[string]bool)
+	var out []string
+	plan.Walk(node, func(n plan.Node) {
+		var t string
+		switch x := n.(type) {
+		case *plan.TableScan:
+			t = x.Table
+		case *plan.IndexScan:
+			t = x.Table
+		}
+		if t != "" && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	})
+	sort.Strings(out)
+	return out
 }
 
 func (rt *Runtime) validate(node plan.Node) error {
 	var err error
+	updates := 0
 	plan.Walk(node, func(n plan.Node) {
 		if rt.engines[n.Op()] == nil && err == nil {
 			err = fmt.Errorf("core: no µEngine for operator %s", n.Op())
 		}
+		if n.Op() == plan.OpUpdate {
+			updates++
+		}
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	// Updates are single-node plans (§4.3.4: updates are never shared and
+	// never combined with reads). Enforced here because mixing them would
+	// also self-deadlock the query-level locking: the query's submit-time S
+	// lock on a table can never be upgraded by its own update µEngine's X
+	// request (the lock manager has no owner tracking).
+	if updates > 0 && plan.CountNodes(node) > 1 {
+		return fmt.Errorf("core: update plans must be single-node, got %d nodes", plan.CountNodes(node))
+	}
+	return nil
 }
 
 // dispatch recursively creates and enqueues packets for the subtree rooted
@@ -235,6 +331,42 @@ func (rt *Runtime) DispatchSubtree(q *Query, node plan.Node) (*tbuf.Buffer, *Pac
 	q.addBuffer(buf)
 	pkt := rt.dispatch(q, node, buf, false)
 	return buf, pkt
+}
+
+// rescue re-executes a satellite whose host died before producing output:
+// the satellite's plan subtree runs fresh inside its own query (it may
+// OSP-attach to other in-flight work as usual) and streams into the
+// satellite's existing output port, completing the packet as if the host
+// had served it. The closed check and the dispatch share rt.mu so a rescue
+// can never race Close into enqueueing on a drained µEngine.
+func (rt *Runtime) rescue(sat *Packet) {
+	go func() {
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			sat.Complete(fmt.Errorf("core: runtime closed"))
+			return
+		}
+		buf, _ := rt.DispatchSubtree(sat.Query, sat.Node)
+		rt.mu.Unlock()
+		for {
+			b, err := buf.Get()
+			if err == io.EOF {
+				sat.Complete(nil)
+				return
+			}
+			if err != nil {
+				sat.Complete(err)
+				return
+			}
+			if err := sat.Out.Put(b); err != nil {
+				// The satellite's own consumers are gone.
+				buf.Abandon()
+				sat.Complete(nil)
+				return
+			}
+		}
+	}()
 }
 
 func (rt *Runtime) noteShare(op plan.OpType) {

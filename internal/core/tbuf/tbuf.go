@@ -197,6 +197,13 @@ func (b *Buffer) Unbounded() bool {
 	return b.capacity <= 0
 }
 
+// IsAbandoned reports whether the consumer abandoned the buffer.
+func (b *Buffer) IsAbandoned() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.abandoned
+}
+
 // Snapshot captures the buffer's occupancy and blocking state.
 type Snapshot struct {
 	State      State
@@ -272,8 +279,12 @@ func (b *Buffer) Drain() (int64, error) {
 // tuples. A bounded replay window of produced tuples supports late
 // attachment (the buffering enhancement).
 //
-// SharedOut assumes a single producing goroutine (one worker drives a host
-// packet), which is QPipe's execution model.
+// Put is safe to call from multiple producing goroutines — the partitioned
+// scan fans P partition workers into one consumer's port — because the
+// replay append, produced counter, and target snapshot share one critical
+// section. The port makes no cross-batch ordering guarantee under
+// concurrent producers, so only order-insensitive streams (unordered scans)
+// may multi-produce.
 type SharedOut struct {
 	mu   sync.Mutex
 	outs []*Buffer
@@ -340,10 +351,26 @@ func (s *SharedOut) Put(batch Batch) error {
 		alive++
 	}
 	if alive == 0 {
-		return ErrAbandoned
+		// Re-check under the lock before declaring the port dead: a
+		// satellite may have attached while this Put was in flight (its
+		// snapshot of targets predates the attach). Such a satellite already
+		// received this batch through the replay window at attach time, so
+		// the Put succeeded from its point of view.
+		s.mu.Lock()
+		stillConsumed := len(s.outs) > 0
+		s.mu.Unlock()
+		if !stillConsumed {
+			return ErrAbandoned
+		}
 	}
 	return nil
 }
+
+// Detach removes a consumer buffer from the port without closing it. The
+// OSP rescue path uses this to re-home a satellite onto a fresh subtree
+// before a dying host closes its port (which would otherwise propagate the
+// host's terminal error to the satellite).
+func (s *SharedOut) Detach(buf *Buffer) { s.detach(buf) }
 
 func (s *SharedOut) detach(buf *Buffer) {
 	s.mu.Lock()
@@ -424,6 +451,23 @@ func (s *SharedOut) NumConsumers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.outs)
+}
+
+// PruneDead detaches consumers whose buffers were abandoned and reports
+// whether any live consumer remains. Producers whose stream goes quiet (a
+// scan consumer matching no rows never Puts, so never learns its targets
+// died) use this as an explicit liveness probe.
+func (s *SharedOut) PruneDead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.outs[:0]
+	for _, o := range s.outs {
+		if !o.IsAbandoned() {
+			kept = append(kept, o)
+		}
+	}
+	s.outs = kept
+	return len(s.outs) > 0
 }
 
 // Consumers snapshots the attached buffers (deadlock detector edges from a

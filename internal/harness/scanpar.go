@@ -1,0 +1,164 @@
+// Scan-parallelism experiment: the partitioned parallel scan sweep. Not a
+// paper figure — it measures this repo's intra-operator parallelism
+// extension (ScanParallelism) on a dedicated scan-heavy table, solo and with
+// OSP sharing engaged, the workload shape of repeated-full-pass analytics
+// such as association-rule mining.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"qpipe"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// ScanTable is the table name loaded by NewScanEnv.
+const ScanTable = "big"
+
+// ScanSchema is the scan-sweep table's schema: a key, a low-cardinality
+// group, a measure and a payload string that pads rows so the table spans
+// enough pages to be I/O-bound.
+func ScanSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("k", tuple.KindInt),
+		tuple.Col("g", tuple.KindInt),
+		tuple.Col("v", tuple.KindFloat),
+		tuple.Col("pad", tuple.KindString),
+	)
+}
+
+func scanLoad(mgr *sm.Manager, rows int, seed int64) error {
+	if _, err := mgr.CreateTable(ScanTable, ScanSchema()); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pad := "0123456789abcdef0123456789abcdef"
+	batch := make([]tuple.Tuple, 0, 4096)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := mgr.Load(ScanTable, batch)
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		batch = append(batch, tuple.Tuple{
+			tuple.I64(int64(i)),
+			tuple.I64(int64(rng.Intn(97))),
+			tuple.F64(rng.Float64() * 1000),
+			tuple.Str(pad),
+		})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// NewScanEnv loads a single heap table of rows rows (100k+ makes a full
+// scan span several hundred pages) for the scan-parallelism sweep.
+func NewScanEnv(sc Scale, rows int) (*Env, error) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{Spindles: sc.Spindles}, PoolPages: sc.PoolPages})
+	if err := scanLoad(mgr, rows, sc.Seed); err != nil {
+		return nil, err
+	}
+	env := &Env{Scale: sc, Disk: mgr.Disk, loadMgr: mgr,
+		attach: func(m *sm.Manager) error {
+			_, err := m.AttachTable(ScanTable, ScanSchema())
+			return err
+		}}
+	return env, nil
+}
+
+// ScanCountPlan builds the sweep's probe query: an unordered full scan of
+// ScanTable under a count aggregate, optionally filtered (different filters
+// across clients force page-level circular sharing rather than
+// signature-exact dedupe).
+func ScanCountPlan(schema *tuple.Schema, filter expr.Pred) plan.Node {
+	return plan.NewAggregate(
+		plan.NewTableScan(ScanTable, schema, filter, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}})
+}
+
+// ScanSharePlans builds the multi-client sharing workload: `clients` full
+// scans of ScanTable with distinct predicates, so OSP shares the page
+// stream (circular attach) rather than deduping by signature. Used by both
+// the figure sweep and BenchmarkScanParallelism so they measure the same
+// workload.
+func ScanSharePlans(schema *tuple.Schema, clients int) []plan.Node {
+	plans := make([]plan.Node, clients)
+	for i := range plans {
+		plans[i] = ScanCountPlan(schema, expr.GE(expr.Col(0), expr.CInt(int64(i))))
+	}
+	return plans
+}
+
+// ScanParallelism sweeps the partition fan-out: for each worker count it
+// measures a standalone cold full scan and the per-query response of
+// `clients` staggered scans with distinct predicates (OSP merges them onto
+// one partitioned scan group). Returns the figure plus the total OSP shares
+// observed in the multi-client runs — >0 means sharing engaged alongside
+// partitioning.
+func ScanParallelism(env *Env, workers []int, clients int) (Figure, int64, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	if clients <= 0 {
+		clients = 3
+	}
+	fig := Figure{
+		Name:   "ScanPar",
+		Title:  "partitioned parallel scan sweep",
+		XLabel: "scan workers",
+		YLabel: "response ms",
+	}
+	solo := Series{Label: "1 client"}
+	shared := Series{Label: fmt.Sprintf("%d clients w/OSP", clients)}
+	var totalShares int64
+	for _, w := range workers {
+		cfg := qpipe.DefaultConfig()
+		cfg.ScanParallelism = w
+		sys, err := env.NewQPipeWith(fmt.Sprintf("QPipe scan-par=%d", w), cfg)
+		if err != nil {
+			return fig, totalShares, err
+		}
+		schema := sys.Manager().MustTable(ScanTable).Schema
+		env.SetMeasuring(true)
+		d, err := StandaloneResponse(env, sys, func() plan.Node { return ScanCountPlan(schema, nil) })
+		if err != nil {
+			env.SetMeasuring(false)
+			return fig, totalShares, err
+		}
+		solo.Points = append(solo.Points, Point{X: float64(w), Y: ms(d)})
+
+		plans := ScanSharePlans(schema, clients)
+		if err := sys.Manager().Pool.Invalidate(); err != nil {
+			env.SetMeasuring(false)
+			return fig, totalShares, err
+		}
+		res := RunStaggered(env, sys, plans, d/10)
+		env.SetMeasuring(false)
+		if res.Err != nil {
+			return fig, totalShares, res.Err
+		}
+		var sum time.Duration
+		for _, pq := range res.PerQuery {
+			sum += pq
+		}
+		shared.Points = append(shared.Points, Point{X: float64(w), Y: ms(sum / time.Duration(clients))})
+		totalShares += res.Shares
+	}
+	fig.Series = []Series{solo, shared}
+	return fig, totalShares, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -124,11 +124,12 @@ func applyFilterProject(in []tuple.Tuple, filter expr.Pred, project []int) []tup
 // defaultTryShare is the signature-exact OSP attach used by operators whose
 // window of opportunity is fully captured by output timing: attach succeeds
 // while the host has produced nothing (full/step overlap) or while all its
-// output still fits the replay window (the buffering enhancement).
+// output still fits the replay window (the buffering enhancement). The
+// commit is atomic against the host's teardown (see AbsorbSatellite).
 func defaultTryShare(host, sat *core.Packet) bool {
 	st := host.State()
 	if st == core.PacketDone || st == core.PacketCancelled || st == core.PacketSatellite {
 		return false
 	}
-	return host.Out.Attach(sat.OutBuf)
+	return host.AbsorbSatellite(sat)
 }

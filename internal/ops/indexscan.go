@@ -24,7 +24,6 @@ import (
 	"qpipe/internal/plan"
 	"qpipe/internal/storage/btree"
 	"qpipe/internal/storage/heap"
-	"qpipe/internal/storage/lock"
 	"qpipe/internal/storage/sm"
 	"qpipe/internal/tuple"
 )
@@ -128,10 +127,6 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 	if err != nil {
 		return err
 	}
-	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Shared); err != nil {
-		return err
-	}
-	defer rt.SM.Locks.Unlock(node.Table, lock.Shared)
 	tr := tb.Clustered
 	pnos, err := o.leaves(tr)
 	if err != nil {
@@ -202,12 +197,11 @@ func (o *IndexScanOp) ScanProgress(table, col string) (pos, total int64, ok bool
 		if s.circular {
 			return false
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.done || s.pos == 0 || s.pos >= s.n {
+		p, n, alive := s.progress()
+		if !alive || p == 0 || p >= n {
 			return false
 		}
-		pos, total, ok = s.pos, s.n, true
+		pos, total, ok = p, n, true
 		return true
 	})
 	return pos, total, ok
@@ -240,10 +234,8 @@ func (o *IndexScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	if err != nil {
 		return err
 	}
-	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Shared); err != nil {
-		return err
-	}
-	defer rt.SM.Locks.Unlock(node.Table, lock.Shared)
+	// The query's shared lock on the table was acquired at submit (see
+	// Runtime.Submit's query-level read locking).
 	if node.Clustered {
 		return o.runClustered(rt, pkt, tb, node)
 	}
@@ -319,9 +311,15 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 		}
 		return em.flush()
 	}
-	s := &scanner{hostID: pkt.ID, src: src, n: src.numPages(), circular: !node.Ordered}
-	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project, remaining: s.n}
-	s.consumers = []*scanConsumer{c}
+	// Unordered full clustered scans partition like table scans (leaf order
+	// is irrelevant to their consumers); ordered scans stay single-partition
+	// so the leaf stream keeps key order (newScanner enforces this).
+	s := newScanner(pkt.ID, src, !node.Ordered, rt.Cfg.ScanParallelism)
+	if eng := rt.Engine(plan.OpIndexScan); eng != nil {
+		s.spawn = eng.SpawnSub
+	}
+	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
+	s.attach(c, false)
 	if rt.Cfg.OSP {
 		key := o.key(node)
 		o.reg.add(key, s)

@@ -1,0 +1,331 @@
+package ops
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"qpipe/internal/core"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+func parCfg(par int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ScanParallelism = par
+	return cfg
+}
+
+type fakeSource struct{ n int64 }
+
+func (f fakeSource) numPages() int64                       { return f.n }
+func (f fakeSource) readPage(int64) ([]tuple.Tuple, error) { return nil, nil }
+
+func TestPartitionBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		pages int64
+		par   int
+		want  int // expected partition count after clamping
+	}{
+		{100, 4, 4},
+		{100, 1, 1},
+		{3, 8, 3},    // clamp to page count
+		{0, 4, 1},    // empty source keeps one (empty) partition
+		{7, 3, 3},    // uneven split
+		{100, -2, 1}, // negative = serial
+	} {
+		s := newScanner(1, fakeSource{n: tc.pages}, true, tc.par)
+		if len(s.parts) != tc.want {
+			t.Fatalf("pages=%d par=%d: %d partitions, want %d", tc.pages, tc.par, len(s.parts), tc.want)
+		}
+		// Partitions must tile [0, pages) contiguously and disjointly.
+		var next int64
+		for _, p := range s.parts {
+			if p.lo != next || p.hi < p.lo || p.pos != p.lo {
+				t.Fatalf("pages=%d par=%d: bad partition %+v at expected lo %d", tc.pages, tc.par, p, next)
+			}
+			next = p.hi
+		}
+		if next != tc.pages {
+			t.Fatalf("pages=%d par=%d: partitions end at %d", tc.pages, tc.par, next)
+		}
+	}
+	// Ordered scans are forced serial regardless of the knob.
+	if s := newScanner(1, fakeSource{n: 100}, false, 8); len(s.parts) != 1 {
+		t.Fatalf("ordered scan got %d partitions", len(s.parts))
+	}
+}
+
+func TestPartitionedScanExactlyOnce(t *testing.T) {
+	const n = 2000
+	for _, par := range []int{1, 2, 3, 4, 8, 64} {
+		rt := newRT(t, n, parCfg(par))
+		rows := runPlan(t, rt, plan.NewTableScan("t", testSchema(), nil, nil, false))
+		if len(rows) != n {
+			t.Fatalf("par=%d: %d rows, want %d", par, len(rows), n)
+		}
+		seen := make(map[int64]bool, n)
+		for _, r := range rows {
+			if seen[r[0].I] {
+				t.Fatalf("par=%d: key %d delivered twice", par, r[0].I)
+			}
+			seen[r[0].I] = true
+		}
+	}
+}
+
+func TestPartitionedScanFilterProject(t *testing.T) {
+	const n = 2000
+	rt := newRT(t, n, parCfg(4))
+	pred := expr.LT(expr.Col(0), expr.CInt(500))
+	rows := runPlan(t, rt, plan.NewTableScan("t", testSchema(), pred, []int{0}, false))
+	if len(rows) != 500 {
+		t.Fatalf("filtered rows: %d, want 500", len(rows))
+	}
+	seen := make(map[int64]bool)
+	for _, r := range rows {
+		if len(r) != 1 || r[0].I >= 500 || seen[r[0].I] {
+			t.Fatalf("bad projected row %v", r)
+		}
+		seen[r[0].I] = true
+	}
+}
+
+func TestPartitionedScanOrderedStaysSerial(t *testing.T) {
+	const n = 1500
+	rt := newRT(t, n, parCfg(8))
+	rows := runPlan(t, rt, plan.NewTableScan("t", testSchema(), nil, nil, true))
+	if len(rows) != n {
+		t.Fatalf("%d rows, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Fatalf("ordered scan out of order at %d: got key %d", i, r[0].I)
+		}
+	}
+}
+
+func TestPartitionedScanEmptyTable(t *testing.T) {
+	rt := newRT(t, 0, parCfg(4))
+	rows := runPlan(t, rt, plan.NewAggregate(
+		plan.NewTableScan("t", testSchema(), nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	if len(rows) != 1 || rows[0][0].I != 0 {
+		t.Fatalf("count over empty table: %v", rows)
+	}
+}
+
+// startBlockedScan submits a bare table-scan query and consumes one batch,
+// which guarantees the partitioned scan group is registered, in flight, and
+// (with far more pages than the result buffer holds) blocked mid-scan.
+// Returns the query and the number of rows already consumed.
+func startBlockedScan(t *testing.T, rt *core.Runtime) (*core.Query, int64) {
+	t.Helper()
+	q, err := rt.Submit(context.Background(), plan.NewTableScan("t", testSchema(), nil, nil, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Result.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, int64(len(b))
+}
+
+func drainCount(t *testing.T, q *core.Query) int64 {
+	t.Helper()
+	var n int64
+	for {
+		b, err := q.Result.Get()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += int64(len(b))
+	}
+	if err := q.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPartitionedScanSatelliteAttachMidScan(t *testing.T) {
+	const n = 4000
+	rt := newRT(t, n, parCfg(4))
+	q1, pre := startBlockedScan(t, rt)
+	// A second scan with a different predicate cannot dedupe by signature;
+	// it must piggyback on the in-flight partitioned group, owing every
+	// partition its full range (circular wrap serves the missed pages).
+	p2 := plan.NewAggregate(
+		plan.NewTableScan("t", testSchema(), expr.GE(expr.Col(0), expr.CInt(1000)), nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}})
+	q2, err := rt.Submit(context.Background(), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pre + drainCount(t, q1); got != n {
+		t.Fatalf("host scan rows: %d, want %d", got, n)
+	}
+	b2, err := q2.Result.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2[0][0].I != n-1000 {
+		t.Fatalf("satellite count: %d, want %d", b2[0][0].I, n-1000)
+	}
+	if err := q2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().SharesByOp[plan.OpTableScan] == 0 {
+		t.Fatal("satellite did not attach to the in-flight scan group")
+	}
+	if rt.Stats().EngineStats[plan.OpTableScan].SubWorkers < 3 {
+		t.Fatalf("expected >=3 scan sub-workers, stats: %+v", rt.Stats().EngineStats[plan.OpTableScan])
+	}
+}
+
+func TestCancelledConduitStillServesSatellites(t *testing.T) {
+	// A signature-identical scan absorbed onto another query's in-flight
+	// scan packet must receive the complete stream even when the conduit
+	// query is cancelled mid-scan: cancellation abandons only the conduit's
+	// own buffers, and the scan group keeps serving the attached satellite.
+	const n = 3000
+	rt := newRT(t, n, parCfg(4))
+	ctxC, cancelC := context.WithCancel(context.Background())
+	defer cancelC()
+	qC, err := rt.Submit(ctxC, plan.NewTableScan("t", testSchema(), nil, nil, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qC.Result.Get(); err != nil {
+		t.Fatal(err)
+	}
+	qR, err := rt.Submit(context.Background(), plan.NewTableScan("t", testSchema(), nil, nil, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelC()
+	rows := make(map[int64]int, n)
+	got := int64(0)
+	for {
+		b, err := qR.Result.Get()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range b {
+			rows[r[0].I]++
+			got++
+		}
+	}
+	if err := qR.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("satellite rows after conduit cancel: %d, want %d", got, n)
+	}
+	for k, c := range rows {
+		if c != 1 {
+			t.Fatalf("key %d delivered %d times", k, c)
+		}
+	}
+}
+
+func TestSatelliteRescuedFromCancelledHost(t *testing.T) {
+	// An aggregate absorbed onto a host that gets cancelled before emitting
+	// must be rescued (its subtree re-dispatched), not handed the host's
+	// error or a partial result.
+	const n = 3000
+	rt := newRT(t, n, parCfg(4))
+	rt.SM.Disk.SetLatency(25*time.Microsecond, 35*time.Microsecond, 0)
+	defer rt.SM.Disk.SetLatency(0, 0, 0)
+	mk := func() plan.Node {
+		return plan.NewAggregate(
+			plan.NewTableScan("t", testSchema(), nil, nil, false),
+			[]expr.AggSpec{{Kind: expr.AggCount}})
+	}
+	ctxC, cancelC := context.WithCancel(context.Background())
+	defer cancelC()
+	qC, err := rt.Submit(ctxC, mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // let the host aggregate start
+	qR, err := rt.Submit(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // let the absorb (if any) land
+	cancelC()
+	b, err := qR.Result.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0][0].I != n {
+		t.Fatalf("count after host cancel: %d, want %d", b[0][0].I, n)
+	}
+	if err := qR.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	<-qC.Root.Done()
+}
+
+func TestPartitionedScanCancelHostConsumerMidScan(t *testing.T) {
+	const n = 4000
+	rt := newRT(t, n, parCfg(4))
+	q1, _ := startBlockedScan(t, rt)
+	p2 := plan.NewAggregate(
+		plan.NewTableScan("t", testSchema(), expr.GE(expr.Col(0), expr.CInt(500)), nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}})
+	q2, err := rt.Submit(context.Background(), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().SharesByOp[plan.OpTableScan] == 0 {
+		t.Fatal("satellite did not attach to the in-flight scan group")
+	}
+	// Cancel the *host* consumer while the satellite still owes pages on
+	// every partition: the scan group must drop the host and keep serving
+	// the satellite to completion — no partition may stall.
+	q1.Cancel()
+	b2, err := q2.Result.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2[0][0].I != n-500 {
+		t.Fatalf("satellite count after host cancel: %d, want %d", b2[0][0].I, n-500)
+	}
+	if err := q2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedScanCancelSatelliteMidScan(t *testing.T) {
+	const n = 4000
+	rt := newRT(t, n, parCfg(4))
+	q1, pre := startBlockedScan(t, rt)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	p2 := plan.NewAggregate(
+		plan.NewTableScan("t", testSchema(), expr.GE(expr.Col(0), expr.CInt(500)), nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}})
+	q2, err := rt.Submit(ctx2, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Stats().SharesByOp[plan.OpTableScan] == 0 {
+		t.Fatal("satellite did not attach to the in-flight scan group")
+	}
+	cancel2()
+	// The host must still receive every row exactly once.
+	if got := pre + drainCount(t, q1); got != n {
+		t.Fatalf("host rows after satellite cancel: %d, want %d", got, n)
+	}
+	<-q2.Root.Done()
+}

@@ -1,11 +1,17 @@
-// Circular table scans (paper §4.3.1): one scanner per in-progress relation
-// scan; late-arriving scan packets attach immediately, set a new termination
-// point at the scanner's current position, and the scanner wraps at
-// end-of-file to serve the pages they missed. Per-consumer predicates and
-// projections are applied inside the scan µEngine, so packets with
-// *different* predicates still share one page stream — which is exactly why
-// QPipe keeps saving I/O in the full-workload experiment (Figure 12) even
-// though qgen randomizes every query's selection predicates.
+// Circular table scans (paper §4.3.1), partitioned for intra-operator
+// parallelism: one scan group per in-progress relation scan. The heap's page
+// range splits into P contiguous partitions, each driven by its own scan
+// worker with its own circular cursor; partition output merges into every
+// attached consumer's tuple buffer. Late-arriving scan packets attach
+// immediately — each partition records a per-consumer page debt and wraps at
+// its own boundary to serve the pages the consumer missed, generalizing the
+// paper's single position() cursor to one progress cursor per partition.
+// Per-consumer predicates and projections are applied inside the scan
+// µEngine, so packets with *different* predicates still share one page
+// stream — which is exactly why QPipe keeps saving I/O in the full-workload
+// experiment (Figure 12) even though qgen randomizes every query's selection
+// predicates. Ordered scans require page order and always run with a single
+// partition.
 package ops
 
 import (
@@ -14,7 +20,6 @@ import (
 	"qpipe/internal/core"
 	"qpipe/internal/expr"
 	"qpipe/internal/plan"
-	"qpipe/internal/storage/lock"
 	"qpipe/internal/tuple"
 )
 
@@ -25,30 +30,81 @@ type pageSource interface {
 	readPage(ord int64) ([]tuple.Tuple, error)
 }
 
-// scanConsumer is one packet attached to a scanner.
+// partition is one contiguous page range [lo, hi) of a scan group, with its
+// own circular cursor. Exactly one worker advances each partition's cursor.
+type partition struct {
+	lo, hi int64
+	pos    int64 // next page ordinal to read
+}
+
+func (p *partition) size() int64 { return p.hi - p.lo }
+
+// scanConsumer is one packet attached to a scan group. Page debts are per
+// partition: a consumer attaching mid-scan owes each partition its full
+// range, and the partition's circular wrap serves the pages it missed.
 type scanConsumer struct {
 	pkt       *core.Packet
 	filter    expr.Pred
 	project   []int
-	remaining int64 // pages still owed
+	remaining []int64 // pages still owed, per partition
+	pending   int     // partitions with remaining > 0
 }
 
-// scanner is the paper's "scanner thread": it owns the position in the page
-// stream and multiplexes pages to all attached consumers.
+// scanner is the paper's "scanner thread", generalized to a partitioned scan
+// group: it owns one cursor per partition of the page stream and multiplexes
+// pages to all attached consumers. The host packet's worker drives partition
+// 0; partitions 1..P-1 fan out to scan sub-workers.
 type scanner struct {
-	mu sync.Mutex
+	mu   sync.Mutex
+	cond *sync.Cond // wakes parked partition workers on attach/teardown
+
 	// hostID is the packet whose worker runs this scanner; every attached
 	// consumer's output buffer reports it as producer so the deadlock
 	// detector sees the real 1-producer-N-consumers structure (one stalled
 	// scanner can otherwise hide a Waits-For cycle — e.g. a self-join whose
 	// two inputs ride the same scanner).
-	hostID    int64
-	src       pageSource
-	n         int64
-	pos       int64 // next page ordinal to read
-	circular  bool  // wrap at EOF while consumers still need pages
+	hostID   int64
+	src      pageSource
+	n        int64
+	parts    []partition
+	circular bool // wrap at partition end while consumers still need pages
+	// spawn runs a partition worker on the µEngine's sub-worker machinery;
+	// nil falls back to a plain goroutine (direct scanner tests).
+	spawn func(func())
+
 	consumers []*scanConsumer
 	done      bool
+	err       error
+}
+
+// newScanner builds a scan group over src split into up to parallelism
+// contiguous partitions. Ordered (non-circular) scans are forced to a single
+// partition: interleaved partition output would break page order.
+func newScanner(hostID int64, src pageSource, circular bool, parallelism int) *scanner {
+	n := src.numPages()
+	if !circular || parallelism < 1 {
+		parallelism = 1
+	}
+	if int64(parallelism) > n {
+		parallelism = int(n)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	s := &scanner{hostID: hostID, src: src, n: n, circular: circular}
+	s.cond = sync.NewCond(&s.mu)
+	per := n / int64(parallelism)
+	rem := n % int64(parallelism)
+	lo := int64(0)
+	for k := 0; k < parallelism; k++ {
+		hi := lo + per
+		if int64(k) < rem {
+			hi++
+		}
+		s.parts = append(s.parts, partition{lo: lo, hi: hi, pos: lo})
+		lo = hi
+	}
+	return s
 }
 
 // bindProducer points the consumer's output port at this scanner for the
@@ -60,104 +116,215 @@ func (s *scanner) bindProducer(c *scanConsumer) {
 	}
 }
 
-// attach adds a consumer at the current position (its termination point).
-// Returns the start position. Fails once the scanner has finished, or — when
-// requireStart is set (spike-overlap semantics, and unordered consumers
-// joining a non-circular scanner) — once the scanner has moved past page 0.
+// attach adds a consumer owing every partition its full range (each
+// partition's current position is its termination point). Returns partition
+// 0's position. Fails once the scanner has finished, or — when requireStart
+// is set (spike-overlap semantics, and unordered consumers joining a
+// non-circular scanner) — unless the group is a single partition still at
+// page 0: a multi-partition group interleaves pages and can never satisfy a
+// consumer that needs them in order from the start.
 func (s *scanner) attach(c *scanConsumer, requireStart bool) (int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.done {
+	if s.done || s.err != nil {
 		return 0, false
 	}
-	if requireStart && s.pos != 0 {
+	if requireStart && !(len(s.parts) == 1 && s.parts[0].pos == 0) {
 		return 0, false
 	}
-	c.remaining = s.n
-	s.consumers = append(s.consumers, c)
+	c.remaining = make([]int64, len(s.parts))
+	c.pending = 0
+	for k := range s.parts {
+		c.remaining[k] = s.parts[k].size()
+		if c.remaining[k] > 0 {
+			c.pending++
+		}
+	}
 	s.bindProducer(c)
-	return s.pos, true
+	if c.pending == 0 {
+		// Empty relation: nothing owed, serve EOF immediately.
+		c.pkt.Complete(nil)
+		return 0, true
+	}
+	s.consumers = append(s.consumers, c)
+	s.cond.Broadcast()
+	return s.parts[0].pos, true
 }
 
 // attachSuffix adds a consumer that only wants the remaining (suffix) part
-// of an ordered scan: pages pos..n-1. Used by the merge-join split.
+// of an ordered scan: pages pos..n-1. Used by the merge-join split. Ordered
+// scanners are always single-partition.
 func (s *scanner) attachSuffix(c *scanConsumer) (int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.done {
+	if s.done || s.err != nil || s.circular || len(s.parts) != 1 {
 		return 0, false
 	}
-	c.remaining = s.n - s.pos
-	if c.remaining <= 0 {
+	p := &s.parts[0]
+	owed := p.hi - p.pos
+	if owed <= 0 {
 		return 0, false
 	}
+	c.remaining = []int64{owed}
+	c.pending = 1
 	s.consumers = append(s.consumers, c)
 	s.bindProducer(c)
-	return s.pos, true
+	s.cond.Broadcast()
+	return p.pos, true
 }
 
-// position reports the scanner's current page ordinal.
-func (s *scanner) position() int64 {
+// progress reports a single-partition scanner's cursor and total page count
+// (the merge-join split's cost model). Multi-partition groups report
+// ok=false: there is no single linear position to split at.
+func (s *scanner) progress() (pos, total int64, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pos
+	if s.done || s.err != nil || len(s.parts) != 1 {
+		return 0, 0, false
+	}
+	return s.parts[0].pos, s.n, true
 }
 
-// run drives the scanner until every consumer is served (or gone). The
-// calling worker is the dedicated scanner thread.
+// run drives the scan group until every consumer is served (or gone). The
+// calling worker — the host packet's — drives partition 0 as the paper's
+// dedicated scanner thread; the remaining partitions fan out as sub-workers.
 func (s *scanner) run() error {
+	s.mu.Lock()
+	if len(s.consumers) == 0 {
+		s.done = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return nil
+	}
+	nparts := len(s.parts)
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for k := 1; k < nparts; k++ {
+		wg.Add(1)
+		work := func() {
+			defer wg.Done()
+			s.runPartition(k)
+		}
+		if s.spawn != nil {
+			s.spawn(work)
+		} else {
+			go work()
+		}
+	}
+	s.runPartition(0)
+	wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// hungryLocked reports whether any attached consumer still owes pages to
+// partition k.
+func (s *scanner) hungryLocked(k int) bool {
+	for _, c := range s.consumers {
+		if c.remaining[k] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runPartition is one partition's worker loop: read the next page of the
+// range (wrapping at the partition boundary on circular scans) and serve it
+// to every consumer that still owes pages here. With no hungry consumer the
+// worker parks until a satellite attaches or the group tears down.
+func (s *scanner) runPartition(k int) {
 	for {
 		s.mu.Lock()
-		if len(s.consumers) == 0 {
-			s.done = true
-			s.mu.Unlock()
-			return nil
+		for {
+			if s.done || s.err != nil {
+				s.mu.Unlock()
+				return
+			}
+			if s.hungryLocked(k) {
+				break
+			}
+			s.cond.Wait()
 		}
-		if s.pos >= s.n {
+		p := &s.parts[k]
+		if p.pos >= p.hi {
 			if !s.circular {
 				// Ordered scan reached EOF: any remaining consumers are
 				// fully served by construction.
-				for _, c := range s.consumers {
-					c.pkt.Complete(nil)
-				}
+				consumers := s.consumers
 				s.consumers = nil
 				s.done = true
+				s.cond.Broadcast()
 				s.mu.Unlock()
-				return nil
+				for _, c := range consumers {
+					c.pkt.Complete(nil)
+				}
+				return
 			}
-			s.pos = 0
+			p.pos = p.lo
 		}
-		p := s.pos
-		s.pos++
+		pg := p.pos
+		p.pos++
 		consumers := append([]*scanConsumer(nil), s.consumers...)
 		s.mu.Unlock()
 
-		tuples, err := s.src.readPage(p)
+		tuples, err := s.src.readPage(pg)
 		if err != nil {
 			s.fail(err)
-			return err
+			return
 		}
 		for _, c := range consumers {
-			if c.remaining <= 0 {
-				continue
-			}
-			if c.pkt.Cancelled() {
-				s.detach(c, nil)
-				continue
-			}
-			out := applyFilterProject(tuples, c.filter, c.project)
-			if len(out) > 0 {
-				if err := c.pkt.Out.Put(out); err != nil {
-					// Consumer gone (query cancelled or absorbed elsewhere).
-					s.detach(c, nil)
-					continue
-				}
-			}
-			c.remaining--
-			if c.remaining == 0 {
-				s.detach(c, nil)
-			}
+			s.serve(c, k, tuples)
 		}
+	}
+}
+
+// serve delivers one page to one consumer on behalf of partition k. Only
+// partition k's worker decrements remaining[k], so per-consumer page
+// accounting needs no coordination beyond the scanner lock; the Put itself
+// happens unlocked so a slow consumer only throttles this partition.
+//
+// Cancellation is detected through the consumer's output port, not the
+// packet flag: a cancelled query abandons its own buffers (Put then fails),
+// but the packet may still be a conduit for satellites of *other* queries
+// attached to its port, which must keep receiving the full stream — eagerly
+// dropping the consumer would hand those satellites a truncated stream with
+// a clean EOF.
+func (s *scanner) serve(c *scanConsumer, k int, tuples []tuple.Tuple) {
+	s.mu.Lock()
+	owed := c.remaining[k] > 0
+	s.mu.Unlock()
+	if !owed {
+		return
+	}
+	out := applyFilterProject(tuples, c.filter, c.project)
+	if len(out) > 0 {
+		if err := c.pkt.Out.Put(out); err != nil {
+			// Consumer gone (query cancelled or absorbed elsewhere).
+			s.detach(c, nil)
+			return
+		}
+	} else if c.pkt.Cancelled() && !c.pkt.Out.PruneDead() {
+		// A cancelled consumer whose filter matches nothing never Puts, so
+		// the port would never report its death — probe explicitly rather
+		// than scanning the rest of the table for a dead query. (A cancelled
+		// consumer with live satellites still attached keeps being served:
+		// it is their conduit.)
+		s.detach(c, nil)
+		return
+	}
+	s.mu.Lock()
+	c.remaining[k]--
+	finished := false
+	if c.remaining[k] == 0 {
+		c.pending--
+		finished = c.pending == 0
+	}
+	s.mu.Unlock()
+	if finished {
+		s.detach(c, nil)
 	}
 }
 
@@ -169,6 +336,10 @@ func (s *scanner) detach(c *scanConsumer, err error) {
 			break
 		}
 	}
+	if len(s.consumers) == 0 {
+		s.done = true
+	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	c.pkt.Complete(err)
 }
@@ -178,6 +349,8 @@ func (s *scanner) fail(err error) {
 	consumers := s.consumers
 	s.consumers = nil
 	s.done = true
+	s.err = err
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	for _, c := range consumers {
 		c.pkt.Complete(err)
@@ -241,7 +414,8 @@ type heapSource struct {
 func (h heapSource) numPages() int64                         { return h.f.NumPages() }
 func (h heapSource) readPage(p int64) ([]tuple.Tuple, error) { return h.f.ReadPage(p) }
 
-// TableScanOp is the file-scan µEngine with circular-scan sharing.
+// TableScanOp is the file-scan µEngine with partitioned circular-scan
+// sharing.
 type TableScanOp struct {
 	reg *scanRegistry
 }
@@ -259,15 +433,16 @@ func (o *TableScanOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 }
 
 // TryAdmit implements circular-scan admission: an unordered scan packet
-// piggybacks on any in-progress scanner of the same table regardless of
-// predicates. Ordered scans have a spike WoP — they may only piggyback on a
-// scanner still at page 0 (the "first output page still in memory" case).
+// piggybacks on any in-progress scan group of the same table regardless of
+// predicates or partitioning. Ordered scans have a spike WoP — they may only
+// piggyback on a single-partition scanner still at page 0 (the "first output
+// page still in memory" case).
 func (o *TableScanOp) TryAdmit(rt *core.Runtime, pkt *core.Packet) bool {
 	node := pkt.Node.(*plan.TableScan)
 	attached := o.reg.visit("tbl:"+node.Table, func(s *scanner) bool {
 		// Ordered consumers have a spike WoP; unordered consumers can join a
-		// circular scanner anywhere but a one-shot (ordered) scanner only at
-		// its very start.
+		// circular scan group anywhere but a one-shot (ordered) scanner only
+		// at its very start.
 		requireStart := node.Ordered || !s.circular
 		c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
 		_, ok := s.attach(c, requireStart)
@@ -283,29 +458,37 @@ func (o *TableScanOp) TryAdmit(rt *core.Runtime, pkt *core.Packet) bool {
 	return attached
 }
 
-// Run implements core.Operator: the packet becomes the host of a new
-// scanner thread serving itself and any satellites that attach later.
+// Run implements core.Operator: the packet becomes the host of a new scan
+// group serving itself and any satellites that attach later. Partition 0 is
+// driven by this worker; extra partitions fan out to scan sub-workers.
 func (o *TableScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.TableScan)
 	tb, err := rt.SM.Table(node.Table)
 	if err != nil {
 		return err
 	}
+	// No lock is taken here: the query acquired its shared lock on the
+	// table at submit (§4.3.4 — "if a table is locked for writing, the scan
+	// packet will simply wait, and with it all satellite ones"; the wait now
+	// happens at admission). Every attached satellite's own query holds its
+	// own shared lock, so the group's page reads stay covered even after
+	// the host query finishes.
 	src := heapSource{f: tb.Heap}
-	s := &scanner{hostID: pkt.ID, src: src, n: src.numPages(), circular: !node.Ordered}
-	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project, remaining: s.n}
-	s.consumers = []*scanConsumer{c}
+	par := node.Parallelism
+	if par == 0 {
+		par = rt.Cfg.ScanParallelism
+	}
+	s := newScanner(pkt.ID, src, !node.Ordered, par)
+	if eng := rt.Engine(plan.OpTableScan); eng != nil {
+		s.spawn = eng.SpawnSub
+	}
+	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
+	s.attach(c, false)
 	key := "tbl:" + node.Table
 	if rt.Cfg.OSP {
 		o.reg.add(key, s)
 		defer o.reg.remove(key, s)
 	}
-	// Table-level S lock: waits while an update holds X (§4.3.4), and with
-	// it wait all satellites.
-	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Shared); err != nil {
-		return err
-	}
-	defer rt.SM.Locks.Unlock(node.Table, lock.Shared)
 	return s.run()
 }
 

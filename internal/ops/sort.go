@@ -67,6 +67,12 @@ func (o *SortOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 	}
 	st.readers++
 	st.mu.Unlock()
+	// The satellite is fed by the file streamer, not the host's port, so it
+	// is deliberately NOT on the host's satellite list — the host finishing
+	// (or dying) mid-stream must not complete it out from under the
+	// streamer. Record the sharing stats AbsorbSatellite would have.
+	host.Query.Stats.HostedSatellites.Add(1)
+	sat.Query.Stats.SatelliteAttaches.Add(1)
 
 	go func() {
 		err := o.streamFile(rt, st, sat)

@@ -18,7 +18,11 @@ func describe(n Node) string {
 		if x.Filter != nil {
 			f = " filter=" + x.Filter.Signature()
 		}
-		return fmt.Sprintf("TableScan %s (%s)%s", x.Table, mode, f)
+		par := ""
+		if x.Parallelism > 0 {
+			par = fmt.Sprintf(" par=%d", x.Parallelism)
+		}
+		return fmt.Sprintf("TableScan %s (%s)%s%s", x.Table, mode, f, par)
 	case *IndexScan:
 		kind := "unclustered"
 		if x.Clustered {

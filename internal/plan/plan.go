@@ -71,6 +71,15 @@ type TableScan struct {
 	Project     []int     // nil = all columns
 	Ordered     bool      // require page order (spike WoP)
 
+	// Parallelism is the partition fan-out hint for this scan: the heap's
+	// page range splits into that many contiguous partitions served by
+	// concurrent scan sub-workers (0 = use the runtime's ScanParallelism,
+	// 1 = serial; ignored for ordered scans, which need page order).
+	// Deliberately excluded from the signature: it changes the execution
+	// strategy, not the result, and must not prevent OSP sharing between
+	// scans that differ only in fan-out.
+	Parallelism int
+
 	out *tuple.Schema
 }
 
@@ -83,6 +92,13 @@ func NewTableScan(table string, schema *tuple.Schema, filter expr.Pred, project 
 		ts.out = schema.Project(project)
 	}
 	return ts
+}
+
+// WithParallelism sets the partition fan-out hint and returns the node
+// (builder style, so workload plan constructors stay one expression).
+func (s *TableScan) WithParallelism(p int) *TableScan {
+	s.Parallelism = p
+	return s
 }
 
 // Op implements Node.
