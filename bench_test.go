@@ -397,6 +397,80 @@ func BenchmarkScanParallelism(b *testing.B) {
 	})
 }
 
+// BenchmarkJoinParallelism measures the parallel hybrid hash join on a
+// 100k×100k join (build side well past the in-memory limit, so the
+// partitioned spill path runs): a cold join at fan-out 1/2/4/8, with the
+// feeding scans at the same fan-out. P8 should beat P1 by >=3x.
+func BenchmarkJoinParallelism(b *testing.B) {
+	sc := harness.SmallScale()
+	sc.Spindles = 8
+	env, err := harness.NewJoinEnv(sc, 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", w), func(b *testing.B) {
+			cfg := qpipe.DefaultConfig()
+			cfg.ScanParallelism = w
+			sys, err := env.NewQPipeWith(fmt.Sprintf("qpipe-joinpar%d", w), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			schema := sys.Manager().MustTable(harness.JoinProbeTable).Schema
+			env.SetMeasuring(true)
+			defer env.SetMeasuring(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := sys.Manager().Pool.Invalidate(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := sys.Exec(context.Background(), harness.JoinParPlan(schema, w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupByParallelism measures the parallel hash group-by over the
+// 100k-row probe table (97 groups, count/sum/avg) at fan-out 1/2/4/8.
+func BenchmarkGroupByParallelism(b *testing.B) {
+	sc := harness.SmallScale()
+	sc.Spindles = 8
+	env, err := harness.NewJoinEnv(sc, 100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", w), func(b *testing.B) {
+			cfg := qpipe.DefaultConfig()
+			cfg.ScanParallelism = w
+			sys, err := env.NewQPipeWith(fmt.Sprintf("qpipe-gbpar%d", w), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			schema := sys.Manager().MustTable(harness.JoinProbeTable).Schema
+			env.SetMeasuring(true)
+			defer env.SetMeasuring(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := sys.Manager().Pool.Invalidate(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := sys.Exec(context.Background(), harness.GroupByParPlan(schema, w)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Micro-benchmarks of the substrates ---------------------------------------
 
 func BenchmarkTupleEncodeDecode(b *testing.B) {

@@ -9,6 +9,7 @@
 //	qpipe-bench -fig 8 -scale paper     # Figure 8 at the heavier scale
 //	qpipe-bench -fig 12 -clients 12 -queries 3
 //	qpipe-bench -fig scanpar -scanworkers 1,2,4,8 -scanrows 100000
+//	qpipe-bench -fig joinpar -joinworkers 1,2,4,8 -joinrows 100000
 package main
 
 import (
@@ -23,13 +24,15 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
 	queries := flag.Int("queries", 0, "queries per client (figs 12/13)")
 	scanWorkers := flag.String("scanworkers", "1,2,4,8", "comma-separated ScanParallelism sweep (fig scanpar)")
 	scanRows := flag.Int("scanrows", 100_000, "rows in the scan-sweep table (fig scanpar)")
 	scanClients := flag.Int("scanclients", 3, "concurrent sharing clients (fig scanpar)")
+	joinWorkers := flag.String("joinworkers", "1,2,4,8", "comma-separated join/group-by fan-out sweep (fig joinpar)")
+	joinRows := flag.Int("joinrows", 100_000, "rows per join table (fig joinpar)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -165,6 +168,33 @@ func main() {
 			if err == nil {
 				fmt.Printf("OSP scan shares across multi-client runs: %d\n", shares)
 			}
+			return []harness.Figure{f}, err
+		})
+	}
+
+	if want("joinpar") {
+		run("Join parallelism", func() ([]harness.Figure, error) {
+			workers, err := parseIntList(*joinWorkers)
+			if err != nil {
+				return nil, err
+			}
+			if len(workers) == 0 {
+				workers = []int{1, 2, 4, 8}
+			}
+			// One spindle per worker, as in the scan sweep: show the
+			// engine's scaling rather than the device cap.
+			joinSc := sc
+			for _, w := range workers {
+				if w > joinSc.Spindles {
+					joinSc.Spindles = w
+				}
+			}
+			env, err := harness.NewJoinEnv(joinSc, *joinRows)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, err := harness.JoinParallelism(env, workers)
 			return []harness.Figure{f}, err
 		})
 	}

@@ -229,8 +229,9 @@ func (e *MicroEngine) runPacket(pkt *Packet) {
 		for _, in := range pkt.Inputs {
 			in.Abandon()
 		}
-		pkt.Out.Close(pkt.Query.ctx.Err())
-		pkt.finish(pkt.Query.ctx.Err())
+		cerr := pkt.Query.CancelErr()
+		pkt.Out.Close(cerr)
+		pkt.finish(cerr)
 		return
 	}
 	pkt.setState(PacketRunning)
@@ -243,6 +244,16 @@ func (e *MicroEngine) runPacket(pkt *Packet) {
 		return e.impl.Run(e.rt, pkt)
 	}()
 	if err != nil {
+		// A cancelled query tears its buffers down underneath the operator,
+		// so Run surfaces whatever side it tripped over first (an abandoned
+		// input, a dead output port). Normalize to the cancellation error:
+		// the caller cancelled, and that — not the teardown shrapnel — is
+		// the packet's terminal cause. (CancelErr, not ctx.Err(): a packet
+		// legitimately outliving an already-finished query must keep its own
+		// error untouched.)
+		if cerr := pkt.Query.CancelErr(); cerr != nil {
+			err = cerr
+		}
 		e.errs.Add(1)
 	}
 	e.done.Add(1)

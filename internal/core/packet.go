@@ -222,6 +222,10 @@ type Query struct {
 
 	Stats QueryStats
 
+	// userCancelled marks caller-initiated teardown (Cancel), as opposed to
+	// the administrative context release after the query finishes.
+	userCancelled atomic.Bool
+
 	mu      sync.Mutex
 	packets []*Packet
 	buffers []*tbuf.Buffer
@@ -236,9 +240,28 @@ func newQuery(ctx context.Context) *Query {
 // Ctx returns the query's context.
 func (q *Query) Ctx() context.Context { return q.ctx }
 
+// CancelErr returns the query's cancellation error, or nil when the query
+// was not genuinely cancelled. Only Cancel — the caller-initiated teardown
+// path (explicit Result.Cancel, the context watcher, runtime Close) — sets
+// the flag this consults; the runtime's cleanup releases the query context
+// with a bare stop() after the query finishes, and that administrative
+// teardown must not read as a failure to packets legitimately outliving
+// the root (e.g. a producer a merge join abandoned after exhausting its
+// other side).
+func (q *Query) CancelErr() error {
+	if !q.userCancelled.Load() {
+		return nil
+	}
+	if err := q.ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
 // Cancel aborts the query: all its buffers wake with abandonment so blocked
 // operators unwind.
 func (q *Query) Cancel() {
+	q.userCancelled.Store(true)
 	q.stop()
 	q.mu.Lock()
 	bufs := append([]*tbuf.Buffer(nil), q.buffers...)

@@ -3,6 +3,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -360,9 +361,15 @@ func (rt *Runtime) rescue(sat *Packet) {
 				return
 			}
 			if err := sat.Out.Put(b); err != nil {
-				// The satellite's own consumers are gone.
 				buf.Abandon()
-				sat.Complete(nil)
+				if errors.Is(err, tbuf.ErrConsumersGone) {
+					// The satellite's own consumers are gone — cleanly (its
+					// parent finished early) or because its query was
+					// cancelled, which must surface as the terminal error.
+					sat.Complete(sat.Query.CancelErr())
+					return
+				}
+				sat.Complete(err)
 				return
 			}
 		}

@@ -37,6 +37,14 @@ type Batch = []tuple.Tuple
 // (its query was cancelled or became a satellite of another packet).
 var ErrAbandoned = errors.New("tbuf: consumer abandoned buffer")
 
+// ErrConsumersGone is returned by SharedOut.Put when every attached consumer
+// has abandoned its buffer — the port's work is wanted by nobody. It is the
+// only SharedOut.Put error an operator may treat as a clean early stop;
+// anything else (a forced close carrying a disk fault, a cancellation
+// surfaced by the emitter) is a real failure and must propagate as the
+// packet's terminal error.
+var ErrConsumersGone = errors.New("tbuf: all consumers gone")
+
 // State classifies buffer occupancy for the deadlock detector's Waits-For
 // graph, which needs exactly the full/empty/non-empty distinction of the
 // paper's model (§4.3.3).
@@ -280,11 +288,12 @@ func (b *Buffer) Drain() (int64, error) {
 // attachment (the buffering enhancement).
 //
 // Put is safe to call from multiple producing goroutines — the partitioned
-// scan fans P partition workers into one consumer's port — because the
-// replay append, produced counter, and target snapshot share one critical
-// section. The port makes no cross-batch ordering guarantee under
-// concurrent producers, so only order-insensitive streams (unordered scans)
-// may multi-produce.
+// scan fans P partition workers into one consumer's port, and the parallel
+// hash-join/group-by stages do the same with per-worker emitters — because
+// the replay append, produced counter, and target snapshot share one
+// critical section. The port makes no cross-batch ordering guarantee under
+// concurrent producers, so only order-insensitive streams (unordered scans,
+// hash-join and grouped-aggregate output) may multi-produce.
 type SharedOut struct {
 	mu   sync.Mutex
 	outs []*Buffer
@@ -310,8 +319,10 @@ func NewSharedOut(primary *Buffer, replayLimit int) *SharedOut {
 
 // Put pipelines one batch to every attached consumer, blocking on the
 // slowest. Consumers that abandoned their buffer are detached. Put returns
-// ErrAbandoned only when no consumers remain (the producing operator should
-// then stop — its work is wanted by nobody).
+// ErrConsumersGone only when no consumers remain (the producing operator
+// should then stop — its work is wanted by nobody); a consumer buffer that
+// fails for any other reason (force-closed with an error) propagates that
+// error instead, so real faults are never mistaken for disinterest.
 func (s *SharedOut) Put(batch Batch) error {
 	if len(batch) == 0 {
 		return nil
@@ -333,6 +344,7 @@ func (s *SharedOut) Put(batch Batch) error {
 	s.mu.Unlock()
 
 	alive := 0
+	var hardErr error
 	for i, out := range targets {
 		var toSend Batch
 		if i == 0 {
@@ -346,9 +358,15 @@ func (s *SharedOut) Put(batch Batch) error {
 		}
 		if err := out.Put(toSend); err != nil {
 			s.detach(out)
+			if !errors.Is(err, ErrAbandoned) && hardErr == nil {
+				hardErr = err
+			}
 			continue
 		}
 		alive++
+	}
+	if hardErr != nil {
+		return hardErr
 	}
 	if alive == 0 {
 		// Re-check under the lock before declaring the port dead: a
@@ -360,7 +378,7 @@ func (s *SharedOut) Put(batch Batch) error {
 		stillConsumed := len(s.outs) > 0
 		s.mu.Unlock()
 		if !stillConsumed {
-			return ErrAbandoned
+			return ErrConsumersGone
 		}
 	}
 	return nil

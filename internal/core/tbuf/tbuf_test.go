@@ -293,7 +293,7 @@ func TestSharedOutDetachOnAbandon(t *testing.T) {
 		t.Fatalf("abandoned consumer not detached: %d", so.NumConsumers())
 	}
 	primary.Abandon()
-	if err := so.Put(batchOf(2)); err != ErrAbandoned {
+	if err := so.Put(batchOf(2)); err != ErrConsumersGone {
 		t.Fatalf("put with all consumers gone: %v", err)
 	}
 }

@@ -1,0 +1,155 @@
+// Join/group-by parallelism experiment: the intra-operator parallelism
+// sweep for the hash-join and group-by µEngines. Not a paper figure — it
+// measures this repo's extension of PR 1's partitioned-scan pattern up the
+// pipeline: the build input hash-partitions across P join sub-workers, the
+// probe routes partition-affine, and group-by workers aggregate partial
+// states merged via AggState.Merge.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qpipe"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// JoinBuildTable and JoinProbeTable are the two relations NewJoinEnv loads
+// (distinct tables, so the sweep measures operator parallelism rather than
+// circular-scan sharing between the join's own inputs).
+const (
+	JoinBuildTable = "jr"
+	JoinProbeTable = "js"
+)
+
+// JoinSchema is both join tables' schema: a unique key, a low-cardinality
+// group, a measure, and a payload that pads rows so the tables span enough
+// pages to be I/O-bound.
+func JoinSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("k", tuple.KindInt),
+		tuple.Col("g", tuple.KindInt),
+		tuple.Col("v", tuple.KindFloat),
+		tuple.Col("pad", tuple.KindString),
+	)
+}
+
+func joinLoad(mgr *sm.Manager, table string, rows int, seed int64) error {
+	if _, err := mgr.CreateTable(table, JoinSchema()); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pad := "0123456789abcdef0123456789abcdef"
+	batch := make([]tuple.Tuple, 0, 4096)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := mgr.Load(table, batch)
+		batch = batch[:0]
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		batch = append(batch, tuple.Tuple{
+			tuple.I64(int64(i)),
+			tuple.I64(int64(i % 97)),
+			tuple.F64(rng.Float64() * 1000),
+			tuple.Str(pad),
+		})
+		if len(batch) == cap(batch) {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// NewJoinEnv loads the two join tables of rows rows each. 100k rows pushes
+// the build side well past the hybrid hash join's in-memory limit, so the
+// sweep exercises the partitioned (spill) path.
+func NewJoinEnv(sc Scale, rows int) (*Env, error) {
+	mgr := sm.New(sm.Config{Disk: disk.Config{Spindles: sc.Spindles}, PoolPages: sc.PoolPages})
+	if err := joinLoad(mgr, JoinBuildTable, rows, sc.Seed); err != nil {
+		return nil, err
+	}
+	if err := joinLoad(mgr, JoinProbeTable, rows, sc.Seed+1); err != nil {
+		return nil, err
+	}
+	env := &Env{Scale: sc, Disk: mgr.Disk, loadMgr: mgr,
+		attach: func(m *sm.Manager) error {
+			if _, err := m.AttachTable(JoinBuildTable, JoinSchema()); err != nil {
+				return err
+			}
+			_, err := m.AttachTable(JoinProbeTable, JoinSchema())
+			return err
+		}}
+	return env, nil
+}
+
+// JoinParPlan builds the sweep's hash-join probe: jr ⋈ js on the unique key
+// under a count aggregate, with an explicit join fan-out (scans inherit the
+// runtime's ScanParallelism).
+func JoinParPlan(schema *tuple.Schema, par int) plan.Node {
+	build := plan.NewTableScan(JoinBuildTable, schema, nil, []int{0, 2}, false)
+	probe := plan.NewTableScan(JoinProbeTable, schema, nil, []int{0, 2}, false)
+	j := plan.NewHashJoin(build, probe, 0, 0).WithParallelism(par)
+	return plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+}
+
+// GroupByParPlan builds the sweep's group-by probe: a full scan of js
+// grouped on the 97-value column with count/sum/avg aggregates.
+func GroupByParPlan(schema *tuple.Schema, par int) plan.Node {
+	scan := plan.NewTableScan(JoinProbeTable, schema, nil, nil, false)
+	return plan.NewGroupBy(scan, []int{1}, []expr.AggSpec{
+		{Kind: expr.AggCount},
+		{Kind: expr.AggSum, Arg: expr.Col(2)},
+		{Kind: expr.AggAvg, Arg: expr.Col(2)},
+	}).WithParallelism(par)
+}
+
+// JoinParallelism sweeps the intra-operator fan-out: for each worker count
+// it measures a cold standalone hybrid hash join (jr ⋈ js) and a cold
+// standalone group-by, both with scans at the same fan-out so the operator
+// under test is fed fast enough to matter.
+func JoinParallelism(env *Env, workers []int) (Figure, error) {
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	fig := Figure{
+		Name:   "JoinPar",
+		Title:  "parallel hash join & group-by sweep",
+		XLabel: "workers",
+		YLabel: "response ms",
+	}
+	join := Series{Label: "hash join"}
+	groupby := Series{Label: "group-by"}
+	for _, w := range workers {
+		cfg := qpipe.DefaultConfig()
+		cfg.ScanParallelism = w
+		sys, err := env.NewQPipeWith(fmt.Sprintf("QPipe join-par=%d", w), cfg)
+		if err != nil {
+			return fig, err
+		}
+		schema := sys.Manager().MustTable(JoinProbeTable).Schema
+		env.SetMeasuring(true)
+		jd, err := StandaloneResponse(env, sys, func() plan.Node { return JoinParPlan(schema, w) })
+		if err != nil {
+			env.SetMeasuring(false)
+			return fig, err
+		}
+		gd, err := StandaloneResponse(env, sys, func() plan.Node { return GroupByParPlan(schema, w) })
+		env.SetMeasuring(false)
+		if err != nil {
+			return fig, err
+		}
+		join.Points = append(join.Points, Point{X: float64(w), Y: ms(jd)})
+		groupby.Points = append(groupby.Points, Point{X: float64(w), Y: ms(gd)})
+	}
+	fig.Series = []Series{join, groupby}
+	return fig, nil
+}

@@ -1,0 +1,31 @@
+package harness
+
+import "testing"
+
+func TestJoinParallelismSweep(t *testing.T) {
+	sc := SmallScale()
+	sc.Spindles = 2
+	env, err := NewJoinEnv(sc, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	fig, err := JoinParallelism(env, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s points: %d", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Fatalf("%s non-positive response at P%v: %v", s.Label, p.X, p.Y)
+			}
+		}
+	}
+	t.Log("\n" + fig.Format())
+}

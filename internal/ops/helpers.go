@@ -8,6 +8,7 @@
 package ops
 
 import (
+	"errors"
 	"io"
 
 	"qpipe/internal/core"
@@ -17,21 +18,31 @@ import (
 )
 
 // emitter accumulates tuples and flushes them in batches to a packet's
-// output port.
+// output port. A Put failure sticks: every later add/flush repeats it, so an
+// operator that ignores one mid-loop error still reports it at the final
+// flush. When the port reports all consumers gone while the packet's query
+// was cancelled, the emitter surfaces the cancellation error instead — the
+// consumers did not lose interest, the query was killed, and the packet must
+// not finish as a success (see emitResult).
 type emitter struct {
 	out   *tbuf.SharedOut
+	pkt   *core.Packet
 	batch tbuf.Batch
 	size  int
+	err   error
 }
 
-func newEmitter(out *tbuf.SharedOut, batchSize int) *emitter {
+func newEmitter(pkt *core.Packet, batchSize int) *emitter {
 	if batchSize < 1 {
 		batchSize = 64
 	}
-	return &emitter{out: out, size: batchSize}
+	return &emitter{out: pkt.Out, pkt: pkt, size: batchSize}
 }
 
 func (e *emitter) add(t tuple.Tuple) error {
+	if e.err != nil {
+		return e.err
+	}
 	e.batch = append(e.batch, t)
 	if len(e.batch) >= e.size {
 		return e.flush()
@@ -40,12 +51,37 @@ func (e *emitter) add(t tuple.Tuple) error {
 }
 
 func (e *emitter) flush() error {
+	if e.err != nil {
+		return e.err
+	}
 	if len(e.batch) == 0 {
 		return nil
 	}
 	b := e.batch
 	e.batch = nil
-	return e.out.Put(b)
+	if err := e.out.Put(b); err != nil {
+		if errors.Is(err, tbuf.ErrConsumersGone) {
+			if cerr := e.pkt.Query.CancelErr(); cerr != nil {
+				err = cerr
+			}
+		}
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// emitResult converts a terminal emitter error into the operator's return
+// value: the consumers-gone sentinel is a clean early stop (every consumer
+// detached on purpose — absorbed elsewhere, or a parent that finished
+// early), while everything else — cancellation, disk faults, forced closes —
+// propagates as the packet's terminal error. This is the only place
+// operators are allowed to swallow an output-port error.
+func emitResult(err error) error {
+	if errors.Is(err, tbuf.ErrConsumersGone) {
+		return nil
+	}
+	return err
 }
 
 // cursor reads a buffer one tuple at a time with single-tuple lookahead

@@ -134,8 +134,11 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 	}
 	// Phase 1: read the missed prefix [0, start) fresh, in key order,
 	// streaming straight to the consumer.
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	for ord := 0; ord < start && ord < len(pnos); ord++ {
+		if cerr := pkt.Query.CancelErr(); cerr != nil {
+			return cerr
+		}
 		if pkt.Cancelled() {
 			return nil
 		}
@@ -145,7 +148,7 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 		}
 		for _, row := range applyFilterProject(rows, node.Filter, node.Project) {
 			if err := em.add(row); err != nil {
-				return nil
+				return emitResult(err)
 			}
 		}
 	}
@@ -161,11 +164,11 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 		}
 		for _, row := range batch {
 			if err := em.add(row); err != nil {
-				return nil
+				return emitResult(err)
 			}
 		}
 	}
-	return em.flush()
+	return emitResult(em.flush())
 }
 
 func (o *IndexScanOp) key(node *plan.IndexScan) string {
@@ -251,7 +254,7 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	if node.Lo.IsValid() || node.Hi.IsValid() {
 		// Bounded clustered scan: stream the B+tree range directly (no
 		// page-stream sharing; signature-identical packets still dedupe).
-		em := newEmitter(pkt.Out, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSize())
 		var derr error
 		err := tr.Range(node.Lo, node.Hi, func(_ tuple.Value, payload []byte) bool {
 			row, _, e := tuple.Decode(payload, ncols)
@@ -276,7 +279,12 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 		if derr != nil {
 			return derr
 		}
-		return em.flush()
+		if cerr := pkt.Query.CancelErr(); cerr != nil {
+			return cerr
+		}
+		// The emitter's error is sticky, so an add failure that stopped the
+		// range callback resurfaces here instead of vanishing as a clean EOF.
+		return emitResult(em.flush())
 	}
 	pnos, err := o.leaves(tr)
 	if err != nil {
@@ -294,8 +302,11 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	}
 	if lo > 0 || hi < len(pnos) {
 		// Partial scans stream their range directly and never host sharing.
-		em := newEmitter(pkt.Out, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSize())
 		for ord := lo; ord < hi; ord++ {
+			if cerr := pkt.Query.CancelErr(); cerr != nil {
+				return cerr
+			}
 			if pkt.Cancelled() {
 				return nil
 			}
@@ -305,11 +316,11 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 			}
 			for _, row := range applyFilterProject(rows, node.Filter, node.Project) {
 				if err := em.add(row); err != nil {
-					return nil
+					return emitResult(err)
 				}
 			}
 		}
-		return em.flush()
+		return emitResult(em.flush())
 	}
 	// Unordered full clustered scans partition like table scans (leaf order
 	// is irrelevant to their consumers); ordered scans stay single-partition
@@ -359,9 +370,12 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 	}
 	// Phase 2: fetch. Group consecutive same-page RIDs so each heap page is
 	// pinned once.
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	i := 0
 	for i < len(rids) {
+		if cerr := pkt.Query.CancelErr(); cerr != nil {
+			return cerr
+		}
 		if pkt.Cancelled() {
 			return nil
 		}
@@ -380,13 +394,13 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 					out = row.Clone()
 				}
 				if err := em.add(out); err != nil {
-					return nil
+					return emitResult(err)
 				}
 			}
 			i++
 		}
 	}
-	return em.flush()
+	return emitResult(em.flush())
 }
 
 var _ interface {

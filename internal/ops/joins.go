@@ -54,11 +54,11 @@ func (o *MergeJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	for _, c := range pkt.Children {
 		rt.Activate(c)
 	}
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	if err := mergeJoin(newCursor(pkt.Inputs[0]), newCursor(pkt.Inputs[1]), node.LKey, node.RKey, em); err != nil {
-		return err
+		return emitResult(err)
 	}
-	return em.flush()
+	return emitResult(em.flush())
 }
 
 // splitCandidate finds a gated ordered clustered full scan child with an
@@ -131,7 +131,7 @@ func (o *MergeJoinOp) trySplit(rt *core.Runtime, pkt *core.Packet, node *plan.Me
 		c.Discard()
 	}
 
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	// Packet 1: suffix of the shared relation ⋈ fresh read of the other.
 	other1, _ := rt.DispatchSubtree(q, otherNode)
 	err1 := o.mergeSides(idx, sufBuf, other1, node, em)
@@ -139,7 +139,7 @@ func (o *MergeJoinOp) trySplit(rt *core.Runtime, pkt *core.Packet, node *plan.Me
 	sufBuf.Abandon()
 	other1.Abandon()
 	if err1 != nil {
-		return true, err1
+		return true, emitResult(err1)
 	}
 	// Packet 2: the missed prefix (leaves [0, start)) ⋈ the other side
 	// again (the worst-case second read the cost model accounted for).
@@ -151,9 +151,9 @@ func (o *MergeJoinOp) trySplit(rt *core.Runtime, pkt *core.Packet, node *plan.Me
 	prefixBuf.Abandon()
 	other2.Abandon()
 	if err2 != nil {
-		return true, err2
+		return true, emitResult(err2)
 	}
-	return true, em.flush()
+	return true, emitResult(em.flush())
 }
 
 // mergeSides runs one merge placing the shared stream on the correct side.
@@ -216,7 +216,7 @@ func mergeJoin(l, r *cursor, lkey, rkey int, em *emitter) error {
 			for _, a := range lg {
 				for _, b := range rg {
 					if err := em.add(tuple.Concat(a, b)); err != nil {
-						return nil
+						return err
 					}
 				}
 			}
@@ -250,7 +250,7 @@ func (*HashJoinOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (o *HashJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.HashJoin)
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	par := resolvePar(node.Parallelism, rt)
 
 	// Build phase: drain the left input. If it stays small, join in memory.
 	build := make(map[uint64][]tuple.Tuple)
@@ -278,51 +278,101 @@ func (o *HashJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		build[h] = append(build[h], t)
 	}
 	if small {
-		return o.probeInMemory(rt, pkt, node, build, em)
+		return o.probeInMemory(rt, pkt, node, build, par)
 	}
-	return o.partitionedJoin(rt, pkt, node, build, overflow, lcur, em)
+	return o.partitionedJoin(rt, pkt, node, build, overflow, lcur, par)
 }
 
-func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, build map[uint64][]tuple.Tuple, em *emitter) error {
-	rcur := newCursor(pkt.Inputs[1])
-	for {
-		t, ok, err := rcur.next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return em.flush()
-		}
+// probeInMemory streams the probe input against the completed in-memory
+// build table. The table is read-only from here on, so parallel probing
+// needs no partition affinity: raw input batches are dealt to par
+// sub-workers, each probing with its own emitter into the shared output
+// port (SharedOut.Put is multi-producer-safe; join output carries no order
+// guarantee, and the replay window stays consistent because the produced
+// counter and replay append share one critical section — so OSP satellites
+// attaching mid-probe still replay exactly what was produced).
+func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, build map[uint64][]tuple.Tuple, par int) error {
+	probe := func(em *emitter, t tuple.Tuple) error {
 		h := tuple.HashAt(t, []int{node.RKey})
 		for _, b := range build[h] {
 			if tuple.Equal(b[node.LKey], t[node.RKey]) {
 				if err := em.add(tuple.Concat(b, t)); err != nil {
-					return nil
+					return err
 				}
 			}
 		}
+		return nil
 	}
+	if par <= 1 {
+		em := newEmitter(pkt, rt.BatchSize())
+		rcur := newCursor(pkt.Inputs[1])
+		for {
+			t, ok, err := rcur.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return emitResult(em.flush())
+			}
+			if err := probe(em, t); err != nil {
+				return emitResult(err)
+			}
+		}
+	}
+	err := parFeed(subSpawner(rt, plan.OpHashJoin), par, par,
+		func(k int, ch <-chan tbuf.Batch) error {
+			em := newEmitter(pkt, rt.BatchSize())
+			for b := range ch {
+				for _, t := range b {
+					if err := probe(em, t); err != nil {
+						return err
+					}
+				}
+			}
+			return em.flush()
+		}, feedInput(pkt.Inputs[1]))
+	return emitResult(err)
 }
 
 // partitionedJoin is the hybrid path: partition 0 of the build side stays
 // memory-resident (it is already in `build`), the rest spills; the probe
 // side joins partition 0 on the fly while spilling the others; remaining
 // partitions then join pairwise from disk.
-func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, mem map[uint64][]tuple.Tuple, overflow []tuple.Tuple, lcur *cursor, em *emitter) error {
-	const parts = 8 // spill fan-out for partitions 1..parts
+//
+// With par > 1 every phase fans out to join sub-workers. The spill phases
+// use partition-affine routing (worker k owns partitions p with p%par == k,
+// so each spill writer — and the partition-0 memory table, owned by worker
+// 0 — has exactly one writing worker), and the disk phase joins each
+// worker's partition set independently. Cleanup defers are installed
+// immediately after the writers are created: any failure in between (a
+// spill write, a close, a routed worker error) must not leak temp files.
+func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, mem map[uint64][]tuple.Tuple, overflow []tuple.Tuple, lcur *cursor, par int) error {
+	// Spill fan-out for partitions 1..parts. At least 8 (the seed's hybrid
+	// fan-out); wider when more workers want distinct partition sets.
+	parts := 8
+	if par > parts {
+		parts = par
+	}
 	lcols := node.Left.Schema().Len()
 	rcols := node.Right.Schema().Len()
+	spawn := subSpawner(rt, plan.OpHashJoin)
+	lkey, rkey := []int{node.LKey}, []int{node.RKey}
 
 	// Re-partition: the in-memory map keeps only tuples hashing to
 	// partition 0; everything else (plus overflow) spills.
 	partOf := func(h uint64) int { return int((h >> 32) % uint64(parts+1)) }
+	home := func(h uint64) int { return partOf(h) % par }
 	buildFiles := make([]*spillWriter, parts+1)
 	for i := 1; i <= parts; i++ {
 		buildFiles[i] = newSpillWriter(rt.SM.Disk, rt.SM.TempName("hjb"))
 	}
+	defer func() {
+		for i := 1; i <= parts; i++ {
+			rt.SM.DropTemp(buildFiles[i].name)
+		}
+	}()
 	mem0 := make(map[uint64][]tuple.Tuple)
-	spillBuild := func(t tuple.Tuple) error {
-		h := tuple.HashAt(t, []int{node.LKey})
+	buildOne := func(t tuple.Tuple, h uint64) error {
 		p := partOf(h)
 		if p == 0 {
 			mem0[h] = append(mem0[h], t)
@@ -330,29 +380,51 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 		}
 		return buildFiles[p].add(t)
 	}
-	for _, bucket := range mem {
-		for _, t := range bucket {
-			if err := spillBuild(t); err != nil {
+	// feedBuild replays the tuples hashed so far (their hash is the map
+	// key) and drains the rest of the build input.
+	feedBuild := func(emit func(tuple.Tuple, uint64) error) error {
+		for h, bucket := range mem {
+			for _, t := range bucket {
+				if err := emit(t, h); err != nil {
+					return err
+				}
+			}
+		}
+		for _, t := range overflow {
+			if err := emit(t, tuple.HashAt(t, lkey)); err != nil {
+				return err
+			}
+		}
+		for {
+			t, ok, err := lcur.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := emit(t, tuple.HashAt(t, lkey)); err != nil {
 				return err
 			}
 		}
 	}
-	for _, t := range overflow {
-		if err := spillBuild(t); err != nil {
+	if par <= 1 {
+		if err := feedBuild(buildOne); err != nil {
 			return err
 		}
-	}
-	// Continue draining the remaining build input (the in-memory phase
-	// stopped at the first over-limit tuple).
-	for {
-		t, ok, err := lcur.next()
+	} else {
+		err := routeAffine(spawn, par, home,
+			func(k int, ch <-chan []routed) error {
+				for items := range ch {
+					for _, it := range items {
+						if err := buildOne(it.t, it.h); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}, feedBuild)
 		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		if err := spillBuild(t); err != nil {
 			return err
 		}
 	}
@@ -361,13 +433,9 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 			return err
 		}
 	}
-	defer func() {
-		for i := 1; i <= parts; i++ {
-			rt.SM.DropTemp(buildFiles[i].name)
-		}
-	}()
 
-	// Probe: join partition 0 immediately, spill the rest.
+	// Probe: join partition 0 immediately (against the worker-0-owned
+	// memory table), spill the rest.
 	probeFiles := make([]*spillWriter, parts+1)
 	for i := 1; i <= parts; i++ {
 		probeFiles[i] = newSpillWriter(rt.SM.Disk, rt.SM.TempName("hjp"))
@@ -377,29 +445,58 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 			rt.SM.DropTemp(probeFiles[i].name)
 		}
 	}()
-	rcur := newCursor(pkt.Inputs[1])
-	for {
-		t, ok, err := rcur.next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		h := tuple.HashAt(t, []int{node.RKey})
+	probeOne := func(em *emitter, t tuple.Tuple, h uint64) error {
 		p := partOf(h)
 		if p == 0 {
 			for _, b := range mem0[h] {
 				if tuple.Equal(b[node.LKey], t[node.RKey]) {
 					if err := em.add(tuple.Concat(b, t)); err != nil {
-						return nil
+						return err
 					}
 				}
 			}
-			continue
+			return nil
 		}
-		if err := probeFiles[p].add(t); err != nil {
-			return err
+		return probeFiles[p].add(t)
+	}
+	feedProbe := func(emit func(tuple.Tuple, uint64) error) error {
+		rcur := newCursor(pkt.Inputs[1])
+		for {
+			t, ok, err := rcur.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := emit(t, tuple.HashAt(t, rkey)); err != nil {
+				return err
+			}
+		}
+	}
+	if par <= 1 {
+		em := newEmitter(pkt, rt.BatchSize())
+		if err := feedProbe(func(t tuple.Tuple, h uint64) error { return probeOne(em, t, h) }); err != nil {
+			return emitResult(err)
+		}
+		if err := em.flush(); err != nil {
+			return emitResult(err)
+		}
+	} else {
+		err := routeAffine(spawn, par, home,
+			func(k int, ch <-chan []routed) error {
+				em := newEmitter(pkt, rt.BatchSize())
+				for items := range ch {
+					for _, it := range items {
+						if err := probeOne(em, it.t, it.h); err != nil {
+							return err
+						}
+					}
+				}
+				return em.flush()
+			}, feedProbe)
+		if err != nil {
+			return emitResult(err)
 		}
 	}
 	for i := 1; i <= parts; i++ {
@@ -408,8 +505,9 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 		}
 	}
 
-	// Per-partition joins from disk.
-	for i := 1; i <= parts; i++ {
+	// Per-partition joins from disk: fully independent, so worker k joins
+	// its own partition set back to back.
+	joinPart := func(em *emitter, i int) error {
 		table := make(map[uint64][]tuple.Tuple)
 		br := newSpillReader(rt.SM.Disk, buildFiles[i].name, lcols)
 		for {
@@ -420,7 +518,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 			if !ok {
 				break
 			}
-			h := tuple.HashAt(t, []int{node.LKey})
+			h := tuple.HashAt(t, lkey)
 			table[h] = append(table[h], t)
 		}
 		pr := newSpillReader(rt.SM.Disk, probeFiles[i].name, rcols)
@@ -430,19 +528,34 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 				return err
 			}
 			if !ok {
-				break
+				return nil
 			}
-			h := tuple.HashAt(t, []int{node.RKey})
+			h := tuple.HashAt(t, rkey)
 			for _, b := range table[h] {
 				if tuple.Equal(b[node.LKey], t[node.RKey]) {
 					if err := em.add(tuple.Concat(b, t)); err != nil {
-						return nil
+						return err
 					}
 				}
 			}
 		}
 	}
-	return em.flush()
+	err := fanOut(spawn, par, func(k int) error {
+		em := newEmitter(pkt, rt.BatchSize())
+		for i := k + 1; i <= parts; i += par {
+			// A cancelled query must not grind through the remaining
+			// partition files; OSP-cancelled packets (flag only, live query)
+			// stop through the port instead.
+			if cerr := pkt.Query.CancelErr(); cerr != nil {
+				return cerr
+			}
+			if err := joinPart(em, i); err != nil {
+				return err
+			}
+		}
+		return em.flush()
+	})
+	return emitResult(err)
 }
 
 // ---- Nested-loop join -----------------------------------------------------------
@@ -469,7 +582,7 @@ func (*NLJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	if err != nil {
 		return err
 	}
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	lcur := newCursor(pkt.Inputs[0])
 	for {
 		t, ok, err := lcur.next()
@@ -477,13 +590,13 @@ func (*NLJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return err
 		}
 		if !ok {
-			return em.flush()
+			return emitResult(em.flush())
 		}
 		for _, in := range inner {
 			joined := tuple.Concat(t, in)
 			if node.Pred == nil || node.Pred.Test(joined) {
 				if err := em.add(joined); err != nil {
-					return nil
+					return emitResult(err)
 				}
 			}
 		}

@@ -92,7 +92,7 @@ func TestCursorPeekNext(t *testing.T) {
 func TestEmitterBatching(t *testing.T) {
 	b := tbuf.New(64)
 	so := tbuf.NewSharedOut(b, -1)
-	em := newEmitter(so, 3)
+	em := &emitter{out: so, size: 3} // no packet: batching only, Put never fails
 	for i := 0; i < 7; i++ {
 		if err := em.add(tuple.Tuple{tuple.I64(int64(i))}); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,223 @@
+// Intra-operator parallelism plumbing shared by the hash-join, group-by and
+// aggregate µEngines. The paper makes per-operator parallelism a first-class
+// design axis (each µEngine owns "a pool of worker threads"); PR 1 exploited
+// it for scans, and these helpers extend the same sub-worker machinery
+// (MicroEngine.SpawnSub) up the pipeline:
+//
+//   - fanOut: run P independent shards of work, worker 0 on the packet's own
+//     worker (the disk phase of the partitioned hash join).
+//   - parFeed: one router (the packet's worker) drains the input buffer and
+//     deals raw batches to P sub-workers over a shared channel — for stages
+//     where any worker can process any tuple (probing a read-only table,
+//     partial aggregation).
+//   - routeAffine: the router hashes each tuple and deals it to the one
+//     sub-worker owning its partition — for stages with single-writer state
+//     per partition (spill writers, the hybrid join's memory-resident
+//     partition 0).
+//
+// All three propagate the first worker/router error and convert sub-worker
+// panics into errors (the µEngine's recover only covers the goroutine that
+// runs the packet).
+package ops
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// errParAborted is the router's internal stop signal once a worker failed;
+// it never escapes the helpers (the worker's own error is reported instead).
+var errParAborted = errors.New("ops: parallel stage aborted")
+
+// resolvePar resolves a plan node's fan-out hint: 0 inherits the runtime's
+// ScanParallelism default, anything below 1 is serial.
+func resolvePar(hint int, rt *core.Runtime) int {
+	p := hint
+	if p == 0 {
+		p = rt.Cfg.ScanParallelism
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// subSpawner returns the µEngine's sub-worker spawn hook for op, so parallel
+// operator stages are accounted to their engine (SubWorkers stat; close
+// waits for them). Runtimes without that engine (direct operator tests) fall
+// back to plain goroutines.
+func subSpawner(rt *core.Runtime, op plan.OpType) func(func()) {
+	if eng := rt.Engine(op); eng != nil {
+		return eng.SpawnSub
+	}
+	return func(fn func()) { go fn() }
+}
+
+// guard runs fn converting a panic into an error.
+func guard(k int, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ops: parallel worker %d panicked: %v", k, r)
+		}
+	}()
+	return fn()
+}
+
+func firstErr(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// fanOut runs fn(0..p-1) concurrently — fn(0) on the calling worker, the
+// rest as µEngine sub-workers — and returns the first error.
+func fanOut(spawn func(func()), p int, fn func(k int) error) error {
+	if p <= 1 {
+		return guard(0, func() error { return fn(0) })
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for k := 1; k < p; k++ {
+		k := k
+		wg.Add(1)
+		spawn(func() {
+			defer wg.Done()
+			errs[k] = guard(k, func() error { return fn(k) })
+		})
+	}
+	errs[0] = guard(0, func() error { return fn(0) })
+	wg.Wait()
+	return firstErr(errs)
+}
+
+// parFeed spawns p sub-workers consuming items from one shared channel fed
+// by the calling worker. feed must stop when stop() reports a worker
+// failure; parFeed closes the channel, waits for the workers, and returns
+// the first error. A failed worker keeps draining the channel so the feeder
+// is never left blocked on a dead stage.
+func parFeed[T any](spawn func(func()), p, chCap int, work func(k int, ch <-chan T) error, feed func(ch chan<- T, stop func() bool) error) error {
+	ch := make(chan T, chCap)
+	var abort atomic.Bool
+	errs := make([]error, p+1)
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		k := k
+		wg.Add(1)
+		spawn(func() {
+			defer wg.Done()
+			err := guard(k, func() error { return work(k, ch) })
+			if err != nil {
+				abort.Store(true)
+				for range ch {
+				}
+			}
+			errs[k+1] = err
+		})
+	}
+	errs[0] = feed(ch, abort.Load)
+	close(ch)
+	wg.Wait()
+	return firstErr(errs)
+}
+
+// feedInput is the standard parFeed router loop: it drains the packet input
+// buffer into the worker channel until EOF, an input error or a worker
+// failure.
+func feedInput(in *tbuf.Buffer) func(ch chan<- tbuf.Batch, stop func() bool) error {
+	return func(ch chan<- tbuf.Batch, stop func() bool) error {
+		for {
+			if stop() {
+				return nil
+			}
+			b, err := in.Get()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			ch <- b
+		}
+	}
+}
+
+// routed is one tuple annotated with its join/partition hash, dealt from the
+// router to the sub-worker owning its partition.
+type routed struct {
+	t tuple.Tuple
+	h uint64
+}
+
+// routeBatch is how many routed tuples the router accumulates per worker
+// before handing the slice over (amortizes channel synchronization, like the
+// engine's tuple batches do for buffers).
+const routeBatch = 256
+
+// routeAffine fans hashed tuples out to par sub-workers with partition
+// affinity: the router (calling worker) computes each tuple's hash through
+// feed's emit callback and deals it to worker home(h), so every piece of
+// partition-local state — a spill writer, the hybrid hash join's
+// memory-resident partition — has exactly one writing worker. Returns the
+// first router/worker error.
+func routeAffine(spawn func(func()), par int, home func(h uint64) int, work func(k int, ch <-chan []routed) error, feed func(emit func(tuple.Tuple, uint64) error) error) error {
+	chans := make([]chan []routed, par)
+	for k := range chans {
+		chans[k] = make(chan []routed, 2)
+	}
+	var abort atomic.Bool
+	errs := make([]error, par+1)
+	var wg sync.WaitGroup
+	for k := 0; k < par; k++ {
+		k := k
+		wg.Add(1)
+		spawn(func() {
+			defer wg.Done()
+			err := guard(k, func() error { return work(k, chans[k]) })
+			if err != nil {
+				abort.Store(true)
+				for range chans[k] {
+				}
+			}
+			errs[k+1] = err
+		})
+	}
+	pending := make([][]routed, par)
+	ferr := feed(func(t tuple.Tuple, h uint64) error {
+		if abort.Load() {
+			return errParAborted
+		}
+		k := home(h)
+		if pending[k] == nil {
+			pending[k] = make([]routed, 0, routeBatch)
+		}
+		pending[k] = append(pending[k], routed{t: t, h: h})
+		if len(pending[k]) >= routeBatch {
+			chans[k] <- pending[k]
+			pending[k] = nil
+		}
+		return nil
+	})
+	for k := 0; k < par; k++ {
+		if ferr == nil && len(pending[k]) > 0 {
+			chans[k] <- pending[k]
+		}
+		close(chans[k])
+	}
+	wg.Wait()
+	if errors.Is(ferr, errParAborted) {
+		ferr = nil
+	}
+	errs[0] = ferr
+	return firstErr(errs)
+}

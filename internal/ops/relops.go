@@ -1,10 +1,13 @@
 // Pass-through µEngines (filter, project), aggregation µEngines (scalar
 // aggregate: full overlap; hash group-by: step overlap) and the update
-// µEngine (no OSP, table X locks — paper §4.3.4).
+// µEngine (no OSP, table X locks — paper §4.3.4). The aggregation engines
+// are intra-operator parallel: input batches deal out to sub-workers that
+// accumulate partial aggregate states, merged at the end via AggState.Merge.
 package ops
 
 import (
 	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
 	"qpipe/internal/expr"
 	"qpipe/internal/plan"
 	"qpipe/internal/storage/lock"
@@ -28,7 +31,7 @@ func (*FilterOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (*FilterOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Filter)
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	cur := newCursor(pkt.Inputs[0])
 	for {
 		t, ok, err := cur.next()
@@ -36,11 +39,11 @@ func (*FilterOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return err
 		}
 		if !ok {
-			return em.flush()
+			return emitResult(em.flush())
 		}
 		if node.Pred.Test(t) {
 			if err := em.add(t); err != nil {
-				return nil // all consumers gone
+				return emitResult(err)
 			}
 		}
 	}
@@ -63,7 +66,7 @@ func (*ProjectOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (*ProjectOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Project)
-	em := newEmitter(pkt.Out, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSize())
 	cur := newCursor(pkt.Inputs[0])
 	for {
 		t, ok, err := cur.next()
@@ -71,21 +74,23 @@ func (*ProjectOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return err
 		}
 		if !ok {
-			return em.flush()
+			return emitResult(em.flush())
 		}
 		out := make(tuple.Tuple, len(node.Exprs))
 		for i, e := range node.Exprs {
 			out[i] = e.Eval(t)
 		}
 		if err := em.add(out); err != nil {
-			return nil
+			return emitResult(err)
 		}
 	}
 }
 
 // AggregateOp computes scalar aggregates — the canonical full-overlap
 // operator: it emits nothing until the very end, so an identical packet can
-// attach at any point of its lifetime and save 100% of the work.
+// attach at any point of its lifetime and save 100% of the work. With
+// parallelism > 1 input batches deal out to sub-workers accumulating
+// partial states, merged before the single-row emit.
 type AggregateOp struct{}
 
 // NewAggregateOp creates the scalar-aggregate µEngine implementation.
@@ -102,34 +107,157 @@ func (*AggregateOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (*AggregateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Aggregate)
-	states := make([]*expr.AggState, len(node.Specs))
-	for i, s := range node.Specs {
-		states[i] = expr.NewAggState(s)
+	par := resolvePar(node.Parallelism, rt)
+	newStates := func() []*expr.AggState {
+		states := make([]*expr.AggState, len(node.Specs))
+		for i, s := range node.Specs {
+			states[i] = expr.NewAggState(s)
+		}
+		return states
 	}
-	cur := newCursor(pkt.Inputs[0])
-	for {
-		t, ok, err := cur.next()
+	partials := make([][]*expr.AggState, par)
+	if par <= 1 {
+		partials[0] = newStates()
+		cur := newCursor(pkt.Inputs[0])
+		for {
+			t, ok, err := cur.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			for _, st := range partials[0] {
+				st.Add(t)
+			}
+		}
+	} else {
+		err := parFeed(subSpawner(rt, plan.OpAggregate), par, par,
+			func(k int, ch <-chan tbuf.Batch) error {
+				partials[k] = newStates()
+				for b := range ch {
+					for _, t := range b {
+						for _, st := range partials[k] {
+							st.Add(t)
+						}
+					}
+				}
+				return nil
+			}, feedInput(pkt.Inputs[0]))
 		if err != nil {
 			return err
 		}
-		if !ok {
-			break
-		}
-		for _, st := range states {
-			st.Add(t)
+	}
+	for k := 1; k < par; k++ {
+		for i, st := range partials[0] {
+			st.Merge(partials[k][i])
 		}
 	}
-	row := make(tuple.Tuple, len(states))
-	for i, st := range states {
+	row := make(tuple.Tuple, len(partials[0]))
+	for i, st := range partials[0] {
 		row[i] = st.Result()
 	}
-	return pkt.Out.Put(tbufBatch(row))
+	em := newEmitter(pkt, rt.BatchSize())
+	if err := em.add(row); err != nil {
+		return emitResult(err)
+	}
+	return emitResult(em.flush())
+}
+
+// group is one aggregation group: its projected key and accumulator states.
+type group struct {
+	key    tuple.Tuple
+	states []*expr.AggState
+}
+
+// groupTable is one worker's (partial) hash-grouped aggregation state.
+type groupTable struct {
+	keys   []int
+	specs  []expr.AggSpec
+	groups map[uint64][]*group
+}
+
+func newGroupTable(keys []int, specs []expr.AggSpec) *groupTable {
+	return &groupTable{keys: keys, specs: specs, groups: make(map[uint64][]*group)}
+}
+
+// lookup finds the group in bucket h whose projected key matches key(i) per
+// column, or nil.
+func (gt *groupTable) lookup(h uint64, key func(i int) tuple.Value) *group {
+	for _, cand := range gt.groups[h] {
+		match := true
+		for i := range gt.keys {
+			if !tuple.Equal(cand.key[i], key(i)) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cand
+		}
+	}
+	return nil
+}
+
+// add folds one input tuple into its group, creating the group on first
+// sight.
+func (gt *groupTable) add(t tuple.Tuple) {
+	h := tuple.HashAt(t, gt.keys)
+	g := gt.lookup(h, func(i int) tuple.Value { return t[gt.keys[i]] })
+	if g == nil {
+		g = &group{key: t.Project(gt.keys), states: make([]*expr.AggState, len(gt.specs))}
+		for i, s := range gt.specs {
+			g.states[i] = expr.NewAggState(s)
+		}
+		gt.groups[h] = append(gt.groups[h], g)
+	}
+	for _, st := range g.states {
+		st.Add(t)
+	}
+}
+
+// absorb merges another worker's partial table into gt: groups present in
+// both merge state-wise (AggState.Merge combines the accumulators exactly —
+// sums add, counts add, min/max compare), groups unique to o transfer
+// whole.
+func (gt *groupTable) absorb(o *groupTable) {
+	for h, bucket := range o.groups {
+		for _, og := range bucket {
+			g := gt.lookup(h, func(i int) tuple.Value { return og.key[i] })
+			if g == nil {
+				gt.groups[h] = append(gt.groups[h], og)
+				continue
+			}
+			for i, st := range g.states {
+				st.Merge(og.states[i])
+			}
+		}
+	}
+}
+
+// emit streams every group's result row.
+func (gt *groupTable) emit(em *emitter) error {
+	for _, bucket := range gt.groups {
+		for _, g := range bucket {
+			row := make(tuple.Tuple, 0, len(g.key)+len(g.states))
+			row = append(row, g.key...)
+			for _, st := range g.states {
+				row = append(row, st.Result())
+			}
+			if err := em.add(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // GroupByOp computes hash-grouped aggregates (step overlap: attachable
 // until results start flowing; the burst emit at the end plus the replay
 // window give satellites nearly the whole lifetime in practice, which is
 // the paper's "buffering can significantly increase the WoP for group-by").
+// With parallelism > 1, sub-workers build partial group tables over dealt
+// input batches; the tables merge via AggState.Merge before the burst emit.
 type GroupByOp struct{}
 
 // NewGroupByOp creates the hash group-by µEngine implementation.
@@ -144,62 +272,46 @@ func (*GroupByOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 }
 
 // Run implements core.Operator.
-func (*GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
+func (o *GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.GroupBy)
-	type group struct {
-		key    tuple.Tuple
-		states []*expr.AggState
-	}
-	groups := make(map[uint64][]*group)
-	cur := newCursor(pkt.Inputs[0])
-	for {
-		t, ok, err := cur.next()
+	par := resolvePar(node.Parallelism, rt)
+	tables := make([]*groupTable, par)
+	if par <= 1 {
+		tables[0] = newGroupTable(node.Keys, node.Specs)
+		cur := newCursor(pkt.Inputs[0])
+		for {
+			t, ok, err := cur.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			tables[0].add(t)
+		}
+	} else {
+		err := parFeed(subSpawner(rt, plan.OpGroupBy), par, par,
+			func(k int, ch <-chan tbuf.Batch) error {
+				tables[k] = newGroupTable(node.Keys, node.Specs)
+				for b := range ch {
+					for _, t := range b {
+						tables[k].add(t)
+					}
+				}
+				return nil
+			}, feedInput(pkt.Inputs[0]))
 		if err != nil {
 			return err
 		}
-		if !ok {
-			break
-		}
-		h := tuple.HashAt(t, node.Keys)
-		var g *group
-		for _, cand := range groups[h] {
-			match := true
-			for i, k := range node.Keys {
-				if !tuple.Equal(cand.key[i], t[k]) {
-					match = false
-					break
-				}
-			}
-			if match {
-				g = cand
-				break
-			}
-		}
-		if g == nil {
-			g = &group{key: t.Project(node.Keys), states: make([]*expr.AggState, len(node.Specs))}
-			for i, s := range node.Specs {
-				g.states[i] = expr.NewAggState(s)
-			}
-			groups[h] = append(groups[h], g)
-		}
-		for _, st := range g.states {
-			st.Add(t)
-		}
 	}
-	em := newEmitter(pkt.Out, rt.BatchSize())
-	for _, bucket := range groups {
-		for _, g := range bucket {
-			row := make(tuple.Tuple, 0, len(g.key)+len(g.states))
-			row = append(row, g.key...)
-			for _, st := range g.states {
-				row = append(row, st.Result())
-			}
-			if err := em.add(row); err != nil {
-				return nil
-			}
-		}
+	for k := 1; k < par; k++ {
+		tables[0].absorb(tables[k])
 	}
-	return em.flush()
+	em := newEmitter(pkt, rt.BatchSize())
+	if err := tables[0].emit(em); err != nil {
+		return emitResult(err)
+	}
+	return emitResult(em.flush())
 }
 
 // UpdateOp inserts rows under a table X lock. It deliberately implements
@@ -224,8 +336,9 @@ func (*UpdateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return err
 		}
 	}
-	return pkt.Out.Put(tbufBatch(tuple.Tuple{tuple.I64(int64(len(node.Rows)))}))
+	em := newEmitter(pkt, rt.BatchSize())
+	if err := em.add(tuple.Tuple{tuple.I64(int64(len(node.Rows)))}); err != nil {
+		return emitResult(err)
+	}
+	return emitResult(em.flush())
 }
-
-// tbufBatch wraps a single tuple as a batch.
-func tbufBatch(t tuple.Tuple) []tuple.Tuple { return []tuple.Tuple{t} }

@@ -12,10 +12,12 @@ package ops
 
 import (
 	"container/heap"
+	"errors"
 	"sort"
 	"sync"
 
 	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
 	"qpipe/internal/plan"
 	"qpipe/internal/tuple"
 )
@@ -95,14 +97,20 @@ func (o *SortOp) streamFile(rt *core.Runtime, st *sortState, sat *core.Packet) e
 	n := int64(rt.SM.Disk.NumBlocks(st.fileName))
 	for pno := int64(0); pno < n; pno++ {
 		if sat.Cancelled() {
-			return nil
+			// A genuinely cancelled satellite must finish with the
+			// cancellation error, not a clean EOF over truncated results;
+			// an OSP-cancelled one (flag only, live query) stops clean.
+			return sat.Query.CancelErr()
 		}
 		rows, err := readSpillPage(rt.SM.Disk, st.fileName, st.ncols, pno)
 		if err != nil {
 			return err
 		}
 		if err := sat.Out.Put(rows); err != nil {
-			return nil
+			if errors.Is(err, tbuf.ErrConsumersGone) {
+				return sat.Query.CancelErr()
+			}
+			return err
 		}
 	}
 	return nil
@@ -127,8 +135,16 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		return c < 0
 	}
 
-	// Phase 1a: consume input into sorted runs spilled to temp files.
+	// Phase 1a: consume input into sorted runs spilled to temp files. The
+	// cleanup defer is installed before the first run spills, and each run's
+	// name registers before its first write, so a failed write or close (or
+	// an input error mid-run) can never leak the temp files written so far.
 	var runNames []string
+	defer func() {
+		for _, name := range runNames {
+			rt.SM.DropTemp(name)
+		}
+	}()
 	var run []tuple.Tuple
 	spillRun := func() error {
 		if len(run) == 0 {
@@ -136,6 +152,7 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		}
 		sort.SliceStable(run, func(i, j int) bool { return less(run[i], run[j]) })
 		name := rt.SM.TempName("sortrun")
+		runNames = append(runNames, name)
 		w := newSpillWriter(rt.SM.Disk, name)
 		for _, t := range run {
 			if err := w.add(t); err != nil {
@@ -145,7 +162,6 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		if _, err := w.close(); err != nil {
 			return err
 		}
-		runNames = append(runNames, name)
 		run = run[:0]
 		return nil
 	}
@@ -168,14 +184,17 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	if err := spillRun(); err != nil {
 		return err
 	}
+
+	// Phase 1b: merge runs into the materialized sorted file. Until its
+	// ownership passes to the sortState (whose reader-counted teardown drops
+	// it), any error path must drop the file itself.
+	outName := rt.SM.TempName("sorted")
+	registered := false
 	defer func() {
-		for _, name := range runNames {
-			rt.SM.DropTemp(name)
+		if !registered {
+			rt.SM.DropTemp(outName)
 		}
 	}()
-
-	// Phase 1b: merge runs into the materialized sorted file.
-	outName := rt.SM.TempName("sorted")
 	w := newSpillWriter(rt.SM.Disk, outName)
 	if err := o.mergeRuns(rt, runNames, ncols, less, w); err != nil {
 		return err
@@ -184,6 +203,7 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		return err
 	}
 	st := &sortState{fileReady: true, fileName: outName, ncols: ncols}
+	registered = true
 	o.mu.Lock()
 	o.states[pkt.ID] = st
 	o.mu.Unlock()
@@ -204,6 +224,9 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	// the same file through TryShare instead).
 	n := int64(rt.SM.Disk.NumBlocks(outName))
 	for pno := int64(0); pno < n; pno++ {
+		if cerr := pkt.Query.CancelErr(); cerr != nil {
+			return cerr
+		}
 		if pkt.Cancelled() {
 			return nil
 		}
@@ -212,7 +235,13 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return err
 		}
 		if err := pkt.Out.Put(rows); err != nil {
-			return nil
+			if errors.Is(err, tbuf.ErrConsumersGone) {
+				if cerr := pkt.Query.CancelErr(); cerr != nil {
+					return cerr
+				}
+				return nil
+			}
+			return err
 		}
 	}
 	return nil

@@ -6,6 +6,15 @@ import (
 	"strings"
 )
 
+// parSuffix renders an explicit intra-operator parallelism hint (0 — the
+// inherited runtime default — prints nothing).
+func parSuffix(p int) string {
+	if p > 0 {
+		return fmt.Sprintf(" par=%d", p)
+	}
+	return ""
+}
+
 // describe returns a one-line summary of a node (operator + key args).
 func describe(n Node) string {
 	switch x := n.(type) {
@@ -18,11 +27,7 @@ func describe(n Node) string {
 		if x.Filter != nil {
 			f = " filter=" + x.Filter.Signature()
 		}
-		par := ""
-		if x.Parallelism > 0 {
-			par = fmt.Sprintf(" par=%d", x.Parallelism)
-		}
-		return fmt.Sprintf("TableScan %s (%s)%s%s", x.Table, mode, f, par)
+		return fmt.Sprintf("TableScan %s (%s)%s%s", x.Table, mode, f, parSuffix(x.Parallelism))
 	case *IndexScan:
 		kind := "unclustered"
 		if x.Clustered {
@@ -50,7 +55,7 @@ func describe(n Node) string {
 	case *MergeJoin:
 		return fmt.Sprintf("MergeJoin L[%d]=R[%d]", x.LKey, x.RKey)
 	case *HashJoin:
-		return fmt.Sprintf("HashJoin build[%d]=probe[%d]", x.LKey, x.RKey)
+		return fmt.Sprintf("HashJoin build[%d]=probe[%d]%s", x.LKey, x.RKey, parSuffix(x.Parallelism))
 	case *NLJoin:
 		return "NLJoin " + x.Pred.Signature()
 	case *Aggregate:
@@ -58,9 +63,9 @@ func describe(n Node) string {
 		for i, s := range x.Specs {
 			parts[i] = s.Signature()
 		}
-		return "Aggregate " + strings.Join(parts, ", ")
+		return "Aggregate " + strings.Join(parts, ", ") + parSuffix(x.Parallelism)
 	case *GroupBy:
-		return fmt.Sprintf("GroupBy keys=%v (%d aggs)", x.Keys, len(x.Specs))
+		return fmt.Sprintf("GroupBy keys=%v (%d aggs)%s", x.Keys, len(x.Specs), parSuffix(x.Parallelism))
 	case *Update:
 		return fmt.Sprintf("Update %s (%d rows)", x.Table, len(x.Rows))
 	default:

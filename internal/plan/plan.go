@@ -310,12 +310,27 @@ type HashJoin struct {
 	Left, Right Node // Left = build side
 	LKey, RKey  int
 
+	// Parallelism is the intra-operator fan-out hint: the build input is
+	// hash-partitioned across that many join sub-workers, which then probe
+	// in parallel (0 = use the runtime's ScanParallelism, 1 = serial).
+	// Excluded from the signature — it changes the execution strategy, not
+	// the result, and must not prevent OSP sharing between joins that differ
+	// only in fan-out.
+	Parallelism int
+
 	out *tuple.Schema
 }
 
 // NewHashJoin builds a hash-join node (left input is the build side).
 func NewHashJoin(l, r Node, lkey, rkey int) *HashJoin {
 	return &HashJoin{Left: l, Right: r, LKey: lkey, RKey: rkey, out: l.Schema().Concat(r.Schema())}
+}
+
+// WithParallelism sets the join's fan-out hint and returns the node
+// (builder style, matching TableScan.WithParallelism).
+func (j *HashJoin) WithParallelism(p int) *HashJoin {
+	j.Parallelism = p
+	return j
 }
 
 // Op implements Node.
@@ -375,6 +390,12 @@ type Aggregate struct {
 	Child Node
 	Specs []expr.AggSpec
 
+	// Parallelism is the intra-operator fan-out hint: input batches are
+	// dealt to that many workers accumulating partial aggregate states,
+	// merged at the end (0 = runtime ScanParallelism, 1 = serial). Excluded
+	// from the signature, like every parallelism hint.
+	Parallelism int
+
 	out *tuple.Schema
 }
 
@@ -389,6 +410,12 @@ func NewAggregate(child Node, specs []expr.AggSpec) *Aggregate {
 		cols[i] = tuple.Column{Name: name, Kind: tuple.KindFloat}
 	}
 	return &Aggregate{Child: child, Specs: specs, out: &tuple.Schema{Cols: cols}}
+}
+
+// WithParallelism sets the aggregate's fan-out hint and returns the node.
+func (a *Aggregate) WithParallelism(p int) *Aggregate {
+	a.Parallelism = p
+	return a
 }
 
 // Op implements Node.
@@ -415,6 +442,12 @@ type GroupBy struct {
 	Keys  []int
 	Specs []expr.AggSpec
 
+	// Parallelism is the intra-operator fan-out hint: input batches are
+	// dealt to that many workers building partial group tables, merged via
+	// AggState.Merge at the end (0 = runtime ScanParallelism, 1 = serial).
+	// Excluded from the signature, like every parallelism hint.
+	Parallelism int
+
 	out *tuple.Schema
 }
 
@@ -434,6 +467,12 @@ func NewGroupBy(child Node, keys []int, specs []expr.AggSpec) *GroupBy {
 		cols = append(cols, tuple.Column{Name: name, Kind: tuple.KindFloat})
 	}
 	return &GroupBy{Child: child, Keys: keys, Specs: specs, out: &tuple.Schema{Cols: cols}}
+}
+
+// WithParallelism sets the group-by's fan-out hint and returns the node.
+func (g *GroupBy) WithParallelism(p int) *GroupBy {
+	g.Parallelism = p
+	return g
 }
 
 // Op implements Node.

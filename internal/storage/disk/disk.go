@@ -11,6 +11,8 @@ package disk
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -152,6 +154,22 @@ func (d *Disk) Exists(name string) bool {
 	defer d.mu.RUnlock()
 	_, ok := d.files[name]
 	return ok
+}
+
+// FilesWithPrefix lists the names of files whose name starts with prefix
+// (every file for the empty prefix). Tests use it to assert that aborted
+// operators left no temp spill files behind.
+func (d *Disk) FilesWithPrefix(prefix string) []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []string
+	for name := range d.files {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Remove deletes a file. Removing a missing file is a no-op.
