@@ -400,7 +400,9 @@ func BenchmarkScanParallelism(b *testing.B) {
 // BenchmarkJoinParallelism measures the parallel hybrid hash join on a
 // 100k×100k join (build side well past the in-memory limit, so the
 // partitioned spill path runs): a cold join at fan-out 1/2/4/8, with the
-// feeding scans at the same fan-out. P8 should beat P1 by >=3x.
+// feeding scans at the same fan-out. Higher fan-outs should beat P1 (on
+// the recalibrated disk simulator the join is closer to engine-bound, so
+// the P1→P8 ratio is smaller than the pre-recalibration sweeps suggested).
 func BenchmarkJoinParallelism(b *testing.B) {
 	sc := harness.SmallScale()
 	sc.Spindles = 8

@@ -10,6 +10,8 @@
 //	qpipe-bench -fig 12 -clients 12 -queries 3
 //	qpipe-bench -fig scanpar -scanworkers 1,2,4,8 -scanrows 100000
 //	qpipe-bench -fig joinpar -joinworkers 1,2,4,8 -joinrows 100000
+//	qpipe-bench -fig gc -gcrows 100000 -gcout BENCH_GC.json
+//	qpipe-bench -fig joinpar -batch 128         # engine batch/pool size knob
 package main
 
 import (
@@ -24,8 +26,9 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
+	batch := flag.Int("batch", 0, "engine batch size (tuples per batch and recycling-pool array size; 0 = default 64)")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
 	queries := flag.Int("queries", 0, "queries per client (figs 12/13)")
 	scanWorkers := flag.String("scanworkers", "1,2,4,8", "comma-separated ScanParallelism sweep (fig scanpar)")
@@ -33,6 +36,9 @@ func main() {
 	scanClients := flag.Int("scanclients", 3, "concurrent sharing clients (fig scanpar)")
 	joinWorkers := flag.String("joinworkers", "1,2,4,8", "comma-separated join/group-by fan-out sweep (fig joinpar)")
 	joinRows := flag.Int("joinrows", 100_000, "rows per join table (fig joinpar)")
+	gcWorkers := flag.String("gcworkers", "1,8", "comma-separated fan-out list (fig gc)")
+	gcRows := flag.Int("gcrows", 100_000, "rows per table in the GC-pressure run (fig gc)")
+	gcOut := flag.String("gcout", "BENCH_GC.json", "output path for the GC-pressure JSON report (fig gc)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -45,6 +51,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
 		os.Exit(2)
 	}
+	sc.BatchSize = *batch
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	start := time.Now()
@@ -169,6 +176,43 @@ func main() {
 				fmt.Printf("OSP scan shares across multi-client runs: %d\n", shares)
 			}
 			return []harness.Figure{f}, err
+		})
+	}
+
+	if want("gc") {
+		run("GC pressure", func() ([]harness.Figure, error) {
+			workers, err := parseIntList(*gcWorkers)
+			if err != nil {
+				return nil, err
+			}
+			if len(workers) == 0 {
+				workers = []int{1, 8}
+			}
+			gcSc := sc
+			for _, w := range workers {
+				if w > gcSc.Spindles {
+					gcSc.Spindles = w
+				}
+			}
+			env, err := harness.NewJoinEnv(gcSc, *gcRows)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, report, err := harness.GCPressure(env, workers)
+			if err != nil {
+				return nil, err
+			}
+			report.Rows = *gcRows
+			for _, st := range report.Stats {
+				fmt.Printf("%-8s P%-2d  %10.0f allocs/op  %12.0f B/op  %7.2f ms GC pause (%d GCs)  %7.1f ms wall\n",
+					st.Workload, st.Par, st.AllocsPerOp, st.BytesPerOp, st.GCPauseMs, st.NumGC, st.WallMs)
+			}
+			if err := harness.WriteGCJSON(*gcOut, report); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *gcOut)
+			return []harness.Figure{f}, nil
 		})
 	}
 

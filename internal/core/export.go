@@ -26,6 +26,11 @@ func (rt *Runtime) NoteShare(op plan.OpType) { rt.noteShare(op) }
 // BatchSize returns the configured tuples-per-batch target for operators.
 func (rt *Runtime) BatchSize() int { return rt.Cfg.BatchSize }
 
+// BatchPool returns the runtime's batch recycling pool. Operators draw
+// batch arrays here (or via SharedOut.NewBatch) and consumers return them
+// via Buffer.Recycle; see the README's "Memory model" for the lease rules.
+func (rt *Runtime) BatchPool() *tbuf.BatchPool { return rt.batchPool }
+
 // Discard cancels a packet that was never (and will never be) executed —
 // typically a gated child the OSP coordinator replaced with a rewritten
 // evaluation strategy.
@@ -76,11 +81,11 @@ func (rt *Runtime) DumpState() string {
 // the merge-join split attaches to an in-progress ordered scan. The packet
 // has a fresh output buffer; whoever feeds it must call Complete.
 func (rt *Runtime) NewInternalPacket(q *Query, node plan.Node) (*Packet, *tbuf.Buffer) {
-	buf := tbuf.New(rt.Cfg.BufferCapacity)
+	buf := tbuf.New(rt.Cfg.BufferCapacity).UsePool(rt.batchPool)
 	q.addBuffer(buf)
 	pkt := newPacket(q, node)
 	pkt.OutBuf = buf
-	pkt.Out = tbuf.NewSharedOut(buf, rt.Cfg.ReplayWindow)
+	pkt.Out = tbuf.NewSharedOut(buf, rt.Cfg.ReplayWindow).UsePool(rt.batchPool)
 	pkt.Out.SetProducer(pkt.ID)
 	q.addPacket(pkt)
 	return pkt, buf

@@ -35,8 +35,9 @@ type Config struct {
 	ScanParallelism int
 	// BufferCapacity bounds intermediate buffers, in batches (default 8).
 	BufferCapacity int
-	// BatchSize is the tuple count operators aim for per produced batch
-	// (default 64).
+	// BatchSize is the tuple count operators aim for per produced batch and
+	// the array size the runtime's batch recycling pool serves (default
+	// DefaultBatchSize). One knob: emitters, cursors and the pool agree.
 	BatchSize int
 	// ReplayWindow is the number of produced tuples a packet retains for
 	// late satellite attachment — the buffering enhancement of §3.2
@@ -50,6 +51,11 @@ type Config struct {
 	LateActivation bool
 }
 
+// DefaultBatchSize is the default Config.BatchSize: the single source of
+// the engine's tuples-per-batch constant (operators and the batch pool must
+// never hard-code their own).
+const DefaultBatchSize = 64
+
 func (c Config) withDefaults() Config {
 	if c.ScanParallelism == 0 {
 		c.ScanParallelism = runtime.GOMAXPROCS(0)
@@ -58,7 +64,7 @@ func (c Config) withDefaults() Config {
 		c.BufferCapacity = 8
 	}
 	if c.BatchSize <= 0 {
-		c.BatchSize = 64
+		c.BatchSize = DefaultBatchSize
 	}
 	if c.ReplayWindow == 0 {
 		c.ReplayWindow = 1024
@@ -96,6 +102,9 @@ type Runtime struct {
 	Cfg Config
 
 	engines map[plan.OpType]*MicroEngine
+	// batchPool recycles batch backing arrays engine-wide (one lease
+	// protocol, one array size — Cfg.BatchSize).
+	batchPool *tbuf.BatchPool
 
 	mu      sync.Mutex
 	queries map[int64]*Query
@@ -117,11 +126,12 @@ type Runtime struct {
 func NewRuntime(s *sm.Manager, cfg Config, operators []Operator) *Runtime {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{
-		SM:      s,
-		Cfg:     cfg,
-		engines: make(map[plan.OpType]*MicroEngine),
-		queries: make(map[int64]*Query),
-		shares:  make(map[plan.OpType]int64),
+		SM:        s,
+		Cfg:       cfg,
+		engines:   make(map[plan.OpType]*MicroEngine),
+		batchPool: tbuf.NewBatchPool(cfg.BatchSize),
+		queries:   make(map[int64]*Query),
+		shares:    make(map[plan.OpType]int64),
 	}
 	for _, op := range operators {
 		if _, dup := rt.engines[op.Op()]; dup {
@@ -173,7 +183,7 @@ func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
 			return nil, err
 		}
 	}
-	result := tbuf.New(rt.Cfg.BufferCapacity)
+	result := tbuf.New(rt.Cfg.BufferCapacity).UsePool(rt.batchPool)
 	result.Label = fmt.Sprintf("q%d/result", q.ID)
 	q.addBuffer(result)
 	q.Result = result
@@ -271,13 +281,13 @@ func (rt *Runtime) validate(node plan.Node) error {
 func (rt *Runtime) dispatch(q *Query, node plan.Node, out *tbuf.Buffer, gated bool) *Packet {
 	pkt := newPacket(q, node)
 	pkt.OutBuf = out
-	pkt.Out = tbuf.NewSharedOut(out, rt.Cfg.ReplayWindow)
+	pkt.Out = tbuf.NewSharedOut(out, rt.Cfg.ReplayWindow).UsePool(rt.batchPool)
 	pkt.Out.SetProducer(pkt.ID)
 	q.addPacket(pkt)
 
 	gateKids := rt.shouldGateChildren(node)
 	for _, cn := range node.Children() {
-		buf := tbuf.New(rt.Cfg.BufferCapacity)
+		buf := tbuf.New(rt.Cfg.BufferCapacity).UsePool(rt.batchPool)
 		buf.Consumer.Store(pkt.ID)
 		buf.Label = fmt.Sprintf("q%d/%s->%s", q.ID, cn.Op(), node.Op())
 		q.addBuffer(buf)
@@ -327,7 +337,7 @@ func (rt *Runtime) Activate(pkt *Packet) {
 // strategy, e.g. the ordered-scan join split). It returns the buffer the
 // subtree's root writes into.
 func (rt *Runtime) DispatchSubtree(q *Query, node plan.Node) (*tbuf.Buffer, *Packet) {
-	buf := tbuf.New(rt.Cfg.BufferCapacity)
+	buf := tbuf.New(rt.Cfg.BufferCapacity).UsePool(rt.batchPool)
 	buf.Label = fmt.Sprintf("q%d/sub-%s", q.ID, node.Op())
 	q.addBuffer(buf)
 	pkt := rt.dispatch(q, node, buf, false)

@@ -31,7 +31,95 @@ import (
 // Batch is a group of tuples moved through a buffer at once (push-based
 // engines move batches, not single tuples, to amortize synchronization; cf.
 // the paper's discussion of buffering [31]).
+//
+// Batches obey the engine's lease protocol: the backing array of a batch has
+// exactly one owner at a time — the producer that drew it from a BatchPool,
+// then the buffer queue it was Put into, then the consumer its Get returned
+// it to. The tuples inside are immutable once Put and may be retained by
+// reference indefinitely; the array must not be. When the consumer has
+// copied or processed every row it returns the array to the pool with
+// Buffer.Recycle (fan-out ports give every attached consumer its own array,
+// so no reference counting is needed — see SharedOut.Put).
 type Batch = []tuple.Tuple
+
+// ---- BatchPool ---------------------------------------------------------------
+
+// poolMaxFree bounds a pool's free list; beyond it, returned arrays are left
+// to the garbage collector (backstop against a burst of unbounded
+// materialization pinning memory forever).
+const poolMaxFree = 256
+
+// BatchPool recycles batch backing arrays. One pool serves a whole runtime
+// (sized to Config.BatchSize), so the emitter that produces a batch and the
+// cursor that consumes it agree on one array size and the steady-state hot
+// path allocates nothing. A nil *BatchPool is valid and degrades to plain
+// make/garbage-collection.
+type BatchPool struct {
+	mu   sync.Mutex
+	free []Batch
+	size int
+}
+
+// NewBatchPool creates a pool recycling arrays of capacity size (minimum 1).
+func NewBatchPool(size int) *BatchPool {
+	if size < 1 {
+		size = 1
+	}
+	return &BatchPool{size: size}
+}
+
+// Get returns an empty batch with capacity >= the pool's batch size.
+func (p *BatchPool) Get() Batch {
+	if p == nil {
+		return nil
+	}
+	return p.GetCap(p.size)
+}
+
+// GetCap returns an empty batch with capacity >= n. Every free-list entry
+// has capacity >= the pool size, so requests at or below it always reuse;
+// larger requests (a page worth of tuples for a scan consumer) probe a few
+// recently returned arrays for one big enough — page-sized arrays recycle
+// through the pool too (Put accepts any cap >= size), so the per-page scan
+// fan-out also reaches an allocation-free steady state.
+func (p *BatchPool) GetCap(n int) Batch {
+	if p == nil {
+		return make(Batch, 0, n)
+	}
+	p.mu.Lock()
+	for i, probed := len(p.free) - 1, 0; i >= 0 && probed < 4; i, probed = i-1, probed+1 {
+		if cap(p.free[i]) >= n {
+			b := p.free[i]
+			last := len(p.free) - 1
+			p.free[i] = p.free[last]
+			p.free[last] = nil
+			p.free = p.free[:last]
+			p.mu.Unlock()
+			return b
+		}
+	}
+	p.mu.Unlock()
+	if n < p.size {
+		n = p.size
+	}
+	return make(Batch, 0, n)
+}
+
+// Put returns a batch's backing array to the pool. The caller must hold the
+// array's lease (it must be the batch's sole owner) and must not touch the
+// batch afterwards. Entries are cleared so a pooled array never pins tuples.
+func (p *BatchPool) Put(b Batch) {
+	if p == nil || cap(b) < p.size {
+		return
+	}
+	b = b[:cap(b)]
+	clear(b)
+	p.mu.Lock()
+	if len(p.free) < poolMaxFree {
+		p.free = append(p.free, b[:0])
+	}
+	p.mu.Unlock()
+}
 
 // ErrAbandoned is returned by Put after the consumer abandoned the buffer
 // (its query was cancelled or became a satellite of another packet).
@@ -69,6 +157,7 @@ type Buffer struct {
 
 	queue     []Batch
 	capacity  int // max queued batches; <=0 means unbounded
+	pool      *BatchPool
 	closed    bool
 	closeErr  error
 	abandoned bool
@@ -100,6 +189,20 @@ func New(capacity int) *Buffer {
 	b.notFull = sync.NewCond(&b.mu)
 	b.notEmpty = sync.NewCond(&b.mu)
 	return b
+}
+
+// UsePool attaches a batch pool, enabling Recycle. Returns the buffer for
+// chaining at construction.
+func (b *Buffer) UsePool(p *BatchPool) *Buffer {
+	b.pool = p
+	return b
+}
+
+// Recycle returns a batch previously obtained from Get to the buffer's pool
+// (no-op without a pool). The caller gives up its lease: the array must not
+// be used afterwards, though tuples copied out of it stay valid forever.
+func (b *Buffer) Recycle(batch Batch) {
+	b.pool.Put(batch)
 }
 
 // Put enqueues one batch, blocking while the buffer is full. It returns
@@ -179,11 +282,15 @@ func (b *Buffer) Close(err error) {
 }
 
 // Abandon marks the consumer gone: pending and future Puts fail with
-// ErrAbandoned and queued batches are dropped.
+// ErrAbandoned and queued batches are dropped (their arrays return to the
+// pool — the queue owned their lease and nobody will Get them).
 func (b *Buffer) Abandon() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.abandoned = true
+	for _, batch := range b.queue {
+		b.pool.Put(batch)
+	}
 	b.queue = nil
 	b.notEmpty.Broadcast()
 	b.notFull.Broadcast()
@@ -264,6 +371,7 @@ func (b *Buffer) Totals() (in, out int64) {
 
 // Drain consumes the buffer to EOF, returning the tuple count (test/client
 // helper for queries whose results are discarded, as in the paper's setup).
+// Drained batches are recycled — nothing outlives the count.
 func (b *Buffer) Drain() (int64, error) {
 	var n int64
 	for {
@@ -275,6 +383,7 @@ func (b *Buffer) Drain() (int64, error) {
 			return n, err
 		}
 		n += int64(len(batch))
+		b.Recycle(batch)
 	}
 }
 
@@ -283,9 +392,13 @@ func (b *Buffer) Drain() (int64, error) {
 // SharedOut is an operator's output port. It starts with one target buffer
 // (the packet's own consumer) and accepts additional satellite buffers at
 // run time; every produced batch is pipelined to all attached targets
-// simultaneously, with deep copies so consumers never alias each other's
-// tuples. A bounded replay window of produced tuples supports late
-// attachment (the buffering enhancement).
+// simultaneously. Under the lease protocol the primary consumer receives
+// the producer's array itself and each satellite receives its own
+// (pool-drawn) array holding the same immutable tuples — consumers share
+// rows by reference but never share the arrays they advance through, so
+// each can recycle independently without reference counting. A bounded
+// replay window of produced tuples supports late attachment (the buffering
+// enhancement); the window retains rows, not arrays, so it pins no lease.
 //
 // Put is safe to call from multiple producing goroutines — the partitioned
 // scan fans P partition workers into one consumer's port, and the parallel
@@ -307,6 +420,7 @@ type SharedOut struct {
 	replayValid bool
 	produced    int64
 	closed      bool
+	pool        *BatchPool
 }
 
 // NewSharedOut creates a port writing to primary, retaining up to
@@ -317,14 +431,36 @@ func NewSharedOut(primary *Buffer, replayLimit int) *SharedOut {
 	return &SharedOut{outs: []*Buffer{primary}, replayLimit: replayLimit, replayValid: true}
 }
 
+// UsePool attaches the runtime's batch pool: satellite copies and replay
+// batches draw from it, and NewBatch serves producers (emitters). Returns
+// the port for chaining.
+func (s *SharedOut) UsePool(p *BatchPool) *SharedOut {
+	s.pool = p
+	return s
+}
+
+// NewBatch leases an empty batch array of capacity >= n for a producer to
+// fill and Put (falls back to a plain allocation without a pool).
+func (s *SharedOut) NewBatch(n int) Batch {
+	return s.pool.GetCap(n)
+}
+
 // Put pipelines one batch to every attached consumer, blocking on the
 // slowest. Consumers that abandoned their buffer are detached. Put returns
 // ErrConsumersGone only when no consumers remain (the producing operator
 // should then stop — its work is wanted by nobody); a consumer buffer that
 // fails for any other reason (force-closed with an error) propagates that
 // error instead, so real faults are never mistaken for disinterest.
+//
+// Put consumes the batch's array lease unconditionally — on success it
+// belongs to the primary consumer, on failure Put reclaims it into the
+// pool itself (only Put knows whether the primary enqueued it) — so the
+// caller must not touch the batch afterwards either way.
 func (s *SharedOut) Put(batch Batch) error {
 	if len(batch) == 0 {
+		// Nothing to deliver, but the lease is still consumed (see contract
+		// above): an empty pool-drawn array goes straight back.
+		s.pool.Put(batch)
 		return nil
 	}
 	s.mu.Lock()
@@ -334,29 +470,68 @@ func (s *SharedOut) Put(batch Batch) error {
 			s.replayValid = false
 			s.replay = nil
 		} else {
-			for _, t := range batch {
-				s.replay = append(s.replay, t.Clone())
-			}
+			// The window retains the rows themselves (immutable once Put),
+			// not clones and not the batch array — replay pins no lease.
+			s.replay = append(s.replay, batch...)
 		}
 	}
-	targets := make([]*Buffer, len(s.outs))
-	copy(targets, s.outs)
+	// Fast path: one consumer (the overwhelmingly common case) avoids
+	// snapshotting a targets slice per Put — the lone alive==0 re-check and
+	// detach logic below is shared with the general path.
+	var primary *Buffer
+	var targets []*Buffer
+	if len(s.outs) == 1 {
+		primary = s.outs[0]
+	} else {
+		targets = make([]*Buffer, len(s.outs))
+		copy(targets, s.outs)
+	}
 	s.mu.Unlock()
 
+	if primary == nil && len(targets) == 0 {
+		// Every consumer detached while another producer's Put was in
+		// flight. The lease is still consumed (contract above): reclaim it.
+		s.pool.Put(batch)
+		return s.checkConsumersGone()
+	}
+	if primary != nil {
+		err := primary.Put(batch)
+		if err == nil {
+			return nil
+		}
+		// The failed Put never enqueued the batch; reclaim its lease (no
+		// caller may use it after Put, success or not).
+		s.pool.Put(batch)
+		s.detach(primary)
+		if !errors.Is(err, ErrAbandoned) {
+			return err
+		}
+		return s.checkConsumersGone()
+	}
+
+	// Each satellite gets its own (pool-drawn) array over the same immutable
+	// rows, so every consumer recycles independently. All copies are built
+	// BEFORE the primary's Put: that Put hands over the array's lease, and
+	// the primary consumer may legitimately drain and recycle the array
+	// while later copies would still be reading it.
+	var copies []Batch
+	if len(targets) > 1 {
+		copies = make([]Batch, len(targets))
+		for i := 1; i < len(targets); i++ {
+			copies[i] = append(s.pool.GetCap(len(batch)), batch...)
+		}
+	}
 	alive := 0
 	var hardErr error
 	for i, out := range targets {
-		var toSend Batch
-		if i == 0 {
-			toSend = batch
-		} else {
-			// Deep copy per extra consumer: satellites own their tuples.
-			toSend = make(Batch, len(batch))
-			for j, t := range batch {
-				toSend[j] = t.Clone()
-			}
+		toSend := batch // the primary consumer inherits the producer's lease
+		if i > 0 {
+			toSend = copies[i]
 		}
 		if err := out.Put(toSend); err != nil {
+			// The failed Put never enqueued this array (the producer's own
+			// for the primary, this satellite's copy otherwise); reclaim it.
+			s.pool.Put(toSend)
 			s.detach(out)
 			if !errors.Is(err, ErrAbandoned) && hardErr == nil {
 				hardErr = err
@@ -369,17 +544,22 @@ func (s *SharedOut) Put(batch Batch) error {
 		return hardErr
 	}
 	if alive == 0 {
-		// Re-check under the lock before declaring the port dead: a
-		// satellite may have attached while this Put was in flight (its
-		// snapshot of targets predates the attach). Such a satellite already
-		// received this batch through the replay window at attach time, so
-		// the Put succeeded from its point of view.
-		s.mu.Lock()
-		stillConsumed := len(s.outs) > 0
-		s.mu.Unlock()
-		if !stillConsumed {
-			return ErrConsumersGone
-		}
+		return s.checkConsumersGone()
+	}
+	return nil
+}
+
+// checkConsumersGone re-checks under the lock before declaring the port
+// dead: a satellite may have attached while a Put was in flight (its
+// snapshot of targets predates the attach). Such a satellite already
+// received the batch through the replay window at attach time, so the Put
+// succeeded from its point of view.
+func (s *SharedOut) checkConsumersGone() error {
+	s.mu.Lock()
+	stillConsumed := len(s.outs) > 0
+	s.mu.Unlock()
+	if !stillConsumed {
+		return ErrConsumersGone
 	}
 	return nil
 }
@@ -428,12 +608,13 @@ func (s *SharedOut) Attach(buf *Buffer) bool {
 		if !s.replayValid {
 			return false
 		}
-		replayCopy := make(Batch, len(s.replay))
-		for i, t := range s.replay {
-			replayCopy[i] = t.Clone()
-		}
+		// The satellite gets its own array over the retained (immutable)
+		// rows; larger-than-pool-size windows simply allocate fresh.
+		replayCopy := append(s.pool.GetCap(len(s.replay)), s.replay...)
 		// A fresh satellite buffer is empty, so a single Put cannot block.
 		if err := buf.Put(replayCopy); err != nil {
+			// The failed Put never enqueued the copy; reclaim its lease.
+			s.pool.Put(replayCopy)
 			return false
 		}
 	}

@@ -307,20 +307,80 @@ func TestSharedOutAttachAfterClose(t *testing.T) {
 	}
 }
 
-func TestSharedOutIsolation(t *testing.T) {
-	// Satellites must never alias the primary's tuples.
-	primary := New(16)
-	so := NewSharedOut(primary, 1024)
-	sat := New(16)
+func TestSharedOutArrayIsolation(t *testing.T) {
+	// Lease protocol: consumers share the immutable rows by reference but
+	// never the batch arrays — the primary recycling (or overwriting slots
+	// of) its array must not disturb what a satellite sees.
+	pool := NewBatchPool(4)
+	primary := New(16).UsePool(pool)
+	so := NewSharedOut(primary, 1024).UsePool(pool)
+	sat := New(16).UsePool(pool)
 	so.Attach(sat)
 	orig := tuple.Tuple{tuple.I64(1), tuple.Str("x")}
-	so.Put(Batch{orig})
+	so.Put(append(so.NewBatch(1), orig))
 	so.Close(nil)
 	pb, _ := primary.Get()
 	sb, _ := sat.Get()
-	pb[0][0] = tuple.I64(999)
-	if sb[0][0].I == 999 {
-		t.Fatal("satellite batch aliases primary batch")
+	if &sb[0][0] != &pb[0][0] {
+		t.Fatal("consumers should share the immutable row, not copies")
+	}
+	// The primary gives up its array lease; the pool clears and reuses the
+	// very same array. The satellite's own array — and the shared row — are
+	// untouched.
+	primary.Recycle(pb)
+	reused := pool.Get()
+	if &reused[:1][0] != &pb[:1][0] {
+		t.Fatal("recycled primary array should be what the pool serves next")
+	}
+	reused = append(reused, tuple.Tuple{tuple.I64(999)})
+	if sb[0][0].I != 1 || sb[0][1].S != "x" {
+		t.Fatal("recycling the primary's array corrupted the satellite's view")
+	}
+}
+
+func TestBatchPoolRecycle(t *testing.T) {
+	pool := NewBatchPool(8)
+	b := pool.Get()
+	if len(b) != 0 || cap(b) != 8 {
+		t.Fatalf("fresh batch: len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, tuple.Tuple{tuple.I64(1)})
+	pool.Put(b)
+	r := pool.Get()
+	if cap(r) != 8 || len(r) != 0 {
+		t.Fatalf("recycled batch: len=%d cap=%d", len(r), cap(r))
+	}
+	// Entries must be cleared so pooled arrays never pin tuples.
+	if r[:1][0] != nil {
+		t.Fatal("pooled array retains tuple references")
+	}
+	// Undersized arrays are dropped, not pooled.
+	pool.Put(make(Batch, 0, 4))
+	if got := pool.GetCap(8); cap(got) != 8 {
+		t.Fatalf("undersized array entered the pool: cap=%d", cap(got))
+	}
+	// Oversized requests allocate exactly; nil pools degrade to make.
+	if got := pool.GetCap(32); cap(got) != 32 {
+		t.Fatalf("GetCap(32): cap=%d", cap(got))
+	}
+	var nilPool *BatchPool
+	if got := nilPool.GetCap(3); cap(got) != 3 {
+		t.Fatal("nil pool GetCap should allocate")
+	}
+	nilPool.Put(make(Batch, 0, 3)) // must not panic
+}
+
+func TestBufferAbandonRecyclesQueue(t *testing.T) {
+	pool := NewBatchPool(2)
+	b := New(8).UsePool(pool)
+	b.Put(batchOf(1, 2))
+	b.Put(batchOf(3, 4))
+	b.Abandon()
+	pool.mu.Lock()
+	free := len(pool.free)
+	pool.mu.Unlock()
+	if free != 2 {
+		t.Fatalf("abandoned queue should return arrays to the pool, free=%d", free)
 	}
 }
 

@@ -1,0 +1,144 @@
+// GC-pressure experiment: allocator and collector cost of the hot data
+// path. Not a paper figure — the paper's 2005 prototype ran on C++/
+// BerkeleyDB where this axis was invisible; in Go, allocations per tuple
+// and GC pauses are the constant-factor ceiling once intra-operator
+// parallelism is in place, so the repo tracks them alongside wall clock.
+// The experiment runs a cold scan, hybrid hash join and hash group-by at
+// several fan-outs and reports allocations, bytes and GC pause per query,
+// measured process-wide around each run.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"qpipe"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
+)
+
+// GCStat is one workload × fan-out memory measurement.
+type GCStat struct {
+	Workload    string  `json:"workload"`
+	Par         int     `json:"par"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	GCPauseMs   float64 `json:"gc_pause_ms"`
+	NumGC       uint32  `json:"num_gc"`
+	WallMs      float64 `json:"wall_ms"`
+}
+
+// GCReport is the JSON document WriteGCJSON emits (BENCH_GC.json): the
+// memory trajectory of the engine's hot path, tracked PR over PR the way
+// the wall-clock figures are.
+type GCReport struct {
+	Rows  int      `json:"rows"`
+	Batch int      `json:"batch_size"`
+	Stats []GCStat `json:"stats"`
+}
+
+// gcScanPlan is the scan workload: a full unprojected scan of the probe
+// table under a count aggregate (the pure page-stream path).
+func gcScanPlan(schema *tuple.Schema) plan.Node {
+	return plan.NewAggregate(plan.NewTableScan(JoinProbeTable, schema, nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}})
+}
+
+// GCPressure measures allocs/op, bytes/op and GC pause totals for the
+// scan, hash-join and group-by workloads over a NewJoinEnv environment at
+// each fan-out in pars. Each measurement is one cold query wrapped in
+// runtime.ReadMemStats deltas after a forced collection, so it captures
+// everything the engine allocates on behalf of the query (including its
+// parallel sub-workers).
+func GCPressure(env *Env, pars []int) (Figure, *GCReport, error) {
+	if len(pars) == 0 {
+		pars = []int{1, 8}
+	}
+	fig := Figure{
+		Name:   "GC pressure",
+		Title:  "allocations per query (scan, hash join, group-by)",
+		XLabel: "workers",
+		YLabel: "allocs/op",
+	}
+	report := &GCReport{}
+	workloads := []struct {
+		name string
+		mk   func(schema *tuple.Schema, par int) plan.Node
+	}{
+		{"scan", func(s *tuple.Schema, par int) plan.Node { return gcScanPlan(s) }},
+		{"join", JoinParPlan},
+		{"groupby", GroupByParPlan},
+	}
+	series := make([]Series, len(workloads))
+	for i, w := range workloads {
+		series[i].Label = w.name
+	}
+	for _, par := range pars {
+		cfg := qpipe.DefaultConfig()
+		cfg.ScanParallelism = par
+		if env.Scale.BatchSize > 0 {
+			cfg.BatchSize = env.Scale.BatchSize
+		}
+		report.Batch = cfg.BatchSize
+		sys, err := env.NewQPipeWith(fmt.Sprintf("QPipe gc par=%d", par), cfg)
+		if err != nil {
+			return fig, report, err
+		}
+		schema := sys.Manager().MustTable(JoinProbeTable).Schema
+		for i, w := range workloads {
+			// Warm once (code paths, leaf maps) outside the measurement.
+			env.SetMeasuring(false)
+			if err := sys.Exec(context.Background(), w.mk(schema, par)); err != nil {
+				return fig, report, err
+			}
+			// measureGC runs through StandaloneResponse, which cold-starts
+			// the pool itself; no separate invalidation needed here.
+			env.SetMeasuring(true)
+			st, err := measureGC(env, sys, w.mk(schema, par))
+			env.SetMeasuring(false)
+			if err != nil {
+				return fig, report, err
+			}
+			st.Workload, st.Par = w.name, par
+			report.Stats = append(report.Stats, st)
+			series[i].Points = append(series[i].Points, Point{X: float64(par), Y: st.AllocsPerOp})
+		}
+	}
+	fig.Series = series
+	return fig, report, nil
+}
+
+// measureGC runs one query between ReadMemStats snapshots (after a forced
+// GC, so the deltas belong to this query rather than leftover garbage).
+func measureGC(env *Env, sys System, p plan.Node) (GCStat, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	d, err := StandaloneResponse(env, sys, func() plan.Node { return p })
+	if err != nil {
+		return GCStat{}, err
+	}
+	runtime.ReadMemStats(&after)
+	return GCStat{
+		AllocsPerOp: float64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  float64(after.TotalAlloc - before.TotalAlloc),
+		GCPauseMs:   float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+		NumGC:       after.NumGC - before.NumGC,
+		WallMs:      float64(d.Milliseconds()),
+	}, nil
+}
+
+// WriteGCJSON writes the GC report as indented JSON (BENCH_GC.json), so the
+// repo's benchmark artifacts track the memory trajectory alongside wall
+// clock.
+func WriteGCJSON(path string, report *GCReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -105,6 +105,10 @@ type Scale struct {
 	RandLat   time.Duration // per-block random read latency
 	Spindles  int           // concurrent-latency bound (paper testbed: 4-disk RAID-0)
 	Seed      int64
+	// BatchSize overrides Config.BatchSize (and thereby the batch recycling
+	// pool's array size) on every QPipe system the environment creates;
+	// 0 keeps the engine default (qpipe-bench's -batch flag).
+	BatchSize int
 }
 
 // SmallScale is the fast configuration used by `go test -bench` and unit
@@ -188,6 +192,9 @@ func (e *Env) NewQPipeWith(name string, cfg core.Config) (System, error) {
 }
 
 func (e *Env) newQPipe(name string, cfg core.Config) (System, error) {
+	if e.Scale.BatchSize > 0 {
+		cfg.BatchSize = e.Scale.BatchSize
+	}
 	mgr, err := e.newManager(buffer.NewLRU())
 	if err != nil {
 		return nil, err

@@ -18,12 +18,15 @@ import (
 )
 
 // emitter accumulates tuples and flushes them in batches to a packet's
-// output port. A Put failure sticks: every later add/flush repeats it, so an
-// operator that ignores one mid-loop error still reports it at the final
-// flush. When the port reports all consumers gone while the packet's query
-// was cancelled, the emitter surfaces the cancellation error instead — the
-// consumers did not lose interest, the query was killed, and the packet must
-// not finish as a success (see emitResult).
+// output port. Batch arrays are leased from the port's pool (see
+// tbuf.BatchPool): a flush hands the array's lease to the primary consumer
+// and the next add draws a fresh one, so the steady-state flush path
+// allocates nothing. A Put failure sticks: every later add/flush repeats it,
+// so an operator that ignores one mid-loop error still reports it at the
+// final flush. When the port reports all consumers gone while the packet's
+// query was cancelled, the emitter surfaces the cancellation error instead —
+// the consumers did not lose interest, the query was killed, and the packet
+// must not finish as a success (see emitResult).
 type emitter struct {
 	out   *tbuf.SharedOut
 	pkt   *core.Packet
@@ -34,7 +37,7 @@ type emitter struct {
 
 func newEmitter(pkt *core.Packet, batchSize int) *emitter {
 	if batchSize < 1 {
-		batchSize = 64
+		batchSize = core.DefaultBatchSize
 	}
 	return &emitter{out: pkt.Out, pkt: pkt, size: batchSize}
 }
@@ -42,6 +45,9 @@ func newEmitter(pkt *core.Packet, batchSize int) *emitter {
 func (e *emitter) add(t tuple.Tuple) error {
 	if e.err != nil {
 		return e.err
+	}
+	if e.batch == nil {
+		e.batch = e.out.NewBatch(e.size)
 	}
 	e.batch = append(e.batch, t)
 	if len(e.batch) >= e.size {
@@ -85,7 +91,10 @@ func emitResult(err error) error {
 }
 
 // cursor reads a buffer one tuple at a time with single-tuple lookahead
-// (merge join needs peek).
+// (merge join needs peek). It holds the lease on at most one batch array,
+// released back to the pool on advance past the batch boundary and at EOF —
+// tuples the caller retained stay valid (rows are immutable and never
+// recycled; only the array goes back).
 type cursor struct {
 	buf   *tbuf.Buffer
 	batch tbuf.Batch
@@ -94,6 +103,14 @@ type cursor struct {
 }
 
 func newCursor(buf *tbuf.Buffer) *cursor { return &cursor{buf: buf} }
+
+// release returns the current batch's array lease to the pool.
+func (c *cursor) release() {
+	if c.batch != nil {
+		c.buf.Recycle(c.batch)
+		c.batch = nil
+	}
+}
 
 // peek returns the next tuple without consuming it; ok is false at EOF.
 func (c *cursor) peek() (tuple.Tuple, bool, error) {
@@ -106,9 +123,11 @@ func (c *cursor) peek() (tuple.Tuple, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		c.release()
 		c.batch, c.i = b, 0
 	}
 	if c.eof {
+		c.release()
 		return nil, false, nil
 	}
 	return c.batch[c.i], true, nil
@@ -124,7 +143,8 @@ func (c *cursor) next() (tuple.Tuple, bool, error) {
 	return t, true, nil
 }
 
-// drainAll reads a buffer to EOF, returning all tuples.
+// drainAll reads a buffer to EOF, returning all tuples (rows are retained by
+// reference; the batch arrays that carried them are recycled).
 func drainAll(buf *tbuf.Buffer) ([]tuple.Tuple, error) {
 	var out []tuple.Tuple
 	for {
@@ -136,25 +156,55 @@ func drainAll(buf *tbuf.Buffer) ([]tuple.Tuple, error) {
 			return nil, err
 		}
 		out = append(out, b...)
+		buf.Recycle(b)
 	}
 }
 
 // applyFilterProject filters and projects one page worth of tuples for a
-// scan consumer. Returns a fresh slice (tuples cloned on projection so the
-// page batch is never aliased across consumers).
-func applyFilterProject(in []tuple.Tuple, filter expr.Pred, project []int) []tuple.Tuple {
-	out := make([]tuple.Tuple, 0, len(in))
-	for _, t := range in {
+// scan consumer into a pool-leased batch. Under the lease protocol the rows
+// themselves are shared, not cloned: page tuples are immutable once decoded,
+// so every consumer may reference them, and each consumer's distinct output
+// array is what keeps their streams independent. Projection rows carve from
+// one arena chunk per page instead of allocating per row.
+func applyFilterProject(in []tuple.Tuple, filter expr.Pred, project []int, pool *tbuf.BatchPool) tbuf.Batch {
+	out := pool.GetCap(len(in))
+	var arena tuple.RowArena
+	for i, t := range in {
 		if filter != nil && !filter.Test(t) {
 			continue
 		}
 		if project != nil {
-			out = append(out, t.Project(project))
+			if len(out) == 0 {
+				// First kept row: size the chunk by the rows that can still
+				// match (capped — a selective filter must not pay a full
+				// page's worth of arena for a handful of survivors; Make
+				// chains further chunks if the cap is exceeded).
+				n := (len(in) - i) * len(project)
+				if n > 1024 {
+					n = 1024
+				}
+				arena.Grow(n)
+			}
+			out = append(out, arena.Project(t, project))
 		} else {
-			out = append(out, t.Clone())
+			out = append(out, t)
 		}
 	}
 	return out
+}
+
+// emitBatch streams a leased batch's rows into the emitter and returns the
+// array's lease to the pool whether or not an add fails (the rows live on
+// inside the emitter's own batch; only the carrier array comes back).
+func emitBatch(em *emitter, pool *tbuf.BatchPool, out tbuf.Batch) error {
+	for _, row := range out {
+		if err := em.add(row); err != nil {
+			pool.Put(out)
+			return err
+		}
+	}
+	pool.Put(out)
+	return nil
 }
 
 // defaultTryShare is the signature-exact OSP attach used by operators whose

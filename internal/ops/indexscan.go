@@ -135,6 +135,7 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 	// Phase 1: read the missed prefix [0, start) fresh, in key order,
 	// streaming straight to the consumer.
 	em := newEmitter(pkt, rt.BatchSize())
+	pool := rt.BatchPool()
 	for ord := 0; ord < start && ord < len(pnos); ord++ {
 		if cerr := pkt.Query.CancelErr(); cerr != nil {
 			return cerr
@@ -146,10 +147,8 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 		if err != nil {
 			return err
 		}
-		for _, row := range applyFilterProject(rows, node.Filter, node.Project) {
-			if err := em.add(row); err != nil {
-				return emitResult(err)
-			}
+		if err := emitBatch(em, pool, applyFilterProject(rows, node.Filter, node.Project, pool)); err != nil {
+			return emitResult(err)
 		}
 	}
 	// Phase 2: the saved suffix results arrive (and are drained) in leaf
@@ -162,10 +161,8 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 		if err != nil {
 			return err
 		}
-		for _, row := range batch {
-			if err := em.add(row); err != nil {
-				return emitResult(err)
-			}
+		if err := emitBatch(em, pool, batch); err != nil {
+			return emitResult(err)
 		}
 	}
 	return emitResult(em.flush())
@@ -255,9 +252,10 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 		// Bounded clustered scan: stream the B+tree range directly (no
 		// page-stream sharing; signature-identical packets still dedupe).
 		em := newEmitter(pkt, rt.BatchSize())
+		var arena tuple.RowArena
 		var derr error
 		err := tr.Range(node.Lo, node.Hi, func(_ tuple.Value, payload []byte) bool {
-			row, _, e := tuple.Decode(payload, ncols)
+			row, _, e := tuple.DecodeArena(payload, ncols, &arena)
 			if e != nil {
 				derr = e
 				return false
@@ -266,7 +264,7 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 				return true
 			}
 			if node.Project != nil {
-				row = row.Project(node.Project)
+				row = arena.Project(row, node.Project)
 			}
 			if pkt.Cancelled() || em.add(row) != nil {
 				return false
@@ -303,6 +301,7 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	if lo > 0 || hi < len(pnos) {
 		// Partial scans stream their range directly and never host sharing.
 		em := newEmitter(pkt, rt.BatchSize())
+		pool := rt.BatchPool()
 		for ord := lo; ord < hi; ord++ {
 			if cerr := pkt.Query.CancelErr(); cerr != nil {
 				return cerr
@@ -314,10 +313,8 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 			if err != nil {
 				return err
 			}
-			for _, row := range applyFilterProject(rows, node.Filter, node.Project) {
-				if err := em.add(row); err != nil {
-					return emitResult(err)
-				}
+			if err := emitBatch(em, pool, applyFilterProject(rows, node.Filter, node.Project, pool)); err != nil {
+				return emitResult(err)
 			}
 		}
 		return emitResult(em.flush())
@@ -326,6 +323,7 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	// is irrelevant to their consumers); ordered scans stay single-partition
 	// so the leaf stream keeps key order (newScanner enforces this).
 	s := newScanner(pkt.ID, src, !node.Ordered, rt.Cfg.ScanParallelism)
+	s.pool = rt.BatchPool()
 	if eng := rt.Engine(plan.OpIndexScan); eng != nil {
 		s.spawn = eng.SpawnSub
 	}
@@ -369,8 +367,10 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
 	}
 	// Phase 2: fetch. Group consecutive same-page RIDs so each heap page is
-	// pinned once.
+	// pinned once. Fetched rows are freshly decoded and immutable, so they
+	// flow to the emitter by reference; projections carve from an arena.
 	em := newEmitter(pkt, rt.BatchSize())
+	var arena tuple.RowArena
 	i := 0
 	for i < len(rids) {
 		if cerr := pkt.Query.CancelErr(); cerr != nil {
@@ -389,9 +389,7 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 			if node.Filter == nil || node.Filter.Test(row) {
 				out := row
 				if node.Project != nil {
-					out = row.Project(node.Project)
-				} else {
-					out = row.Clone()
+					out = arena.Project(row, node.Project)
 				}
 				if err := em.add(out); err != nil {
 					return emitResult(err)

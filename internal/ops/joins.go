@@ -165,7 +165,10 @@ func (o *MergeJoinOp) mergeSides(sharedIdx int, shared, other *tbuf.Buffer, node
 }
 
 // mergeJoin is the standard ordered merge with duplicate-group handling.
+// Join rows carve from an arena (one chunk allocation per ~few thousand
+// values instead of one per output row).
 func mergeJoin(l, r *cursor, lkey, rkey int, em *emitter) error {
+	var arena tuple.RowArena
 	for {
 		lt, lok, err := l.peek()
 		if err != nil {
@@ -215,7 +218,7 @@ func mergeJoin(l, r *cursor, lkey, rkey int, em *emitter) error {
 			}
 			for _, a := range lg {
 				for _, b := range rg {
-					if err := em.add(tuple.Concat(a, b)); err != nil {
+					if err := em.add(arena.Concat(a, b)); err != nil {
 						return err
 					}
 				}
@@ -274,7 +277,7 @@ func (o *HashJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			overflow = append(overflow, t)
 			break
 		}
-		h := tuple.HashAt(t, []int{node.LKey})
+		h := tuple.Hash1(t, node.LKey)
 		build[h] = append(build[h], t)
 	}
 	if small {
@@ -292,11 +295,14 @@ func (o *HashJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 // counter and replay append share one critical section — so OSP satellites
 // attaching mid-probe still replay exactly what was produced).
 func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *plan.HashJoin, build map[uint64][]tuple.Tuple, par int) error {
-	probe := func(em *emitter, t tuple.Tuple) error {
-		h := tuple.HashAt(t, []int{node.RKey})
+	// Each worker owns an emitter and a row arena (arenas are not
+	// goroutine-safe); output rows carve from the arena instead of
+	// allocating per match.
+	probe := func(em *emitter, arena *tuple.RowArena, t tuple.Tuple) error {
+		h := tuple.Hash1(t, node.RKey)
 		for _, b := range build[h] {
 			if tuple.Equal(b[node.LKey], t[node.RKey]) {
-				if err := em.add(tuple.Concat(b, t)); err != nil {
+				if err := em.add(arena.Concat(b, t)); err != nil {
 					return err
 				}
 			}
@@ -305,6 +311,7 @@ func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *pla
 	}
 	if par <= 1 {
 		em := newEmitter(pkt, rt.BatchSize())
+		var arena tuple.RowArena
 		rcur := newCursor(pkt.Inputs[1])
 		for {
 			t, ok, err := rcur.next()
@@ -314,7 +321,7 @@ func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *pla
 			if !ok {
 				return emitResult(em.flush())
 			}
-			if err := probe(em, t); err != nil {
+			if err := probe(em, &arena, t); err != nil {
 				return emitResult(err)
 			}
 		}
@@ -322,12 +329,14 @@ func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *pla
 	err := parFeed(subSpawner(rt, plan.OpHashJoin), par, par,
 		func(k int, ch <-chan tbuf.Batch) error {
 			em := newEmitter(pkt, rt.BatchSize())
+			var arena tuple.RowArena
 			for b := range ch {
 				for _, t := range b {
-					if err := probe(em, t); err != nil {
+					if err := probe(em, &arena, t); err != nil {
 						return err
 					}
 				}
+				pkt.Inputs[1].Recycle(b)
 			}
 			return em.flush()
 		}, feedInput(pkt.Inputs[1]))
@@ -445,12 +454,12 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 			rt.SM.DropTemp(probeFiles[i].name)
 		}
 	}()
-	probeOne := func(em *emitter, t tuple.Tuple, h uint64) error {
+	probeOne := func(em *emitter, arena *tuple.RowArena, t tuple.Tuple, h uint64) error {
 		p := partOf(h)
 		if p == 0 {
 			for _, b := range mem0[h] {
 				if tuple.Equal(b[node.LKey], t[node.RKey]) {
-					if err := em.add(tuple.Concat(b, t)); err != nil {
+					if err := em.add(arena.Concat(b, t)); err != nil {
 						return err
 					}
 				}
@@ -476,7 +485,8 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 	}
 	if par <= 1 {
 		em := newEmitter(pkt, rt.BatchSize())
-		if err := feedProbe(func(t tuple.Tuple, h uint64) error { return probeOne(em, t, h) }); err != nil {
+		var arena tuple.RowArena
+		if err := feedProbe(func(t tuple.Tuple, h uint64) error { return probeOne(em, &arena, t, h) }); err != nil {
 			return emitResult(err)
 		}
 		if err := em.flush(); err != nil {
@@ -486,9 +496,10 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 		err := routeAffine(spawn, par, home,
 			func(k int, ch <-chan []routed) error {
 				em := newEmitter(pkt, rt.BatchSize())
+				var arena tuple.RowArena
 				for items := range ch {
 					for _, it := range items {
-						if err := probeOne(em, it.t, it.h); err != nil {
+						if err := probeOne(em, &arena, it.t, it.h); err != nil {
 							return err
 						}
 					}
@@ -507,7 +518,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 
 	// Per-partition joins from disk: fully independent, so worker k joins
 	// its own partition set back to back.
-	joinPart := func(em *emitter, i int) error {
+	joinPart := func(em *emitter, arena *tuple.RowArena, i int) error {
 		table := make(map[uint64][]tuple.Tuple)
 		br := newSpillReader(rt.SM.Disk, buildFiles[i].name, lcols)
 		for {
@@ -533,7 +544,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 			h := tuple.HashAt(t, rkey)
 			for _, b := range table[h] {
 				if tuple.Equal(b[node.LKey], t[node.RKey]) {
-					if err := em.add(tuple.Concat(b, t)); err != nil {
+					if err := em.add(arena.Concat(b, t)); err != nil {
 						return err
 					}
 				}
@@ -542,6 +553,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 	}
 	err := fanOut(spawn, par, func(k int) error {
 		em := newEmitter(pkt, rt.BatchSize())
+		var arena tuple.RowArena
 		for i := k + 1; i <= parts; i += par {
 			// A cancelled query must not grind through the remaining
 			// partition files; OSP-cancelled packets (flag only, live query)
@@ -549,7 +561,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 			if cerr := pkt.Query.CancelErr(); cerr != nil {
 				return cerr
 			}
-			if err := joinPart(em, i); err != nil {
+			if err := joinPart(em, &arena, i); err != nil {
 				return err
 			}
 		}
@@ -583,6 +595,7 @@ func (*NLJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		return err
 	}
 	em := newEmitter(pkt, rt.BatchSize())
+	var arena tuple.RowArena
 	lcur := newCursor(pkt.Inputs[0])
 	for {
 		t, ok, err := lcur.next()
@@ -593,7 +606,7 @@ func (*NLJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return emitResult(em.flush())
 		}
 		for _, in := range inner {
-			joined := tuple.Concat(t, in)
+			joined := arena.Concat(t, in)
 			if node.Pred == nil || node.Pred.Test(joined) {
 				if err := em.add(joined); err != nil {
 					return emitResult(err)

@@ -315,20 +315,31 @@ func TestUpdateSerializedAgainstScan(t *testing.T) {
 	}
 }
 
-func TestApplyFilterProjectCopies(t *testing.T) {
+func TestApplyFilterProjectLease(t *testing.T) {
+	// Under the lease protocol rows are shared by reference (they are
+	// immutable once published), but the output array must be distinct from
+	// the input's so each consumer advances and recycles independently.
 	in := []tuple.Tuple{{tuple.I64(1), tuple.I64(2)}}
-	out := applyFilterProject(in, nil, nil)
-	out[0][0] = tuple.I64(99)
-	if in[0][0].I == 99 {
-		t.Fatal("applyFilterProject must clone tuples")
+	out := applyFilterProject(in, nil, nil, nil)
+	if len(out) != 1 || &out[0][0] != &in[0][0] {
+		t.Fatal("unprojected rows should pass through by reference")
 	}
-	filtered := applyFilterProject(in, expr.EQ(expr.Col(0), expr.CInt(5)), nil)
+	out[0] = tuple.Tuple{tuple.I64(99)}
+	if in[0][0].I != 1 {
+		t.Fatal("output array must not alias the input array")
+	}
+	filtered := applyFilterProject(in, expr.EQ(expr.Col(0), expr.CInt(5)), nil, nil)
 	if len(filtered) != 0 {
 		t.Fatal("filter not applied")
 	}
-	proj := applyFilterProject(in, nil, []int{1})
+	proj := applyFilterProject(in, nil, []int{1}, nil)
 	if len(proj[0]) != 1 || proj[0][0].I != 2 {
 		t.Fatalf("projection: %v", proj)
+	}
+	// Projection rows are fresh (arena-carved), never views of the input.
+	proj[0][0] = tuple.I64(7)
+	if in[0][1].I != 2 {
+		t.Fatal("projected row aliases the input tuple")
 	}
 }
 

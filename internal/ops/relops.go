@@ -67,6 +67,7 @@ func (*ProjectOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 func (*ProjectOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Project)
 	em := newEmitter(pkt, rt.BatchSize())
+	var arena tuple.RowArena
 	cur := newCursor(pkt.Inputs[0])
 	for {
 		t, ok, err := cur.next()
@@ -76,7 +77,7 @@ func (*ProjectOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		if !ok {
 			return emitResult(em.flush())
 		}
-		out := make(tuple.Tuple, len(node.Exprs))
+		out := arena.Make(len(node.Exprs))
 		for i, e := range node.Exprs {
 			out[i] = e.Eval(t)
 		}
@@ -141,6 +142,7 @@ func (*AggregateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 							st.Add(t)
 						}
 					}
+					pkt.Inputs[0].Recycle(b)
 				}
 				return nil
 			}, feedInput(pkt.Inputs[0]))
@@ -181,13 +183,32 @@ func newGroupTable(keys []int, specs []expr.AggSpec) *groupTable {
 	return &groupTable{keys: keys, specs: specs, groups: make(map[uint64][]*group)}
 }
 
-// lookup finds the group in bucket h whose projected key matches key(i) per
-// column, or nil.
-func (gt *groupTable) lookup(h uint64, key func(i int) tuple.Value) *group {
+// lookupRow finds the group in bucket h whose key matches the input tuple's
+// key columns, or nil. (Taking the tuple directly — rather than a per-row
+// accessor closure — keeps the per-input-row path allocation-free.)
+func (gt *groupTable) lookupRow(h uint64, t tuple.Tuple) *group {
+	for _, cand := range gt.groups[h] {
+		match := true
+		for i, k := range gt.keys {
+			if !tuple.Equal(cand.key[i], t[k]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cand
+		}
+	}
+	return nil
+}
+
+// lookupKey finds the group in bucket h with the given (already projected)
+// key, or nil.
+func (gt *groupTable) lookupKey(h uint64, key tuple.Tuple) *group {
 	for _, cand := range gt.groups[h] {
 		match := true
 		for i := range gt.keys {
-			if !tuple.Equal(cand.key[i], key(i)) {
+			if !tuple.Equal(cand.key[i], key[i]) {
 				match = false
 				break
 			}
@@ -203,7 +224,7 @@ func (gt *groupTable) lookup(h uint64, key func(i int) tuple.Value) *group {
 // sight.
 func (gt *groupTable) add(t tuple.Tuple) {
 	h := tuple.HashAt(t, gt.keys)
-	g := gt.lookup(h, func(i int) tuple.Value { return t[gt.keys[i]] })
+	g := gt.lookupRow(h, t)
 	if g == nil {
 		g = &group{key: t.Project(gt.keys), states: make([]*expr.AggState, len(gt.specs))}
 		for i, s := range gt.specs {
@@ -223,7 +244,7 @@ func (gt *groupTable) add(t tuple.Tuple) {
 func (gt *groupTable) absorb(o *groupTable) {
 	for h, bucket := range o.groups {
 		for _, og := range bucket {
-			g := gt.lookup(h, func(i int) tuple.Value { return og.key[i] })
+			g := gt.lookupKey(h, og.key)
 			if g == nil {
 				gt.groups[h] = append(gt.groups[h], og)
 				continue
@@ -235,14 +256,15 @@ func (gt *groupTable) absorb(o *groupTable) {
 	}
 }
 
-// emit streams every group's result row.
+// emit streams every group's result row (rows carve from one arena).
 func (gt *groupTable) emit(em *emitter) error {
+	var arena tuple.RowArena
 	for _, bucket := range gt.groups {
 		for _, g := range bucket {
-			row := make(tuple.Tuple, 0, len(g.key)+len(g.states))
-			row = append(row, g.key...)
-			for _, st := range g.states {
-				row = append(row, st.Result())
+			row := arena.Make(len(g.key) + len(g.states))
+			copy(row, g.key)
+			for i, st := range g.states {
+				row[len(g.key)+i] = st.Result()
 			}
 			if err := em.add(row); err != nil {
 				return err
@@ -297,6 +319,7 @@ func (o *GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 					for _, t := range b {
 						tables[k].add(t)
 					}
+					pkt.Inputs[0].Recycle(b)
 				}
 				return nil
 			}, feedInput(pkt.Inputs[0]))

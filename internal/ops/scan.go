@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"qpipe/internal/core"
+	"qpipe/internal/core/tbuf"
 	"qpipe/internal/expr"
 	"qpipe/internal/plan"
 	"qpipe/internal/tuple"
@@ -71,6 +72,9 @@ type scanner struct {
 	// spawn runs a partition worker on the µEngine's sub-worker machinery;
 	// nil falls back to a plain goroutine (direct scanner tests).
 	spawn func(func())
+	// pool leases the per-consumer output batch arrays (nil in direct
+	// scanner tests: plain allocation).
+	pool *tbuf.BatchPool
 
 	consumers []*scanConsumer
 	done      bool
@@ -299,21 +303,25 @@ func (s *scanner) serve(c *scanConsumer, k int, tuples []tuple.Tuple) {
 	if !owed {
 		return
 	}
-	out := applyFilterProject(tuples, c.filter, c.project)
+	out := applyFilterProject(tuples, c.filter, c.project, s.pool)
 	if len(out) > 0 {
 		if err := c.pkt.Out.Put(out); err != nil {
 			// Consumer gone (query cancelled or absorbed elsewhere).
 			s.detach(c, nil)
 			return
 		}
-	} else if c.pkt.Cancelled() && !c.pkt.Out.PruneDead() {
-		// A cancelled consumer whose filter matches nothing never Puts, so
-		// the port would never report its death — probe explicitly rather
-		// than scanning the rest of the table for a dead query. (A cancelled
-		// consumer with live satellites still attached keeps being served:
-		// it is their conduit.)
-		s.detach(c, nil)
-		return
+	} else {
+		// Nothing matched: hand the unused array's lease straight back.
+		s.pool.Put(out)
+		if c.pkt.Cancelled() && !c.pkt.Out.PruneDead() {
+			// A cancelled consumer whose filter matches nothing never Puts, so
+			// the port would never report its death — probe explicitly rather
+			// than scanning the rest of the table for a dead query. (A cancelled
+			// consumer with live satellites still attached keeps being served:
+			// it is their conduit.)
+			s.detach(c, nil)
+			return
+		}
 	}
 	s.mu.Lock()
 	c.remaining[k]--
@@ -479,6 +487,7 @@ func (o *TableScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		par = rt.Cfg.ScanParallelism
 	}
 	s := newScanner(pkt.ID, src, !node.Ordered, par)
+	s.pool = rt.BatchPool()
 	if eng := rt.Engine(plan.OpTableScan); eng != nil {
 		s.spawn = eng.SpawnSub
 	}

@@ -13,12 +13,15 @@ import (
 	"qpipe/internal/tuple"
 )
 
-// spillWriter appends tuples to a temp file in slotted pages.
+// spillWriter appends tuples to a temp file in slotted pages. One encode
+// scratch buffer is reused across rows, so spilling a run costs no per-row
+// allocation.
 type spillWriter struct {
-	d    *disk.Disk
-	name string
-	pg   *page.Page
-	n    int64
+	d       *disk.Disk
+	name    string
+	pg      *page.Page
+	n       int64
+	scratch []byte
 }
 
 func newSpillWriter(d *disk.Disk, name string) *spillWriter {
@@ -27,13 +30,14 @@ func newSpillWriter(d *disk.Disk, name string) *spillWriter {
 }
 
 func (w *spillWriter) add(t tuple.Tuple) error {
-	enc := t.Encode(nil)
-	if !w.pg.HasRoomFor(len(enc)) {
+	if !w.pg.HasRoomFor(t.EncodedSize()) {
 		if err := w.flushPage(); err != nil {
 			return err
 		}
 	}
-	if _, err := w.pg.Insert(enc); err != nil {
+	var err error
+	_, w.scratch, err = w.pg.InsertTupleScratch(t, w.scratch)
+	if err != nil {
 		return fmt.Errorf("ops: tuple exceeds spill page size: %w", err)
 	}
 	w.n++

@@ -11,6 +11,7 @@ package disk
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -291,6 +292,19 @@ func (d *Disk) Read(name string, blockNo int64) ([]byte, error) {
 	return b, nil
 }
 
+// spinThreshold bounds the latencies charged by yielding spin rather than
+// time.Sleep: the OS timer rounds sleeps up to its tick (~1ms on stock
+// Linux), so per-block latencies in the tens of microseconds would cost
+// ~1ms each and wall-clock figures would measure the host's timer
+// resolution — modulated chaotically by how much CPU the engine happens to
+// burn between reads — instead of the modelled device. Spinning burns at
+// most Spindles × spinThreshold of CPU concurrently, and the spin loop
+// yields so it degrades fairly on core-starved machines — on hosts with
+// fewer cores than Spindles the wall clock stretches with core pressure,
+// so absolute figures remain host-dependent there (shapes survive; judge
+// scaling factors, not milliseconds, on small CI runners).
+const spinThreshold = 500 * time.Microsecond
+
 func (d *Disk) charge(lat time.Duration) {
 	if lat <= 0 {
 		return
@@ -300,7 +314,14 @@ func (d *Disk) charge(lat time.Duration) {
 	// the spindle count queue here, which is what makes multi-client
 	// workloads disk-bound like the paper's testbed.
 	d.spindles <- struct{}{}
-	time.Sleep(lat)
+	if lat > spinThreshold {
+		time.Sleep(lat)
+	} else {
+		deadline := time.Now().Add(lat)
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+	}
 	<-d.spindles
 }
 

@@ -39,6 +39,7 @@ type File struct {
 	mu       sync.Mutex
 	npages   int64
 	lastPage *page.Page // write buffer for bulk loading (not yet flushed)
+	encBuf   []byte     // encode scratch reused across Appends (guarded by mu)
 }
 
 // Create makes a new empty heap file on the pool's disk.
@@ -72,11 +73,13 @@ func (f *File) NumPages() int64 {
 
 // Append inserts a tuple at the end of the file (bulk-load path; goes
 // straight to disk, bypassing the pool, like a real bulk loader would).
-// Returns the tuple's RID.
+// Returns the tuple's RID. The encode scratch is reused across calls, so
+// bulk loads (TPC-H/Wisconsin generators) pay no per-row allocation here.
 func (f *File) Append(t tuple.Tuple) (RID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	enc := t.Encode(nil)
+	f.encBuf = t.Encode(f.encBuf[:0])
+	enc := f.encBuf
 	if f.lastPage != nil && !f.lastPage.HasRoomFor(len(enc)) {
 		if err := f.flushLastLocked(); err != nil {
 			return RID{}, err

@@ -102,8 +102,18 @@ func (p *Page) Payload(i int) ([]byte, error) {
 }
 
 // InsertTuple encodes and inserts a tuple, returning its slot number.
+// Bulk loaders should prefer InsertTupleScratch, which reuses one encode
+// buffer across rows instead of allocating per insert.
 func (p *Page) InsertTuple(t tuple.Tuple) (int, error) {
 	return p.Insert(t.Encode(nil))
+}
+
+// InsertTupleScratch encodes t into scratch (grown as needed) and inserts
+// it, returning the slot number and the scratch buffer for the next row.
+func (p *Page) InsertTupleScratch(t tuple.Tuple, scratch []byte) (int, []byte, error) {
+	scratch = t.Encode(scratch[:0])
+	slot, err := p.Insert(scratch)
+	return slot, scratch, err
 }
 
 // Tuple decodes the tuple in slot i, which must have ncols columns.
@@ -116,12 +126,21 @@ func (p *Page) Tuple(i, ncols int) (tuple.Tuple, error) {
 	return t, err
 }
 
-// Tuples decodes every tuple in the page.
+// Tuples decodes every tuple in the page. All rows carve out of one arena
+// chunk (one allocation per page rather than one per row); they are
+// independent of the page buffer and immutable, per the engine's tuple
+// lease protocol.
 func (p *Page) Tuples(ncols int) ([]tuple.Tuple, error) {
 	n := p.NumSlots()
 	out := make([]tuple.Tuple, 0, n)
+	var arena tuple.RowArena
+	arena.Grow(n * ncols)
 	for i := 0; i < n; i++ {
-		t, err := p.Tuple(i, ncols)
+		raw, err := p.Payload(i)
+		if err != nil {
+			return nil, err
+		}
+		t, _, err := tuple.DecodeArena(raw, ncols, &arena)
 		if err != nil {
 			return nil, err
 		}

@@ -141,3 +141,45 @@ func TestFreeSpaceAccounting(t *testing.T) {
 		t.Errorf("FreeSpace delta = %d, want 14", before-after)
 	}
 }
+
+// TestInsertTupleScratch verifies the bulk-load insert path reuses one
+// encode buffer across rows: same bytes as InsertTuple, zero allocations
+// once the scratch has grown to the largest row.
+func TestInsertTupleScratch(t *testing.T) {
+	a, b := New(512), New(512)
+	var scratch []byte
+	rows := []tuple.Tuple{
+		{tuple.I64(1), tuple.Str("aa")},
+		{tuple.I64(2), tuple.Str("")},
+		{tuple.I64(3), tuple.Str("a much longer payload string")},
+	}
+	for _, r := range rows {
+		if _, err := a.InsertTuple(r); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		_, scratch, err = b.InsertTupleScratch(r, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ga, _ := a.Tuples(2)
+	gb, _ := b.Tuples(2)
+	for i := range ga {
+		if tuple.CompareAt(ga[i], gb[i], []int{0, 1}) != 0 {
+			t.Fatalf("row %d: scratch insert %v != plain insert %v", i, gb[i], ga[i])
+		}
+	}
+	row := tuple.Tuple{tuple.I64(9), tuple.Str("steady")}
+	steady := New(32 << 10)
+	allocs := testing.AllocsPerRun(50, func() {
+		var err error
+		_, scratch, err = steady.InsertTupleScratch(row, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("InsertTupleScratch steady state: %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -10,7 +10,6 @@ package tuple
 import (
 	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"strings"
 )
@@ -168,9 +167,13 @@ func Compare(a, b Value) int {
 // Equal reports value equality under Compare semantics.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
 
-// Tuple is a flat row of values. Tuples are value types; the engines copy
-// tuples when fanning a single producer out to multiple consumers so that
-// satellites can never observe aliased mutation.
+// Tuple is a flat row of values. Tuples follow the engine's lease protocol
+// (see tbuf and the README's "Memory model"): a tuple is immutable from the
+// moment it is published to an output port, so producers, fan-out satellites
+// and downstream operators all share the same row by reference — only the
+// batch arrays that carry rows between operators are recycled, never the
+// rows themselves. An operator that needs to alter a row builds a new one
+// (typically from a RowArena) instead of mutating in place.
 type Tuple []Value
 
 // Clone returns a deep copy of the tuple (value slice is copied; strings are
@@ -192,6 +195,70 @@ func Concat(a, b Tuple) Tuple {
 // Project returns a new tuple keeping only the columns at idxs.
 func (t Tuple) Project(idxs []int) Tuple {
 	c := make(Tuple, len(idxs))
+	for i, ix := range idxs {
+		c[i] = t[ix]
+	}
+	return c
+}
+
+// ---- Row arena -------------------------------------------------------------
+
+// arenaChunkValues is the default chunk size (in Values) a RowArena carves
+// rows from: large enough to amortize one allocation over dozens of rows,
+// small enough that a mostly-idle arena wastes little.
+const arenaChunkValues = 4096
+
+// RowArena bulk-allocates tuple rows, replacing one heap allocation per row
+// (join Concat output, projection rows, decoded page tuples) with one per
+// chunk. Rows carved from an arena follow the engine's lease protocol for
+// tuples: they are immutable once published to a consumer, so sharing one
+// backing chunk across many rows is safe, and the chunk is garbage-collected
+// as one object when the last row referencing it dies. Arenas are not
+// goroutine-safe; every parallel worker owns its own.
+//
+// The zero RowArena is ready to use.
+type RowArena struct {
+	chunk []Value
+}
+
+// Grow pre-sizes the arena's next chunk so the following n Values carve out
+// of a single allocation (e.g. one page worth of projected rows).
+func (a *RowArena) Grow(n int) {
+	if cap(a.chunk)-len(a.chunk) < n {
+		a.chunk = make([]Value, 0, n)
+	}
+}
+
+// Make carves a zeroed row of n values for the caller to fill before
+// publishing. The row has capacity n exactly, so a later append on it can
+// never clobber a neighbouring row.
+func (a *RowArena) Make(n int) Tuple {
+	if n == 0 {
+		return Tuple{}
+	}
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := arenaChunkValues
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]Value, 0, size)
+	}
+	l := len(a.chunk)
+	a.chunk = a.chunk[:l+n]
+	return Tuple(a.chunk[l : l+n : l+n])
+}
+
+// Concat is tuple.Concat into an arena-carved row.
+func (a *RowArena) Concat(x, y Tuple) Tuple {
+	c := a.Make(len(x) + len(y))
+	copy(c, x)
+	copy(c[len(x):], y)
+	return c
+}
+
+// Project is Tuple.Project into an arena-carved row.
+func (a *RowArena) Project(t Tuple, idxs []int) Tuple {
+	c := a.Make(len(idxs))
 	for i, ix := range idxs {
 		c[i] = t[ix]
 	}
@@ -222,27 +289,57 @@ func CompareAt(a, b Tuple, keys []int) int {
 	return 0
 }
 
-// HashAt returns a 64-bit hash of the key columns, suitable for hash joins
-// and hash aggregation.
-func HashAt(t Tuple, keys []int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, k := range keys {
-		v := t[k]
-		buf[0] = byte(v.K)
-		h.Write(buf[:1])
-		switch v.K {
-		case KindInt, KindDate:
-			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
-			h.Write(buf[:])
-		case KindFloat:
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
-			h.Write(buf[:])
-		case KindString:
-			h.Write([]byte(v.S))
+// FNV-1a parameters (hash/fnv's 64-bit variant, inlined so the per-tuple
+// hash path performs zero heap allocations — fnv.New64a heap-allocates its
+// state, and feeding it through h.Write shuffles every field into a scratch
+// byte buffer first).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// hashValue folds one value into an FNV-1a state. The byte sequence matches
+// what the previous hash/fnv-based implementation hashed (kind tag, then the
+// 8 little-endian payload bytes or the raw string bytes), so hash values are
+// stable across the rewrite.
+func hashValue(h uint64, v Value) uint64 {
+	h ^= uint64(v.K)
+	h *= fnvPrime64
+	switch v.K {
+	case KindInt, KindDate, KindFloat:
+		u := uint64(v.I)
+		if v.K == KindFloat {
+			u = math.Float64bits(v.F)
+		}
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= fnvPrime64
+			u >>= 8
+		}
+	case KindString:
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= fnvPrime64
 		}
 	}
-	return h.Sum64()
+	return h
+}
+
+// HashAt returns a 64-bit hash of the key columns, suitable for hash joins
+// and hash aggregation. It allocates nothing.
+func HashAt(t Tuple, keys []int) uint64 {
+	h := fnvOffset64
+	for _, k := range keys {
+		h = hashValue(h, t[k])
+	}
+	return h
+}
+
+// Hash1 is HashAt for a single key column, for hot loops that would
+// otherwise build a one-element key slice per tuple. Hash1(t, k) ==
+// HashAt(t, []int{k}).
+func Hash1(t Tuple, key int) uint64 {
+	return hashValue(fnvOffset64, t[key])
 }
 
 // Column describes one schema column.
@@ -366,9 +463,19 @@ func (t Tuple) Encode(dst []byte) []byte {
 // Decode parses a tuple with ncols columns from b, returning the tuple and
 // the number of bytes consumed.
 func Decode(b []byte, ncols int) (Tuple, int, error) {
-	t := make(Tuple, 0, ncols)
+	return decodeInto(b, make(Tuple, ncols))
+}
+
+// DecodeArena is Decode with the row carved from an arena (bulk decode paths
+// — page reads, spill readers — decode many rows back to back and pay one
+// chunk allocation instead of one per row).
+func DecodeArena(b []byte, ncols int, a *RowArena) (Tuple, int, error) {
+	return decodeInto(b, a.Make(ncols))
+}
+
+func decodeInto(b []byte, t Tuple) (Tuple, int, error) {
 	off := 0
-	for i := 0; i < ncols; i++ {
+	for i := range t {
 		if off >= len(b) {
 			return nil, 0, fmt.Errorf("tuple: truncated encoding at column %d", i)
 		}
@@ -381,21 +488,21 @@ func Decode(b []byte, ncols int) (Tuple, int, error) {
 			}
 			v := int64(binary.LittleEndian.Uint64(b[off:]))
 			off += 8
-			t = append(t, Value{K: k, I: v})
+			t[i] = Value{K: k, I: v}
 		case KindFloat:
 			if off+8 > len(b) {
 				return nil, 0, fmt.Errorf("tuple: truncated float at column %d", i)
 			}
 			v := math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
 			off += 8
-			t = append(t, Value{K: k, F: v})
+			t[i] = Value{K: k, F: v}
 		case KindString:
 			n, w := binary.Uvarint(b[off:])
 			if w <= 0 || off+w+int(n) > len(b) {
 				return nil, 0, fmt.Errorf("tuple: truncated string at column %d", i)
 			}
 			off += w
-			t = append(t, Value{K: KindString, S: string(b[off : off+int(n)])})
+			t[i] = Value{K: KindString, S: string(b[off : off+int(n)])}
 			off += int(n)
 		default:
 			return nil, 0, fmt.Errorf("tuple: bad kind tag %d at column %d", k, i)

@@ -1,6 +1,9 @@
 package tuple
 
 import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -198,5 +201,124 @@ func TestTupleString(t *testing.T) {
 	tup := Tuple{I64(1), Str("x")}
 	if got := tup.String(); got != "(1, x)" {
 		t.Errorf("String: %q", got)
+	}
+}
+
+// refHashAt is the pre-inlining implementation (hash/fnv fed through a
+// scratch buffer); the zero-alloc rewrite must produce identical values.
+func refHashAt(t Tuple, keys []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, k := range keys {
+		v := t[k]
+		buf[0] = byte(v.K)
+		h.Write(buf[:1])
+		switch v.K {
+		case KindInt, KindDate:
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+			h.Write(buf[:])
+		case KindFloat:
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+			h.Write(buf[:])
+		case KindString:
+			h.Write([]byte(v.S))
+		}
+	}
+	return h.Sum64()
+}
+
+func TestHashAtMatchesReferenceFNV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		row := Tuple{
+			I64(rng.Int63() - rng.Int63()),
+			F64(rng.NormFloat64() * 1e6),
+			Str(randString(rng, rng.Intn(24))),
+			Date(int64(rng.Intn(40000))),
+			{}, // invalid value (NULL-ish hole)
+		}
+		keys := []int{rng.Intn(len(row)), rng.Intn(len(row)), rng.Intn(len(row))}
+		if got, want := HashAt(row, keys), refHashAt(row, keys); got != want {
+			t.Fatalf("HashAt(%v, %v) = %#x, reference fnv = %#x", row, keys, got, want)
+		}
+		k := rng.Intn(len(row))
+		if Hash1(row, k) != refHashAt(row, []int{k}) {
+			t.Fatalf("Hash1 diverges from reference at key %d of %v", k, row)
+		}
+	}
+}
+
+func randString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	rng.Read(b)
+	return string(b)
+}
+
+func TestHashAtZeroAllocs(t *testing.T) {
+	row := Tuple{I64(42), Str("hello world"), F64(3.14), Date(12345)}
+	keys := []int{0, 1, 2, 3}
+	if allocs := testing.AllocsPerRun(100, func() {
+		HashAt(row, keys)
+	}); allocs != 0 {
+		t.Fatalf("HashAt allocates %.1f allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		Hash1(row, 1)
+	}); allocs != 0 {
+		t.Fatalf("Hash1 allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestRowArena(t *testing.T) {
+	var a RowArena
+	x := Tuple{I64(1), Str("l")}
+	y := Tuple{I64(2), Str("r")}
+	c := a.Concat(x, y)
+	if len(c) != 4 || c[0].I != 1 || c[3].S != "r" {
+		t.Fatalf("arena concat: %v", c)
+	}
+	p := a.Project(c, []int{3, 0})
+	if len(p) != 2 || p[0].S != "r" || p[1].I != 1 {
+		t.Fatalf("arena project: %v", p)
+	}
+	// Appending to one carved row must never clobber its neighbours.
+	c = append(c, I64(99))
+	if p[0].S != "r" {
+		t.Fatal("append to one arena row clobbered the next")
+	}
+	// Rows survive chunk turnover.
+	rows := make([]Tuple, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		r := a.Make(3)
+		r[0] = I64(int64(i))
+		rows = append(rows, r)
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Fatalf("row %d corrupted: %v", i, r)
+		}
+	}
+	// Amortization: many small rows should cost far less than one
+	// allocation each.
+	var b RowArena
+	if allocs := testing.AllocsPerRun(1000, func() { b.Make(4) }); allocs > 0.1 {
+		t.Fatalf("arena Make allocates %.3f allocs/op, want amortized ~1/chunk", allocs)
+	}
+}
+
+func TestDecodeArenaMatchesDecode(t *testing.T) {
+	in := Tuple{I64(-5), F64(2.75), Str("abc"), Date(9000)}
+	enc := in.Encode(nil)
+	var a RowArena
+	got, n, err := DecodeArena(enc, len(in), &a)
+	if err != nil || n != len(enc) {
+		t.Fatalf("DecodeArena: %v n=%d", err, n)
+	}
+	want, _, err := Decode(enc, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DecodeArena %v != Decode %v", got, want)
 	}
 }

@@ -438,11 +438,12 @@ func (s *sortIter) Open() error {
 	d := s.eng.SM.Disk
 	d.Create(s.file)
 	pg := page.New(d.BlockSize())
+	var enc []byte
 	for _, t := range rows {
 		if len(t) > s.ncols {
 			s.ncols = len(t)
 		}
-		enc := t.Encode(nil)
+		enc = t.Encode(enc[:0])
 		if !pg.HasRoomFor(len(enc)) {
 			if _, err := d.Append(s.file, pg.Bytes()); err != nil {
 				return err
@@ -615,7 +616,7 @@ func (h *hashJoinIter) Open() error {
 		if !ok {
 			break
 		}
-		k := tuple.HashAt(t, []int{h.lkey})
+		k := tuple.Hash1(t, h.lkey)
 		h.table[k] = append(h.table[k], t)
 	}
 	return nil
@@ -632,7 +633,7 @@ func (h *hashJoinIter) Next() (tuple.Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		k := tuple.HashAt(t, []int{h.rkey})
+		k := tuple.Hash1(t, h.rkey)
 		h.pending, h.pi = nil, 0
 		for _, b := range h.table[k] {
 			if tuple.Equal(b[h.lkey], t[h.rkey]) {

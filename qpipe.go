@@ -83,9 +83,17 @@ func (e *Engine) Query(ctx context.Context, p plan.Node) (*Result, error) {
 }
 
 // Next returns the next batch of result tuples; io.EOF signals completion.
+// The returned batch ARRAY is owned by the caller (the engine hands over
+// its lease and never touches or recycles it), but the ROWS inside are
+// read-only: under the engine's lease protocol they may be shared by
+// reference with a port's replay window and with concurrent OSP satellite
+// queries, so mutating a returned tuple corrupts other queries' results.
+// Callers that need to modify a row must Clone it first.
 func (r *Result) Next() (tbuf.Batch, error) { return r.q.Result.Get() }
 
-// All drains the result completely and waits for the query to finish.
+// All drains the result completely and waits for the query to finish. The
+// returned slice is the caller's, but the rows are read-only (see Next);
+// the batch arrays that carried them are recycled into the engine's pool.
 func (r *Result) All() ([]tuple.Tuple, error) {
 	var out []tuple.Tuple
 	for {
@@ -97,6 +105,7 @@ func (r *Result) All() ([]tuple.Tuple, error) {
 			return out, err
 		}
 		out = append(out, b...)
+		r.q.Result.Recycle(b)
 	}
 	return out, r.q.Wait()
 }
