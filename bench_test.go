@@ -572,3 +572,46 @@ func pin(b *testing.B, p *buffer.Pool, blk int64) {
 	}
 	p.Unpin(id)
 }
+
+// BenchmarkPublicAPI measures the embeddable surface end to end — the
+// name-resolving builder, per-query options and the streaming Rows()
+// iterator — against BenchmarkEngineSubmitTiny's precompiled-plan path, so
+// facade overhead (resolution, Result indirection, iterator hand-off) is
+// tracked per release.
+func BenchmarkPublicAPI(b *testing.B) {
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 16, DisableOSP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTable("t", qpipe.NewSchema(qpipe.ColDef("k", qpipe.KindInt))); err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]qpipe.Row, 64)
+	for i := range rows {
+		rows[i] = qpipe.R(i)
+	}
+	if err := db.Load("t", rows); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.Scan("t").
+			Filter(qpipe.Col("k").Ge(qpipe.Int(0))).
+			Aggregate(qpipe.Count().As("n")).
+			Run(context.Background(), qpipe.WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := int64(0)
+		for row := range res.Rows() {
+			n = row[0].I
+		}
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n != 64 {
+			b.Fatalf("count = %d", n)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +23,12 @@ import (
 	"strings"
 	"time"
 
+	"qpipe"
 	"qpipe/internal/harness"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, api or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	batch := flag.Int("batch", 0, "engine batch size (tuples per batch and recycling-pool array size; 0 = default 64)")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
@@ -243,7 +245,95 @@ func main() {
 		})
 	}
 
+	if want("api") {
+		run("Public API overhead", func() ([]harness.Figure, error) {
+			return apiFigure(*scanRows)
+		})
+	}
+
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// apiFigure measures the public facade end to end — Open, name-resolved
+// builder, per-query options, streaming iterator — against the same query
+// submitted as a precompiled plan on the underlying engine, so a regression
+// in the embeddable surface (resolution cost, Result indirection, iterator
+// hand-off) shows up as a gap between the two rows.
+func apiFigure(rows int) ([]harness.Figure, error) {
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 256})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := db.CreateTable("t", qpipe.NewSchema(
+		qpipe.ColDef("k", qpipe.KindInt),
+		qpipe.ColDef("grp", qpipe.KindInt),
+		qpipe.ColDef("val", qpipe.KindFloat),
+	)); err != nil {
+		return nil, err
+	}
+	data := make([]qpipe.Row, rows)
+	for i := range data {
+		data[i] = qpipe.R(i, i%64, float64(i%997))
+	}
+	if err := db.Load("t", data); err != nil {
+		return nil, err
+	}
+
+	q := db.Scan("t").
+		Filter(qpipe.Col("val").Lt(qpipe.Float(500))).
+		GroupBy([]string{"grp"}, qpipe.Count().As("n"), qpipe.Sum(qpipe.Col("val")).As("s"))
+	p, err := q.Plan()
+	if err != nil {
+		return nil, err
+	}
+
+	const iters = 20
+	measure := func(exec func() error) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := exec(); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / iters, nil
+	}
+	viaBuilder, err := measure(func() error {
+		res, err := q.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		n := 0
+		for range res.Rows() {
+			n++
+		}
+		return res.Err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	viaEngine, err := measure(func() error {
+		res, err := db.Engine().Query(context.Background(), p)
+		if err != nil {
+			return err
+		}
+		_, err = res.Discard()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	f := harness.Figure{
+		Name:   "api",
+		Title:  fmt.Sprintf("Public API vs engine plans (%d rows, %d iters)", rows, iters),
+		XLabel: "-", YLabel: "ms/query",
+		Series: []harness.Series{
+			{Label: "builder+Rows()", Points: []harness.Point{{X: 0, Y: float64(viaBuilder.Microseconds()) / 1000}}},
+			{Label: "plan+Discard", Points: []harness.Point{{X: 0, Y: float64(viaEngine.Microseconds()) / 1000}}},
+		},
+	}
+	return []harness.Figure{f}, nil
 }
 
 func parseIntList(s string) ([]int, error) {

@@ -101,8 +101,14 @@ func main() {
 				if err != nil {
 					fatal(err)
 				}
-				rows, err := res.All()
-				if err != nil {
+				// Stream through the public iterator: rows are retained
+				// beyond the loop (they are immutable and never recycled;
+				// only the batch arrays go back to the engine's pool).
+				var rows []tuple.Tuple
+				for row := range res.Rows() {
+					rows = append(rows, row)
+				}
+				if err := res.Err(); err != nil {
 					fatal(err)
 				}
 				mu.Lock()

@@ -1,0 +1,325 @@
+// DB: the embeddable facade. Open assembles the whole stack — simulated
+// disk, buffer pool, lock manager, catalog and the QPipe engine — behind one
+// handle, so a host program needs exactly one import ("qpipe") to create
+// tables, load data, build queries by column name and stream results.
+package qpipe
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"qpipe/internal/core"
+	"qpipe/internal/plan"
+	"qpipe/internal/qcache"
+	"qpipe/internal/storage/disk"
+	"qpipe/internal/storage/sm"
+	"qpipe/internal/tuple"
+)
+
+// Stats aggregates engine and sharing counters (see core.RuntimeStats).
+type Stats = core.RuntimeStats
+
+// CacheStats snapshots the result cache's counters.
+type CacheStats = qcache.Stats
+
+// DiskStats snapshots the simulated disk's I/O counters.
+type DiskStats = disk.Stats
+
+// Options configures a DB. The zero value is a sensible default: OSP on,
+// a 1024-page buffer pool, GOMAXPROCS scan parallelism, no result cache.
+type Options struct {
+	// PoolPages is the buffer-pool capacity in pages (default 1024).
+	PoolPages int
+	// BlockSize is the simulated disk's block size in bytes (default 8192).
+	BlockSize int
+	// DisableOSP turns off on-demand simultaneous pipelining engine-wide
+	// (the paper's "Baseline" system). Individual queries can opt out with
+	// WithoutOSP instead.
+	DisableOSP bool
+	// ScanParallelism is the default intra-operator fan-out (0 =
+	// GOMAXPROCS). Overridable per query with WithParallelism.
+	ScanParallelism int
+	// BatchSize is the default tuples-per-batch target (0 = 64).
+	// Overridable per query with WithBatchSize.
+	BatchSize int
+	// BufferCapacity bounds intermediate buffers, in batches (0 = 8).
+	BufferCapacity int
+	// ReplayWindow is the produced-tuple window retained for late OSP
+	// satellite attachment (0 = 1024).
+	ReplayWindow int
+	// WorkersPerEngine sizes each µEngine's worker pool (0 = elastic: one
+	// goroutine per packet).
+	WorkersPerEngine int
+	// ResultCacheTuples enables the query-result cache, bounding it to this
+	// many cached tuples in total (0 = cache disabled). Queries opt in per
+	// Run with WithResultCache.
+	ResultCacheTuples int64
+	// ResultCacheMaxEntry caps a single admitted result's tuples
+	// (0 = ResultCacheTuples/4).
+	ResultCacheMaxEntry int64
+}
+
+// DB is an embedded QPipe database: storage manager plus engine.
+type DB struct {
+	mgr *sm.Manager
+	eng *Engine
+}
+
+// Open creates a fresh in-memory database and starts its engine.
+func Open(opts Options) (*DB, error) {
+	poolPages := opts.PoolPages
+	if poolPages <= 0 {
+		poolPages = 1024
+	}
+	cfg := DefaultConfig()
+	if opts.DisableOSP {
+		cfg = BaselineConfig()
+	}
+	if opts.ScanParallelism != 0 {
+		cfg.ScanParallelism = opts.ScanParallelism
+	}
+	if opts.BatchSize != 0 {
+		cfg.BatchSize = opts.BatchSize
+	}
+	if opts.BufferCapacity != 0 {
+		cfg.BufferCapacity = opts.BufferCapacity
+	}
+	if opts.ReplayWindow != 0 {
+		cfg.ReplayWindow = opts.ReplayWindow
+	}
+	if opts.WorkersPerEngine != 0 {
+		cfg.WorkersPerEngine = opts.WorkersPerEngine
+	}
+	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: opts.BlockSize}, PoolPages: poolPages})
+	eng := New(mgr, cfg)
+	if opts.ResultCacheTuples > 0 {
+		eng.EnableResultCache(opts.ResultCacheTuples, opts.ResultCacheMaxEntry)
+	}
+	return &DB{mgr: mgr, eng: eng}, nil
+}
+
+// Close shuts the engine down, cancelling outstanding queries.
+func (db *DB) Close() { db.eng.Close() }
+
+// Engine exposes the underlying engine for advanced callers (precompiled
+// plans, harnesses). Everyday embedders never need it.
+func (db *DB) Engine() *Engine { return db.eng }
+
+// ---- Catalog / DDL -----------------------------------------------------------
+
+// CreateTable registers a new table. Column names must be unique.
+func (db *DB) CreateTable(name string, schema *Schema) error {
+	seen := make(map[string]bool, schema.Len())
+	for _, c := range schema.Cols {
+		if seen[c.Name] {
+			return &DuplicateColumnError{Column: c.Name}
+		}
+		seen[c.Name] = true
+	}
+	_, err := db.mgr.CreateTable(name, schema)
+	return err
+}
+
+// CreateIndex builds a B+tree index on a column: clustered (full rows in
+// key order — one per table) or unclustered (key → row id). Build indexes
+// after Load: they snapshot the table's current contents.
+func (db *DB) CreateIndex(table, col string, clustered bool) error {
+	t, err := db.mgr.Table(table)
+	if err != nil {
+		return &UnknownTableError{Table: table}
+	}
+	if t.Schema.ColIndex(col) < 0 {
+		return &UnknownColumnError{Column: col, Schema: t.Schema.String()}
+	}
+	if clustered {
+		return db.mgr.BuildClustered(table, col)
+	}
+	return db.mgr.BuildUnclustered(table, col)
+}
+
+// checkRows validates rows against a table schema (arity and kinds).
+func checkRows(table string, s *Schema, rows []Row) error {
+	for _, r := range rows {
+		if len(r) != s.Len() {
+			return fmt.Errorf("qpipe: row arity %d does not match %s's %d columns", len(r), table, s.Len())
+		}
+		for i, v := range r {
+			if v.K != s.Cols[i].Kind {
+				return &TypeMismatchError{
+					Expr: fmt.Sprintf("%s.%s", table, s.Cols[i].Name),
+					Left: s.Cols[i].Kind, Right: v.K}
+			}
+		}
+	}
+	return nil
+}
+
+// Load bulk-appends rows into a table (no locking — use it to populate
+// tables before querying; use Insert for concurrent writes). Rows are
+// validated against the schema. Cached results over the table are
+// invalidated.
+func (db *DB) Load(table string, rows []Row) error {
+	t, err := db.mgr.Table(table)
+	if err != nil {
+		return &UnknownTableError{Table: table}
+	}
+	if err := checkRows(table, t.Schema, rows); err != nil {
+		return err
+	}
+	if err := db.mgr.Load(table, rows); err != nil {
+		return err
+	}
+	if db.eng.cache != nil {
+		db.eng.cache.InvalidateTable(table)
+	}
+	return nil
+}
+
+// Insert appends rows through the update µEngine: it serializes against
+// concurrent readers via the lock manager, maintains unclustered indexes,
+// and invalidates cached results over the table.
+func (db *DB) Insert(ctx context.Context, table string, rows ...Row) error {
+	t, err := db.mgr.Table(table)
+	if err != nil {
+		return &UnknownTableError{Table: table}
+	}
+	if err := checkRows(table, t.Schema, rows); err != nil {
+		return err
+	}
+	res, err := db.eng.Query(ctx, plan.NewUpdate(table, rows))
+	if err != nil {
+		return err
+	}
+	if _, err := res.Discard(); err != nil {
+		return err
+	}
+	if db.eng.cache != nil {
+		db.eng.cache.InvalidateTable(table)
+	}
+	return nil
+}
+
+// Schema returns a table's schema.
+func (db *DB) Schema(table string) (*Schema, error) {
+	t, err := db.mgr.Table(table)
+	if err != nil {
+		return nil, &UnknownTableError{Table: table}
+	}
+	return t.Schema, nil
+}
+
+// Tables returns the catalog's table names, sorted.
+func (db *DB) Tables() []string { return db.mgr.Tables() }
+
+// TablePages returns the number of heap pages a table occupies.
+func (db *DB) TablePages(table string) (int64, error) {
+	t, err := db.mgr.Table(table)
+	if err != nil {
+		return 0, &UnknownTableError{Table: table}
+	}
+	return t.Heap.NumPages(), nil
+}
+
+// ---- Execution ---------------------------------------------------------------
+
+// run executes a compiled plan with resolved options (the builder's Run and
+// RunBatch funnel here).
+func (db *DB) run(ctx context.Context, p plan.Node, limit int64, opts []QueryOption) (*Result, error) {
+	o, err := resolveOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.useCache {
+		if db.eng.cache == nil {
+			return nil, &OptionError{Option: "WithResultCache",
+				Reason: "no result cache configured (set Options.ResultCacheTuples at Open)"}
+		}
+		if limit >= 0 {
+			return nil, &OptionError{Option: "WithResultCache",
+				Reason: "conflicts with Limit: the cache stores complete results"}
+		}
+		rows, hit, err := db.eng.queryCached(ctx, p, o.core)
+		if err != nil {
+			return nil, err
+		}
+		return newCachedResult(rows, hit), nil
+	}
+	q, err := db.eng.rt.SubmitOpts(ctx, p, o.core)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamResult(q, limit), nil
+}
+
+// RunBatch submits several built queries together — the multi-query-
+// optimizer entry point (§2.4): common subtrees across the batch carry
+// identical signatures, so OSP shares them at the µEngines, pipelining each
+// shared intermediate result to all consumers. The options apply to every
+// member. If any member fails to submit, the already-submitted ones are
+// cancelled and drained, and the typed *BatchError reports the failure.
+func (db *DB) RunBatch(ctx context.Context, queries []*Query, opts ...QueryOption) ([]*Result, error) {
+	o, err := resolveOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.useCache {
+		return nil, &OptionError{Option: "WithResultCache", Reason: "batches are not cacheable"}
+	}
+	out := make([]*Result, 0, len(queries))
+	for i, q := range queries {
+		err := q.err
+		if err == nil && q.db != db {
+			// A query resolved against another DB's catalog carries that
+			// catalog's positional indexes — running it here would read the
+			// wrong columns silently.
+			err = fmt.Errorf("qpipe: batch member %d was built on a different DB", i)
+		}
+		var res *Result
+		if err == nil {
+			var sq *core.Query
+			sq, err = db.eng.rt.SubmitOpts(ctx, q.node, o.core)
+			if err == nil {
+				res = newStreamResult(sq, q.limit)
+			}
+		}
+		if err != nil {
+			return nil, teardownBatch(out, i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ---- Instrumentation ---------------------------------------------------------
+
+// Stats snapshots the engine's runtime counters (queries admitted, OSP
+// shares per µEngine, deadlocks resolved).
+func (db *DB) Stats() Stats { return db.eng.Stats() }
+
+// TotalShares sums OSP sharing events across all µEngines.
+func (db *DB) TotalShares() int64 { return db.eng.rt.TotalShares() }
+
+// CacheStats snapshots the result-cache counters (zero value when the cache
+// is disabled).
+func (db *DB) CacheStats() CacheStats { return db.eng.CacheStats() }
+
+// SetDiskLatency configures the simulated disk's per-block latencies
+// (sequential read, random read, write). Zero disables the simulation;
+// non-zero values make I/O-bound sharing effects visible in wall time.
+func (db *DB) SetDiskLatency(seqRead, randRead, write time.Duration) {
+	db.mgr.Disk.SetLatency(seqRead, randRead, write)
+}
+
+// DiskStats snapshots the simulated disk's I/O counters.
+func (db *DB) DiskStats() DiskStats { return db.mgr.Disk.Stats() }
+
+// ResetDiskStats zeroes the disk counters (before a measured run).
+func (db *DB) ResetDiskStats() { db.mgr.Disk.ResetStats() }
+
+// DropCaches empties the buffer pool (writing back dirty pages), so the
+// next run starts cold — the knob experiments use between measured runs.
+func (db *DB) DropCaches() error { return db.mgr.Pool.Invalidate() }
+
+// compile-time check: public Row/Value stay aliases of the storage model.
+var _ Row = tuple.Tuple{}

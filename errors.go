@@ -1,0 +1,106 @@
+// Typed errors returned by the public API. Builder and option mistakes each
+// surface as a distinct error type so embedders can branch with errors.As
+// instead of string-matching:
+//
+//	var uc *qpipe.UnknownColumnError
+//	if errors.As(err, &uc) { ... uc.Column ... }
+package qpipe
+
+import (
+	"errors"
+	"fmt"
+)
+
+// UnknownTableError reports a query or DDL statement against a table the
+// catalog does not know.
+type UnknownTableError struct {
+	Table string
+}
+
+// Error implements error.
+func (e *UnknownTableError) Error() string {
+	return fmt.Sprintf("qpipe: unknown table %q", e.Table)
+}
+
+// UnknownColumnError reports a column name that does not resolve against the
+// input schema at that point of the builder chain.
+type UnknownColumnError struct {
+	Column string
+	Schema string // rendering of the schema the name was resolved against
+}
+
+// Error implements error.
+func (e *UnknownColumnError) Error() string {
+	return fmt.Sprintf("qpipe: unknown column %q (input schema %s)", e.Column, e.Schema)
+}
+
+// TypeMismatchError reports an expression combining incompatible kinds —
+// comparing a string column to a numeric constant, or arithmetic over a
+// string operand. Numeric kinds (int, float, date) are mutually compatible.
+type TypeMismatchError struct {
+	Expr        string // rendering of the offending (sub)expression
+	Left, Right Kind
+}
+
+// Error implements error.
+func (e *TypeMismatchError) Error() string {
+	return fmt.Sprintf("qpipe: type mismatch in %s: %s vs %s", e.Expr, e.Left, e.Right)
+}
+
+// DuplicateColumnError reports a projection or group-by producing two output
+// columns with the same name.
+type DuplicateColumnError struct {
+	Column string
+}
+
+// Error implements error.
+func (e *DuplicateColumnError) Error() string {
+	return fmt.Sprintf("qpipe: duplicate output column %q", e.Column)
+}
+
+// OptionError reports an invalid per-query option value or a conflicting
+// option combination (e.g. WithSharedScan with WithoutOSP, or
+// WithResultCache on a query with a Limit).
+type OptionError struct {
+	Option string
+	Reason string
+}
+
+// Error implements error.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("qpipe: option %s: %s", e.Option, e.Reason)
+}
+
+// BatchError is the typed joined error QueryBatch returns when submitting
+// one of the batch's plans fails: the already-submitted members are
+// cancelled and fully drained (their buffers and batch leases released)
+// before it is returned. Unwrap exposes the submit failure first, then any
+// teardown errors, so errors.Is/As see through it.
+type BatchError struct {
+	// Index is the position of the plan whose submission failed.
+	Index int
+	// Submit is the submission failure itself.
+	Submit error
+	// Teardown holds non-cancellation errors observed while draining the
+	// already-submitted members (normally empty: a cancelled member's
+	// context.Canceled is expected and not recorded).
+	Teardown []error
+}
+
+// Error implements error.
+func (e *BatchError) Error() string {
+	if len(e.Teardown) == 0 {
+		return fmt.Sprintf("qpipe: batch plan %d failed to submit: %v", e.Index, e.Submit)
+	}
+	return fmt.Sprintf("qpipe: batch plan %d failed to submit: %v (and %d teardown errors: %v)",
+		e.Index, e.Submit, len(e.Teardown), errors.Join(e.Teardown...))
+}
+
+// Unwrap exposes the joined causes to errors.Is / errors.As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, 0, 1+len(e.Teardown))
+	if e.Submit != nil {
+		out = append(out, e.Submit)
+	}
+	return append(out, e.Teardown...)
+}

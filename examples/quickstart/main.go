@@ -1,5 +1,7 @@
-// Quickstart: create a storage manager, load a table, and run queries
-// through the QPipe engine — the minimal end-to-end tour of the public API.
+// Quickstart: open an embedded QPipe database, load a table, and run
+// queries through the schema-aware builder — the minimal end-to-end tour of
+// the public API. Note the single import: the facade needs nothing from
+// qpipe/internal.
 package main
 
 import (
@@ -8,78 +10,75 @@ import (
 	"log"
 
 	"qpipe"
-	"qpipe/internal/expr"
-	"qpipe/internal/plan"
-	"qpipe/internal/storage/sm"
-	"qpipe/internal/tuple"
 )
 
 func main() {
-	// 1. Storage manager: simulated disk + buffer pool + lock manager.
-	mgr := sm.New(sm.Config{PoolPages: 256})
-
-	// 2. Define and load a table.
-	schema := tuple.NewSchema(
-		tuple.Col("id", tuple.KindInt),
-		tuple.Col("city", tuple.KindString),
-		tuple.Col("pop", tuple.KindFloat),
-	)
-	if _, err := mgr.CreateTable("cities", schema); err != nil {
-		log.Fatal(err)
-	}
-	rows := []tuple.Tuple{
-		{tuple.I64(1), tuple.Str("Pittsburgh"), tuple.F64(0.30)},
-		{tuple.I64(2), tuple.Str("Baltimore"), tuple.F64(0.61)},
-		{tuple.I64(3), tuple.Str("Boston"), tuple.F64(0.65)},
-		{tuple.I64(4), tuple.Str("Madison"), tuple.F64(0.27)},
-		{tuple.I64(5), tuple.Str("Seattle"), tuple.F64(0.74)},
-	}
-	if err := mgr.Load("cities", rows); err != nil {
-		log.Fatal(err)
-	}
-
-	// 3. Start QPipe (OSP enabled) — one µEngine per relational operator.
-	eng := qpipe.New(mgr, qpipe.DefaultConfig())
-	defer eng.Close()
-
-	// 4. Build a plan: scan -> filter -> project. Plans are precompiled
-	// trees (QPipe's input format, paper §4.2).
-	scan := plan.NewTableScan("cities", schema, nil, nil, false)
-	big := plan.NewFilter(scan, expr.GT(expr.Col(2), expr.CFloat(0.5)))
-	names := plan.NewProject(big,
-		[]expr.Expr{expr.Col(1), expr.Mul(expr.Col(2), expr.CFloat(1e6))},
-		[]string{"city", "population"})
-
-	res, err := eng.Query(context.Background(), names)
+	// 1. One handle owns the whole stack: simulated disk, buffer pool,
+	// lock manager, catalog and the engine (OSP enabled by default).
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 256})
 	if err != nil {
 		log.Fatal(err)
 	}
-	out, err := res.All()
+	defer db.Close()
+
+	// 2. Define and load a table. R builds rows from native Go values.
+	if err := db.CreateTable("cities", qpipe.NewSchema(
+		qpipe.ColDef("id", qpipe.KindInt),
+		qpipe.ColDef("city", qpipe.KindString),
+		qpipe.ColDef("pop", qpipe.KindFloat),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	rows := []qpipe.Row{
+		qpipe.R(1, "Pittsburgh", 0.30),
+		qpipe.R(2, "Baltimore", 0.61),
+		qpipe.R(3, "Boston", 0.65),
+		qpipe.R(4, "Madison", 0.27),
+		qpipe.R(5, "Seattle", 0.74),
+	}
+	if err := db.Load("cities", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Build a query by column name: scan -> filter -> project. Names
+	// resolve against the catalog as the chain is built; an unknown column
+	// or a type mismatch comes back as a typed error from Run.
+	res, err := db.Scan("cities").
+		Filter(qpipe.Col("pop").Gt(qpipe.Float(0.5))).
+		Project(
+			qpipe.Col("city"),
+			qpipe.Col("pop").Mul(qpipe.Float(1e6)).As("population")).
+		Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// 4. Stream the result. Rows are immutable and may be retained; the
+	// batch arrays that carried them recycle into the engine's pool under
+	// the hood (the lease-safe hand-off).
 	fmt.Println("cities with pop > 500k:")
-	for _, r := range out {
-		fmt.Printf("  %-12s %8.0f\n", r[0].S, r[1].F)
+	for row := range res.Rows() {
+		fmt.Printf("  %-12s %8.0f\n", row[0].S, row[1].F)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
 	}
 
-	// 5. An aggregate over the same table.
-	agg := plan.NewAggregate(
-		plan.NewTableScan("cities", schema, nil, nil, false),
-		[]expr.AggSpec{
-			{Kind: expr.AggCount, Name: "n"},
-			{Kind: expr.AggSum, Arg: expr.Col(2), Name: "total_pop"},
-		})
-	res2, err := eng.Query(context.Background(), agg)
+	// 5. A scalar aggregate over the same table.
+	res2, err := db.Scan("cities").
+		Aggregate(
+			qpipe.Count().As("n"),
+			qpipe.Sum(qpipe.Col("pop")).As("total_pop")).
+		Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	out2, err := res2.All()
+	out, err := res2.All()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("count=%d total=%.2fM\n", out2[0][0].I, out2[0][1].F)
+	fmt.Printf("count=%d total=%.2fM\n", out[0][0].I, out[0][1].F)
 
-	st := eng.Stats()
+	st := db.Stats()
 	fmt.Printf("queries executed: %d\n", st.Queries)
 }

@@ -1,11 +1,12 @@
 // Result cache + MQO batch demo: the two remaining sharing stages of the
-// paper's Figure 2 around the OSP core.
+// paper's Figure 2 around the OSP core, on the public API.
 //
-//  1. The query-result cache (§2.3): a repeated query returns its stored
-//     result without executing; updates invalidate affected entries.
-//  2. MQO-style batches (§2.4): plans sharing common subexpressions are
-//     submitted together and OSP pipelines the shared intermediate results
-//     — no materialization, no batch-time optimizer.
+//  1. The query-result cache (§2.3): a query Run with WithResultCache
+//     returns its stored result without executing on a repeat; Insert
+//     invalidates affected entries.
+//  2. MQO-style batches (§2.4): queries sharing common subexpressions are
+//     submitted together via RunBatch and OSP pipelines the shared
+//     intermediate results — no materialization, no batch-time optimizer.
 package main
 
 import (
@@ -16,81 +17,91 @@ import (
 	"time"
 
 	"qpipe"
-	"qpipe/internal/expr"
-	"qpipe/internal/plan"
-	"qpipe/internal/storage/sm"
-	"qpipe/internal/tuple"
 )
 
 func main() {
-	mgr := sm.New(sm.Config{PoolPages: 128})
-	schema := tuple.NewSchema(
-		tuple.Col("id", tuple.KindInt),
-		tuple.Col("region", tuple.KindInt),
-		tuple.Col("amount", tuple.KindFloat),
-	)
-	if _, err := mgr.CreateTable("orders", schema); err != nil {
+	db, err := qpipe.Open(qpipe.Options{
+		PoolPages:           128,
+		ResultCacheTuples:   100_000,
+		ResultCacheMaxEntry: 10_000,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	rows := make([]tuple.Tuple, 50_000)
+	defer db.Close()
+
+	if err := db.CreateTable("orders", qpipe.NewSchema(
+		qpipe.ColDef("id", qpipe.KindInt),
+		qpipe.ColDef("region", qpipe.KindInt),
+		qpipe.ColDef("amount", qpipe.KindFloat),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	rows := make([]qpipe.Row, 50_000)
 	for i := range rows {
-		rows[i] = tuple.Tuple{tuple.I64(int64(i)), tuple.I64(int64(i % 8)), tuple.F64(float64(i%990) / 3)}
+		rows[i] = qpipe.R(i, i%8, float64(i%990)/3)
 	}
-	if err := mgr.Load("orders", rows); err != nil {
+	if err := db.Load("orders", rows); err != nil {
 		log.Fatal(err)
 	}
+	db.SetDiskLatency(40*time.Microsecond, 60*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
 
-	eng := qpipe.New(mgr, qpipe.DefaultConfig())
-	defer eng.Close()
-	eng.EnableResultCache(100_000, 10_000)
-	mgr.Disk.SetLatency(40*time.Microsecond, 60*time.Microsecond, 0)
-	defer mgr.Disk.SetLatency(0, 0, 0)
+	report := db.Scan("orders").GroupBy([]string{"region"},
+		qpipe.Count().As("n"),
+		qpipe.Sum(qpipe.Col("amount")).As("total"))
 
-	report := plan.NewGroupBy(
-		plan.NewTableScan("orders", schema, nil, nil, false),
-		[]int{1},
-		[]expr.AggSpec{{Kind: expr.AggCount, Name: "n"}, {Kind: expr.AggSum, Arg: expr.Col(2), Name: "total"}})
-
+	explain, err := report.Explain()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("plan:")
-	fmt.Print(qpipe.Explain(report))
+	fmt.Print(explain)
 
-	// 1) Result cache: second run is free.
+	// 1) Result cache: the second run is free.
 	for run := 1; run <= 2; run++ {
 		start := time.Now()
-		out, hit, err := eng.QueryCached(context.Background(), report)
+		res, err := report.Run(context.Background(), qpipe.WithResultCache())
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := res.All()
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("run %d: %d groups in %8s (cache hit: %v)\n",
-			run, len(out), time.Since(start).Round(time.Microsecond), hit)
+			run, len(out), time.Since(start).Round(time.Microsecond), res.CacheHit())
 	}
 
-	// An update invalidates the cached report.
-	if _, _, err := eng.QueryCached(context.Background(), plan.NewUpdate("orders",
-		[]tuple.Tuple{{tuple.I64(999999), tuple.I64(0), tuple.F64(1)}})); err != nil {
+	// An insert invalidates the cached report.
+	if err := db.Insert(context.Background(), "orders", qpipe.R(999999, 0, 1.0)); err != nil {
 		log.Fatal(err)
 	}
-	_, hit, err := eng.QueryCached(context.Background(), report)
+	res, err := report.Run(context.Background(), qpipe.WithResultCache())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after update: cache hit = %v (invalidated)\n", hit)
-	st := eng.CacheStats()
+	if _, err := res.Discard(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after insert: cache hit = %v (invalidated)\n", res.CacheHit())
+	st := db.CacheStats()
 	fmt.Printf("cache stats: hits=%d misses=%d invalidated=%d\n\n", st.Hits, st.Misses, st.Invalidation)
 
 	// 2) MQO batch: two reports over the same sorted intermediate result.
-	common := func() plan.Node {
-		return plan.NewSort(
-			plan.NewTableScan("orders", schema, expr.LT(expr.Col(2), expr.CFloat(200)), []int{1, 2}, false),
-			[]int{0}, false)
+	common := func() *qpipe.Query {
+		return db.Scan("orders").
+			Filter(qpipe.Col("amount").Lt(qpipe.Float(200))).
+			Select("region", "amount").
+			Sort("region")
 	}
-	batch := []plan.Node{
-		plan.NewAggregate(common(), []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(1), Name: "sum"}}),
-		plan.NewGroupBy(common(), []int{0}, []expr.AggSpec{{Kind: expr.AggCount, Name: "n"}}),
+	batch := []*qpipe.Query{
+		common().Aggregate(qpipe.Sum(qpipe.Col("amount")).As("sum")),
+		common().GroupBy([]string{"region"}, qpipe.Count().As("n")),
 	}
-	sharesBefore := eng.Runtime().TotalShares()
+	sharesBefore := db.TotalShares()
 	start := time.Now()
-	results, err := eng.QueryBatch(context.Background(), batch)
+	results, err := db.RunBatch(context.Background(), batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,5 +119,5 @@ func main() {
 	}
 	wg.Wait()
 	fmt.Printf("batch done in %s; shared operators: %d (the common sort+scan ran once)\n",
-		time.Since(start).Round(time.Millisecond), eng.Runtime().TotalShares()-sharesBefore)
+		time.Since(start).Round(time.Millisecond), db.TotalShares()-sharesBefore)
 }

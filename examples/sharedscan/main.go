@@ -1,10 +1,12 @@
 // Shared circular scans: the paper's flagship mechanism (§4.3.1) in
-// isolation. Two concurrent analytics queries with *different* predicates
-// scan the same large table; with OSP the second piggybacks on the first
-// query's in-progress scan (setting a new termination point, wrapping at
-// EOF), so the table is read from disk roughly once instead of twice.
+// isolation, driven entirely through the public API. Two concurrent
+// analytics queries with *different* predicates scan the same large table;
+// under OSP the second piggybacks on the first query's in-progress scan
+// (setting a new termination point, wrapping at EOF), so the table is read
+// from disk roughly once instead of twice. The per-query WithoutOSP option
+// plays the baseline: same engine, same data, sharing off.
 //
-// The example prints disk-block counters for OSP on vs off — the Figure 8
+// The example prints disk-block counters for both runs — the Figure 8
 // effect at a glance.
 package main
 
@@ -16,40 +18,41 @@ import (
 	"time"
 
 	"qpipe"
-	"qpipe/internal/expr"
-	"qpipe/internal/plan"
-	"qpipe/internal/storage/disk"
-	"qpipe/internal/storage/sm"
-	"qpipe/internal/tuple"
 )
 
+const rowsN = 100_000
+
 func main() {
-	// Load a ~1500-page table on a shared disk.
-	loader := sm.New(sm.Config{PoolPages: 64})
-	schema := tuple.NewSchema(
-		tuple.Col("id", tuple.KindInt),
-		tuple.Col("category", tuple.KindInt),
-		tuple.Col("amount", tuple.KindFloat),
-	)
-	if _, err := loader.CreateTable("sales", schema); err != nil {
+	// Small pool so the table cannot linger in memory between queries.
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 16})
+	if err != nil {
 		log.Fatal(err)
 	}
-	const n = 100_000
-	rows := make([]tuple.Tuple, n)
+	defer db.Close()
+
+	if err := db.CreateTable("sales", qpipe.NewSchema(
+		qpipe.ColDef("id", qpipe.KindInt),
+		qpipe.ColDef("category", qpipe.KindInt),
+		qpipe.ColDef("amount", qpipe.KindFloat),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	rows := make([]qpipe.Row, rowsN)
 	for i := range rows {
-		rows[i] = tuple.Tuple{
-			tuple.I64(int64(i)), tuple.I64(int64(i % 50)), tuple.F64(float64(i%997) / 7),
-		}
+		rows[i] = qpipe.R(i, i%50, float64(i%997)/7)
 	}
-	if err := loader.Load("sales", rows); err != nil {
+	if err := db.Load("sales", rows); err != nil {
 		log.Fatal(err)
 	}
-	pages := loader.MustTable("sales").Heap.NumPages()
-	fmt.Printf("loaded %d rows (%d pages)\n", n, pages)
+	pages, err := db.TablePages("sales")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows (%d pages)\n", rowsN, pages)
 
 	for _, osp := range []bool{false, true} {
-		blocks, elapsed := runPair(loader.Disk, schema, osp)
-		mode := "OSP off (baseline)"
+		blocks, elapsed := runPair(db, pages, osp)
+		mode := "OSP off (WithoutOSP)"
 		if osp {
 			mode = "OSP on (circular scan)"
 		}
@@ -58,33 +61,36 @@ func main() {
 	}
 }
 
-// runPair starts one full-table aggregate, then 30%% into it submits a
+// runPair starts one full-table aggregate, then 30% into it submits a
 // second aggregate with a different predicate, and reports total disk
-// blocks read.
-func runPair(d *disk.Disk, schema *tuple.Schema, osp bool) (int64, time.Duration) {
-	// Small pool (no buffer-pool sharing) and a visible latency so the
-	// second query genuinely arrives mid-scan.
-	mgr := sm.NewSharedDisk(d, 16, nil)
-	if _, err := mgr.AttachTable("sales", schema); err != nil {
+// blocks read. With osp false both queries opt out via WithoutOSP.
+func runPair(db *qpipe.DB, pages int64, osp bool) (int64, time.Duration) {
+	// Cold pool and a visible latency so the second query genuinely
+	// arrives mid-scan.
+	if err := db.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	cfg := qpipe.BaselineConfig()
+	db.SetDiskLatency(100*time.Microsecond, 150*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+	db.ResetDiskStats()
+
+	var opts []qpipe.QueryOption
 	if osp {
-		cfg = qpipe.DefaultConfig()
+		opts = append(opts, qpipe.WithSharedScan())
+	} else {
+		opts = append(opts, qpipe.WithoutOSP())
 	}
-	eng := qpipe.New(mgr, cfg)
-	defer eng.Close()
-
-	d.SetLatency(100*time.Microsecond, 150*time.Microsecond, 0)
-	defer d.SetLatency(0, 0, 0)
-	d.ResetStats()
-
-	mk := func(category int64) plan.Node {
-		scan := plan.NewTableScan("sales", schema,
-			expr.EQ(expr.Col(1), expr.CInt(category)), nil, false)
-		return plan.NewAggregate(scan, []expr.AggSpec{
-			{Kind: expr.AggSum, Arg: expr.Col(2), Name: "total"},
-		})
+	run := func(category int64) {
+		res, err := db.Scan("sales").
+			Filter(qpipe.Col("category").Eq(qpipe.Int(category))).
+			Aggregate(qpipe.Sum(qpipe.Col("amount")).As("total")).
+			Run(context.Background(), opts...)
+		if err == nil {
+			_, err = res.Discard()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	start := time.Now()
@@ -92,30 +98,14 @@ func runPair(d *disk.Disk, schema *tuple.Schema, osp bool) (int64, time.Duration
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		res, err := eng.Query(context.Background(), mk(7))
-		if err == nil {
-			_, err = res.Discard()
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
+		run(7)
 	}()
-	time.Sleep(time.Duration(0.3 * float64(estimateScan(d))))
+	// One full scan takes ~pages x 100µs; arrive 30% in.
+	time.Sleep(time.Duration(float64(pages)*0.3) * 100 * time.Microsecond)
 	go func() {
 		defer wg.Done()
-		res, err := eng.Query(context.Background(), mk(21))
-		if err == nil {
-			_, err = res.Discard()
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
+		run(21)
 	}()
 	wg.Wait()
-	return d.Stats().Reads, time.Since(start)
-}
-
-// estimateScan approximates one full-scan duration from the latency model.
-func estimateScan(d *disk.Disk) time.Duration {
-	return time.Duration(d.NumBlocks("tbl:sales")) * 100 * time.Microsecond
+	return db.DiskStats().Reads, time.Since(start)
 }

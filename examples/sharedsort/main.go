@@ -1,9 +1,10 @@
-// Shared sorts and joins: the Figure 10 scenario in miniature. Two 3-way
-// Wisconsin sort-merge-join queries with identical BIG1/BIG2 subtrees but
-// different SMALL predicates run concurrently; with OSP the second query's
-// sort packets attach to the first query's in-progress sorts (full
-// overlap), and the shared merge-join pipelines its output to both queries
-// at once — the second query only executes its private SMALL subtree.
+// Shared sorts and joins: the Figure 10 scenario in miniature, on the
+// public API. Two 3-way sort-merge-join queries with identical BIG1/BIG2
+// subtrees but different SMALL predicates run concurrently; under OSP the
+// second query's sort packets attach to the first query's in-progress sorts
+// (full overlap), and the shared merge-join pipelines its output to both
+// queries at once — the second query only executes its private SMALL
+// subtree. The WithoutOSP per-query option plays the baseline.
 package main
 
 import (
@@ -14,42 +15,80 @@ import (
 	"time"
 
 	"qpipe"
-	"qpipe/internal/storage/sm"
-	"qpipe/internal/workload/wisconsin"
 )
 
+const rowsN = 40_000
+
 func main() {
-	loader := sm.New(sm.Config{PoolPages: 96})
-	fmt.Println("loading Wisconsin benchmark (BIG1, BIG2, SMALL)...")
-	db, err := wisconsin.Load(loader, 20000, 0, 1)
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 96})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
+
+	// A Wisconsin-style trio: two big relations and a small one, all with
+	// a unique key and a couple of payload columns.
+	fmt.Println("loading BIG1, BIG2, SMALL...")
+	schema := func() *qpipe.Schema {
+		return qpipe.NewSchema(
+			qpipe.ColDef("unique1", qpipe.KindInt),
+			qpipe.ColDef("onePercent", qpipe.KindInt),
+			qpipe.ColDef("tenPercent", qpipe.KindInt),
+		)
+	}
+	load := func(table string, n int, stride int) {
+		if err := db.CreateTable(table, schema()); err != nil {
+			log.Fatal(err)
+		}
+		rows := make([]qpipe.Row, n)
+		for i := range rows {
+			k := (i*stride + 7919) % n // scrambled unique key
+			rows[i] = qpipe.R(k, k%100, k%10)
+		}
+		if err := db.Load(table, rows); err != nil {
+			log.Fatal(err)
+		}
+	}
+	load("BIG1", rowsN, 3)
+	load("BIG2", rowsN, 7)
+	load("SMALL", rowsN/10, 11)
 
 	for _, osp := range []bool{false, true} {
-		mgr := sm.NewSharedDisk(loader.Disk, 96, nil)
-		for _, t := range []string{"BIG1", "BIG2", "SMALL"} {
-			if _, err := mgr.AttachTable(t, wisconsin.Schema()); err != nil {
-				log.Fatal(err)
-			}
+		if err := db.DropCaches(); err != nil {
+			log.Fatal(err)
 		}
-		cfg := qpipe.BaselineConfig()
-		if osp {
-			cfg = qpipe.DefaultConfig()
-		}
-		eng := qpipe.New(mgr, cfg)
+		db.SetDiskLatency(60*time.Microsecond, 90*time.Microsecond, 0)
+		db.ResetDiskStats()
+		sharesBefore := db.TotalShares()
 
-		loader.Disk.SetLatency(60*time.Microsecond, 90*time.Microsecond, 0)
-		loader.Disk.ResetStats()
+		var opts []qpipe.QueryOption
+		if !osp {
+			opts = append(opts, qpipe.WithoutOSP())
+		}
+
+		// Same BIG subtrees in both queries, different SMALL predicate: the
+		// 3-way sort-merge join sorts BIG1 and BIG2 on the key and merges
+		// with the filtered-and-sorted SMALL.
+		mk := func(smallMax int64) *qpipe.Query {
+			big := db.Scan("BIG1").
+				Filter(qpipe.Col("onePercent").Lt(qpipe.Int(60))).
+				Sort("unique1").
+				MergeJoin(db.Scan("BIG2").Sort("unique1"), "unique1", "unique1")
+			small := db.Scan("SMALL").
+				Filter(qpipe.Col("onePercent").Lt(qpipe.Int(smallMax))).
+				Sort("unique1")
+			return big.MergeJoin(small, "unique1", "unique1").
+				Aggregate(qpipe.Count().As("n"))
+		}
+
 		start := time.Now()
 		var wg sync.WaitGroup
 		for i := 0; i < 2; i++ {
-			// Same BIG predicates, different SMALL predicate per query.
-			q := db.ThreeWayJoinQuery(60, int64(40+i*20))
+			q := mk(int64(40 + i*20))
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				res, err := eng.Query(context.Background(), q)
+				res, err := q.Run(context.Background(), opts...)
 				if err == nil {
 					_, err = res.Discard()
 				}
@@ -58,21 +97,20 @@ func main() {
 				}
 			}()
 			if i == 0 {
-				time.Sleep(30 * time.Millisecond) // second query arrives mid-sort
+				time.Sleep(15 * time.Millisecond) // second query arrives mid-sort
 			}
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
-		loader.Disk.SetLatency(0, 0, 0)
+		db.SetDiskLatency(0, 0, 0)
 
 		mode := "OSP off"
 		shares := int64(0)
 		if osp {
 			mode = "OSP on"
-			shares = eng.Runtime().TotalShares()
+			shares = db.TotalShares() - sharesBefore
 		}
 		fmt.Printf("%-8s  total time: %8s   blocks read: %6d   shared ops: %d\n",
-			mode, elapsed.Round(time.Millisecond), loader.Disk.Stats().Reads, shares)
-		eng.Close()
+			mode, elapsed.Round(time.Millisecond), db.DiskStats().Reads, shares)
 	}
 }

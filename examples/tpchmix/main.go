@@ -1,66 +1,137 @@
-// TPC-H workload demo: loads the scaled TPC-H dataset, runs the paper's
-// eight-query mix (§5.3) on all three systems — DBMS X (iterator engine),
-// Baseline (QPipe, OSP off) and QPipe w/OSP — with several concurrent
-// clients, and prints throughput plus OSP sharing statistics. A miniature
-// Figure 12.
+// Analytics-mix demo: a miniature of the paper's full-workload experiment
+// (§5.3, Figure 12), on the public API. Several concurrent clients run a
+// randomized mix of analytic queries — scan-heavy aggregates, a hash join
+// and a group-by report — over a star-ish orders/customers pair, once with
+// OSP (the default) and once with every query opted out via WithoutOSP.
+// Overlapping work between concurrent clients turns into shared packets;
+// the share counter and disk-block counts show the difference.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
+	"time"
 
-	"qpipe/internal/harness"
-	"qpipe/internal/plan"
-	"qpipe/internal/workload/tpch"
+	"qpipe"
+)
+
+const (
+	nOrders    = 60_000
+	nCustomers = 4_000
+	clients    = 6
+	perClient  = 2
 )
 
 func main() {
-	sc := harness.SmallScale()
-	fmt.Printf("loading TPC-H SF=%.3f ...\n", sc.SF)
-	env, err := harness.NewTPCHEnv(sc, false)
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 128})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer env.Close()
+	defer db.Close()
 
-	x, err := env.NewVolcano()
-	if err != nil {
-		log.Fatal(err)
-	}
-	baseline, err := env.NewBaseline()
-	if err != nil {
-		log.Fatal(err)
-	}
-	osp, err := env.NewQPipe()
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("loading %d orders / %d customers ...\n", nOrders, nCustomers)
+	loadData(db)
+
+	// The mix: query constructors parameterized the way qgen randomizes
+	// selection predicates — every instance differs, so sharing must be
+	// found at run time, not by textual identity.
+	mix := []func(r *rand.Rand) *qpipe.Query{
+		func(r *rand.Rand) *qpipe.Query { // revenue scan-aggregate
+			return db.Scan("orders").
+				Filter(qpipe.Col("amount").Lt(qpipe.Float(float64(100 + r.Intn(800))))).
+				Aggregate(qpipe.Sum(qpipe.Col("amount")).As("revenue"), qpipe.Count().As("n"))
+		},
+		func(r *rand.Rand) *qpipe.Query { // per-region report
+			return db.Scan("orders").
+				Filter(qpipe.Col("priority").Eq(qpipe.Int(int64(r.Intn(5))))).
+				GroupBy([]string{"region"},
+					qpipe.Count().As("n"), qpipe.Avg(qpipe.Col("amount")).As("avg_amount"))
+		},
+		func(r *rand.Rand) *qpipe.Query { // join: customer segment revenue
+			return db.Scan("customers").
+				Join(db.Scan("orders"), "cid", "cust").
+				Filter(qpipe.Col("segment").Eq(qpipe.Int(int64(r.Intn(4))))).
+				GroupBy([]string{"segment"}, qpipe.Sum(qpipe.Col("amount")).As("revenue"))
+		},
 	}
 
-	env.SetMeasuring(true)
-	defer env.SetMeasuring(false)
-
-	const clients, queriesPerClient = 6, 2
-	mk := func(rng *rand.Rand) plan.Node {
-		qn, p := tpch.RandomMixQuery(rng)
-		_ = qn
-		return p
-	}
-	fmt.Printf("running mix {Q1,Q4,Q6,Q8,Q12,Q13,Q14,Q19}: %d clients x %d queries\n\n",
-		clients, queriesPerClient)
-	fmt.Printf("%-14s %14s %16s %10s\n", "system", "throughput", "avg response", "shares")
-	for _, sys := range []harness.System{x, baseline, osp} {
-		if err := sys.Manager().Pool.Invalidate(); err != nil {
+	fmt.Printf("running mix: %d clients x %d queries\n\n", clients, perClient)
+	fmt.Printf("%-22s %12s %12s %10s\n", "system", "elapsed", "blocks read", "shares")
+	for _, osp := range []bool{true, false} {
+		name := "QPipe w/OSP"
+		var opts []qpipe.QueryOption
+		if !osp {
+			name = "Baseline (WithoutOSP)"
+			opts = append(opts, qpipe.WithoutOSP())
+		}
+		if err := db.DropCaches(); err != nil {
 			log.Fatal(err)
 		}
-		before := sys.Shares()
-		res := harness.RunClosedLoop(env, sys, clients, queriesPerClient, 0, mk)
-		if res.Err != nil {
-			log.Fatal(res.Err)
+		db.SetDiskLatency(25*time.Microsecond, 40*time.Microsecond, 0)
+		db.ResetDiskStats()
+		sharesBefore := db.TotalShares()
+
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(c) + 1))
+				for i := 0; i < perClient; i++ {
+					q := mix[(c+i)%len(mix)](rng)
+					res, err := q.Run(context.Background(), opts...)
+					if err == nil {
+						_, err = res.Discard()
+					}
+					if err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(c)
 		}
-		fmt.Printf("%-14s %10.0f q/h %16s %10d\n",
-			sys.Name(), res.Throughput, res.AvgResponse.Round(1e6), sys.Shares()-before)
+		wg.Wait()
+		db.SetDiskLatency(0, 0, 0)
+		fmt.Printf("%-22s %12s %12d %10d\n",
+			name, time.Since(start).Round(time.Millisecond),
+			db.DiskStats().Reads, db.TotalShares()-sharesBefore)
 	}
 	fmt.Println("\nQPipe w/OSP turns concurrent-query overlap into shared work;")
 	fmt.Println("the share counter shows how many packets piggybacked on in-progress ones.")
+}
+
+func loadData(db *qpipe.DB) {
+	if err := db.CreateTable("orders", qpipe.NewSchema(
+		qpipe.ColDef("oid", qpipe.KindInt),
+		qpipe.ColDef("cust", qpipe.KindInt),
+		qpipe.ColDef("region", qpipe.KindInt),
+		qpipe.ColDef("priority", qpipe.KindInt),
+		qpipe.ColDef("amount", qpipe.KindFloat),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	rows := make([]qpipe.Row, nOrders)
+	for i := range rows {
+		rows[i] = qpipe.R(i, i%nCustomers, i%7, i%5, float64(i%997))
+	}
+	if err := db.Load("orders", rows); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.CreateTable("customers", qpipe.NewSchema(
+		qpipe.ColDef("cid", qpipe.KindInt),
+		qpipe.ColDef("segment", qpipe.KindInt),
+		qpipe.ColDef("balance", qpipe.KindFloat),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	custs := make([]qpipe.Row, nCustomers)
+	for i := range custs {
+		custs[i] = qpipe.R(i, i%4, float64(i%500))
+	}
+	if err := db.Load("customers", custs); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -2,57 +2,58 @@ package qpipe
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
-	"qpipe/internal/expr"
 	"qpipe/internal/plan"
 	"qpipe/internal/tuple"
 )
 
+// Facade tests: the cache-fronted and batch entry points, exercised through
+// the public DB/builder surface (with Engine-level checks where the engine
+// API is itself the contract).
+
 func TestQueryCachedHitAndMiss(t *testing.T) {
-	mgr := newTestDB(t, 500)
-	eng := New(mgr, DefaultConfig())
-	defer eng.Close()
-	eng.EnableResultCache(10_000, 5_000)
-	mk := func() plan.Node {
-		scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
-		return plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(0)}})
+	db := openTestDB(t, 500, Options{PoolPages: 64, ResultCacheTuples: 10_000, ResultCacheMaxEntry: 5_000})
+	eng := db.Engine()
+	p, err := db.Scan("t").Aggregate(Sum(Col("k"))).Plan()
+	if err != nil {
+		t.Fatal(err)
 	}
-	rows1, hit1, err := eng.QueryCached(context.Background(), mk())
+	rows1, hit1, err := eng.QueryCached(context.Background(), p)
 	if err != nil || hit1 {
 		t.Fatalf("first query: hit=%v err=%v", hit1, err)
 	}
-	rows2, hit2, err := eng.QueryCached(context.Background(), mk())
+	rows2, hit2, err := eng.QueryCached(context.Background(), p)
 	if err != nil || !hit2 {
 		t.Fatalf("second query should hit: hit=%v err=%v", hit2, err)
 	}
 	if rows1[0][0].F != rows2[0][0].F {
 		t.Fatalf("cached result differs: %v vs %v", rows1[0], rows2[0])
 	}
-	st := eng.CacheStats()
+	st := db.CacheStats()
 	if st.Hits != 1 || st.Insertions != 1 {
 		t.Fatalf("cache stats: %+v", st)
 	}
 	// Mutating the returned rows must not corrupt the cache.
-	rows2[0][0] = tuple.F64(-1)
-	rows3, _, _ := eng.QueryCached(context.Background(), mk())
+	rows2[0][0] = FloatValue(-1)
+	rows3, _, _ := eng.QueryCached(context.Background(), p)
 	if rows3[0][0].F == -1 {
 		t.Fatal("cache entry was mutated through a returned row")
 	}
 }
 
 func TestQueryCachedInvalidatedByUpdate(t *testing.T) {
-	mgr := newTestDB(t, 100)
-	eng := New(mgr, DefaultConfig())
-	defer eng.Close()
-	eng.EnableResultCache(10_000, 5_000)
+	db := openTestDB(t, 100, Options{PoolPages: 64, ResultCacheTuples: 10_000, ResultCacheMaxEntry: 5_000})
 	count := func() int64 {
-		scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
-		p := plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}})
-		rows, _, err := eng.QueryCached(context.Background(), p)
+		res, err := db.Scan("t").Aggregate(Count()).Run(context.Background(), WithResultCache())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := res.All()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,55 +62,51 @@ func TestQueryCachedInvalidatedByUpdate(t *testing.T) {
 	if count() != 100 {
 		t.Fatal("initial count")
 	}
-	up := plan.NewUpdate("t", []tuple.Tuple{
-		{tuple.I64(9999), tuple.I64(0), tuple.F64(0), tuple.Str("x")},
-	})
-	if _, _, err := eng.QueryCached(context.Background(), up); err != nil {
+	// An update plan through the cache-fronted engine path invalidates.
+	up := plan.NewUpdate("t", []tuple.Tuple{R(9999, 0, 0.0, "x")})
+	if _, _, err := db.Engine().QueryCached(context.Background(), up); err != nil {
 		t.Fatal(err)
 	}
-	// Cache must have been invalidated: fresh count includes the insert.
 	if got := count(); got != 101 {
 		t.Fatalf("post-update count: %d (stale cache?)", got)
 	}
-	if eng.CacheStats().Invalidation == 0 {
+	if db.CacheStats().Invalidation == 0 {
 		t.Fatal("no invalidations recorded")
 	}
 }
 
 func TestQueryCachedWithoutCacheEnabled(t *testing.T) {
-	mgr := newTestDB(t, 50)
-	eng := New(mgr, DefaultConfig())
-	defer eng.Close()
-	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
-	p := plan.NewAggregate(scan, []expr.AggSpec{{Kind: expr.AggCount}})
-	rows, hit, err := eng.QueryCached(context.Background(), p)
+	db := openTestDB(t, 50, Options{PoolPages: 64})
+	p, err := db.Scan("t").Aggregate(Count()).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, hit, err := db.Engine().QueryCached(context.Background(), p)
 	if err != nil || hit || rows[0][0].I != 50 {
 		t.Fatalf("cache-disabled path: %v %v %v", rows, hit, err)
 	}
-	if st := eng.CacheStats(); st != (eng.CacheStats()) {
-		t.Fatal("zero stats expected")
+	if st := db.CacheStats(); st != (CacheStats{}) {
+		t.Fatalf("zero stats expected, got %+v", st)
 	}
 }
 
-// TestQueryBatchSharesCommonSubtrees: an MQO-style batch whose queries
-// share a common subexpression must execute the common part once.
-func TestQueryBatchSharesCommonSubtrees(t *testing.T) {
-	mgr := newTestDB(t, 3000)
+// TestRunBatchSharesCommonSubtrees: an MQO-style batch whose queries share
+// a common subexpression must execute the common part once.
+func TestRunBatchSharesCommonSubtrees(t *testing.T) {
+	db := openTestDB(t, 3000, Options{PoolPages: 64})
 	// Slow disk so batch members genuinely overlap.
-	mgr.Disk.SetLatency(40*time.Microsecond, 60*time.Microsecond, 0)
-	defer mgr.Disk.SetLatency(0, 0, 0)
-	eng := New(mgr, DefaultConfig())
-	defer eng.Close()
+	db.SetDiskLatency(40*time.Microsecond, 60*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
 
-	common := func() plan.Node {
-		// Identical subtree in both queries: sorted scan.
-		scan := plan.NewTableScan("t", tableSchema(mgr), nil, []int{1, 2}, false)
-		return plan.NewSort(scan, []int{0}, false)
+	common := func() *Query {
+		// Identical subtree in both queries: sorted projected scan.
+		return db.Scan("t").Select("grp", "val").Sort("grp")
 	}
-	q1 := plan.NewAggregate(common(), []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(1)}})
-	q2 := plan.NewGroupBy(common(), []int{0}, []expr.AggSpec{{Kind: expr.AggCount}})
-
-	results, err := eng.QueryBatch(context.Background(), []plan.Node{q1, q2})
+	batch := []*Query{
+		common().Aggregate(Sum(Col("val"))),
+		common().GroupBy([]string{"grp"}, Count()),
+	}
+	results, err := db.RunBatch(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,17 +121,21 @@ func TestQueryBatchSharesCommonSubtrees(t *testing.T) {
 		}(r)
 	}
 	wg.Wait()
-	if eng.Runtime().TotalShares() == 0 {
+	if db.TotalShares() == 0 {
 		t.Fatal("batch with common subtree produced no sharing")
 	}
 }
 
 func TestExplain(t *testing.T) {
-	mgr := newTestDB(t, 10)
-	scan := plan.NewTableScan("t", tableSchema(mgr), expr.LT(expr.Col(0), expr.CInt(5)), nil, false)
-	srt := plan.NewSort(scan, []int{0}, false)
-	gb := plan.NewGroupBy(srt, []int{1}, []expr.AggSpec{{Kind: expr.AggCount}})
-	out := Explain(gb)
+	db := openTestDB(t, 10, Options{PoolPages: 32})
+	out, err := db.Scan("t").
+		Filter(Col("k").Lt(Int(5))).
+		Sort("k").
+		GroupBy([]string{"grp"}, Count()).
+		Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"GroupBy", "Sort", "TableScan t"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain missing %q:\n%s", want, out)
@@ -142,18 +143,21 @@ func TestExplain(t *testing.T) {
 	}
 	// Root first, indented children.
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 3 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[2], "    ") {
+	if len(lines) != 4 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[3], "    ") {
 		t.Errorf("explain layout:\n%s", out)
 	}
 }
 
-func TestQueryBatchErrorCancelsPrior(t *testing.T) {
-	mgr := newTestDB(t, 50)
-	eng := New(mgr, DefaultConfig())
-	defer eng.Close()
-	good := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+// TestQueryBatchErrorDrainsPrior: the QueryBatch satellite at the Engine
+// surface — a failing member must cancel AND drain the already-submitted
+// ones and return the typed *BatchError.
+func TestQueryBatchErrorDrainsPrior(t *testing.T) {
+	db := openTestDB(t, 2000, Options{PoolPages: 32})
+	eng := db.Engine()
+	s, _ := db.Schema("t")
+	good := plan.NewTableScan("t", s, nil, nil, false)
 	// A plan with an unknown operator type triggers a submit error; the
-	// already-submitted batch members must be cancelled.
+	// already-submitted batch members must be cancelled and drained.
 	results, err := eng.QueryBatch(context.Background(), []plan.Node{good, badPlanNode{}})
 	if err == nil {
 		for _, r := range results {
@@ -163,6 +167,13 @@ func TestQueryBatchErrorCancelsPrior(t *testing.T) {
 	}
 	if results != nil {
 		t.Fatal("failed batch should return no results")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("err = %v, want *BatchError at index 1", err)
+	}
+	if len(be.Teardown) != 0 {
+		t.Fatalf("teardown of the good member should be clean, got %v", be.Teardown)
 	}
 }
 

@@ -125,14 +125,16 @@ func (e *MicroEngine) SpawnSub(fn func()) {
 // packets to check for overlapping work"), then normal queueing.
 func (e *MicroEngine) Enqueue(pkt *Packet) {
 	e.enq.Add(1)
-	if e.rt.Cfg.OSP {
+	if e.rt.OSPAllowed(pkt.Query) {
 		// Signature-exact sharing against queued and running packets.
 		if sharer, ok := e.impl.(Sharer); ok {
 			e.mu.Lock()
 			hosts := append([]*Packet(nil), e.inflight[pkt.Sig]...)
 			e.mu.Unlock()
 			for _, host := range hosts {
-				if host.Query == pkt.Query || host.Cancelled() {
+				// A host whose query opted out of OSP (WithoutOSP) must not
+				// serve satellites either — opting out is bidirectional.
+				if host.Query == pkt.Query || host.Cancelled() || host.Query.Opts.DisableOSP {
 					continue
 				}
 				if sharer.TryShare(e.rt, host, pkt) {

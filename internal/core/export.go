@@ -26,6 +26,40 @@ func (rt *Runtime) NoteShare(op plan.OpType) { rt.noteShare(op) }
 // BatchSize returns the configured tuples-per-batch target for operators.
 func (rt *Runtime) BatchSize() int { return rt.Cfg.BatchSize }
 
+// BatchSizeFor resolves the effective batch size for one query: the query's
+// WithBatchSize option when set, the runtime default otherwise.
+func (rt *Runtime) BatchSizeFor(q *Query) int {
+	if q != nil && q.Opts.BatchSize > 0 {
+		return q.Opts.BatchSize
+	}
+	return rt.Cfg.BatchSize
+}
+
+// ParallelismFor resolves an operator's effective fan-out: a per-node hint
+// wins, then the query's WithParallelism option, then the runtime's
+// ScanParallelism default; anything below 1 is serial.
+func (rt *Runtime) ParallelismFor(q *Query, hint int) int {
+	p := hint
+	if p == 0 && q != nil {
+		p = q.Opts.Parallelism
+	}
+	if p == 0 {
+		p = rt.Cfg.ScanParallelism
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// OSPAllowed reports whether a query participates in on-demand simultaneous
+// pipelining: the runtime must have OSP on and the query must not have opted
+// out (WithoutOSP). Operator-specific sharing structures (scan groups, sort
+// states) must not be registered for queries where this is false.
+func (rt *Runtime) OSPAllowed(q *Query) bool {
+	return rt.Cfg.OSP && !(q != nil && q.Opts.DisableOSP)
+}
+
 // BatchPool returns the runtime's batch recycling pool. Operators draw
 // batch arrays here (or via SharedOut.NewBatch) and consumers return them
 // via Buffer.Recycle; see the README's "Memory model" for the lease rules.

@@ -206,9 +206,29 @@ type QueryStats struct {
 	CancelledSubtreePackets atomic.Int64
 }
 
+// QueryOptions carries per-query execution knobs. Options travel with the
+// query — packets consult their owning query, not the global config — so two
+// concurrent queries can run with different parallelism, batch size or OSP
+// participation on one runtime. The zero value inherits every runtime
+// default.
+type QueryOptions struct {
+	// Parallelism overrides Config.ScanParallelism for every operator of
+	// this query that has no per-node fan-out hint (0 = inherit; per-node
+	// WithParallelism hints still win).
+	Parallelism int
+	// DisableOSP opts the query out of on-demand simultaneous pipelining in
+	// both directions: its packets never attach to in-progress work and
+	// never host satellites of other queries.
+	DisableOSP bool
+	// BatchSize overrides Config.BatchSize for this query's operators
+	// (0 = inherit).
+	BatchSize int
+}
+
 // Query is one client request in flight.
 type Query struct {
 	ID   int64
+	Opts QueryOptions
 	ctx  context.Context
 	stop context.CancelFunc
 	// finished closes once the root packet's chain completes (set by the

@@ -153,6 +153,13 @@ func (rt *Runtime) Engine(op plan.OpType) *MicroEngine { return rt.engines[op] }
 // plan node (paper §4.2) and enqueues them bottom-up. The returned Query's
 // Result buffer carries root output; drain it and Wait for completion.
 func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
+	return rt.SubmitOpts(ctx, node, QueryOptions{})
+}
+
+// SubmitOpts is Submit with per-query execution options; the options travel
+// with the query so every packet it dispatches consults them instead of the
+// global config.
+func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOptions) (*Query, error) {
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
@@ -163,6 +170,7 @@ func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
 		return nil, err
 	}
 	q := newQuery(ctx)
+	q.Opts = opts
 	// Query-level read locking (§4.3.4): acquire a shared lock on every
 	// table the plan reads *before* any packet is dispatched, released when
 	// the query finishes. Taking the whole read set up front — instead of
@@ -251,6 +259,9 @@ func readTables(node plan.Node) []string {
 }
 
 func (rt *Runtime) validate(node plan.Node) error {
+	if err := plan.Validate(node); err != nil {
+		return err
+	}
 	var err error
 	updates := 0
 	plan.Walk(node, func(n plan.Node) {
@@ -285,7 +296,7 @@ func (rt *Runtime) dispatch(q *Query, node plan.Node, out *tbuf.Buffer, gated bo
 	pkt.Out.SetProducer(pkt.ID)
 	q.addPacket(pkt)
 
-	gateKids := rt.shouldGateChildren(node)
+	gateKids := rt.shouldGateChildren(q, node)
 	for _, cn := range node.Children() {
 		buf := tbuf.New(rt.Cfg.BufferCapacity).UsePool(rt.batchPool)
 		buf.Consumer.Store(pkt.ID)
@@ -309,8 +320,8 @@ func (rt *Runtime) dispatch(q *Query, node plan.Node, out *tbuf.Buffer, gated bo
 // shouldGateChildren applies late activation to merge-join inputs so the
 // join µEngine can rewire them (two-packet split, §4.3.2) before they read
 // a page.
-func (rt *Runtime) shouldGateChildren(node plan.Node) bool {
-	if !rt.Cfg.OSP || !rt.Cfg.LateActivation {
+func (rt *Runtime) shouldGateChildren(q *Query, node plan.Node) bool {
+	if !rt.OSPAllowed(q) || !rt.Cfg.LateActivation {
 		return false
 	}
 	mj, ok := node.(*plan.MergeJoin)

@@ -240,6 +240,14 @@ func (b *Buffer) Put(batch Batch) error {
 // Get dequeues one batch, blocking while the buffer is empty and open.
 // After the producer closes the buffer and the queue drains, Get returns
 // (nil, io.EOF) on a clean close or (nil, err) on an errored close.
+//
+// An abandoned buffer reports ErrAbandoned even when it was also closed:
+// Abandon drops whatever was still queued, so a consumer that keeps reading
+// past its own teardown (a cancelled query's operator racing the Cancel)
+// must never mistake the truncated stream for a clean EOF — an aggregate
+// that did would emit a silently short result, and through an attached OSP
+// satellite hand that corrupt row to an innocent query (the 1-in-20 lost
+// page of TestSatelliteRescuedFromCancelledHost).
 func (b *Buffer) Get() (Batch, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -251,14 +259,14 @@ func (b *Buffer) Get() (Batch, error) {
 			b.notFull.Signal()
 			return batch, nil
 		}
+		if b.abandoned {
+			return nil, ErrAbandoned
+		}
 		if b.closed {
 			if b.closeErr != nil {
 				return nil, b.closeErr
 			}
 			return nil, io.EOF
-		}
-		if b.abandoned {
-			return nil, ErrAbandoned
 		}
 		b.getBlocked = true
 		b.notEmpty.Wait()

@@ -343,6 +343,48 @@ func (c *Cond) Signature() string {
 	return "cond(" + c.If.Signature() + ";" + c.Then.Signature() + ";" + c.Else.Signature() + ")"
 }
 
+// ---- Introspection ---------------------------------------------------------
+
+// ExprRefs calls fn with the column index of every column reference in e
+// (validation hook: plan.Validate bounds-checks references against the
+// input schema). Unknown expression types contribute nothing.
+func ExprRefs(e Expr, fn func(ix int)) {
+	switch x := e.(type) {
+	case *ColRef:
+		fn(x.Ix)
+	case *Arith:
+		ExprRefs(x.L, fn)
+		ExprRefs(x.R, fn)
+	case *Cond:
+		PredRefs(x.If, fn)
+		ExprRefs(x.Then, fn)
+		ExprRefs(x.Else, fn)
+	}
+}
+
+// PredRefs is ExprRefs for predicates.
+func PredRefs(p Pred, fn func(ix int)) {
+	switch x := p.(type) {
+	case *Cmp:
+		ExprRefs(x.L, fn)
+		ExprRefs(x.R, fn)
+	case *And:
+		for _, q := range x.Ps {
+			PredRefs(q, fn)
+		}
+	case *Or:
+		for _, q := range x.Ps {
+			PredRefs(q, fn)
+		}
+	case *Not:
+		PredRefs(x.P, fn)
+	case *In:
+		ExprRefs(x.E, fn)
+	case *Between:
+		ExprRefs(x.E, fn)
+	}
+}
+
 // ---- Aggregates ------------------------------------------------------------
 
 // AggKind enumerates aggregate functions.

@@ -134,7 +134,7 @@ func (o *IndexScanOp) runMaterializedOrdered(rt *core.Runtime, pkt *core.Packet,
 	}
 	// Phase 1: read the missed prefix [0, start) fresh, in key order,
 	// streaming straight to the consumer.
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	pool := rt.BatchPool()
 	for ord := 0; ord < start && ord < len(pnos); ord++ {
 		if cerr := pkt.Query.CancelErr(); cerr != nil {
@@ -251,7 +251,7 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	if node.Lo.IsValid() || node.Hi.IsValid() {
 		// Bounded clustered scan: stream the B+tree range directly (no
 		// page-stream sharing; signature-identical packets still dedupe).
-		em := newEmitter(pkt, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 		var arena tuple.RowArena
 		var derr error
 		err := tr.Range(node.Lo, node.Hi, func(_ tuple.Value, payload []byte) bool {
@@ -300,7 +300,7 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	}
 	if lo > 0 || hi < len(pnos) {
 		// Partial scans stream their range directly and never host sharing.
-		em := newEmitter(pkt, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 		pool := rt.BatchPool()
 		for ord := lo; ord < hi; ord++ {
 			if cerr := pkt.Query.CancelErr(); cerr != nil {
@@ -322,14 +322,14 @@ func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Ta
 	// Unordered full clustered scans partition like table scans (leaf order
 	// is irrelevant to their consumers); ordered scans stay single-partition
 	// so the leaf stream keeps key order (newScanner enforces this).
-	s := newScanner(pkt.ID, src, !node.Ordered, rt.Cfg.ScanParallelism)
+	s := newScanner(pkt.ID, src, !node.Ordered, rt.ParallelismFor(pkt.Query, 0))
 	s.pool = rt.BatchPool()
 	if eng := rt.Engine(plan.OpIndexScan); eng != nil {
 		s.spawn = eng.SpawnSub
 	}
 	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
 	s.attach(c, false)
-	if rt.Cfg.OSP {
+	if rt.OSPAllowed(pkt.Query) {
 		key := o.key(node)
 		o.reg.add(key, s)
 		defer o.reg.remove(key, s)
@@ -369,7 +369,7 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 	// Phase 2: fetch. Group consecutive same-page RIDs so each heap page is
 	// pinned once. Fetched rows are freshly decoded and immutable, so they
 	// flow to the emitter by reference; projections carve from an arena.
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	var arena tuple.RowArena
 	i := 0
 	for i < len(rids) {

@@ -45,7 +45,7 @@ func (o *MergeJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.MergeJoin)
 	gated := len(pkt.Children) == 2 &&
 		(pkt.Children[0].State() == core.PacketGated || pkt.Children[1].State() == core.PacketGated)
-	if gated && rt.Cfg.OSP && !node.OrderedParent {
+	if gated && rt.OSPAllowed(pkt.Query) && !node.OrderedParent {
 		if done, err := o.trySplit(rt, pkt, node); done {
 			return err
 		}
@@ -54,7 +54,7 @@ func (o *MergeJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	for _, c := range pkt.Children {
 		rt.Activate(c)
 	}
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	if err := mergeJoin(newCursor(pkt.Inputs[0]), newCursor(pkt.Inputs[1]), node.LKey, node.RKey, em); err != nil {
 		return emitResult(err)
 	}
@@ -131,7 +131,7 @@ func (o *MergeJoinOp) trySplit(rt *core.Runtime, pkt *core.Packet, node *plan.Me
 		c.Discard()
 	}
 
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	// Packet 1: suffix of the shared relation ⋈ fresh read of the other.
 	other1, _ := rt.DispatchSubtree(q, otherNode)
 	err1 := o.mergeSides(idx, sufBuf, other1, node, em)
@@ -253,7 +253,7 @@ func (*HashJoinOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (o *HashJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.HashJoin)
-	par := resolvePar(node.Parallelism, rt)
+	par := rt.ParallelismFor(pkt.Query, node.Parallelism)
 
 	// Build phase: drain the left input. If it stays small, join in memory.
 	build := make(map[uint64][]tuple.Tuple)
@@ -310,7 +310,7 @@ func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *pla
 		return nil
 	}
 	if par <= 1 {
-		em := newEmitter(pkt, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 		var arena tuple.RowArena
 		rcur := newCursor(pkt.Inputs[1])
 		for {
@@ -328,7 +328,7 @@ func (o *HashJoinOp) probeInMemory(rt *core.Runtime, pkt *core.Packet, node *pla
 	}
 	err := parFeed(subSpawner(rt, plan.OpHashJoin), par, par,
 		func(k int, ch <-chan tbuf.Batch) error {
-			em := newEmitter(pkt, rt.BatchSize())
+			em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 			var arena tuple.RowArena
 			for b := range ch {
 				for _, t := range b {
@@ -484,7 +484,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 		}
 	}
 	if par <= 1 {
-		em := newEmitter(pkt, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 		var arena tuple.RowArena
 		if err := feedProbe(func(t tuple.Tuple, h uint64) error { return probeOne(em, &arena, t, h) }); err != nil {
 			return emitResult(err)
@@ -495,7 +495,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 	} else {
 		err := routeAffine(spawn, par, home,
 			func(k int, ch <-chan []routed) error {
-				em := newEmitter(pkt, rt.BatchSize())
+				em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 				var arena tuple.RowArena
 				for items := range ch {
 					for _, it := range items {
@@ -552,7 +552,7 @@ func (o *HashJoinOp) partitionedJoin(rt *core.Runtime, pkt *core.Packet, node *p
 		}
 	}
 	err := fanOut(spawn, par, func(k int) error {
-		em := newEmitter(pkt, rt.BatchSize())
+		em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 		var arena tuple.RowArena
 		for i := k + 1; i <= parts; i += par {
 			// A cancelled query must not grind through the remaining
@@ -594,7 +594,7 @@ func (*NLJoinOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	if err != nil {
 		return err
 	}
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	var arena tuple.RowArena
 	lcur := newCursor(pkt.Inputs[0])
 	for {

@@ -37,19 +37,6 @@ import (
 // it never escapes the helpers (the worker's own error is reported instead).
 var errParAborted = errors.New("ops: parallel stage aborted")
 
-// resolvePar resolves a plan node's fan-out hint: 0 inherits the runtime's
-// ScanParallelism default, anything below 1 is serial.
-func resolvePar(hint int, rt *core.Runtime) int {
-	p := hint
-	if p == 0 {
-		p = rt.Cfg.ScanParallelism
-	}
-	if p < 1 {
-		p = 1
-	}
-	return p
-}
-
 // subSpawner returns the µEngine's sub-worker spawn hook for op, so parallel
 // operator stages are accounted to their engine (SubWorkers stat; close
 // waits for them). Runtimes without that engine (direct operator tests) fall

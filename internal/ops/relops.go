@@ -31,7 +31,7 @@ func (*FilterOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (*FilterOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Filter)
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	cur := newCursor(pkt.Inputs[0])
 	for {
 		t, ok, err := cur.next()
@@ -66,7 +66,7 @@ func (*ProjectOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (*ProjectOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Project)
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	var arena tuple.RowArena
 	cur := newCursor(pkt.Inputs[0])
 	for {
@@ -108,7 +108,7 @@ func (*AggregateOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (*AggregateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Aggregate)
-	par := resolvePar(node.Parallelism, rt)
+	par := rt.ParallelismFor(pkt.Query, node.Parallelism)
 	newStates := func() []*expr.AggState {
 		states := make([]*expr.AggState, len(node.Specs))
 		for i, s := range node.Specs {
@@ -159,7 +159,7 @@ func (*AggregateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	for i, st := range partials[0] {
 		row[i] = st.Result()
 	}
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	if err := em.add(row); err != nil {
 		return emitResult(err)
 	}
@@ -296,7 +296,7 @@ func (*GroupByOp) TryShare(rt *core.Runtime, host, sat *core.Packet) bool {
 // Run implements core.Operator.
 func (o *GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.GroupBy)
-	par := resolvePar(node.Parallelism, rt)
+	par := rt.ParallelismFor(pkt.Query, node.Parallelism)
 	tables := make([]*groupTable, par)
 	if par <= 1 {
 		tables[0] = newGroupTable(node.Keys, node.Specs)
@@ -330,7 +330,7 @@ func (o *GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	for k := 1; k < par; k++ {
 		tables[0].absorb(tables[k])
 	}
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	if err := tables[0].emit(em); err != nil {
 		return emitResult(err)
 	}
@@ -359,7 +359,7 @@ func (*UpdateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 			return err
 		}
 	}
-	em := newEmitter(pkt, rt.BatchSize())
+	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	if err := em.add(tuple.Tuple{tuple.I64(int64(len(node.Rows)))}); err != nil {
 		return emitResult(err)
 	}

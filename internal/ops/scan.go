@@ -482,11 +482,7 @@ func (o *TableScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	// own shared lock, so the group's page reads stay covered even after
 	// the host query finishes.
 	src := heapSource{f: tb.Heap}
-	par := node.Parallelism
-	if par == 0 {
-		par = rt.Cfg.ScanParallelism
-	}
-	s := newScanner(pkt.ID, src, !node.Ordered, par)
+	s := newScanner(pkt.ID, src, !node.Ordered, rt.ParallelismFor(pkt.Query, node.Parallelism))
 	s.pool = rt.BatchPool()
 	if eng := rt.Engine(plan.OpTableScan); eng != nil {
 		s.spawn = eng.SpawnSub
@@ -494,7 +490,7 @@ func (o *TableScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	c := &scanConsumer{pkt: pkt, filter: node.Filter, project: node.Project}
 	s.attach(c, false)
 	key := "tbl:" + node.Table
-	if rt.Cfg.OSP {
+	if rt.OSPAllowed(pkt.Query) {
 		o.reg.add(key, s)
 		defer o.reg.remove(key, s)
 	}

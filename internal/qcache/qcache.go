@@ -101,6 +101,22 @@ func (c *Cache) Get(sig string) ([]tuple.Tuple, bool) {
 	return e.rows, true
 }
 
+// GetCloned is Get with each row deep-copied: cached rows are shared by
+// every past and future hit, so callers that hand rows to client code (the
+// facade's Run/QueryCached paths, whose results are mutable by contract
+// once materialized) must take clones, never the entries themselves.
+func (c *Cache) GetCloned(sig string) ([]tuple.Tuple, bool) {
+	rows, ok := c.Get(sig)
+	if !ok {
+		return nil, false
+	}
+	out := make([]tuple.Tuple, len(rows))
+	for i, t := range rows {
+		out[i] = t.Clone()
+	}
+	return out, true
+}
+
 // Put admits a completed query's result. tables lists the base relations
 // the plan read (for invalidation); cost is the measured execution time.
 // Oversized results are rejected.

@@ -1,0 +1,86 @@
+// Functional per-query options. Options travel with the query through the
+// engine (core.QueryOptions) instead of being scattered across plan-node
+// methods and the global Config, so concurrent queries on one DB can run
+// with different parallelism, batch size, OSP participation and caching.
+package qpipe
+
+import "qpipe/internal/core"
+
+// QueryOption tunes the execution of a single Run/RunBatch call.
+type QueryOption func(*queryOpts)
+
+type queryOpts struct {
+	core core.QueryOptions
+
+	useCache   bool
+	sharedScan bool
+
+	// validation bookkeeping (checked in resolve)
+	badPar   bool
+	badBatch bool
+}
+
+// WithParallelism sets the intra-operator fan-out for every operator of this
+// query (partitioned scans, hash-join build/probe, group-by and aggregate
+// workers). 1 is serial. Per-node plan hints still take precedence. Values
+// below 1 yield an *OptionError at Run.
+func WithParallelism(n int) QueryOption {
+	return func(o *queryOpts) {
+		o.core.Parallelism = n
+		o.badPar = n < 1
+	}
+}
+
+// WithoutOSP opts this query out of on-demand simultaneous pipelining in
+// both directions: it neither attaches to in-progress work of other queries
+// nor hosts their satellites. This is the per-query "Baseline" switch.
+func WithoutOSP() QueryOption {
+	return func(o *queryOpts) { o.core.DisableOSP = true }
+}
+
+// WithSharedScan declares that the query expects to piggyback on in-progress
+// scans of its tables (the paper's circular-scan sharing). Sharing is always
+// on when OSP is — the option exists to make the expectation explicit, and
+// to reject the contradictory combination with WithoutOSP as an
+// *OptionError instead of silently never sharing.
+func WithSharedScan() QueryOption {
+	return func(o *queryOpts) { o.sharedScan = true }
+}
+
+// WithBatchSize sets the tuples-per-batch target this query's operators aim
+// for when producing output (smaller batches lower latency to first row;
+// larger batches amortize synchronization). Values below 1 yield an
+// *OptionError at Run.
+func WithBatchSize(n int) QueryOption {
+	return func(o *queryOpts) {
+		o.core.BatchSize = n
+		o.badBatch = n < 1
+	}
+}
+
+// WithResultCache routes the query through the DB's result cache: a
+// signature-exact hit returns the stored rows without executing; a miss
+// executes (still sharing via OSP), materializes, and admits the result.
+// Requires a cache configured via Options.ResultCacheTuples; combining with
+// Limit is rejected (the cache stores complete results).
+func WithResultCache() QueryOption {
+	return func(o *queryOpts) { o.useCache = true }
+}
+
+// resolve folds the options and validates values and combinations, returning
+// a distinct *OptionError per failure mode.
+func resolveOpts(opts []QueryOption) (queryOpts, error) {
+	var o queryOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	switch {
+	case o.badPar:
+		return o, &OptionError{Option: "WithParallelism", Reason: "parallelism must be >= 1"}
+	case o.badBatch:
+		return o, &OptionError{Option: "WithBatchSize", Reason: "batch size must be >= 1"}
+	case o.sharedScan && o.core.DisableOSP:
+		return o, &OptionError{Option: "WithSharedScan", Reason: "conflicts with WithoutOSP: scan sharing is an OSP mechanism"}
+	}
+	return o, nil
+}

@@ -6,24 +6,52 @@
 // queries is detected and shared at run time via on-demand simultaneous
 // pipelining (OSP).
 //
-// Quick start:
+// # Embedding
 //
-//	mgr := sm.New(sm.Config{PoolPages: 1024})          // storage manager
-//	... create tables, load data ...
-//	eng := qpipe.New(mgr, qpipe.DefaultConfig())        // OSP enabled
-//	defer eng.Close()
-//	res, _ := eng.Query(ctx, somePlan)                  // submit a plan
-//	rows, _ := res.All()                                // drain results
+// The package is self-sufficient: Open assembles storage and engine, the
+// fluent builder resolves column names against the catalog, and results
+// stream through a range-over-func iterator.
 //
-// Two engines ship in this module: this package (QPipe, with OSP on or off
-// — the paper's "QPipe w/OSP" and "Baseline" systems) and
-// internal/volcano (a conventional one-query-many-operators iterator
-// engine, standing in for the paper's commercial "DBMS X").
+//	db, _ := qpipe.Open(qpipe.Options{})
+//	defer db.Close()
+//
+//	db.CreateTable("cities", qpipe.NewSchema(
+//		qpipe.ColDef("id", qpipe.KindInt),
+//		qpipe.ColDef("city", qpipe.KindString),
+//		qpipe.ColDef("pop", qpipe.KindFloat)))
+//	db.Load("cities", []qpipe.Row{qpipe.R(1, "Pittsburgh", 0.30), ...})
+//
+//	res, err := db.Scan("cities").
+//		Filter(qpipe.Col("pop").Gt(qpipe.Float(0.5))).
+//		Project(qpipe.Col("city"), qpipe.Col("pop").Mul(qpipe.Float(1e6)).As("population")).
+//		Run(ctx, qpipe.WithParallelism(4))
+//	for row := range res.Rows() {
+//		... // rows are immutable; see Result.Rows for the lease rules
+//	}
+//	if err := res.Err(); err != nil { ... }
+//
+// Builder mistakes — unknown tables or columns, type-mismatched predicates,
+// duplicate output names, conflicting options — return typed errors (see
+// errors.go) from Plan/Run rather than panicking inside the engine.
+//
+// Per-query execution knobs travel as functional options on Run:
+// WithParallelism, WithoutOSP, WithBatchSize, WithResultCache,
+// WithSharedScan. Engine-wide defaults live in Options/Config.
+//
+// # Engine layer
+//
+// Advanced embedders (and this module's harness) can drive the engine with
+// precompiled plans directly: New assembles an Engine over a storage
+// manager, Engine.Query submits a plan.Node. Two engines ship in this
+// module: this package (QPipe, with OSP on or off — the paper's "QPipe
+// w/OSP" and "Baseline" systems) and internal/volcano (a conventional
+// one-query-many-operators iterator engine, standing in for the paper's
+// commercial "DBMS X").
 package qpipe
 
 import (
 	"context"
-	"io"
+	"errors"
 	"time"
 
 	"qpipe/internal/core"
@@ -44,7 +72,9 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // BaselineConfig returns the paper's "Baseline" (OSP disabled).
 func BaselineConfig() Config { return core.BaselineConfig() }
 
-// Engine is a QPipe instance bound to a storage manager.
+// Engine is a QPipe instance bound to a storage manager. It executes
+// precompiled plans; everyday embedders use the DB facade and its builder
+// instead.
 type Engine struct {
 	rt    *core.Runtime
 	cache *qcache.Cache
@@ -67,64 +97,15 @@ func (e *Engine) Stats() core.RuntimeStats { return e.rt.Stats() }
 // Close shuts the engine down, cancelling outstanding queries.
 func (e *Engine) Close() { e.rt.Close() }
 
-// Result is a handle to a submitted query's output stream.
-type Result struct {
-	q *core.Query
-}
-
 // Query submits a precompiled plan for execution. The returned Result
-// streams output tuples; the caller must drain it (Next/All/Discard).
+// streams output tuples; the caller must drain it (Next/All/Rows/Discard).
 func (e *Engine) Query(ctx context.Context, p plan.Node) (*Result, error) {
 	q, err := e.rt.Submit(ctx, p)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{q: q}, nil
+	return newStreamResult(q, -1), nil
 }
-
-// Next returns the next batch of result tuples; io.EOF signals completion.
-// The returned batch ARRAY is owned by the caller (the engine hands over
-// its lease and never touches or recycles it), but the ROWS inside are
-// read-only: under the engine's lease protocol they may be shared by
-// reference with a port's replay window and with concurrent OSP satellite
-// queries, so mutating a returned tuple corrupts other queries' results.
-// Callers that need to modify a row must Clone it first.
-func (r *Result) Next() (tbuf.Batch, error) { return r.q.Result.Get() }
-
-// All drains the result completely and waits for the query to finish. The
-// returned slice is the caller's, but the rows are read-only (see Next);
-// the batch arrays that carried them are recycled into the engine's pool.
-func (r *Result) All() ([]tuple.Tuple, error) {
-	var out []tuple.Tuple
-	for {
-		b, err := r.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, b...)
-		r.q.Result.Recycle(b)
-	}
-	return out, r.q.Wait()
-}
-
-// Discard drains and drops the results (the paper's experiments discard
-// all result tuples), returning the row count.
-func (r *Result) Discard() (int64, error) {
-	n, err := r.q.Result.Drain()
-	if err != nil {
-		return n, err
-	}
-	return n, r.q.Wait()
-}
-
-// Cancel aborts the query.
-func (r *Result) Cancel() { r.q.Cancel() }
-
-// Stats returns the query's sharing counters (valid after completion).
-func (r *Result) Stats() *core.QueryStats { return &r.q.Stats }
 
 // QueryBatch submits several plans together — the way a multi-query
 // optimizer would hand QPipe a batch (paper §2.4: "QPipe can efficiently
@@ -133,19 +114,40 @@ func (r *Result) Stats() *core.QueryStats { return &r.q.Stats }
 // analysis is needed: common subtrees across the batch carry identical
 // signatures, so OSP shares them at the µEngines, pipelining — not
 // materializing — each shared intermediate result to all consumers.
+//
+// If any member fails to submit, the already-submitted members are
+// cancelled AND drained to completion — their buffers and batch-array
+// leases released back to the engine, not left to the garbage collector —
+// and the typed *BatchError reports the failing index, the submit error and
+// any teardown errors (errors.As / errors.Is see through it).
 func (e *Engine) QueryBatch(ctx context.Context, plans []plan.Node) ([]*Result, error) {
 	out := make([]*Result, 0, len(plans))
-	for _, p := range plans {
+	for i, p := range plans {
 		res, err := e.Query(ctx, p)
 		if err != nil {
-			for _, r := range out {
-				r.Cancel()
-			}
-			return nil, err
+			return nil, teardownBatch(out, i, err)
 		}
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// teardownBatch cancels and drains already-submitted batch members after
+// member idx failed to submit, returning the typed joined error.
+func teardownBatch(out []*Result, idx int, submitErr error) *BatchError {
+	be := &BatchError{Index: idx, Submit: submitErr}
+	for _, r := range out {
+		r.Cancel()
+		// Drain to release buffered batches back to the pool and wait the
+		// query out. The expected outcomes of cancelling one's own query —
+		// context.Canceled and an abandoned result buffer — are not errors
+		// of the teardown; anything else is.
+		if _, derr := r.Discard(); derr != nil &&
+			!errors.Is(derr, context.Canceled) && !errors.Is(derr, tbuf.ErrAbandoned) {
+			be.Teardown = append(be.Teardown, derr)
+		}
+	}
+	return be
 }
 
 // Explain renders a plan as an indented tree (re-exported from the plan
@@ -159,7 +161,7 @@ func Explain(p plan.Node) string { return plan.Explain(p) }
 // completed queries; on a match, the query returns the stored results and
 // avoids execution altogether"). capacityTuples bounds the cache's total
 // size; results larger than maxEntryTuples are never admitted. Only
-// QueryCached consults the cache.
+// QueryCached and Run(... WithResultCache()) consult the cache.
 func (e *Engine) EnableResultCache(capacityTuples, maxEntryTuples int64) {
 	e.cache = qcache.New(capacityTuples, maxEntryTuples)
 }
@@ -180,40 +182,36 @@ func (e *Engine) CacheStats() qcache.Stats {
 // invalidate cached results over their target table. The hit flag reports
 // whether the cache served the result.
 func (e *Engine) QueryCached(ctx context.Context, p plan.Node) (rows []tuple.Tuple, hit bool, err error) {
-	if e.cache == nil {
-		res, err := e.Query(ctx, p)
+	return e.queryCached(ctx, p, core.QueryOptions{})
+}
+
+// queryCached is the cache-fronted execution path shared by QueryCached and
+// the DB facade's WithResultCache option.
+func (e *Engine) queryCached(ctx context.Context, p plan.Node, opts core.QueryOptions) (rows []tuple.Tuple, hit bool, err error) {
+	exec := func() ([]tuple.Tuple, error) {
+		q, err := e.rt.SubmitOpts(ctx, p, opts)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		rows, err = res.All()
+		return newStreamResult(q, -1).All()
+	}
+	if e.cache == nil {
+		rows, err = exec()
 		return rows, false, err
 	}
 	if table, isUpdate := qcache.IsUpdate(p); isUpdate {
-		res, err := e.Query(ctx, p)
-		if err != nil {
-			return nil, false, err
-		}
-		rows, err = res.All()
+		rows, err = exec()
 		if err == nil {
 			e.cache.InvalidateTable(table)
 		}
 		return rows, false, err
 	}
 	sig := p.Signature()
-	if cached, ok := e.cache.Get(sig); ok {
-		// Clone: cached tuples are shared across callers.
-		out := make([]tuple.Tuple, len(cached))
-		for i, t := range cached {
-			out[i] = t.Clone()
-		}
-		return out, true, nil
+	if cached, ok := e.cache.GetCloned(sig); ok {
+		return cached, true, nil
 	}
 	start := time.Now()
-	res, err := e.Query(ctx, p)
-	if err != nil {
-		return nil, false, err
-	}
-	rows, err = res.All()
+	rows, err = exec()
 	if err != nil {
 		return rows, false, err
 	}

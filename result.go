@@ -1,0 +1,226 @@
+// Result: the handle to a submitted query's output stream — batch-level
+// access (Next), bulk access (All, Discard) and a Go-1.23 range-over-func
+// iterator (Rows).
+//
+// Lease protocol at the API boundary: the ROWS handed out are immutable and
+// remain valid forever (the engine shares rows by reference and never
+// recycles them); the batch ARRAYS carrying them are leases. Next hands the
+// array's lease to the caller; All, Discard and Rows manage the leases
+// internally (recycling each array once its rows were yielded), so rows
+// obtained from them may be retained freely while the arrays go back to the
+// engine's pool.
+package qpipe
+
+import (
+	"io"
+	"iter"
+
+	"qpipe/internal/core"
+	"qpipe/internal/tuple"
+)
+
+// Result is a handle to a submitted query's output.
+type Result struct {
+	q *core.Query
+
+	// Materialized mode (result-cache hits and cached executions): rows are
+	// served from memory, q is nil.
+	mat     []Row
+	matDone bool
+	hit     bool
+
+	// limit < 0 = unlimited. Tracked across Next calls; once delivered
+	// rows reach the limit the query is cancelled and the result reports
+	// clean EOF.
+	limit     int64
+	delivered int64
+	limitHit  bool
+
+	err     error
+	errSeen bool
+}
+
+// newStreamResult wraps an admitted query.
+func newStreamResult(q *core.Query, limit int64) *Result {
+	return &Result{q: q, limit: limit}
+}
+
+// newCachedResult wraps materialized rows (result-cache path).
+func newCachedResult(rows []Row, hit bool) *Result {
+	return &Result{mat: rows, hit: hit, limit: -1}
+}
+
+// CacheHit reports whether the result was served from the result cache
+// (always false for plain Run/Query executions).
+func (r *Result) CacheHit() bool { return r.hit }
+
+// Next returns the next batch of result rows; io.EOF signals completion.
+// The returned batch ARRAY is owned by the caller (the engine hands over
+// its lease and never touches or recycles it), but the ROWS inside are
+// read-only: under the engine's lease protocol they may be shared by
+// reference with a port's replay window and with concurrent OSP satellite
+// queries, so mutating a returned row corrupts other queries' results.
+// Callers that need to modify a row must Clone it first.
+func (r *Result) Next() ([]Row, error) {
+	if r.q == nil { // materialized mode (result-cache paths)
+		if r.matDone || len(r.mat) == 0 {
+			return nil, io.EOF
+		}
+		b := r.mat
+		r.mat, r.matDone = nil, true
+		return b, nil
+	}
+	if r.limitHit {
+		return nil, io.EOF
+	}
+	if r.limit == 0 {
+		r.limitHit = true
+		r.q.Cancel()
+		return nil, io.EOF
+	}
+	b, err := r.q.Result.Get()
+	if err != nil {
+		return nil, err
+	}
+	if r.limit > 0 && r.delivered+int64(len(b)) >= r.limit {
+		b = b[:r.limit-r.delivered]
+		r.delivered = r.limit
+		r.limitHit = true
+		// The limit is satisfied: stop the upstream work. The truncated
+		// array's lease still belongs to the caller.
+		r.q.Cancel()
+		return b, nil
+	}
+	r.delivered += int64(len(b))
+	return b, nil
+}
+
+// recycle returns a batch array obtained from Next to the engine's pool
+// (no-op in materialized mode). Rows copied or retained from the batch stay
+// valid; only the carrier array is recycled.
+func (r *Result) recycle(b []Row) {
+	if r.q != nil {
+		r.q.Result.Recycle(b)
+	}
+}
+
+// finish resolves the result's terminal error after EOF: nil for
+// materialized results and satisfied limits, the query's own terminal error
+// otherwise.
+func (r *Result) finish() error {
+	if r.q == nil || r.limitHit {
+		return nil
+	}
+	return r.q.Wait()
+}
+
+// setErr records the terminal error for Err (first one sticks).
+func (r *Result) setErr(err error) error {
+	if !r.errSeen {
+		r.err, r.errSeen = err, true
+	}
+	return err
+}
+
+// Rows returns a single-use iterator over the result's rows, for use with
+// range. Rows yielded may be retained freely but are READ-ONLY (see Next);
+// the batch arrays that carried them are recycled under the hood after each
+// batch's rows were yielded — the lease-safe hand-off. Breaking out of the
+// range early cancels the remaining query work. Iteration errors are
+// reported by Err after the loop:
+//
+//	for row := range res.Rows() {
+//		...
+//	}
+//	if err := res.Err(); err != nil { ... }
+func (r *Result) Rows() iter.Seq[Row] {
+	return func(yield func(Row) bool) {
+		for {
+			b, err := r.Next()
+			if err == io.EOF {
+				r.setErr(r.finish())
+				return
+			}
+			if err != nil {
+				r.setErr(err)
+				return
+			}
+			for _, row := range b {
+				if !yield(row) {
+					// Early break: the caller is done. Recycling here is
+					// safe — rows already yielded are never recycled, and
+					// the unyielded remainder was never handed out.
+					r.recycle(b)
+					r.Cancel()
+					r.setErr(nil)
+					return
+				}
+			}
+			r.recycle(b)
+		}
+	}
+}
+
+// Err returns the terminal error observed by a completed Rows/All/Discard
+// pass (nil until the result was consumed, and nil after a clean or
+// limit-stopped completion).
+func (r *Result) Err() error {
+	if !r.errSeen {
+		return nil
+	}
+	return r.err
+}
+
+// All drains the result completely and waits for the query to finish. The
+// returned rows are the caller's to keep but read-only (see Next); the
+// batch arrays that carried them are recycled into the engine's pool.
+func (r *Result) All() ([]Row, error) {
+	var out []Row
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return out, r.setErr(r.finish())
+		}
+		if err != nil {
+			return out, r.setErr(err)
+		}
+		out = append(out, b...)
+		r.recycle(b)
+	}
+}
+
+// Discard drains and drops the results (the paper's experiments discard
+// all result tuples), returning the row count.
+func (r *Result) Discard() (int64, error) {
+	var n int64
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return n, r.setErr(r.finish())
+		}
+		if err != nil {
+			return n, r.setErr(err)
+		}
+		n += int64(len(b))
+		r.recycle(b)
+	}
+}
+
+// Cancel aborts the query (no-op for materialized results).
+func (r *Result) Cancel() {
+	if r.q != nil {
+		r.q.Cancel()
+	}
+}
+
+// Stats returns the query's sharing counters (valid after completion; zero
+// for materialized results).
+func (r *Result) Stats() *core.QueryStats {
+	if r.q == nil {
+		return &core.QueryStats{}
+	}
+	return &r.q.Stats
+}
+
+// compile-time check that Row and the engine's tuple stay one type.
+var _ []Row = []tuple.Tuple(nil)
