@@ -12,6 +12,8 @@
 //	qpipe-bench -fig joinpar -joinworkers 1,2,4,8 -joinrows 100000
 //	qpipe-bench -fig gc -gcrows 100000 -gcout BENCH_GC.json
 //	qpipe-bench -fig joinpar -batch 128         # engine batch/pool size knob
+//	qpipe-bench -fig sqlmix -mixclients 8       # declarative SQL mix, OSP on vs off
+//	qpipe-bench -fig sqlmix -mixfile my_mix.sql # your own .sql query mix
 package main
 
 import (
@@ -25,10 +27,11 @@ import (
 
 	"qpipe"
 	"qpipe/internal/harness"
+	"qpipe/internal/workload/sqlmix"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, api or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, api, sqlmix or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	batch := flag.Int("batch", 0, "engine batch size (tuples per batch and recycling-pool array size; 0 = default 64)")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
@@ -41,6 +44,10 @@ func main() {
 	gcWorkers := flag.String("gcworkers", "1,8", "comma-separated fan-out list (fig gc)")
 	gcRows := flag.Int("gcrows", 100_000, "rows per table in the GC-pressure run (fig gc)")
 	gcOut := flag.String("gcout", "BENCH_GC.json", "output path for the GC-pressure JSON report (fig gc)")
+	mixFile := flag.String("mixfile", "", "path to a .sql query mix (fig sqlmix; default: the embedded tpchmix)")
+	mixClients := flag.Int("mixclients", 6, "concurrent clients (fig sqlmix)")
+	mixQueries := flag.Int("mixqueries", 2, "queries per client (fig sqlmix)")
+	mixRows := flag.Int("mixrows", 60_000, "orders rows in the sqlmix dataset (fig sqlmix)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -251,6 +258,12 @@ func main() {
 		})
 	}
 
+	if want("sqlmix") {
+		run("SQL mix (declarative tpchmix)", func() ([]harness.Figure, error) {
+			return sqlmixFigure(*mixFile, *mixClients, *mixQueries, *mixRows)
+		})
+	}
+
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -332,6 +345,66 @@ func apiFigure(rows int) ([]harness.Figure, error) {
 			{Label: "builder+Rows()", Points: []harness.Point{{X: 0, Y: float64(viaBuilder.Microseconds()) / 1000}}},
 			{Label: "plan+Discard", Points: []harness.Point{{X: 0, Y: float64(viaEngine.Microseconds()) / 1000}}},
 		},
+	}
+	return []harness.Figure{f}, nil
+}
+
+// sqlmixFigure runs a declarative SQL query mix (the embedded tpchmix, or
+// a caller-supplied .sql file) with concurrent clients through db.Query,
+// once with OSP and once with every query opted out — the full-workload
+// experiment (paper §5.3) driven from SQL text instead of hand-built plans.
+func sqlmixFigure(mixFile string, clients, perClient, rows int) ([]harness.Figure, error) {
+	text := sqlmix.TPCHMix()
+	if mixFile != "" {
+		b, err := os.ReadFile(mixFile)
+		if err != nil {
+			return nil, err
+		}
+		text = string(b)
+	}
+	mix, err := sqlmix.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 128})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := sqlmix.Populate(db, rows, rows/15+1); err != nil {
+		return nil, err
+	}
+	if _, err := mix.Compile(db); err != nil {
+		return nil, err
+	}
+
+	fmt.Printf("%d queries over %d clients, %d mix statements\n", clients*perClient, clients, len(mix.Queries))
+	fmt.Printf("%-22s %12s %12s %10s\n", "system", "elapsed", "blocks read", "shares")
+	f := harness.Figure{
+		Name:   "sqlmix",
+		Title:  fmt.Sprintf("Declarative SQL mix (%d clients x %d queries, %d rows)", clients, perClient, rows),
+		XLabel: "-", YLabel: "ms",
+	}
+	for _, osp := range []bool{true, false} {
+		name := "QPipe w/OSP"
+		var extra []qpipe.QueryOption
+		if !osp {
+			name = "Baseline (WithoutOSP)"
+			extra = append(extra, qpipe.WithoutOSP())
+		}
+		if err := db.DropCaches(); err != nil {
+			return nil, err
+		}
+		db.SetDiskLatency(25*time.Microsecond, 40*time.Microsecond, 0)
+		res, err := mix.Run(context.Background(), db, clients, perClient, extra...)
+		db.SetDiskLatency(0, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("%-22s %12s %12d %10d\n", name, res.Elapsed.Round(time.Millisecond), res.BlocksRead, res.Shares)
+		f.Series = append(f.Series, harness.Series{Label: name,
+			Points: []harness.Point{{X: 0, Y: float64(res.Elapsed.Microseconds()) / 1000}}})
 	}
 	return []harness.Figure{f}, nil
 }

@@ -1,152 +1,353 @@
-// qpipe-shell loads the scaled TPC-H dataset and runs one of the paper's
-// queries on a chosen system, printing the plan, the first rows, and the
-// engine's sharing statistics. Handy for poking at the engine without
-// writing a program:
+// qpipe-shell is an interactive SQL REPL over an embedded qpipe database:
+// multi-line statements, \-meta commands, per-session SET mapping onto the
+// per-query options, and script execution for declarative workloads.
 //
-//	qpipe-shell -q 6                       # TPC-H Q6 on QPipe w/OSP
-//	qpipe-shell -q 4 -system volcano       # Q4 on the iterator engine
-//	qpipe-shell -q 8 -system baseline -sf 0.005 -concurrency 4
-//	qpipe-shell -q 4 -variant mj -explain  # print the merge-join plan only
+//	qpipe-shell -demo                  # REPL over the tpchmix demo dataset
+//	qpipe-shell -demo -f internal/workload/sqlmix/tpchmix.sql
+//	qpipe-shell -c "SELECT 1 + 2 AS three FROM t"
+//
+//	qpipe> CREATE TABLE t (a INT, b TEXT);
+//	qpipe> INSERT INTO t VALUES (1, 'x'), (2, 'y');
+//	qpipe> SELECT a, b FROM t WHERE a > 1;
+//	qpipe> EXPLAIN SELECT count(*) FROM t GROUP BY b;
+//	qpipe> SET parallelism = 4;
+//	qpipe> \timing
+//	qpipe> \mix
+//	qpipe> \q
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"sync"
+	"strings"
 	"time"
 
 	"qpipe"
-	"qpipe/internal/harness"
-	"qpipe/internal/plan"
-	"qpipe/internal/tuple"
-	"qpipe/internal/workload/tpch"
+	"qpipe/internal/workload/sqlmix"
+	"qpipe/sql"
 )
 
 func main() {
-	qnum := flag.Int("q", 6, "TPC-H query number (1, 4, 6, 8, 12, 13, 14, 19)")
-	system := flag.String("system", "qpipe", "system: qpipe, baseline, or volcano")
-	sf := flag.Float64("sf", 0.002, "TPC-H scale factor")
-	variant := flag.String("variant", "hj", "Q4 variant: hj (hash join) or mj (merge join)")
-	concurrency := flag.Int("concurrency", 1, "concurrent instances (qgen-randomized params)")
-	explainOnly := flag.Bool("explain", false, "print the plan and exit")
-	maxRows := flag.Int("rows", 10, "result rows to print")
-	seed := flag.Int64("seed", 1, "random seed for qgen parameters")
-	stagger := flag.Duration("stagger", 20*time.Millisecond, "delay between concurrent instances (0 = simultaneous)")
+	demo := flag.Bool("demo", false, "load the tpchmix demo dataset (orders/customers)")
+	demoRows := flag.Int("rows", 60_000, "demo dataset: orders rows")
+	demoCusts := flag.Int("customers", 4_000, "demo dataset: customers rows")
+	script := flag.String("f", "", "execute a .sql script, then exit")
+	command := flag.String("c", "", "execute one SQL statement, then exit")
+	pool := flag.Int("pool", 1024, "buffer pool pages")
+	timing := flag.Bool("timing", false, "start with \\timing on")
 	flag.Parse()
 
-	mkPlan := func(p tpch.Params) plan.Node {
-		if *qnum == 4 && *variant == "mj" {
-			return tpch.Q4MergeJoin(p)
-		}
-		return tpch.Query(*qnum, p)
-	}
-
-	if *explainOnly {
-		fmt.Print(qpipe.Explain(mkPlan(tpch.DefaultParams())))
-		return
-	}
-
-	needClustered := *qnum == 4 && *variant == "mj"
-	fmt.Printf("loading TPC-H SF=%g ...\n", *sf)
-	sc := harness.SmallScale()
-	sc.SF = *sf
-	env, err := harness.NewTPCHEnv(sc, needClustered)
+	db, err := qpipe.Open(qpipe.Options{PoolPages: *pool})
 	if err != nil {
 		fatal(err)
 	}
-	defer env.Close()
+	defer db.Close()
 
-	var sys harness.System
-	switch *system {
-	case "qpipe":
-		sys, err = env.NewQPipe()
-	case "baseline":
-		sys, err = env.NewBaseline()
-	case "volcano":
-		sys, err = env.NewVolcano()
+	sh := &shell{db: db, timing: *timing, out: os.Stdout}
+	if *demo {
+		fmt.Fprintf(sh.out, "loading demo dataset: %d orders, %d customers ...\n", *demoRows, *demoCusts)
+		if err := sqlmix.Populate(db, *demoRows, *demoCusts); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *command != "":
+		if !sh.runScript(*command) {
+			os.Exit(1)
+		}
+	case *script != "":
+		text, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		if !sh.runScript(string(text)) {
+			os.Exit(1)
+		}
 	default:
-		fatal(fmt.Errorf("unknown system %q", *system))
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	env.SetMeasuring(true)
-	defer env.SetMeasuring(false)
-	env.Disk.ResetStats()
-
-	fmt.Printf("\nplan (Q%d):\n%s\n", *qnum, qpipe.Explain(mkPlan(tpch.DefaultParams())))
-
-	rng := rand.New(rand.NewSource(*seed))
-	start := time.Now()
-	var firstRows []tuple.Tuple
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for c := 0; c < *concurrency; c++ {
-		params := tpch.DefaultParams()
-		if c > 0 {
-			params = tpch.RandomParams(rng)
-			if *stagger > 0 {
-				time.Sleep(*stagger)
-			}
-		}
-		wg.Add(1)
-		go func(c int, p plan.Node) {
-			defer wg.Done()
-			if qs, ok := sys.(*harness.QPipeSystem); ok && c == 0 {
-				res, err := qs.Eng.Query(context.Background(), p)
-				if err != nil {
-					fatal(err)
-				}
-				// Stream through the public iterator: rows are retained
-				// beyond the loop (they are immutable and never recycled;
-				// only the batch arrays go back to the engine's pool).
-				var rows []tuple.Tuple
-				for row := range res.Rows() {
-					rows = append(rows, row)
-				}
-				if err := res.Err(); err != nil {
-					fatal(err)
-				}
-				mu.Lock()
-				firstRows = rows
-				mu.Unlock()
-				return
-			}
-			if err := sys.Exec(context.Background(), p); err != nil {
-				fatal(err)
-			}
-		}(c, mkPlan(params))
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	if firstRows != nil {
-		fmt.Printf("results (%d rows", len(firstRows))
-		if len(firstRows) > *maxRows {
-			fmt.Printf(", first %d shown", *maxRows)
-		}
-		fmt.Println("):")
-		for i, r := range firstRows {
-			if i >= *maxRows {
-				break
-			}
-			fmt.Println("  " + r.String())
-		}
-	}
-	st := env.Disk.Stats()
-	fmt.Printf("\n%d instance(s) on %s in %s\n", *concurrency, sys.Name(), elapsed.Round(time.Millisecond))
-	fmt.Printf("disk: %d blocks read (%d sequential), %d written\n", st.Reads, st.SeqReads, st.Writes)
-	if qs, ok := sys.(*harness.QPipeSystem); ok {
-		est := qs.Eng.Stats()
-		fmt.Printf("OSP shares by operator: %v\n", est.SharesByOp)
+		sh.repl()
 	}
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "qpipe-shell:", err)
 	os.Exit(1)
+}
+
+// shell holds the REPL's connection state: the database, the session
+// settings SQL SET adjusts, and the \timing toggle.
+type shell struct {
+	db     *qpipe.DB
+	sess   qpipe.Session
+	timing bool
+	out    *os.File
+}
+
+// repl reads statements from stdin: lines accumulate until a terminating
+// ';' (strings respected), '\'-prefixed meta commands run immediately.
+func (sh *shell) repl() {
+	fmt.Fprintln(sh.out, "qpipe SQL shell — \\help for help, \\q to quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	for {
+		prompt := "qpipe> "
+		if buf.Len() > 0 {
+			prompt = "  ...> "
+		}
+		fmt.Fprint(sh.out, prompt)
+		if !scanner.Scan() {
+			fmt.Fprintln(sh.out)
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !sh.meta(trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if statementComplete(buf.String()) {
+			sh.runScript(buf.String())
+			buf.Reset()
+		}
+	}
+}
+
+// statementComplete reports whether the buffered text ends with a
+// statement-terminating ';': the last significant character outside string
+// literals and '--'/'/* */' comments is a semicolon (comments and
+// whitespace may trail it).
+func statementComplete(text string) bool {
+	inStr, inBlock := false, false
+	last := byte(0)
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case inStr:
+			if c == '\'' {
+				inStr = false
+			}
+		case inBlock:
+			if c == '*' && i+1 < len(text) && text[i+1] == '/' {
+				inBlock = false
+				i++
+			}
+		case c == '\'':
+			inStr = true
+			last = c
+		case c == '-' && i+1 < len(text) && text[i+1] == '-': // line comment
+			for i < len(text) && text[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(text) && text[i+1] == '*':
+			inBlock = true
+			i++
+		case c != ' ' && c != '\t' && c != '\n' && c != '\r':
+			last = c
+		}
+	}
+	return !inStr && !inBlock && last == ';'
+}
+
+// runScript parses and executes a ';'-separated script, reporting each
+// statement's result. Returns false if any statement failed.
+func (sh *shell) runScript(text string) bool {
+	stmts, err := sql.ParseScript(text)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return false
+	}
+	ok := true
+	for _, stmt := range stmts {
+		if err := sh.exec(stmt); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			ok = false
+		}
+	}
+	return ok
+}
+
+// exec runs one parsed statement through the public API: SELECT/EXPLAIN via
+// db.Query (with the session's options), DDL/INSERT via db.Exec, SET into
+// the session.
+func (sh *shell) exec(stmt sql.Statement) error {
+	ctx := context.Background()
+	start := time.Now()
+	switch s := stmt.(type) {
+	case *sql.Set:
+		if err := sh.sess.Apply(s); err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "SET —", sh.sess.String())
+		return nil
+	case *sql.Explain:
+		res, err := sh.db.Query(ctx, s.String(), sh.sess.Options()...)
+		if err != nil {
+			return err
+		}
+		rows, err := res.All()
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Fprintln(sh.out, r[0].S)
+		}
+		return nil
+	case *sql.Select:
+		res, err := sh.db.Query(ctx, s.String(), sh.sess.Options()...)
+		if err != nil {
+			return err
+		}
+		n, err := sh.printResult(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "(%d rows)\n", n)
+		sh.reportTiming(start)
+		return nil
+	default:
+		affected, err := sh.db.Exec(ctx, stmt.String())
+		if err != nil {
+			return err
+		}
+		switch stmt.(type) {
+		case *sql.Insert:
+			fmt.Fprintf(sh.out, "INSERT %d\n", affected)
+		default:
+			fmt.Fprintln(sh.out, "ok")
+		}
+		sh.reportTiming(start)
+		return nil
+	}
+}
+
+// printResult streams a result to the terminal with a header row from the
+// result schema.
+func (sh *shell) printResult(res *qpipe.Result) (int64, error) {
+	if s := res.Schema(); s != nil {
+		names := make([]string, s.Len())
+		for i, c := range s.Cols {
+			names[i] = c.Name
+		}
+		header := strings.Join(names, " | ")
+		fmt.Fprintln(sh.out, header)
+		fmt.Fprintln(sh.out, strings.Repeat("-", len(header)))
+	}
+	var n int64
+	for row := range res.Rows() {
+		vals := make([]string, len(row))
+		for i, v := range row {
+			vals[i] = v.String()
+		}
+		fmt.Fprintln(sh.out, strings.Join(vals, " | "))
+		n++
+	}
+	return n, res.Err()
+}
+
+func (sh *shell) reportTiming(start time.Time) {
+	if sh.timing {
+		fmt.Fprintf(sh.out, "Time: %s\n", time.Since(start).Round(10*time.Microsecond))
+	}
+}
+
+// meta handles '\'-commands. Returns false to quit.
+func (sh *shell) meta(line string) bool {
+	cmd, arg, _ := strings.Cut(line, " ")
+	arg = strings.TrimSpace(arg)
+	switch cmd {
+	case "\\q", "\\quit":
+		return false
+	case "\\timing":
+		sh.timing = !sh.timing
+		fmt.Fprintf(sh.out, "Timing is %s.\n", onOff(sh.timing))
+	case "\\set":
+		fmt.Fprintln(sh.out, sh.sess.String())
+	case "\\d":
+		if arg == "" {
+			for _, t := range sh.db.Tables() {
+				fmt.Fprintln(sh.out, t)
+			}
+			break
+		}
+		schema, err := sh.db.Schema(arg)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		pages, _ := sh.db.TablePages(arg)
+		fmt.Fprintf(sh.out, "%s %s (%d pages)\n", arg, schema.String(), pages)
+	case "\\i":
+		if arg == "" {
+			fmt.Fprintln(sh.out, "usage: \\i FILE")
+			break
+		}
+		text, err := os.ReadFile(arg)
+		if err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+			break
+		}
+		sh.runScript(string(text))
+	case "\\mix":
+		sh.runMix()
+	case "\\stats":
+		st := sh.db.Stats()
+		fmt.Fprintf(sh.out, "queries: %d  OSP shares by operator: %v\n", st.Queries, st.SharesByOp)
+		d := sh.db.DiskStats()
+		fmt.Fprintf(sh.out, "disk: %d blocks read (%d sequential), %d written\n", d.Reads, d.SeqReads, d.Writes)
+	case "\\help":
+		fmt.Fprint(sh.out, `statements end with ';' (multi-line input is fine):
+  SELECT ... / EXPLAIN SELECT ...      query (through db.Query)
+  CREATE TABLE / CREATE INDEX / INSERT DDL and loading (through db.Exec)
+  SET parallelism|batch_size|osp = v   session options for later queries
+meta commands:
+  \d [table]   list tables / show a table's schema
+  \i FILE      run a .sql script
+  \mix         run the embedded tpchmix query mix (needs -demo tables)
+  \set         show session settings
+  \stats       engine and disk counters
+  \timing      toggle per-statement timing
+  \q           quit
+`)
+	default:
+		fmt.Fprintf(sh.out, "unknown command %s (try \\help)\n", cmd)
+	}
+	return true
+}
+
+// runMix executes the embedded tpchmix SQL mix with a few concurrent
+// clients, showing the OSP sharing the mix exists to demonstrate.
+func (sh *shell) runMix() {
+	m, err := sqlmix.Parse(sqlmix.TPCHMix())
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	if _, err := m.Compile(sh.db); err != nil {
+		fmt.Fprintln(sh.out, "error:", err, "(run with -demo to load the dataset)")
+		return
+	}
+	const clients, perClient = 6, 2
+	fmt.Fprintf(sh.out, "running %d queries: %d clients x %d ...\n", clients*perClient, clients, perClient)
+	res, err := m.Run(context.Background(), sh.db, clients, perClient, sh.sess.Options()...)
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	fmt.Fprintf(sh.out, "%d queries, %d rows in %s — %d blocks read, %d OSP shares\n",
+		res.Queries, res.Rows, res.Elapsed.Round(time.Millisecond), res.BlocksRead, res.Shares)
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
 }

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestStatementComplete(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"SELECT 1 FROM t;", true},
+		{"SELECT 1 FROM t", false},
+		{"SELECT 1 FROM t; -- done\n", true},
+		{"SELECT 1 FROM t; /* done */", true},
+		{"SELECT 1 FROM t; /* don't */", true}, // apostrophe inside comment
+		{"SELECT 1 FROM t; -- don't\n", true},  // apostrophe inside line comment
+		{"SELECT ';' FROM t", false},           // ';' inside a string
+		{"SELECT ';' FROM t;", true},           //
+		{"SELECT 'it''s' FROM t;", true},       // escaped quote
+		{"SELECT 1 /* multi\nline */ FROM t;", true},
+		{"SELECT 1 FROM t /* open", false},      // unterminated block comment
+		{"SELECT 'open", false},                 // unterminated string
+		{"INSERT INTO t VALUES (1);\n\n", true}, // trailing whitespace
+	}
+	for _, tc := range cases {
+		if got := statementComplete(tc.in); got != tc.want {
+			t.Errorf("statementComplete(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -243,13 +243,13 @@ func (db *DB) run(ctx context.Context, p plan.Node, limit int64, opts []QueryOpt
 		if err != nil {
 			return nil, err
 		}
-		return newCachedResult(rows, hit), nil
+		return newCachedResult(rows, p.Schema(), hit), nil
 	}
 	q, err := db.eng.rt.SubmitOpts(ctx, p, o.core)
 	if err != nil {
 		return nil, err
 	}
-	return newStreamResult(q, limit), nil
+	return newStreamResult(q, p.Schema(), limit), nil
 }
 
 // RunBatch submits several built queries together — the multi-query-
@@ -280,7 +280,7 @@ func (db *DB) RunBatch(ctx context.Context, queries []*Query, opts ...QueryOptio
 			var sq *core.Query
 			sq, err = db.eng.rt.SubmitOpts(ctx, q.node, o.core)
 			if err == nil {
-				res = newStreamResult(sq, q.limit)
+				res = newStreamResult(sq, q.node.Schema(), q.limit)
 			}
 		}
 		if err != nil {

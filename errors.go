@@ -9,6 +9,7 @@ package qpipe
 import (
 	"errors"
 	"fmt"
+	"strings"
 )
 
 // UnknownTableError reports a query or DDL statement against a table the
@@ -56,6 +57,37 @@ type DuplicateColumnError struct {
 // Error implements error.
 func (e *DuplicateColumnError) Error() string {
 	return fmt.Sprintf("qpipe: duplicate output column %q", e.Column)
+}
+
+// AmbiguousColumnError reports a SQL column reference that the planner
+// cannot lower faithfully onto the name-resolving builder: a bare name owned
+// by more than one FROM table, or a qualified reference whose column name is
+// shadowed by an earlier table in the join order (the builder resolves names
+// leftmost-first over the concatenated schema).
+type AmbiguousColumnError struct {
+	Column string
+	// Tables are the FROM tables (or aliases) that own the column.
+	Tables []string
+}
+
+// Error implements error.
+func (e *AmbiguousColumnError) Error() string {
+	return fmt.Sprintf("qpipe: ambiguous column %q (in tables %s) — rename the columns apart",
+		e.Column, strings.Join(e.Tables, ", "))
+}
+
+// StatementError reports a SQL statement routed to the wrong entry point or
+// using an unsupported shape: a CREATE handed to Query (which only returns
+// rows), a SELECT handed to Exec, a SET outside a session, and so on.
+type StatementError struct {
+	// Stmt names the statement kind ("CREATE TABLE", "SELECT", ...).
+	Stmt   string
+	Reason string
+}
+
+// Error implements error.
+func (e *StatementError) Error() string {
+	return fmt.Sprintf("qpipe: %s: %s", e.Stmt, e.Reason)
 }
 
 // OptionError reports an invalid per-query option value or a conflicting

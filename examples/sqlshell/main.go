@@ -1,0 +1,116 @@
+// sqlshell: the end-to-end SQL path on the public surface — DDL and
+// loading through db.Exec, queries and EXPLAIN through db.Query, schema
+// headers from Result.Schema, session SET via qpipe.Session, and a typed,
+// position-annotated parse error. Everything an embedder needs for a SQL
+// front end, with only the qpipe and qpipe/sql imports (CI builds this
+// example out-of-module to prove it).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"strings"
+
+	"qpipe"
+	"qpipe/sql"
+)
+
+func main() {
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	ctx := context.Background()
+
+	// DDL and loading are plain SQL scripts.
+	if _, err := db.Exec(ctx, `
+		CREATE TABLE cities (id INT, city TEXT, pop FLOAT, founded DATE);
+		CREATE TABLE visits (city_id INT, year INT, tourists FLOAT)
+	`); err != nil {
+		log.Fatal(err)
+	}
+	n, err := db.Exec(ctx, `
+		INSERT INTO cities VALUES
+			(1, 'Pittsburgh', 0.30, DATE '1758-11-25'),
+			(2, 'Boston',     0.65, DATE '1630-09-07'),
+			(3, 'Seattle',    0.74, DATE '1851-11-13');
+		INSERT INTO visits VALUES
+			(1, 2024, 2.1), (2, 2024, 22.6), (3, 2024, 37.8),
+			(1, 2023, 1.9), (2, 2023, 21.0), (3, 2023, 35.1)
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows\n\n", n)
+
+	// A join + group-by posed declaratively, run with session options.
+	var sess qpipe.Session
+	stmt, err := sql.Parse("SET parallelism = 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Apply(stmt.(*sql.Set)); err != nil {
+		log.Fatal(err)
+	}
+	const query = `
+		SELECT city, sum(tourists) AS total
+		FROM cities JOIN visits ON id = city_id
+		WHERE pop > 0.5
+		GROUP BY city
+		ORDER BY total DESC`
+	res, err := db.Query(ctx, query, sess.Options()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(res)
+
+	// EXPLAIN returns the lowered physical plan as rows of text.
+	res, err = db.Query(ctx, "EXPLAIN "+strings.TrimSpace(query), sess.Options()...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nplan:")
+	for row := range res.Rows() {
+		fmt.Println("  " + row[0].S)
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Syntax errors carry line:column positions...
+	_, err = db.Query(ctx, "SELECT city\nFROM cities\nWHERE pop >")
+	var pe *sql.ParseError
+	if !errors.As(err, &pe) {
+		log.Fatalf("expected a *sql.ParseError, got %v", err)
+	}
+	fmt.Printf("\nparse error (at %s): %v\n", pe.Pos, pe)
+
+	// ...and semantic mistakes surface as qpipe's typed errors.
+	_, err = db.Query(ctx, "SELECT population FROM cities")
+	var uc *qpipe.UnknownColumnError
+	if !errors.As(err, &uc) {
+		log.Fatalf("expected a *qpipe.UnknownColumnError, got %v", err)
+	}
+	fmt.Printf("typed error: unknown column %q\n", uc.Column)
+}
+
+func printResult(res *qpipe.Result) {
+	cols := make([]string, res.Schema().Len())
+	for i, c := range res.Schema().Cols {
+		cols[i] = c.Name
+	}
+	fmt.Println(strings.Join(cols, " | "))
+	for row := range res.Rows() {
+		vals := make([]string, len(row))
+		for i, v := range row {
+			vals[i] = v.String()
+		}
+		fmt.Println(strings.Join(vals, " | "))
+	}
+	if err := res.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package sqlmix
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"qpipe"
+)
+
+func TestEmbeddedMixParses(t *testing.T) {
+	m, err := Parse(TPCHMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Queries) != 5 {
+		t.Errorf("queries = %d, want 5", len(m.Queries))
+	}
+	if m.Session.BatchSize != 64 {
+		t.Errorf("session batch_size = %d, want 64 (from the SET statement)", m.Session.BatchSize)
+	}
+}
+
+func TestMixRejectsDDL(t *testing.T) {
+	if _, err := Parse("CREATE TABLE t (a INT); SELECT a FROM t"); err == nil ||
+		!strings.Contains(err.Error(), "SELECT and SET") {
+		t.Errorf("DDL in mix: got %v", err)
+	}
+}
+
+func TestMixEndToEnd(t *testing.T) {
+	db, err := qpipe.Open(qpipe.Options{PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := Populate(db, 2_000, 100); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(TPCHMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every query type-checks against the populated catalog.
+	if _, err := m.Compile(db); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(context.Background(), db, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 12 {
+		t.Errorf("queries = %d, want 12", res.Queries)
+	}
+	if res.Rows == 0 {
+		t.Error("mix drained zero rows")
+	}
+	// And an opted-out run still works (the bench's Baseline side).
+	if _, err := m.Run(context.Background(), db, 2, 2, qpipe.WithoutOSP()); err != nil {
+		t.Fatal(err)
+	}
+}

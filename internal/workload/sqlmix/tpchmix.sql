@@ -1,0 +1,41 @@
+-- tpchmix: the concurrent-analytics mix (a miniature of the paper's §5.3
+-- full-workload experiment) as declarative text. The schema and queries
+-- mirror examples/tpchmix; the runner deals the SELECTs below round-robin
+-- to concurrent clients, so overlapping work between them becomes OSP
+-- shared packets at run time.
+--
+-- Run it yourself:
+--   go run ./cmd/qpipe-shell -demo -f internal/workload/sqlmix/tpchmix.sql
+--   go run ./cmd/qpipe-bench -fig sqlmix
+
+SET batch_size = 64;
+
+-- Q1: revenue scan-aggregate over mid-size orders.
+SELECT sum(amount) AS revenue, count(*) AS n
+FROM orders
+WHERE amount < 500;
+
+-- Q2: per-region priority report.
+SELECT region, count(*) AS n, avg(amount) AS avg_amount
+FROM orders
+WHERE priority = 2
+GROUP BY region;
+
+-- Q3: customer-segment revenue (hash join + group-by).
+SELECT segment, sum(amount) AS revenue
+FROM customers c JOIN orders o ON c.cid = o.cust
+WHERE segment = 1
+GROUP BY segment;
+
+-- Q4: comma-syntax join variant with a band predicate.
+SELECT region, count(*) AS n
+FROM customers, orders
+WHERE cid = cust AND amount BETWEEN 100 AND 800
+GROUP BY region;
+
+-- Q5: top spenders, result-limited.
+SELECT oid, amount
+FROM orders
+WHERE amount > 900
+ORDER BY amount DESC
+LIMIT 10;

@@ -104,7 +104,7 @@ func (e *Engine) Query(ctx context.Context, p plan.Node) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newStreamResult(q, -1), nil
+	return newStreamResult(q, p.Schema(), -1), nil
 }
 
 // QueryBatch submits several plans together — the way a multi-query
@@ -193,7 +193,7 @@ func (e *Engine) queryCached(ctx context.Context, p plan.Node, opts core.QueryOp
 		if err != nil {
 			return nil, err
 		}
-		return newStreamResult(q, -1).All()
+		return newStreamResult(q, p.Schema(), -1).All()
 	}
 	if e.cache == nil {
 		rows, err = exec()

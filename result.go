@@ -21,7 +21,8 @@ import (
 
 // Result is a handle to a submitted query's output.
 type Result struct {
-	q *core.Query
+	q      *core.Query
+	schema *Schema // output schema (column names and kinds)
 
 	// Materialized mode (result-cache hits and cached executions): rows are
 	// served from memory, q is nil.
@@ -41,18 +42,23 @@ type Result struct {
 }
 
 // newStreamResult wraps an admitted query.
-func newStreamResult(q *core.Query, limit int64) *Result {
-	return &Result{q: q, limit: limit}
+func newStreamResult(q *core.Query, schema *Schema, limit int64) *Result {
+	return &Result{q: q, schema: schema, limit: limit}
 }
 
 // newCachedResult wraps materialized rows (result-cache path).
-func newCachedResult(rows []Row, hit bool) *Result {
-	return &Result{mat: rows, hit: hit, limit: -1}
+func newCachedResult(rows []Row, schema *Schema, hit bool) *Result {
+	return &Result{mat: rows, schema: schema, hit: hit, limit: -1}
 }
 
 // CacheHit reports whether the result was served from the result cache
 // (always false for plain Run/Query executions).
 func (r *Result) CacheHit() bool { return r.hit }
+
+// Schema returns the result's output schema: the column names and kinds the
+// rows follow, in order. Clients rendering results (the qpipe-shell REPL,
+// report generators) use it for headers.
+func (r *Result) Schema() *Schema { return r.schema }
 
 // Next returns the next batch of result rows; io.EOF signals completion.
 // The returned batch ARRAY is owned by the caller (the engine hands over

@@ -1,0 +1,38 @@
+package sql
+
+import "testing"
+
+// FuzzParse asserts the parser's two safety properties on arbitrary input:
+// it never panics (errors are always *ParseError values — the recover in
+// ParseScript converts the internal panic protocol, and anything else
+// escapes as a real panic the fuzzer catches), and a successful parse
+// round-trips: rendering the AST and re-parsing yields the identical
+// rendering, i.e. String() is a fixpoint normalizer.
+func FuzzParse(f *testing.F) {
+	for _, tc := range roundTrips {
+		f.Add(tc.in)
+	}
+	f.Add("SELECT a FROM t WHERE a IN (1,2) OR NOT b BETWEEN 1 AND 2")
+	f.Add("INSERT INTO t (a,b) VALUES (1,'x'),(2,'y')")
+	f.Add("EXPLAIN SELECT count(*) FROM a, b WHERE a.x = b.y GROUP BY g")
+	f.Add("SET batch_size = 128; SELECT 1 + 2 * 3 FROM t;")
+	f.Add("SELECT 'quo''te', DATE '1999-12-31' FROM t -- c\n/*x*/")
+	f.Add("create clustered index on t (k)")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseScript(input)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		for _, stmt := range stmts {
+			s1 := stmt.String()
+			again, err := Parse(s1)
+			if err != nil {
+				t.Fatalf("rendering does not re-parse:\ninput: %q\nrendered: %q\nerror: %v", input, s1, err)
+			}
+			if s2 := again.String(); s2 != s1 {
+				t.Fatalf("round-trip not stable:\ninput: %q\nfirst: %q\nsecond: %q", input, s1, s2)
+			}
+		}
+	})
+}

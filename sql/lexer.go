@@ -1,0 +1,193 @@
+// Lexer: turns SQL text into a token stream with positions. Keywords are
+// recognized case-insensitively and normalized to upper case; unquoted
+// identifiers fold to lower case (the catalog convention).
+package sql
+
+import "strings"
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+func (k tokenKind) String() string {
+	return [...]string{"end of input", "identifier", "keyword", "number", "string", "symbol"}[k]
+}
+
+type token struct {
+	Kind  tokenKind
+	Text  string // keyword: upper-cased; ident: lower-cased; string: decoded
+	Float bool   // tokNumber: literal contains '.' or an exponent
+	Pos   Position
+}
+
+// describe renders a token for error messages.
+func (t token) describe() string {
+	if t.Kind == tokEOF {
+		return "end of input"
+	}
+	return "'" + t.Text + "'"
+}
+
+// keywords are reserved words: they parse as tokKeyword and are rejected
+// where an identifier is expected. DISTINCT, HAVING and UNION are reserved
+// but unsupported, so they fail with a clear message instead of being
+// misread as identifiers.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "JOIN": true, "INNER": true, "ON": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "CREATE": true, "TABLE": true, "INDEX": true,
+	"CLUSTERED": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"EXPLAIN": true, "SET": true, "DATE": true, "ASC": true, "DESC": true,
+	"DISTINCT": true, "HAVING": true, "UNION": true,
+}
+
+// lex tokenizes the whole input up front (the parser backtracks by index,
+// which a pre-lexed slice makes trivial).
+func lex(input string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(input)
+
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if input[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	errAt := func(msg string) error {
+		return &ParseError{Pos: Position{line, col}, Msg: msg}
+	}
+
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			j := i
+			for j < n && input[j] != '\n' {
+				j++
+			}
+			advance(j - i)
+		case c == '/' && i+1 < n && input[i+1] == '*': // block comment
+			j := strings.Index(input[i+2:], "*/")
+			if j < 0 {
+				return nil, errAt("unterminated block comment")
+			}
+			advance(j + 4)
+		case c == '\'': // string literal, '' escapes a quote
+			pos := Position{line, col}
+			var sb strings.Builder
+			j := i + 1
+			for {
+				if j >= n {
+					return nil, &ParseError{Pos: pos, Msg: "unterminated string literal"}
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{Kind: tokString, Text: sb.String(), Pos: pos})
+			advance(j + 1 - i)
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			pos := Position{line, col}
+			j := i
+			isFloat := false
+			for j < n && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			if j < n && input[j] == '.' {
+				isFloat = true
+				j++
+				for j < n && input[j] >= '0' && input[j] <= '9' {
+					j++
+				}
+			}
+			if j < n && (input[j] == 'e' || input[j] == 'E') {
+				k := j + 1
+				if k < n && (input[k] == '+' || input[k] == '-') {
+					k++
+				}
+				if k < n && input[k] >= '0' && input[k] <= '9' {
+					isFloat = true
+					j = k
+					for j < n && input[j] >= '0' && input[j] <= '9' {
+						j++
+					}
+				}
+			}
+			toks = append(toks, token{Kind: tokNumber, Text: input[i:j], Float: isFloat, Pos: pos})
+			advance(j - i)
+		case isIdentStart(c):
+			pos := Position{line, col}
+			j := i
+			for j < n && isIdentPart(input[j]) {
+				j++
+			}
+			word := input[i:j]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{Kind: tokKeyword, Text: up, Pos: pos})
+			} else {
+				toks = append(toks, token{Kind: tokIdent, Text: strings.ToLower(word), Pos: pos})
+			}
+			advance(j - i)
+		default:
+			pos := Position{line, col}
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<>", "<=", ">=", "!=":
+				t := two
+				if t == "!=" {
+					t = "<>" // normalize
+				}
+				toks = append(toks, token{Kind: tokSymbol, Text: t, Pos: pos})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '(', ')', ',', ';', '.', '*', '=', '<', '>', '+', '-', '/':
+				toks = append(toks, token{Kind: tokSymbol, Text: string(c), Pos: pos})
+				advance(1)
+			default:
+				return nil, errAt("unexpected character " + string(rune(c)))
+			}
+		}
+	}
+	toks = append(toks, token{Kind: tokEOF, Pos: Position{line, col}})
+	return toks, nil
+}
+
+// Identifiers are ASCII-only ([A-Za-z_][A-Za-z0-9_]*): bytes outside ASCII
+// are rejected rather than run through rune-oblivious case folding.
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,614 @@
+// Recursive-descent parser. The whole input is lexed up front, so
+// backtracking (needed to tell a parenthesized predicate from a
+// parenthesized arithmetic expression) is an index reset. Errors propagate
+// as panicking *ParseError values, recovered at the ParseScript boundary.
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.Kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+// errf panics with a positioned parse error.
+func (p *parser) errf(pos Position, format string, args ...any) {
+	panic(&ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// gotSym consumes the symbol if it is next and reports whether it did.
+func (p *parser) gotSym(s string) bool {
+	if t := p.peek(); t.Kind == tokSymbol && t.Text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// gotKw consumes the keyword if it is next and reports whether it did.
+func (p *parser) gotKw(k string) bool {
+	if t := p.peek(); t.Kind == tokKeyword && t.Text == k {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSym(s string) token {
+	t := p.next()
+	if t.Kind != tokSymbol || t.Text != s {
+		p.errf(t.Pos, "expected '%s', found %s", s, t.describe())
+	}
+	return t
+}
+
+func (p *parser) expectKw(k string) token {
+	t := p.next()
+	if t.Kind != tokKeyword || t.Text != k {
+		p.errf(t.Pos, "expected %s, found %s", k, t.describe())
+	}
+	return t
+}
+
+// expectIdent consumes an identifier, with a pointed message for reserved
+// keywords.
+func (p *parser) expectIdent(what string) token {
+	t := p.next()
+	if t.Kind == tokKeyword {
+		p.errf(t.Pos, "%s is a reserved keyword (expected %s)", t.Text, what)
+	}
+	if t.Kind != tokIdent {
+		p.errf(t.Pos, "expected %s, found %s", what, t.describe())
+	}
+	return t
+}
+
+// ---- Statements --------------------------------------------------------------
+
+func (p *parser) parseStatement() Statement {
+	t := p.peek()
+	if t.Kind != tokKeyword {
+		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT or SET), found %s", t.describe())
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "EXPLAIN":
+		p.next()
+		sel := p.parseSelect()
+		return &Explain{Stmt: sel}
+	case "CREATE":
+		return p.parseCreate()
+	case "INSERT":
+		return p.parseInsert()
+	case "SET":
+		return p.parseSet()
+	case "DISTINCT", "HAVING", "UNION":
+		p.errf(t.Pos, "%s is not supported", t.Text)
+	default:
+		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT or SET), found %s", t.describe())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() *Select {
+	p.expectKw("SELECT")
+	if t := p.peek(); t.Kind == tokKeyword && t.Text == "DISTINCT" {
+		p.errf(t.Pos, "DISTINCT is not supported")
+	}
+	sel := &Select{Limit: -1}
+
+	// Select list.
+	for {
+		if p.gotSym("*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			item := SelectItem{Expr: p.parseExpr(true)}
+			if p.gotKw("AS") {
+				item.Alias = p.expectIdent("alias").Text
+			} else if t := p.peek(); t.Kind == tokIdent {
+				p.next()
+				item.Alias = t.Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.gotSym(",") {
+			break
+		}
+	}
+
+	p.expectKw("FROM")
+	sel.From = p.parseTableRef()
+	for {
+		if p.gotSym(",") {
+			sel.Joins = append(sel.Joins, JoinClause{Ref: p.parseTableRef()})
+			continue
+		}
+		if t := p.peek(); t.Kind == tokKeyword && (t.Text == "JOIN" || t.Text == "INNER") {
+			p.next()
+			if t.Text == "INNER" {
+				p.expectKw("JOIN")
+			}
+			ref := p.parseTableRef()
+			p.expectKw("ON")
+			on := p.parsePred()
+			sel.Joins = append(sel.Joins, JoinClause{Ref: ref, On: on})
+			continue
+		}
+		break
+	}
+
+	if p.gotKw("WHERE") {
+		sel.Where = p.parsePred()
+	}
+	if p.gotKw("GROUP") {
+		p.expectKw("BY")
+		for {
+			sel.GroupBy = append(sel.GroupBy, p.parseColumnRef())
+			if !p.gotSym(",") {
+				break
+			}
+		}
+	}
+	if t := p.peek(); t.Kind == tokKeyword && t.Text == "HAVING" {
+		p.errf(t.Pos, "HAVING is not supported (filter on the aggregate in an outer query)")
+	}
+	if p.gotKw("ORDER") {
+		p.expectKw("BY")
+		first := true
+		var dir *bool
+		for {
+			key := OrderKey{Col: p.parseColumnRef()}
+			pos := p.peek().Pos
+			if p.gotKw("DESC") {
+				key.Desc = true
+			} else {
+				p.gotKw("ASC")
+			}
+			if first {
+				d := key.Desc
+				dir = &d
+				first = false
+			} else if key.Desc != *dir {
+				p.errf(pos, "mixed ORDER BY directions are not supported (all keys must be ASC or all DESC)")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.gotSym(",") {
+				break
+			}
+		}
+	}
+	if p.gotKw("LIMIT") {
+		t := p.next()
+		if t.Kind != tokNumber || t.Float {
+			p.errf(t.Pos, "LIMIT expects a non-negative integer, found %s", t.describe())
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.errf(t.Pos, "bad LIMIT value %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel
+}
+
+func (p *parser) parseTableRef() TableRef {
+	t := p.expectIdent("table name")
+	ref := TableRef{Table: t.Text, Pos: t.Pos}
+	if p.gotKw("AS") {
+		ref.Alias = p.expectIdent("table alias").Text
+	} else if a := p.peek(); a.Kind == tokIdent {
+		p.next()
+		ref.Alias = a.Text
+	}
+	return ref
+}
+
+func (p *parser) parseColumnRef() ColumnRef {
+	t := p.expectIdent("column name")
+	ref := ColumnRef{Name: t.Text, Pos: t.Pos}
+	if p.gotSym(".") {
+		c := p.expectIdent("column name")
+		ref.Table, ref.Name = t.Text, c.Text
+	}
+	return ref
+}
+
+func (p *parser) parseCreate() Statement {
+	p.expectKw("CREATE")
+	if p.gotKw("TABLE") {
+		name := p.expectIdent("table name").Text
+		p.expectSym("(")
+		ct := &CreateTable{Name: name}
+		for {
+			col := p.expectIdent("column name").Text
+			ct.Cols = append(ct.Cols, ColumnDef{Name: col, Type: p.parseColumnType()})
+			if !p.gotSym(",") {
+				break
+			}
+		}
+		p.expectSym(")")
+		return ct
+	}
+	clustered := false
+	if p.gotKw("CLUSTERED") {
+		clustered = true
+	}
+	p.expectKw("INDEX")
+	p.expectKw("ON")
+	table := p.expectIdent("table name").Text
+	p.expectSym("(")
+	col := p.expectIdent("column name").Text
+	p.expectSym(")")
+	return &CreateIndex{Table: table, Column: col, Clustered: clustered}
+}
+
+// parseColumnType accepts the supported type names (and common synonyms),
+// normalizing to INT, FLOAT, TEXT or DATE.
+func (p *parser) parseColumnType() string {
+	t := p.next()
+	var word string
+	switch t.Kind {
+	case tokIdent:
+		word = t.Text
+	case tokKeyword:
+		word = t.Text // DATE is a keyword
+	default:
+		p.errf(t.Pos, "expected a column type, found %s", t.describe())
+	}
+	switch word {
+	case "int", "integer", "bigint":
+		return "INT"
+	case "float", "double", "real":
+		return "FLOAT"
+	case "text", "string", "varchar":
+		if word == "varchar" && p.gotSym("(") { // tolerate VARCHAR(n)
+			n := p.next()
+			if n.Kind != tokNumber || n.Float {
+				p.errf(n.Pos, "expected a length, found %s", n.describe())
+			}
+			p.expectSym(")")
+		}
+		return "TEXT"
+	case "DATE":
+		return "DATE"
+	default:
+		p.errf(t.Pos, "unknown column type %q (supported: INT, FLOAT, TEXT, DATE)", word)
+		return ""
+	}
+}
+
+func (p *parser) parseInsert() *Insert {
+	p.expectKw("INSERT")
+	p.expectKw("INTO")
+	ins := &Insert{Table: p.expectIdent("table name").Text}
+	if p.gotSym("(") {
+		for {
+			ins.Columns = append(ins.Columns, p.expectIdent("column name").Text)
+			if !p.gotSym(",") {
+				break
+			}
+		}
+		p.expectSym(")")
+	}
+	p.expectKw("VALUES")
+	for {
+		p.expectSym("(")
+		var row []Expr
+		for {
+			row = append(row, p.parseLiteral())
+			if !p.gotSym(",") {
+				break
+			}
+		}
+		p.expectSym(")")
+		if len(ins.Columns) > 0 && len(row) != len(ins.Columns) {
+			p.errf(p.peek().Pos, "VALUES row has %d values for %d named columns", len(row), len(ins.Columns))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.gotSym(",") {
+			break
+		}
+	}
+	return ins
+}
+
+// parseLiteral parses a literal value (INSERT rows, IN lists): a number with
+// optional sign, a string, or a DATE literal.
+func (p *parser) parseLiteral() Expr {
+	t := p.peek()
+	neg := false
+	if t.Kind == tokSymbol && (t.Text == "-" || t.Text == "+") {
+		p.next()
+		neg = t.Text == "-"
+		t = p.peek()
+	}
+	switch {
+	case t.Kind == tokNumber:
+		p.next()
+		return p.numberLit(t, neg)
+	case t.Kind == tokString && !neg:
+		p.next()
+		return &StringLit{V: t.Text}
+	case t.Kind == tokKeyword && t.Text == "DATE" && !neg:
+		p.next()
+		return p.dateLit()
+	default:
+		p.errf(t.Pos, "expected a literal value, found %s", t.describe())
+		return nil
+	}
+}
+
+func (p *parser) numberLit(t token, neg bool) Expr {
+	if t.Float {
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			p.errf(t.Pos, "bad number %q", t.Text)
+		}
+		if neg {
+			v = -v
+		}
+		return &FloatLit{V: v}
+	}
+	v, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		p.errf(t.Pos, "bad number %q", t.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return &IntLit{V: v}
+}
+
+// dateLit parses the quoted date after an already-consumed DATE keyword.
+func (p *parser) dateLit() Expr {
+	t := p.next()
+	if t.Kind != tokString {
+		p.errf(t.Pos, "DATE expects a 'YYYY-MM-DD' string, found %s", t.describe())
+	}
+	d, err := time.ParseInLocation("2006-01-02", t.Text, time.UTC)
+	if err != nil {
+		p.errf(t.Pos, "bad date %q (want YYYY-MM-DD)", t.Text)
+	}
+	return &DateLit{Days: d.Unix() / 86400}
+}
+
+func (p *parser) parseSet() *Set {
+	p.expectKw("SET")
+	name := p.expectIdent("setting name").Text
+	p.expectSym("=")
+	t := p.next()
+	switch t.Kind {
+	case tokIdent, tokNumber:
+		return &Set{Name: name, Value: t.Text}
+	case tokKeyword: // SET osp = ON parses ON as a keyword
+		return &Set{Name: name, Value: t.Text}
+	default:
+		p.errf(t.Pos, "expected a value, found %s", t.describe())
+		return nil
+	}
+}
+
+// ---- Predicates --------------------------------------------------------------
+
+// parsePred parses an OR-level predicate.
+func (p *parser) parsePred() Pred {
+	first := p.parseAndPred()
+	if t := p.peek(); !(t.Kind == tokKeyword && t.Text == "OR") {
+		return first
+	}
+	or := &Or{Ps: []Pred{first}}
+	for p.gotKw("OR") {
+		or.Ps = append(or.Ps, p.parseAndPred())
+	}
+	return or
+}
+
+func (p *parser) parseAndPred() Pred {
+	first := p.parseNotPred()
+	if t := p.peek(); !(t.Kind == tokKeyword && t.Text == "AND") {
+		return first
+	}
+	and := &And{Ps: []Pred{first}}
+	for p.gotKw("AND") {
+		and.Ps = append(and.Ps, p.parseNotPred())
+	}
+	return and
+}
+
+func (p *parser) parseNotPred() Pred {
+	if p.gotKw("NOT") {
+		return &Not{P: p.parseNotPred()}
+	}
+	return p.parsePrimaryPred()
+}
+
+// parsePrimaryPred parses a comparison, IN, BETWEEN, or a parenthesized
+// predicate. A leading '(' is ambiguous — "(a OR b)" starts a predicate,
+// "(x + 1) > 2" an expression — so the predicate interpretation is tried
+// first and rolled back on failure.
+func (p *parser) parsePrimaryPred() Pred {
+	if t := p.peek(); t.Kind == tokSymbol && t.Text == "(" {
+		if pred, ok := p.tryParenPred(); ok {
+			return pred
+		}
+	}
+	e := p.parseExpr(false)
+	t := p.peek()
+	neg := false
+	if t.Kind == tokKeyword && t.Text == "NOT" {
+		p.next()
+		t = p.peek()
+		if !(t.Kind == tokKeyword && (t.Text == "IN" || t.Text == "BETWEEN")) {
+			p.errf(t.Pos, "expected IN or BETWEEN after NOT, found %s", t.describe())
+		}
+		neg = true
+	}
+	switch {
+	case t.Kind == tokSymbol && isCmpOp(t.Text):
+		p.next()
+		return &Compare{Op: t.Text, L: e, R: p.parseExpr(false)}
+	case t.Kind == tokKeyword && t.Text == "IN":
+		p.next()
+		p.expectSym("(")
+		in := &InPred{E: e, Neg: neg}
+		for {
+			in.Vals = append(in.Vals, p.parseLiteral())
+			if !p.gotSym(",") {
+				break
+			}
+		}
+		p.expectSym(")")
+		return in
+	case t.Kind == tokKeyword && t.Text == "BETWEEN":
+		p.next()
+		lo := p.parseExpr(false)
+		p.expectKw("AND")
+		hi := p.parseExpr(false)
+		return &BetweenPred{E: e, Lo: lo, Hi: hi, Neg: neg}
+	default:
+		p.errf(t.Pos, "expected a comparison operator, IN or BETWEEN, found %s", t.describe())
+		return nil
+	}
+}
+
+// tryParenPred attempts "( pred )", restoring the token position if the
+// contents are not a complete parenthesized predicate.
+func (p *parser) tryParenPred() (pred Pred, ok bool) {
+	save := p.i
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isParse := r.(*ParseError); !isParse {
+				panic(r)
+			}
+			p.i = save
+			pred, ok = nil, false
+		}
+	}()
+	p.expectSym("(")
+	inner := p.parsePred()
+	p.expectSym(")")
+	return inner, true
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// ---- Expressions -------------------------------------------------------------
+
+// parseExpr parses additive arithmetic. allowAgg permits aggregate calls
+// (legal in SELECT lists only).
+func (p *parser) parseExpr(allowAgg bool) Expr {
+	e := p.parseTerm(allowAgg)
+	for {
+		t := p.peek()
+		if t.Kind == tokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			e = &BinaryExpr{Op: t.Text[0], L: e, R: p.parseTerm(allowAgg)}
+			continue
+		}
+		return e
+	}
+}
+
+func (p *parser) parseTerm(allowAgg bool) Expr {
+	e := p.parseFactor(allowAgg)
+	for {
+		t := p.peek()
+		if t.Kind == tokSymbol && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			e = &BinaryExpr{Op: t.Text[0], L: e, R: p.parseFactor(allowAgg)}
+			continue
+		}
+		return e
+	}
+}
+
+func (p *parser) parseFactor(allowAgg bool) Expr {
+	t := p.peek()
+	switch {
+	case t.Kind == tokSymbol && t.Text == "-":
+		p.next()
+		inner := p.parseFactor(allowAgg)
+		switch l := inner.(type) {
+		case *IntLit:
+			return &IntLit{V: -l.V}
+		case *FloatLit:
+			return &FloatLit{V: -l.V}
+		}
+		// -x over a non-literal lowers as (0 - x).
+		return &BinaryExpr{Op: '-', L: &IntLit{V: 0}, R: inner}
+	case t.Kind == tokSymbol && t.Text == "(":
+		p.next()
+		e := p.parseExpr(allowAgg)
+		p.expectSym(")")
+		return e
+	case t.Kind == tokNumber:
+		p.next()
+		return p.numberLit(t, false)
+	case t.Kind == tokString:
+		p.next()
+		return &StringLit{V: t.Text}
+	case t.Kind == tokKeyword && t.Text == "DATE":
+		p.next()
+		return p.dateLit()
+	case t.Kind == tokIdent:
+		// Identifier: a function call if '(' follows, else a column ref.
+		if p.toks[p.i+1].Kind == tokSymbol && p.toks[p.i+1].Text == "(" {
+			return p.parseCall(allowAgg)
+		}
+		return p.parseColumnRefExpr()
+	default:
+		p.errf(t.Pos, "expected an expression, found %s", t.describe())
+		return nil
+	}
+}
+
+func (p *parser) parseColumnRefExpr() Expr {
+	ref := p.parseColumnRef()
+	return &ref
+}
+
+var aggFuncs = map[string]bool{"count": true, "sum": true, "min": true, "max": true, "avg": true}
+
+func (p *parser) parseCall(allowAgg bool) Expr {
+	t := p.next() // identifier
+	if !aggFuncs[t.Text] {
+		p.errf(t.Pos, "unknown function %q (supported: COUNT, SUM, MIN, MAX, AVG)", t.Text)
+	}
+	if !allowAgg {
+		p.errf(t.Pos, "aggregate %s is only allowed in the SELECT list", t.Text)
+	}
+	p.expectSym("(")
+	call := &AggCall{Func: t.Text, Pos: t.Pos}
+	if p.gotSym("*") {
+		if call.Func != "count" {
+			p.errf(t.Pos, "%s(*) is not valid (only COUNT(*))", t.Text)
+		}
+		call.Star = true
+	} else {
+		// Aggregate arguments are plain scalar expressions (no nesting).
+		call.Arg = p.parseExpr(false)
+	}
+	p.expectSym(")")
+	return call
+}

@@ -1,0 +1,100 @@
+// Package sql is qpipe's declarative front end: a hand-written lexer and
+// recursive-descent parser producing a small SQL AST. The package is pure
+// syntax — it knows nothing about catalogs, schemas or plans. The root qpipe
+// package lowers the AST onto the schema-aware builder (db.Prepare, db.Query,
+// db.Exec), which is where name resolution and type checking happen and
+// where the typed qpipe errors (UnknownTableError, TypeMismatchError, ...)
+// come from. Errors at the syntax level are *ParseError values carrying a
+// line:column position.
+//
+// The supported dialect (one statement per Parse call; ParseScript splits a
+// ';'-separated script):
+//
+//	SELECT <exprs|*> FROM t [alias] [JOIN u ON a = b | , u] ...
+//	    [WHERE pred] [GROUP BY cols] [ORDER BY cols [ASC|DESC]] [LIMIT n]
+//	EXPLAIN SELECT ...
+//	CREATE TABLE t (col TYPE, ...)          -- INT, FLOAT, TEXT, DATE
+//	CREATE [CLUSTERED] INDEX ON t (col)
+//	INSERT INTO t [(cols)] VALUES (...), ...
+//	SET name = value                        -- session statement (see qpipe.Session)
+//
+// Expressions cover column references (optionally table-qualified),
+// integer/float/string literals, DATE 'YYYY-MM-DD' literals, + - * /
+// arithmetic, and the aggregate calls COUNT(*), COUNT, SUM, MIN, MAX, AVG.
+// Predicates cover the six comparisons, AND/OR/NOT, IN (...) and
+// BETWEEN ... AND ....
+//
+// Unquoted identifiers fold to lower case. '--' line comments and '/* */'
+// block comments are recognized. Every AST node renders back to canonical
+// SQL via String(), and parsing that rendering yields the same rendering
+// again (the FuzzParse round-trip property).
+package sql
+
+import "fmt"
+
+// Position is a 1-based line/column location in the parsed input.
+type Position struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// ParseError is a syntax error with the position it occurred at. It is the
+// one error type this package returns; semantic errors (unknown tables,
+// type mismatches) surface later, from the qpipe planner, as qpipe's typed
+// errors.
+type ParseError struct {
+	Pos Position
+	Msg string
+}
+
+// Error implements error, rendering as "sql: line L:C: msg".
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: line %s: %s", e.Pos, e.Msg)
+}
+
+// Parse parses exactly one statement (a trailing ';' is allowed).
+func Parse(input string) (Statement, error) {
+	stmts, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return nil, &ParseError{Pos: Position{1, 1}, Msg: "empty statement"}
+	}
+	if len(stmts) > 1 {
+		return nil, &ParseError{Pos: Position{1, 1}, Msg: fmt.Sprintf("expected one statement, got %d", len(stmts))}
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a ';'-separated sequence of statements. Empty
+// statements (stray semicolons, comment-only segments) are skipped.
+func ParseScript(input string) (stmts []Statement, err error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*ParseError)
+			if !ok {
+				panic(r)
+			}
+			stmts, err = nil, pe
+		}
+	}()
+	for {
+		for p.gotSym(";") {
+		}
+		if p.peek().Kind == tokEOF {
+			return stmts, nil
+		}
+		stmts = append(stmts, p.parseStatement())
+		if p.peek().Kind != tokEOF {
+			p.expectSym(";")
+		}
+	}
+}

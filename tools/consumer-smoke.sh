@@ -88,3 +88,15 @@ go mod init consumer-smoke >/dev/null
 go mod edit -require 'qpipe@v0.0.0' -replace "qpipe=$repo"
 go build -o consumer .
 ./consumer
+
+# Second consumer: the sqlshell example built out-of-module, proving the
+# whole SQL path (qpipe + qpipe/sql) needs no internal imports either.
+dir2=$(mktemp -d)
+trap 'rm -rf "$dir" "$dir2"' EXIT
+cp "$repo/examples/sqlshell/main.go" "$dir2/main.go"
+cd "$dir2"
+go mod init sqlshell-smoke >/dev/null
+go mod edit -require 'qpipe@v0.0.0' -replace "qpipe=$repo"
+go build -o sqlshell .
+./sqlshell
+echo "sqlshell consumer smoke OK"
