@@ -18,6 +18,7 @@ import (
 
 	"qpipe/internal/expr"
 	"qpipe/internal/plan"
+	"qpipe/internal/tuple"
 )
 
 // Plan is a compiled physical plan — the engine's input format. Builders
@@ -128,6 +129,32 @@ func compatibleKinds(a, b Kind) bool {
 		return true
 	}
 	return a == b
+}
+
+// widenValue losslessly converts an integer literal to the kind of the
+// column it compares against (float or date), so the literal renders in one
+// canonical form — `amount > 30` and `amount > 30.0` must produce the same
+// Signature() for OSP to match them.
+func widenValue(v Value, to Kind) Value {
+	if v.K == tuple.KindInt {
+		switch to {
+		case tuple.KindFloat:
+			return tuple.F64(float64(v.I))
+		case tuple.KindDate:
+			return tuple.Date(v.I)
+		}
+	}
+	return v
+}
+
+// widenConst applies widenValue when e is a literal constant.
+func widenConst(e expr.Expr, other Kind) expr.Expr {
+	if c, ok := e.(*expr.Const); ok {
+		if w := widenValue(c.V, other); w.K != c.V.K {
+			return &expr.Const{V: w}
+		}
+	}
+	return e
 }
 
 // resolve lowers the expression against a schema, returning the positional
@@ -242,6 +269,7 @@ func (p Pred) resolve(s *Schema) (expr.Pred, error) {
 			return nil, &TypeMismatchError{
 				Expr: "(" + p.l.String() + p.cmp.String() + p.r.String() + ")", Left: lk, Right: rk}
 		}
+		le, re = widenConst(le, rk), widenConst(re, lk)
 		return &expr.Cmp{Op: p.cmp, L: le, R: re}, nil
 	case pAnd, pOr:
 		ps := make([]expr.Pred, len(p.subs))
@@ -267,12 +295,14 @@ func (p Pred) resolve(s *Schema) (expr.Pred, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, v := range p.vals {
+		vals := make([]Value, len(p.vals))
+		for i, v := range p.vals {
 			if !compatibleKinds(lk, v.K) {
 				return nil, &TypeMismatchError{Expr: p.l.String() + " IN (...)", Left: lk, Right: v.K}
 			}
+			vals[i] = widenValue(v, lk)
 		}
-		return &expr.In{E: le, Vals: p.vals}, nil
+		return &expr.In{E: le, Vals: vals}, nil
 	default: // pBetween
 		le, lk, err := p.l.resolve(s)
 		if err != nil {
@@ -284,7 +314,7 @@ func (p Pred) resolve(s *Schema) (expr.Pred, error) {
 		if !compatibleKinds(lk, p.hi.K) {
 			return nil, &TypeMismatchError{Expr: p.l.String() + " BETWEEN", Left: lk, Right: p.hi.K}
 		}
-		return &expr.Between{E: le, Lo: p.lo, Hi: p.hi}, nil
+		return &expr.Between{E: le, Lo: widenValue(p.lo, lk), Hi: widenValue(p.hi, lk)}, nil
 	}
 }
 
@@ -635,12 +665,19 @@ func (q *Query) Limit(n int64) *Query {
 }
 
 // Plan compiles the query, returning the physical plan (or the first
-// builder error).
+// builder error). Unless the DB was opened with DisableOptimizer, the plan
+// is normalized first — predicates canonicalized and pushed into scans —
+// so equivalent queries converge on one Signature() and share work under
+// OSP. Both front ends (this builder and db.Query SQL) funnel through
+// here, which is what keeps their plans byte-identical.
 func (q *Query) Plan() (Plan, error) {
 	if q.err != nil {
 		return nil, q.err
 	}
-	return q.node, nil
+	if q.db != nil && q.db.noOpt {
+		return q.node, nil
+	}
+	return plan.Normalize(q.node), nil
 }
 
 // Schema returns the query's output schema (nil if the builder failed).
@@ -651,21 +688,29 @@ func (q *Query) Schema() *Schema {
 	return q.node.Schema()
 }
 
-// Explain renders the compiled plan as an indented operator tree.
+// Explain renders the compiled plan as an indented operator tree, each
+// node annotated with the statistics-based cardinality estimate (rows≈N).
 func (q *Query) Explain() (string, error) {
 	p, err := q.Plan()
 	if err != nil {
 		return "", err
 	}
-	return plan.Explain(p), nil
+	if q.db == nil {
+		return plan.Explain(p), nil
+	}
+	est := q.db.estimator()
+	return plan.ExplainFunc(p, func(n plan.Node) string {
+		return fmt.Sprintf(" rows≈%d", est.Rows(n))
+	}), nil
 }
 
 // Run submits the query for execution with the given per-query options and
 // returns a streaming Result. The caller must consume it (Rows, All,
 // Discard) or Cancel it.
 func (q *Query) Run(ctx context.Context, opts ...QueryOption) (*Result, error) {
-	if q.err != nil {
-		return nil, q.err
+	p, err := q.Plan()
+	if err != nil {
+		return nil, err
 	}
-	return q.db.run(ctx, q.node, q.limit, opts)
+	return q.db.run(ctx, p, q.limit, opts)
 }

@@ -18,6 +18,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +48,10 @@ func main() {
 	mixFile := flag.String("mixfile", "", "path to a .sql query mix (fig sqlmix; default: the embedded tpchmix)")
 	mixClients := flag.Int("mixclients", 6, "concurrent clients (fig sqlmix)")
 	mixQueries := flag.Int("mixqueries", 2, "queries per client (fig sqlmix)")
-	mixRows := flag.Int("mixrows", 60_000, "orders rows in the sqlmix dataset (fig sqlmix)")
+	mixRows := flag.Int("mixrows", 60_000, "orders rows in the sqlmix/planshare dataset")
+	noOpt := flag.Bool("no-opt", false, "escape hatch: disable the cost-based planner in both planshare arms")
+	planshareOut := flag.String("planshareout", "BENCH_PLANSHARE.json", "output path for the plan-sharing JSON report (fig planshare)")
+	assertShare := flag.Bool("assertshare", false, "fig planshare: exit non-zero unless the optimized arm folds more signatures and shares strictly more than the -no-opt arm")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -264,6 +268,12 @@ func main() {
 		})
 	}
 
+	if want("planshare") {
+		run("Plan sharing (optimizer convergence)", func() ([]harness.Figure, error) {
+			return planshareFigure(*mixRows, *noOpt, *planshareOut, *assertShare)
+		})
+	}
+
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
@@ -405,6 +415,146 @@ func sqlmixFigure(mixFile string, clients, perClient, rows int) ([]harness.Figur
 		fmt.Printf("%-22s %12s %12d %10d\n", name, res.Elapsed.Round(time.Millisecond), res.BlocksRead, res.Shares)
 		f.Series = append(f.Series, harness.Series{Label: name,
 			Points: []harness.Point{{X: 0, Y: float64(res.Elapsed.Microseconds()) / 1000}}})
+	}
+	return []harness.Figure{f}, nil
+}
+
+// planshareArm is one system's row in the plan-sharing report.
+type planshareArm struct {
+	System        string  `json:"system"`
+	Optimizer     bool    `json:"optimizer"`
+	DistinctPlans int     `json:"distinct_plan_signatures"`
+	Shares        int64   `json:"osp_shares"`
+	BlocksRead    int64   `json:"blocks_read"`
+	Rows          int64   `json:"result_rows"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+}
+
+// planshareReport is the BENCH_PLANSHARE.json payload.
+type planshareReport struct {
+	Mix        string         `json:"mix"`
+	Statements int            `json:"mix_statements"`
+	Clients    int            `json:"clients"`
+	PerClient  int            `json:"queries_per_client"`
+	OrdersRows int            `json:"orders_rows"`
+	Arms       []planshareArm `json:"arms"`
+}
+
+// planshareFigure runs the embedded planshare mix — every query written
+// three equivalent ways — on two databases: one with the cost-based planner
+// (normalize -> estimate -> reorder), one opened with DisableOptimizer (the
+// -no-opt escape hatch). Each spelling is submitted exactly once, all
+// concurrently (one client per statement), so no two clients ever run the
+// same text: any sharing above the predicate-blind circular scans has to
+// come from the planner folding the spellings to one signature. The gap in
+// distinct signatures, share count and wall time is the figure, recorded in
+// BENCH_PLANSHARE.json.
+func planshareFigure(rows int, noOpt bool, outPath string, assertShare bool) ([]harness.Figure, error) {
+	mix, err := sqlmix.Parse(sqlmix.PlanShareMix())
+	if err != nil {
+		return nil, err
+	}
+	clients, perClient := len(mix.Queries), 1
+
+	report := planshareReport{
+		Mix:        "planshare",
+		Statements: len(mix.Queries),
+		Clients:    clients,
+		PerClient:  perClient,
+		OrdersRows: rows,
+	}
+	arm := func(name string, optimize bool) (planshareArm, error) {
+		db, err := qpipe.Open(qpipe.Options{PoolPages: 128, DisableOptimizer: !optimize})
+		if err != nil {
+			return planshareArm{}, err
+		}
+		defer db.Close()
+		if err := sqlmix.Populate(db, rows, rows/15+1); err != nil {
+			return planshareArm{}, err
+		}
+		sigs := make(map[string]bool)
+		for _, text := range mix.Queries {
+			q, err := db.Prepare(text)
+			if err != nil {
+				return planshareArm{}, err
+			}
+			p, err := q.Plan()
+			if err != nil {
+				return planshareArm{}, err
+			}
+			sigs[p.Signature()] = true
+		}
+		if err := db.DropCaches(); err != nil {
+			return planshareArm{}, err
+		}
+		db.SetDiskLatency(25*time.Microsecond, 40*time.Microsecond, 0)
+		res, err := mix.Run(context.Background(), db, clients, perClient)
+		db.SetDiskLatency(0, 0, 0)
+		if err != nil {
+			return planshareArm{}, err
+		}
+		fmt.Printf("  %s shares by op: %v\n", name, db.Stats().SharesByOp)
+		return planshareArm{
+			System:        name,
+			Optimizer:     optimize,
+			DistinctPlans: len(sigs),
+			Shares:        res.Shares,
+			BlocksRead:    res.BlocksRead,
+			Rows:          res.Rows,
+			ElapsedMs:     float64(res.Elapsed.Microseconds()) / 1000,
+		}, nil
+	}
+
+	fmt.Printf("%d queries over %d clients, %d mix statements (%d variant groups)\n",
+		clients*perClient, clients, len(mix.Queries), len(mix.Queries)/3)
+	fmt.Printf("%-24s %14s %10s %12s %12s\n", "system", "distinct plans", "shares", "blocks read", "elapsed")
+	f := harness.Figure{
+		Name:   "planshare",
+		Title:  fmt.Sprintf("Plan sharing: cost-based planner vs literal lowering (%d clients x %d queries, %d rows)", clients, perClient, rows),
+		XLabel: "-", YLabel: "ms",
+	}
+	first := "QPipe w/optimizer"
+	if noOpt {
+		first = "QPipe (-no-opt)" // escape hatch: both arms literal
+	}
+	for _, sys := range []struct {
+		name     string
+		optimize bool
+	}{
+		{first, !noOpt},
+		{"Literal (-no-opt)", false},
+	} {
+		a, err := arm(sys.name, sys.optimize)
+		if err != nil {
+			return nil, err
+		}
+		report.Arms = append(report.Arms, a)
+		fmt.Printf("%-24s %14d %10d %12d %9.0f ms\n", a.System, a.DistinctPlans, a.Shares, a.BlocksRead, a.ElapsedMs)
+		f.Series = append(f.Series, harness.Series{Label: a.System,
+			Points: []harness.Point{{X: 0, Y: a.ElapsedMs}}})
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+
+	if assertShare {
+		opt, lit := report.Arms[0], report.Arms[1]
+		switch {
+		case opt.Shares <= 0:
+			return nil, fmt.Errorf("planshare: optimized arm recorded no OSP shares")
+		case opt.Shares <= lit.Shares:
+			return nil, fmt.Errorf("planshare: optimized arm shares (%d) did not strictly improve on -no-opt (%d)", opt.Shares, lit.Shares)
+		case opt.DistinctPlans >= lit.DistinctPlans:
+			return nil, fmt.Errorf("planshare: optimized arm has %d distinct plans, expected fewer than -no-opt's %d", opt.DistinctPlans, lit.DistinctPlans)
+		}
+		fmt.Printf("assertshare ok: %d distinct plans (vs %d), %d shares (vs %d)\n",
+			opt.DistinctPlans, lit.DistinctPlans, opt.Shares, lit.Shares)
 	}
 	return []harness.Figure{f}, nil
 }

@@ -284,6 +284,16 @@ func (sh *shell) meta(line string) bool {
 		}
 		pages, _ := sh.db.TablePages(arg)
 		fmt.Fprintf(sh.out, "%s %s (%d pages)\n", arg, schema.String(), pages)
+		if ts, err := sh.db.TableStats(arg); err == nil {
+			fmt.Fprintf(sh.out, "stats: %d rows\n", ts.Rows)
+			for _, c := range ts.Columns {
+				if c.Distinct == 0 {
+					fmt.Fprintf(sh.out, "  %-12s (no data)\n", c.Column)
+					continue
+				}
+				fmt.Fprintf(sh.out, "  %-12s min=%s max=%s distinct≈%d\n", c.Column, c.Min, c.Max, c.Distinct)
+			}
+		}
 	case "\\i":
 		if arg == "" {
 			fmt.Fprintln(sh.out, "usage: \\i FILE")
@@ -306,9 +316,10 @@ func (sh *shell) meta(line string) bool {
 		fmt.Fprint(sh.out, `statements end with ';' (multi-line input is fine):
   SELECT ... / EXPLAIN SELECT ...      query (through db.Query)
   CREATE TABLE / CREATE INDEX / INSERT DDL and loading (through db.Exec)
+  ANALYZE [table]                      rebuild planner statistics
   SET parallelism|batch_size|osp = v   session options for later queries
 meta commands:
-  \d [table]   list tables / show a table's schema
+  \d [table]   list tables / show a table's schema and statistics
   \i FILE      run a .sql script
   \mix         run the embedded tpchmix query mix (needs -demo tables)
   \set         show session settings

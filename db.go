@@ -12,6 +12,7 @@ import (
 	"qpipe/internal/core"
 	"qpipe/internal/plan"
 	"qpipe/internal/qcache"
+	"qpipe/internal/stats"
 	"qpipe/internal/storage/disk"
 	"qpipe/internal/storage/sm"
 	"qpipe/internal/tuple"
@@ -58,12 +59,19 @@ type Options struct {
 	// ResultCacheMaxEntry caps a single admitted result's tuples
 	// (0 = ResultCacheTuples/4).
 	ResultCacheMaxEntry int64
+	// DisableOptimizer turns off plan normalization, predicate pushdown and
+	// join reordering: queries run exactly as written (the pre-optimizer
+	// lowering). An escape hatch for debugging and for measuring what the
+	// optimizer buys (qpipe-bench -fig planshare -no-opt).
+	DisableOptimizer bool
 }
 
 // DB is an embedded QPipe database: storage manager plus engine.
 type DB struct {
-	mgr *sm.Manager
-	eng *Engine
+	mgr   *sm.Manager
+	eng   *Engine
+	stats *stats.Registry
+	noOpt bool
 }
 
 // Open creates a fresh in-memory database and starts its engine.
@@ -96,7 +104,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.ResultCacheTuples > 0 {
 		eng.EnableResultCache(opts.ResultCacheTuples, opts.ResultCacheMaxEntry)
 	}
-	return &DB{mgr: mgr, eng: eng}, nil
+	return &DB{mgr: mgr, eng: eng, stats: stats.NewRegistry(), noOpt: opts.DisableOptimizer}, nil
 }
 
 // Close shuts the engine down, cancelling outstanding queries.
@@ -118,6 +126,9 @@ func (db *DB) CreateTable(name string, schema *Schema) error {
 		seen[c.Name] = true
 	}
 	_, err := db.mgr.CreateTable(name, schema)
+	if err == nil {
+		db.stats.Create(name, schema.Len())
+	}
 	return err
 }
 
@@ -170,6 +181,7 @@ func (db *DB) Load(table string, rows []Row) error {
 	if err := db.mgr.Load(table, rows); err != nil {
 		return err
 	}
+	db.stats.Add(table, rows)
 	if db.eng.cache != nil {
 		db.eng.cache.InvalidateTable(table)
 	}
@@ -194,6 +206,7 @@ func (db *DB) Insert(ctx context.Context, table string, rows ...Row) error {
 	if _, err := res.Discard(); err != nil {
 		return err
 	}
+	db.stats.Add(table, rows)
 	if db.eng.cache != nil {
 		db.eng.cache.InvalidateTable(table)
 	}
@@ -277,10 +290,14 @@ func (db *DB) RunBatch(ctx context.Context, queries []*Query, opts ...QueryOptio
 		}
 		var res *Result
 		if err == nil {
-			var sq *core.Query
-			sq, err = db.eng.rt.SubmitOpts(ctx, q.node, o.core)
+			var p plan.Node
+			p, err = q.Plan()
 			if err == nil {
-				res = newStreamResult(sq, q.node.Schema(), q.limit)
+				var sq *core.Query
+				sq, err = db.eng.rt.SubmitOpts(ctx, p, o.core)
+				if err == nil {
+					res = newStreamResult(sq, p.Schema(), q.limit)
+				}
 			}
 		}
 		if err != nil {

@@ -80,9 +80,8 @@ func ExampleDB_Query() {
 	// [city:string, population:float]
 	// Boston 650000
 	// Seattle 740000
-	// Aggregate count(*)
-	//   Filter (c2>k2:0.5)
-	//     TableScan cities (unordered)
+	// Aggregate count(*) rows≈1
+	//   TableScan cities (unordered) filter=(c2>k2:0.5) rows≈2
 }
 
 // ExampleDB_Prepare compiles SQL to the same reusable Query value the

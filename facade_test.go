@@ -136,14 +136,16 @@ func TestExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"GroupBy", "Sort", "TableScan t"} {
+	// The optimizer pushes the filter into the scan, and every node carries
+	// a cardinality annotation.
+	for _, want := range []string{"GroupBy", "Sort", "TableScan t", "filter=", "rows≈"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain missing %q:\n%s", want, out)
 		}
 	}
 	// Root first, indented children.
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 4 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[3], "    ") {
+	if len(lines) != 3 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[2], "    ") {
 		t.Errorf("explain layout:\n%s", out)
 	}
 }

@@ -94,6 +94,28 @@ func (p *Packet) AbsorbSatellite(sat *Packet) bool {
 	return true
 }
 
+// HasLiveSatellites reports whether any absorbed satellite still awaits this
+// packet's output. Streaming hosts consult it when their own query is
+// cancelled mid-stream (a satisfied LIMIT, an abandoned Result): the host's
+// cancellation is not the satellites' failure, and a host that already
+// produced output cannot be rescued from (the satellites hold that prefix),
+// so the host keeps producing for them instead.
+func (p *Packet) HasLiveSatellites() bool {
+	p.satMu.Lock()
+	defer p.satMu.Unlock()
+	for _, s := range p.satellites {
+		select {
+		case <-s.done:
+			continue
+		default:
+		}
+		if !s.Cancelled() {
+			return true
+		}
+	}
+	return false
+}
+
 // removeSatellite detaches sat from the host's satellite list (the rescue
 // path re-homes it) so the host's finish no longer owns its completion.
 func (p *Packet) removeSatellite(sat *Packet) {

@@ -221,13 +221,17 @@ func (o *SortOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	}()
 
 	// Phase 2: stream the sorted file (linear overlap; late arrivals read
-	// the same file through TryShare instead).
+	// the same file through TryShare instead). A cancelled host with live
+	// phase-1 satellites keeps streaming: the satellites hold the prefix
+	// already produced, so they cannot be rescued by re-dispatch, and the
+	// host's cancellation (a satisfied LIMIT on its own result) is not
+	// theirs — they need the rest of the file.
 	n := int64(rt.SM.Disk.NumBlocks(outName))
 	for pno := int64(0); pno < n; pno++ {
-		if cerr := pkt.Query.CancelErr(); cerr != nil {
-			return cerr
-		}
-		if pkt.Cancelled() {
+		if pkt.Cancelled() && !pkt.HasLiveSatellites() {
+			if cerr := pkt.Query.CancelErr(); cerr != nil {
+				return cerr
+			}
 			return nil
 		}
 		rows, err := readSpillPage(rt.SM.Disk, outName, ncols, pno)

@@ -75,12 +75,20 @@ func describe(n Node) string {
 
 // Explain renders the plan as an indented tree, one node per line, the way
 // EXPLAIN output reads in most engines (root first).
-func Explain(n Node) string {
+func Explain(n Node) string { return ExplainFunc(n, nil) }
+
+// ExplainFunc is Explain with a per-node annotation hook: annot's return
+// value (e.g. " rows≈42" from a cardinality estimator) is appended to that
+// node's line. A nil annot renders the plain tree.
+func ExplainFunc(n Node, annot func(Node) string) string {
 	var b strings.Builder
 	var walk func(n Node, depth int)
 	walk = func(n Node, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		b.WriteString(describe(n))
+		if annot != nil {
+			b.WriteString(annot(n))
+		}
 		b.WriteByte('\n')
 		for _, c := range n.Children() {
 			walk(c, depth+1)

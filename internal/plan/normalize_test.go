@@ -1,0 +1,181 @@
+package plan
+
+import (
+	"testing"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/tuple"
+)
+
+func ordersSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("oid", tuple.KindInt),
+		tuple.Col("cust", tuple.KindInt),
+		tuple.Col("amount", tuple.KindFloat),
+	)
+}
+
+func customersSchema() *tuple.Schema {
+	return tuple.NewSchema(
+		tuple.Col("cid", tuple.KindInt),
+		tuple.Col("segment", tuple.KindInt),
+	)
+}
+
+func TestNormalizePushesFilterIntoScan(t *testing.T) {
+	scan := NewTableScan("orders", ordersSchema(), nil, nil, false)
+	p := NewFilter(scan, expr.GT(expr.Col(2), expr.CFloat(100)))
+	n := Normalize(p)
+	ts, ok := n.(*TableScan)
+	if !ok {
+		t.Fatalf("expected filter merged into TableScan, got %T", n)
+	}
+	if ts.Filter == nil {
+		t.Fatal("scan filter not set")
+	}
+	// Converges with the filter written directly on the scan.
+	direct := Normalize(NewTableScan("orders", ordersSchema(),
+		expr.LT(expr.CFloat(100), expr.Col(2)), nil, false))
+	if n.Signature() != direct.Signature() {
+		t.Fatalf("pushed and direct filters differ:\n%s\n%s", n.Signature(), direct.Signature())
+	}
+	// Original tree untouched.
+	if scan.Filter != nil {
+		t.Fatal("Normalize mutated the input scan")
+	}
+}
+
+func TestNormalizeDoesNotPushPastProjection(t *testing.T) {
+	scan := NewTableScan("orders", ordersSchema(), nil, []int{2, 0}, false)
+	p := NewFilter(scan, expr.GT(expr.Col(0), expr.CFloat(100))) // col 0 = amount post-project
+	n := Normalize(p)
+	f, ok := n.(*Filter)
+	if !ok {
+		t.Fatalf("filter over a projecting scan must stay a Filter node, got %T", n)
+	}
+	if _, ok := f.Child.(*TableScan); !ok {
+		t.Fatalf("unexpected child %T", f.Child)
+	}
+}
+
+func TestNormalizeSplitsFilterOverJoin(t *testing.T) {
+	c := NewTableScan("customers", customersSchema(), nil, nil, false)
+	o := NewTableScan("orders", ordersSchema(), nil, nil, false)
+	join := NewHashJoin(c, o, 0, 1) // cid = cust
+	// segment=1 (left col 1), amount>900 (right col 2 → join col 4).
+	pred := expr.AndOf(
+		expr.EQ(expr.Col(1), expr.CInt(1)),
+		expr.GT(expr.Col(4), expr.CFloat(900)),
+	)
+	n := Normalize(NewFilter(join, pred))
+	j, ok := n.(*HashJoin)
+	if !ok {
+		t.Fatalf("expected bare HashJoin after full pushdown, got %T", n)
+	}
+	ls, ok := j.Left.(*TableScan)
+	if !ok || ls.Filter == nil {
+		t.Fatal("left conjunct not pushed into build-side scan")
+	}
+	rs, ok := j.Right.(*TableScan)
+	if !ok || rs.Filter == nil {
+		t.Fatal("right conjunct not pushed into probe-side scan")
+	}
+	// The right-side predicate must be re-based: amount is col 2 of orders.
+	want := expr.NormalizePred(expr.GT(expr.Col(2), expr.CFloat(900))).Signature()
+	if rs.Filter.Signature() != want {
+		t.Fatalf("right filter = %s, want %s", rs.Filter.Signature(), want)
+	}
+	if n.Schema().Len() != join.Schema().Len() {
+		t.Fatal("normalization changed the output schema")
+	}
+}
+
+func TestNormalizeKeepsCrossSideResidual(t *testing.T) {
+	c := NewTableScan("customers", customersSchema(), nil, nil, false)
+	o := NewTableScan("orders", ordersSchema(), nil, nil, false)
+	join := NewHashJoin(c, o, 0, 1)
+	// cid < oid spans both sides: must stay above the join.
+	pred := expr.LT(expr.Col(0), expr.Col(2))
+	n := Normalize(NewFilter(join, pred))
+	if _, ok := n.(*Filter); !ok {
+		t.Fatalf("cross-side predicate must remain a Filter, got %T", n)
+	}
+}
+
+func TestNormalizeCollapsesFilterChains(t *testing.T) {
+	scan := NewTableScan("orders", ordersSchema(), nil, nil, false)
+	chain := NewFilter(NewFilter(scan, expr.GT(expr.Col(2), expr.CFloat(10))),
+		expr.LT(expr.Col(2), expr.CFloat(90)))
+	merged := NewFilter(scan, expr.AndOf(
+		expr.LT(expr.Col(2), expr.CFloat(90)), expr.GT(expr.Col(2), expr.CFloat(10))))
+	if Normalize(chain).Signature() != Normalize(merged).Signature() {
+		t.Fatal("chained and merged filters should converge")
+	}
+}
+
+func TestNormalizeIdempotentOnPlans(t *testing.T) {
+	c := NewTableScan("customers", customersSchema(), nil, nil, false)
+	o := NewTableScan("orders", ordersSchema(), nil, nil, false)
+	root := NewSort(NewFilter(NewHashJoin(c, o, 0, 1), expr.AndOf(
+		expr.EQ(expr.Col(1), expr.CInt(1)),
+		expr.LT(expr.Col(0), expr.Col(2)),
+	)), []int{0}, true)
+	once := Normalize(root)
+	twice := Normalize(once)
+	if once.Signature() != twice.Signature() {
+		t.Fatalf("not idempotent:\n%s\n%s", once.Signature(), twice.Signature())
+	}
+}
+
+// Satellite regression: normalization must carry parallelism/batch hints
+// through to the rewritten nodes WITHOUT them leaking into signatures —
+// re-introducing PR-2's signature fragmentation here would silently kill
+// OSP sharing between queries that differ only in fan-out hints.
+func TestNormalizePreservesHintsOutsideSignature(t *testing.T) {
+	build := func(par int) Node {
+		scan := NewTableScan("orders", ordersSchema(), nil, nil, false).WithParallelism(par)
+		join := NewHashJoin(scan, NewTableScan("customers", customersSchema(), nil, nil, false), 1, 0)
+		join.Parallelism = par
+		agg := NewAggregate(NewFilter(join, expr.GT(expr.Col(2), expr.CFloat(50))),
+			[]expr.AggSpec{{Kind: expr.AggCount, Name: "n"}})
+		agg.Parallelism = par
+		return agg
+	}
+	hinted := Normalize(build(7))
+	plain := Normalize(build(0))
+
+	if hinted.Signature() != plain.Signature() {
+		t.Fatalf("parallelism hints leaked into normalized signatures:\n%s\n%s",
+			hinted.Signature(), plain.Signature())
+	}
+	agg := hinted.(*Aggregate)
+	if agg.Parallelism != 7 {
+		t.Fatalf("aggregate hint lost: %d", agg.Parallelism)
+	}
+	join := agg.Child.(*HashJoin)
+	if join.Parallelism != 7 {
+		t.Fatalf("join hint lost: %d", join.Parallelism)
+	}
+	scan := join.Left.(*TableScan)
+	if scan.Parallelism != 7 {
+		t.Fatalf("scan hint lost: %d", scan.Parallelism)
+	}
+	if scan.Filter == nil {
+		t.Fatal("filter should have been pushed into the hinted scan")
+	}
+}
+
+func TestNormalizeValidates(t *testing.T) {
+	// Normalized plans must still pass plan.Validate (refs stay in range
+	// after pushdown re-basing).
+	c := NewTableScan("customers", customersSchema(), nil, nil, false)
+	o := NewTableScan("orders", ordersSchema(), nil, nil, false)
+	root := NewGroupBy(NewFilter(NewHashJoin(c, o, 0, 1), expr.AndOf(
+		expr.GT(expr.Col(4), expr.CFloat(10)),
+		expr.EQ(expr.Col(1), expr.CInt(2)),
+	)), []int{1}, []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Col(4), Name: "rev"}})
+	n := Normalize(root)
+	if err := Validate(n); err != nil {
+		t.Fatalf("normalized plan fails validation: %v", err)
+	}
+}

@@ -24,8 +24,17 @@ var tpchMix string
 //go:embed schema.sql
 var tpchSchema string
 
+//go:embed planshare.sql
+var planShareMix string
+
 // TPCHMix returns the embedded tpchmix query mix (SQL text).
 func TPCHMix() string { return tpchMix }
+
+// PlanShareMix returns the embedded planshare query mix (SQL text): every
+// query written three ways — commuted comparisons, shuffled conjuncts,
+// BETWEEN vs explicit bounds, swapped join order — so the optimizer's plan
+// normalization is what turns the spellings into OSP sharing opportunities.
+func PlanShareMix() string { return planShareMix }
 
 // TPCHSchema returns the embedded tpchmix DDL (SQL text).
 func TPCHSchema() string { return tpchSchema }

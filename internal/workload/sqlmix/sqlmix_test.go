@@ -13,11 +13,22 @@ func TestEmbeddedMixParses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m.Queries) != 5 {
-		t.Errorf("queries = %d, want 5", len(m.Queries))
+	if len(m.Queries) != 7 {
+		t.Errorf("queries = %d, want 7", len(m.Queries))
 	}
 	if m.Session.BatchSize != 64 {
 		t.Errorf("session batch_size = %d, want 64 (from the SET statement)", m.Session.BatchSize)
+	}
+}
+
+func TestEmbeddedPlanShareMixParses(t *testing.T) {
+	m, err := Parse(PlanShareMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four variant groups of three spellings each.
+	if len(m.Queries) != 12 {
+		t.Errorf("queries = %d, want 12", len(m.Queries))
 	}
 }
 

@@ -429,6 +429,23 @@ func (ins *Insert) String() string {
 	return b.String()
 }
 
+// Analyze is "ANALYZE [table]": rebuild table statistics (row counts,
+// per-column min/max and distinct-value sketches) from a full scan. An
+// empty Table means every table.
+type Analyze struct {
+	Table string
+}
+
+func (*Analyze) isStatement() {}
+
+// String implements Statement.
+func (a *Analyze) String() string {
+	if a.Table == "" {
+		return "ANALYZE"
+	}
+	return "ANALYZE " + a.Table
+}
+
 // Set is a session statement "SET name = value". The engine has no session
 // state; clients (the qpipe-shell REPL, the SQL workload runner) map it to
 // per-query options via qpipe.Session.

@@ -46,7 +46,7 @@ var keywords = map[string]bool{
 	"BETWEEN": true, "CREATE": true, "TABLE": true, "INDEX": true,
 	"CLUSTERED": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"EXPLAIN": true, "SET": true, "DATE": true, "ASC": true, "DESC": true,
-	"DISTINCT": true, "HAVING": true, "UNION": true,
+	"ANALYZE": true, "DISTINCT": true, "HAVING": true, "UNION": true,
 }
 
 // lex tokenizes the whole input up front (the parser backtracks by index,

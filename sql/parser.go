@@ -82,7 +82,7 @@ func (p *parser) expectIdent(what string) token {
 func (p *parser) parseStatement() Statement {
 	t := p.peek()
 	if t.Kind != tokKeyword {
-		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT or SET), found %s", t.describe())
+		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT, ANALYZE or SET), found %s", t.describe())
 	}
 	switch t.Text {
 	case "SELECT":
@@ -95,14 +95,27 @@ func (p *parser) parseStatement() Statement {
 		return p.parseCreate()
 	case "INSERT":
 		return p.parseInsert()
+	case "ANALYZE":
+		return p.parseAnalyze()
 	case "SET":
 		return p.parseSet()
 	case "DISTINCT", "HAVING", "UNION":
 		p.errf(t.Pos, "%s is not supported", t.Text)
 	default:
-		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT or SET), found %s", t.describe())
+		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT, ANALYZE or SET), found %s", t.describe())
 	}
 	return nil
+}
+
+// parseAnalyze parses "ANALYZE [table]" — without a table name, every
+// table's statistics are rebuilt.
+func (p *parser) parseAnalyze() *Analyze {
+	p.next() // ANALYZE
+	a := &Analyze{}
+	if t := p.peek(); t.Kind == tokIdent {
+		a.Table = p.next().Text
+	}
+	return a
 }
 
 func (p *parser) parseSelect() *Select {

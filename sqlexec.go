@@ -53,9 +53,9 @@ func (db *DB) Query(ctx context.Context, text string, opts ...QueryOption) (*Res
 }
 
 // Exec parses and executes a SQL script of statements that do not return
-// rows: CREATE TABLE, CREATE INDEX and INSERT ... VALUES (';'-separated;
-// a single statement is a script of one). It returns the total number of
-// rows inserted. SELECT/EXPLAIN are a *StatementError (use Query), as is
+// rows: CREATE TABLE, CREATE INDEX, INSERT ... VALUES and ANALYZE
+// (';'-separated; a single statement is a script of one). It returns the
+// total number of rows inserted. SELECT/EXPLAIN are a *StatementError (use Query), as is
 // SET (session statements belong to a qpipe.Session).
 func (db *DB) Exec(ctx context.Context, text string) (int64, error) {
 	stmts, err := sql.ParseScript(text)
@@ -152,6 +152,8 @@ func statementName(stmt sql.Statement) string {
 		return "CREATE INDEX"
 	case *sql.Insert:
 		return "INSERT"
+	case *sql.Analyze:
+		return "ANALYZE"
 	case *sql.Set:
 		return "SET"
 	default:
@@ -173,6 +175,8 @@ func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (int64, error) {
 		return 0, db.CreateIndex(s.Table, s.Column, s.Clustered)
 	case *sql.Insert:
 		return db.execInsert(ctx, s)
+	case *sql.Analyze:
+		return 0, db.Analyze(s.Table)
 	case *sql.Set:
 		return 0, &StatementError{Stmt: "SET",
 			Reason: "session statement — apply it to a qpipe.Session (the shell does this)"}
@@ -377,8 +381,26 @@ func (sc *sqlScope) entryOfIn(ref *sql.ColumnRef, lo, hi int) (int, error) {
 
 // ---- SELECT lowering ---------------------------------------------------------
 
-// compileSelect lowers one SELECT onto the builder.
+// compileSelect plans one SELECT: the cost-based phase first (reorderSelect
+// rewrites the FROM list by estimated cardinality, so smaller inputs become
+// hash-join build sides and equivalent queries converge on one join shape),
+// then lowering onto the builder. Reordering is best-effort — when the
+// rewritten form fails to lower (e.g. a qualified reference the new table
+// order shadows), planning falls back to the query exactly as written, so
+// the optimizer can never reject a query the unoptimized path accepts.
 func (db *DB) compileSelect(sel *sql.Select) (*Query, error) {
+	if !db.noOpt {
+		if re := db.reorderSelect(sel); re != nil {
+			if q, err := db.lowerSelect(re); err == nil {
+				return q, nil
+			}
+		}
+	}
+	return db.lowerSelect(sel)
+}
+
+// lowerSelect lowers one SELECT onto the builder in written order.
+func (db *DB) lowerSelect(sel *sql.Select) (*Query, error) {
 	// 1. FROM: open the scope and scan the first table.
 	scope := &sqlScope{}
 	addTable := func(ref sql.TableRef) error {

@@ -144,6 +144,12 @@ func TestSQLExplainGolden(t *testing.T) {
 			[]QueryOption{WithParallelism(4), WithBatchSize(128), WithoutOSP()}},
 		{"expr_over_aggs", "EXPLAIN SELECT region, sum(amount) / count(*) AS mean FROM orders GROUP BY region", nil},
 		{"comma_three_way", "EXPLAIN SELECT o.oid FROM customers c, orders o, customers d WHERE c.cid = o.cust AND o.cust = d.cid", nil},
+		// Optimizer cases: predicate pushdown through the projection-free
+		// scan, canonicalized predicates (commuted comparisons, BETWEEN as
+		// bounds, vacuous conjuncts folded), and cardinality-driven join
+		// reordering (the written order puts the big table first).
+		{"pushdown_canonical", "EXPLAIN SELECT oid FROM orders WHERE 30 < amount AND 1 = 1 AND amount BETWEEN 10 AND 90", nil},
+		{"join_reorder", "EXPLAIN SELECT name, sum(amount) AS total FROM orders o JOIN customers c ON o.cust = c.cid WHERE amount > 20 GROUP BY name", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,356 @@
+// Cost-based join reordering: the "estimate → reorder" phases of the
+// planning path (parse → normalize → estimate → reorder → lower). The pass
+// rewrites a multi-table SELECT's FROM list into ascending estimated-
+// cardinality order — greedy smallest-build-side-first over the equi-join
+// graph — and pools every join condition into WHERE (comma form), so that
+// `a JOIN b ON …`, `b JOIN a ON …` and `FROM a, b WHERE …` all lower to
+// one plan shape and hence one OSP signature.
+//
+// The rewrite happens at the AST level, before lowering, because join
+// output schemas are positional concatenations: reordering after lowering
+// would have to rewrite every downstream column index. Working on names
+// keeps the rewrite trivially checkable — and compileSelect falls back to
+// the written order whenever the rewritten query fails to lower.
+package qpipe
+
+import (
+	"sort"
+
+	"qpipe/internal/expr"
+	"qpipe/internal/stats"
+	"qpipe/sql"
+)
+
+// reorderSelect returns an equivalent SELECT with FROM tables ordered by
+// estimated cardinality and all join predicates pooled into WHERE, or nil
+// when the query is not safely reorderable (single table, SELECT *, or any
+// column reference the whole-scope resolution rules cannot vouch for).
+func (db *DB) reorderSelect(sel *sql.Select) *sql.Select {
+	if len(sel.Joins) == 0 {
+		return nil
+	}
+	// SELECT * output order depends on FROM order: never reorder it.
+	for _, it := range sel.Items {
+		if it.Star {
+			return nil
+		}
+	}
+
+	// Rebuild the scope the lowering will see.
+	scope := &sqlScope{}
+	refs := []sql.TableRef{sel.From}
+	for _, j := range sel.Joins {
+		refs = append(refs, j.Ref)
+	}
+	for _, r := range refs {
+		schema, err := db.Schema(r.Table)
+		if err != nil {
+			return nil
+		}
+		qual := r.Alias
+		if qual == "" {
+			qual = r.Table
+		}
+		if err := scope.add(scopeEntry{qual: qual, table: r.Table, schema: schema}); err != nil {
+			return nil
+		}
+	}
+
+	// Every reference outside WHERE/ON must resolve under the strict
+	// whole-scope rules, which are order-insensitive for unique names and
+	// reject anything shadowing-dependent.
+	strict := func(ref *sql.ColumnRef) bool {
+		_, err := scope.entryOf(ref)
+		return err == nil
+	}
+	ok := true
+	for _, it := range sel.Items {
+		sqlExprRefs(it.Expr, func(r *sql.ColumnRef) { ok = ok && strict(r) })
+	}
+	for i := range sel.GroupBy {
+		ok = ok && strict(&sel.GroupBy[i])
+	}
+	for i := range sel.OrderBy {
+		if sel.OrderBy[i].Col.Table != "" {
+			ok = ok && strict(&sel.OrderBy[i].Col)
+		}
+	}
+	if !ok {
+		return nil
+	}
+
+	// Pool all conditions (WHERE plus every ON) and classify each conjunct
+	// by the set of scope entries it references. Conjunct order is made
+	// deterministic up to predicate commutation, so textual variants of the
+	// same query drive the greedy search identically.
+	pool := splitConjuncts(sel.Where)
+	for _, j := range sel.Joins {
+		pool = append(pool, splitConjuncts(j.On)...)
+	}
+	sort.SliceStable(pool, func(i, k int) bool {
+		return poolSortKey(pool[i]) < poolSortKey(pool[k])
+	})
+
+	type edge struct{ a, aCol, b, bCol int }
+	var edges []edge
+	perEntry := make([][]sql.Pred, len(scope.entries))
+	for _, p := range pool {
+		owners, colOf, resolved := conjunctOwners(scope, p)
+		if !resolved {
+			return nil
+		}
+		if len(owners) == 1 {
+			perEntry[owners[0]] = append(perEntry[owners[0]], p)
+			continue
+		}
+		if cmp, isCmp := p.(*sql.Compare); isCmp && cmp.Op == "=" && len(owners) == 2 {
+			lr, lOK := cmp.L.(*sql.ColumnRef)
+			rr, rOK := cmp.R.(*sql.ColumnRef)
+			if lOK && rOK {
+				la, lc := colOf(lr)
+				ra, rc := colOf(rr)
+				if la >= 0 && ra >= 0 && la != ra {
+					edges = append(edges, edge{a: la, aCol: lc, b: ra, bCol: rc})
+				}
+			}
+		}
+		// Multi-entry conjuncts (equi or not) lower as post-join filters
+		// either way; they don't block reordering.
+	}
+
+	// Estimate per-entry filtered cardinality and column stats.
+	n := len(scope.entries)
+	cards := make([]float64, n)
+	snaps := make([]*stats.TableStats, n)
+	for i, e := range scope.entries {
+		snaps[i] = db.stats.Snapshot(e.table)
+		rows := float64(stats.DefaultTableRows)
+		var cols []stats.ColStats
+		if snaps[i] != nil {
+			rows = float64(snaps[i].Rows)
+			cols = snaps[i].Cols
+		}
+		one := &sqlScope{entries: []scopeEntry{e}}
+		for _, p := range perEntry[i] {
+			bp, err := lowerPred(one, p)
+			if err != nil {
+				continue // estimate without this conjunct; lowering decides later
+			}
+			ep, err := bp.resolve(e.schema)
+			if err != nil {
+				continue
+			}
+			rows *= stats.Selectivity(expr.NormalizePred(ep), cols)
+		}
+		cards[i] = rows
+	}
+
+	// keyNDV caps a join column's distinct count by its side's (filtered)
+	// cardinality; unknown stats fall back to the cardinality itself.
+	keyNDV := func(entry, col int) float64 {
+		ndv := cards[entry]
+		if snaps[entry] != nil && col >= 0 && col < len(snaps[entry].Cols) && snaps[entry].Cols[col].Seen {
+			ndv = snaps[entry].Cols[col].NDV
+		}
+		if ndv > cards[entry] {
+			ndv = cards[entry]
+		}
+		if ndv < 1 {
+			ndv = 1
+		}
+		return ndv
+	}
+
+	// Greedy order: start from the smallest estimated input, then repeatedly
+	// add the connected table minimizing the estimated join result (classic
+	// containment formula |L|·|R|/max ndv per connecting edge). Ties break
+	// on (cardinality, table, alias) so equivalent variants converge.
+	prefer := func(i, j int) bool { // does entry i beat entry j as a tie-break?
+		ei, ej := scope.entries[i], scope.entries[j]
+		if ei.table != ej.table {
+			return ei.table < ej.table
+		}
+		return ei.qual < ej.qual
+	}
+	start := 0
+	for i := 1; i < n; i++ {
+		if cards[i] < cards[start] || (cards[i] == cards[start] && prefer(i, start)) {
+			start = i
+		}
+	}
+	order := []int{start}
+	used := make([]bool, n)
+	used[start] = true
+	cur := cards[start]
+	for len(order) < n {
+		best, bestRows := -1, 0.0
+		for j := 0; j < n; j++ {
+			if used[j] {
+				continue
+			}
+			denom := 1.0
+			connected := false
+			for _, e := range edges {
+				var jCol, oEntry, oCol int
+				switch {
+				case e.a == j && used[e.b]:
+					jCol, oEntry, oCol = e.aCol, e.b, e.bCol
+				case e.b == j && used[e.a]:
+					jCol, oEntry, oCol = e.bCol, e.a, e.aCol
+				default:
+					continue
+				}
+				connected = true
+				nj, no := keyNDV(j, jCol), keyNDV(oEntry, oCol)
+				if no > nj {
+					nj = no
+				}
+				denom *= nj
+			}
+			if !connected {
+				continue
+			}
+			rows := cur * cards[j] / denom
+			if best < 0 || rows < bestRows || (rows == bestRows && prefer(j, best)) {
+				best, bestRows = j, rows
+			}
+		}
+		if best < 0 {
+			// Disconnected remainder (cross join): take the smallest input.
+			for j := 0; j < n; j++ {
+				if used[j] {
+					continue
+				}
+				if best < 0 || cards[j] < cards[best] || (cards[j] == cards[best] && prefer(j, best)) {
+					best = j
+				}
+			}
+			bestRows = cur * cards[best]
+		}
+		used[best] = true
+		order = append(order, best)
+		if bestRows < 1 {
+			bestRows = 1
+		}
+		cur = bestRows
+	}
+
+	// Rebuild the SELECT: chosen order, comma-form joins, pooled WHERE.
+	out := *sel
+	out.From = refs[order[0]]
+	out.Joins = make([]sql.JoinClause, 0, n-1)
+	for _, ix := range order[1:] {
+		out.Joins = append(out.Joins, sql.JoinClause{Ref: refs[ix]})
+	}
+	switch len(pool) {
+	case 0:
+		out.Where = nil
+	case 1:
+		out.Where = pool[0]
+	default:
+		out.Where = &sql.And{Ps: pool}
+	}
+	return &out
+}
+
+// poolSortKey orders pooled conjuncts deterministically; equality operands
+// sort commutation-invariantly so `a = b` and `b = a` pool identically
+// (which equality becomes the hash key must not depend on spelling).
+func poolSortKey(p sql.Pred) string {
+	if cmp, ok := p.(*sql.Compare); ok && cmp.Op == "=" {
+		l, r := cmp.L.String(), cmp.R.String()
+		if r < l {
+			l, r = r, l
+		}
+		return l + " = " + r
+	}
+	return p.String()
+}
+
+// conjunctOwners reports which scope entries a conjunct references, using
+// lenient per-reference resolution (qualified names bind to their entry,
+// bare names to their unique owner). resolved=false means some reference
+// cannot be pinned to exactly one entry — the caller must not reorder.
+func conjunctOwners(scope *sqlScope, p sql.Pred) (owners []int, colOf func(*sql.ColumnRef) (int, int), resolved bool) {
+	resolved = true
+	seen := make(map[int]bool)
+	lookup := func(ref *sql.ColumnRef) (entry, col int) {
+		if ref.Table != "" {
+			for i, e := range scope.entries {
+				if e.qual == ref.Table {
+					if c := e.schema.ColIndex(ref.Name); c >= 0 {
+						return i, c
+					}
+					return -1, -1
+				}
+			}
+			return -1, -1
+		}
+		entry, col = -1, -1
+		for i, e := range scope.entries {
+			if c := e.schema.ColIndex(ref.Name); c >= 0 {
+				if entry >= 0 {
+					return -1, -1 // ambiguous bare name
+				}
+				entry, col = i, c
+			}
+		}
+		return entry, col
+	}
+	sqlPredRefs(p, func(ref *sql.ColumnRef) {
+		e, _ := lookup(ref)
+		if e < 0 {
+			resolved = false
+			return
+		}
+		if !seen[e] {
+			seen[e] = true
+			owners = append(owners, e)
+		}
+	})
+	sort.Ints(owners)
+	return owners, lookup, resolved
+}
+
+// sqlExprRefs walks an AST expression calling fn on every column reference.
+func sqlExprRefs(e sql.Expr, fn func(*sql.ColumnRef)) {
+	switch x := e.(type) {
+	case *sql.ColumnRef:
+		fn(x)
+	case *sql.BinaryExpr:
+		sqlExprRefs(x.L, fn)
+		sqlExprRefs(x.R, fn)
+	case *sql.AggCall:
+		if x.Arg != nil {
+			sqlExprRefs(x.Arg, fn)
+		}
+	}
+}
+
+// sqlPredRefs is sqlExprRefs for AST predicates.
+func sqlPredRefs(p sql.Pred, fn func(*sql.ColumnRef)) {
+	switch x := p.(type) {
+	case *sql.Compare:
+		sqlExprRefs(x.L, fn)
+		sqlExprRefs(x.R, fn)
+	case *sql.And:
+		for _, q := range x.Ps {
+			sqlPredRefs(q, fn)
+		}
+	case *sql.Or:
+		for _, q := range x.Ps {
+			sqlPredRefs(q, fn)
+		}
+	case *sql.Not:
+		sqlPredRefs(x.P, fn)
+	case *sql.InPred:
+		sqlExprRefs(x.E, fn)
+		for _, v := range x.Vals {
+			sqlExprRefs(v, fn)
+		}
+	case *sql.BetweenPred:
+		sqlExprRefs(x.E, fn)
+		sqlExprRefs(x.Lo, fn)
+		sqlExprRefs(x.Hi, fn)
+	}
+}
