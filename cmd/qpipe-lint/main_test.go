@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd drives run() the way main does, capturing both streams.
+func runCmd(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, stderr := runCmd("-list")
+	if code != 0 {
+		t.Fatalf("-list exit %d, stderr %q", code, stderr)
+	}
+	for _, name := range []string{"leaselint", "emitlint", "spilllint", "siglint", "ctxlint"} {
+		if !strings.Contains(stdout, name+": ") {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestUnknownAnalyzerName: a typoed -analyzers selection must be a loud
+// error naming the known set, never a silently empty run.
+func TestUnknownAnalyzerName(t *testing.T) {
+	code, _, stderr := runCmd("-analyzers", "leaselint,nosuch", "./...")
+	if code != 1 {
+		t.Fatalf("unknown analyzer exit %d, want 1; stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown analyzer "nosuch"`) || !strings.Contains(stderr, "known:") {
+		t.Fatalf("unknown-analyzer error must name the typo and the known set, got %q", stderr)
+	}
+}
+
+func TestVersionHandshake(t *testing.T) {
+	code, stdout, _ := runCmd("-V=full")
+	if code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	fields := strings.Fields(stdout)
+	if len(fields) < 3 || fields[1] != "version" || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("-V=full output %q does not match the 'name version devel ... buildID=x' handshake", stdout)
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	code, stdout, stderr := runCmd("-flags")
+	if code != 0 {
+		t.Fatalf("-flags exit %d, stderr %q", code, stderr)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal([]byte(stdout), &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON handshake: %v\n%s", err, stdout)
+	}
+	if len(flags) == 0 {
+		t.Fatal("-flags listed no flags")
+	}
+}
+
+// TestStandaloneEndToEnd builds a throwaway module containing a tbuf
+// stand-in, a real violation, a valid suppression, and a malformed one, and
+// asserts the driver reports exactly the right lines.
+func TestStandaloneEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmp\n\ngo 1.24\n")
+	write("tbuf/tbuf.go", `package tbuf
+
+type Batch = []int
+
+type SharedOut struct{}
+
+func (s *SharedOut) NewBatch(n int) Batch { return nil }
+func (s *SharedOut) Put(b Batch) error   { return nil }
+`)
+	write("use/use.go", `package use
+
+import "tmp/tbuf"
+
+func emit(out *tbuf.SharedOut, b tbuf.Batch) {
+	out.Put(b)
+	out.Put(b) //qpipelint:ignore emitlint driver test suppression
+	out.Put(b) //qpipelint:ignore nosuch typo of an analyzer name
+}
+`)
+	t.Chdir(dir)
+
+	code, stdout, stderr := runCmd("./...")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (diagnostics)\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	checks := []struct {
+		desc, substr string
+		want         bool
+	}{
+		{"unsuppressed violation on line 6", "use.go:6", true},
+		{"validly suppressed line 7", "use.go:7:2", false},
+		{"malformed directive reported", `unknown analyzer "nosuch"`, true},
+		{"violation under malformed directive still reported", "use.go:8:2", true},
+	}
+	for _, c := range checks {
+		if strings.Contains(stdout, c.substr) != c.want {
+			t.Errorf("%s: want contains(%q)=%v in output:\n%s", c.desc, c.substr, c.want, stdout)
+		}
+	}
+}
+
+// TestUnitcheckerMode exercises the go vet -vettool protocol: a cfg file
+// describing one compilation unit, diagnostics on stderr, exit 2, and a
+// vetx output file in every outcome.
+func TestUnitcheckerMode(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "spill.go")
+	if err := os.WriteFile(src, []byte(`package spill
+
+type disk struct{}
+
+func (d *disk) DropTemp(name string) {}
+
+type spillWriter struct{}
+
+func (w *spillWriter) add(v int) error { return nil }
+
+func newSpillWriter(d *disk, name string) *spillWriter { return &spillWriter{} }
+
+func leaky(d *disk) error {
+	w := newSpillWriter(d, "run-0")
+	return w.add(1)
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "spill.vetx")
+	cfg := vetConfig{
+		ID:         "tmp/spill",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "tmp/spill",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}
+	cfgFile := filepath.Join(dir, "spill.cfg")
+	data, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, stderr := runCmd(cfgFile)
+	if code != 2 {
+		t.Fatalf("cfg run exit %d, want 2; stderr %q", code, stderr)
+	}
+	if !strings.Contains(stderr, "DropTemp") || !strings.Contains(stderr, "spill.go:14") {
+		t.Fatalf("cfg run must report the spilllint finding on stderr, got %q", stderr)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx output missing after diagnostics: %v", err)
+	}
+
+	// VetxOnly units (dependencies of the vetted packages) are not
+	// analyzed, but the vetx token must still be written.
+	if err := os.Remove(vetx); err != nil {
+		t.Fatal(err)
+	}
+	cfg.VetxOnly = true
+	data, err = json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgFile, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = runCmd(cfgFile)
+	if code != 0 || stderr != "" {
+		t.Fatalf("VetxOnly run: exit %d stderr %q, want clean", code, stderr)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("vetx output missing after VetxOnly run: %v", err)
+	}
+}

@@ -41,7 +41,7 @@ func main() {
 	mix := []func(r *rand.Rand) *qpipe.Query{
 		func(r *rand.Rand) *qpipe.Query { // revenue scan-aggregate
 			return db.Scan("orders").
-				Filter(qpipe.Col("amount").Lt(qpipe.Float(float64(100 + r.Intn(800))))).
+				Filter(qpipe.Col("amount").Lt(qpipe.Float(float64(100+r.Intn(800))))).
 				Aggregate(qpipe.Sum(qpipe.Col("amount")).As("revenue"), qpipe.Count().As("n"))
 		},
 		func(r *rand.Rand) *qpipe.Query { // per-region report

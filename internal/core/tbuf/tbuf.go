@@ -87,7 +87,7 @@ func (p *BatchPool) GetCap(n int) Batch {
 		return make(Batch, 0, n)
 	}
 	p.mu.Lock()
-	for i, probed := len(p.free) - 1, 0; i >= 0 && probed < 4; i, probed = i-1, probed+1 {
+	for i, probed := len(p.free)-1, 0; i >= 0 && probed < 4; i, probed = i-1, probed+1 {
 		if cap(p.free[i]) >= n {
 			b := p.free[i]
 			last := len(p.free) - 1

@@ -1,0 +1,132 @@
+// An analysistest-style runner: testdata packages under
+// internal/lint/testdata/src/<path> annotate the lines where an analyzer
+// must fire with trailing `// want "regexp"` comments (the x/tools
+// convention), and RunTest asserts that the diagnostic stream matches the
+// expectations exactly — every want satisfied, no unexpected findings.
+
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches one quoted or backquoted expectation in a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// RunTest loads each testdata package (rooted at testdataDir/src), runs the
+// analyzer over all of them in one session, and matches diagnostics against
+// the packages' want comments.
+func RunTest(t *testing.T, testdataDir string, a *Analyzer, pkgpaths ...string) {
+	t.Helper()
+	diags, pkgs := runForTest(t, testdataDir, a, pkgpaths...)
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// runForTest loads the packages and runs a single analyzer, returning the
+// raw (pre-directive) diagnostics.
+func runForTest(t *testing.T, testdataDir string, a *Analyzer, pkgpaths ...string) ([]Diagnostic, []*Package) {
+	t.Helper()
+	srcdir := filepath.Join(testdataDir, "src")
+	pkgs, err := LoadFromSrcDir(srcdir, pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", pkgpaths, err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, pkgs
+}
+
+// collectWants re-scans the package sources for `// want ...` comments.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	// Re-parse with a fresh FileSet is unnecessary: the loader kept
+	// comments, so read them straight off the ASTs.
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRe.FindAllStringSubmatch(text[len("want "):], -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s: malformed want comment: %s", pos, c.Text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename,
+						line: pos.Line,
+						re:   re,
+						raw:  raw,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// mustParse is a test helper for directive tests operating on a synthetic
+// single-file package (no type checking — directives are purely syntactic).
+func mustParse(t *testing.T, filename, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "p", Name: "p", Fset: fset, Files: []*ast.File{f}, Dir: "."}
+}

@@ -1,0 +1,93 @@
+// ctxlint enforces context threading into operator sub-workers: goroutines
+// spawned through MicroEngine.SpawnSub (directly, or through the
+// func(func()) spawner hooks the parallel helpers thread around) run on
+// behalf of a specific packet, and cancellation/teardown reach them only
+// through that packet's query context. A sub-worker that manufactures its
+// own context.Background()/context.TODO() detaches itself from the query's
+// cancellation — exactly the class of orphaned worker the upcoming
+// multi-client server would multiply.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLint is the sub-worker context-threading analyzer.
+var CtxLint = &Analyzer{
+	Name: "ctxlint",
+	Doc: "check that closures spawned as µEngine sub-workers (MicroEngine.SpawnSub and " +
+		"func(func()) spawner hooks) thread the packet's context instead of creating " +
+		"context.Background()/context.TODO()",
+	Run: runCtxLint,
+}
+
+func runCtxLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSpawnCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkSpawnedClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpawnCall matches MicroEngine.SpawnSub calls and calls through
+// func(func()) spawner variables/parameters (the subSpawner hook threaded
+// into fanOut/parFeed/routeAffine).
+func isSpawnCall(info *types.Info, call *ast.CallExpr) bool {
+	if isMethodCall(info, call, corePath, "MicroEngine", "SpawnSub") {
+		return true
+	}
+	// A call through a variable whose type is func(func()).
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			return isSpawnerType(v.Type())
+		}
+	}
+	return false
+}
+
+// isSpawnerType reports whether t is func(func()) — one nullary function
+// parameter, no results.
+func isSpawnerType(t types.Type) bool {
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	inner, ok := sig.Params().At(0).Type().Underlying().(*types.Signature)
+	return ok && inner.Params().Len() == 0 && inner.Results().Len() == 0
+}
+
+// checkSpawnedClosure flags context.Background()/context.TODO() anywhere in
+// the sub-worker closure, including nested literals.
+func checkSpawnedClosure(pass *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() == "Background" || fn.Name() == "TODO" {
+			pass.Reportf(call.Pos(),
+				"µEngine sub-worker creates context.%s(): sub-workers run on behalf of a packet and must thread the packet's query context so cancellation reaches them",
+				fn.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,152 @@
+// The //qpipelint:ignore directive: explicit, justified, per-line
+// suppression of a named analyzer's diagnostics. A directive written as a
+// trailing comment suppresses findings on its own line only; a directive on
+// a line of its own suppresses findings on the line below only (both styles
+// are accepted so gofmt'd long lines stay suppressible, but neither bleeds
+// into neighboring statements).
+//
+// Suppression is deliberately noisy when misused: naming an analyzer the
+// driver does not know, or omitting the reason, produces a diagnostic
+// instead of a silent no-op — the failure mode of a typoed suppression must
+// never be an invisible hole in CI.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+const directivePrefix = "//qpipelint:ignore"
+
+// directive is one parsed //qpipelint:ignore comment.
+type directive struct {
+	pos       token.Position
+	analyzers []string
+	trailing  bool   // shares its line with code (suppresses that line, not the next)
+	malformed string // non-empty: why the directive is invalid
+}
+
+// parseDirectives extracts every qpipelint:ignore directive from the
+// package's comments. Only //-style comments are recognized, matching the
+// Go convention for machine directives.
+func parseDirectives(pkg *Package, known map[string]bool) []directive {
+	var dirs []directive
+	for _, f := range pkg.Files {
+		code := codeLines(pkg, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				d.trailing = code[d.pos.Line]
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //qpipelint:ignoreXYZ — not our directive.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "missing analyzer name and reason (want //qpipelint:ignore <analyzer> <reason>)"
+				case len(fields) == 1:
+					d.malformed = "missing reason (want //qpipelint:ignore <analyzer> <reason>)"
+				default:
+					// fields[1:] is the (mandatory, already verified
+					// present) free-text reason; only the analyzer list
+					// drives suppression.
+					d.analyzers = strings.Split(fields[0], ",")
+					for _, name := range d.analyzers {
+						if !known[name] {
+							d.malformed = "unknown analyzer \"" + name + "\" (known: " + strings.Join(sortedNames(known), ", ") + ")"
+							break
+						}
+					}
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs
+}
+
+// codeLines reports the lines of f that contain non-comment syntax, used to
+// tell trailing directives (code shares the line) from standalone ones.
+func codeLines(pkg *Package, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		lines[pkg.Fset.Position(n.Pos()).Line] = true
+		lines[pkg.Fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+func sortedNames(known map[string]bool) []string {
+	var names []string
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ApplyDirectives filters diags through the //qpipelint:ignore directives
+// found in pkgs. It returns the surviving diagnostics plus one "qpipelint"
+// diagnostic per malformed or unknown-analyzer directive, sorted by
+// position. analyzers is the set of known analyzer names.
+func ApplyDirectives(pkgs []*Package, diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	// suppressed[file][line][analyzer] reports an active suppression.
+	suppressed := map[string]map[int]map[string]bool{}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, d := range parseDirectives(pkg, known) {
+			if d.malformed != "" {
+				out = append(out, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "qpipelint",
+					Message:  "malformed qpipelint:ignore directive: " + d.malformed,
+				})
+				continue
+			}
+			byLine := suppressed[d.pos.Filename]
+			if byLine == nil {
+				byLine = map[int]map[string]bool{}
+				suppressed[d.pos.Filename] = byLine
+			}
+			// A trailing directive covers exactly its own line; a
+			// standalone one covers exactly the next. Never both — a valid
+			// suppression must not bleed into the neighboring statement.
+			line := d.pos.Line
+			if !d.trailing {
+				line++
+			}
+			if byLine[line] == nil {
+				byLine[line] = map[string]bool{}
+			}
+			for _, name := range d.analyzers {
+				byLine[line][name] = true
+			}
+		}
+	}
+	for _, dg := range diags {
+		if suppressed[dg.Pos.Filename][dg.Pos.Line][dg.Analyzer] {
+			continue
+		}
+		out = append(out, dg)
+	}
+	sortDiagnostics(out)
+	return out
+}

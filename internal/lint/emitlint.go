@@ -1,0 +1,166 @@
+// emitlint enforces the no-error-swallowing emitter idiom (PR 2): the
+// error returned by SharedOut.Put and Buffer.Put must be checked, and for
+// SharedOut.Put the tbuf.ErrConsumersGone sentinel must be handled
+// distinctly from hard errors — it is the one error that means "clean early
+// stop", and collapsing it into a generic `err != nil` failure makes a
+// cancelled or early-terminated consumer report a false failure (or, worse,
+// a swallowed hard error report a false success).
+//
+// Mechanically, for every Put call on a tbuf output port or buffer:
+//
+//   - the error result must not be discarded (expression statement, blank
+//     assignment) or reduced in place to a nil-comparison of the call;
+//   - for SharedOut.Put, the enclosing function must either mention
+//     tbuf.ErrConsumersGone (errors.Is or direct comparison), return the
+//     error variable (propagating it to a caller that distinguishes — the
+//     emitResult idiom), or pass it to another function (delegation).
+//     A function that consumes the error entirely locally without ever
+//     naming the sentinel is flagged.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EmitLint is the emitter error-handling analyzer.
+var EmitLint = &Analyzer{
+	Name: "emitlint",
+	Doc: "check that SharedOut.Put/Buffer.Put errors are never discarded and that " +
+		"tbuf.ErrConsumersGone is distinguished from hard errors rather than collapsed " +
+		"into a generic failure",
+	Run: runEmitLint,
+}
+
+func runEmitLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			shared := isMethodCall(pass.TypesInfo, call, tbufPath, "SharedOut", "Put")
+			buffer := isMethodCall(pass.TypesInfo, call, tbufPath, "Buffer", "Put")
+			if !shared && !buffer {
+				return true
+			}
+			recv := "Buffer"
+			if shared {
+				recv = "SharedOut"
+			}
+			checkPutCall(pass, parents, call, recv, shared)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkPutCall(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, recv string, wantSentinel bool) {
+	parent := parents[call]
+	// Unwrap parens between call and its consumer.
+	for {
+		if p, ok := parent.(*ast.ParenExpr); ok {
+			parent = parents[p]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		pass.Reportf(call.Pos(),
+			"%s.Put error discarded: a failed Put means the packet must stop (hard error) or stop cleanly (tbuf.ErrConsumersGone); ignoring it loses both",
+			recv)
+		return
+	case *ast.DeferStmt, *ast.GoStmt:
+		pass.Reportf(call.Pos(), "%s.Put error discarded (deferred/async call result is dropped)", recv)
+		return
+	case *ast.AssignStmt:
+		errObj := assignedErrObj(pass.TypesInfo, p, call)
+		if errObj == nil {
+			pass.Reportf(call.Pos(),
+				"%s.Put error assigned to blank: a failed Put means the packet must stop (hard error) or stop cleanly (tbuf.ErrConsumersGone)",
+				recv)
+			return
+		}
+		if wantSentinel {
+			checkSentinelHandling(pass, parents, call, errObj)
+		}
+	case *ast.BinaryExpr:
+		// `if out.Put(b) != nil { ... }`: checked for nil-ness only — the
+		// sentinel cannot be distinguished from a hard error this way.
+		if wantSentinel {
+			pass.Reportf(call.Pos(),
+				"SharedOut.Put error reduced to a nil-comparison: tbuf.ErrConsumersGone (clean early stop) is indistinguishable from a hard failure here")
+		}
+	case *ast.ReturnStmt:
+		// `return out.Put(b)` propagates verbatim; the caller owns the
+		// sentinel distinction (the emitResult idiom).
+	}
+}
+
+// assignedErrObj returns the object the call's error result is bound to in
+// assign, or nil when it lands in the blank identifier.
+func assignedErrObj(info *types.Info, assign *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) != call || i >= len(assign.Lhs) {
+			continue
+		}
+		if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+			return objOf(info, id)
+		}
+	}
+	return nil
+}
+
+// checkSentinelHandling verifies the enclosing function either names
+// ErrConsumersGone, returns the error variable, or delegates it to another
+// function; purely local consumption collapses the sentinel.
+func checkSentinelHandling(pass *Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr, errObj types.Object) {
+	body := enclosingFunc(parents, call)
+	if body == nil {
+		return
+	}
+	mentionsSentinel := false
+	delegated := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if x.Name == "ErrConsumersGone" {
+				if obj := objOf(pass.TypesInfo, x); obj != nil && pkgMatches(obj.Pkg(), tbufPath) {
+					mentionsSentinel = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesObj(pass.TypesInfo, r, errObj) {
+					delegated = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range x.Args {
+				if usesObj(pass.TypesInfo, a, errObj) {
+					delegated = true
+				}
+			}
+		}
+		return true
+	})
+	if !mentionsSentinel && !delegated {
+		pass.Reportf(call.Pos(),
+			"SharedOut.Put error is consumed locally without distinguishing tbuf.ErrConsumersGone: a clean early stop (all consumers gone) would be reported as a failure")
+	}
+}
+
+// usesObj reports whether expr references obj.
+func usesObj(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,647 @@
+// leaselint enforces the batch-lease protocol (PR 3, hardened by PR 4's
+// Get-prefers-abandoned fix): a batch array drawn from the runtime pool —
+// via SharedOut.NewBatch, BatchPool.Get/GetCap on the producer side, or
+// Buffer.Get on the consumer side — has exactly one owner at a time.
+// Handing the array to SharedOut.Put, Buffer.Put, Buffer.Recycle or
+// BatchPool.Put transfers (or retires) the lease; after that the array must
+// not be touched. Tuples received from a Buffer.Get are immutable: they are
+// shared by reference with OSP satellites and the replay window, so writing
+// into them corrupts other queries' results.
+//
+// The analysis is function-local and deliberately conservative: a batch
+// that escapes (passed to another function, returned, stored, captured by a
+// closure) is assumed to transfer its lease with it, so only definite
+// in-function violations are reported:
+//
+//   - use of a batch variable after its lease was handed off on every path
+//     to the use (straight-line code; branchy handoffs demote to unknown)
+//   - a leased batch that neither reaches a handoff nor escapes the
+//     function at all (the lease leaks; with a pool attached the array is
+//     lost to the free list)
+//   - writes through tuples obtained from a consumer-side Buffer.Get
+//     (published rows are immutable)
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeaseLint is the batch-lease protocol analyzer.
+var LeaseLint = &Analyzer{
+	Name: "leaselint",
+	Doc: "check the batch lease protocol: pool-drawn batch arrays must be handed off exactly once " +
+		"(SharedOut.Put/Buffer.Put/Recycle/BatchPool.Put), never used after handoff, and rows read " +
+		"from a Buffer.Get are immutable",
+	Run: runLeaseLint,
+}
+
+type leaseStatus int
+
+const (
+	leaseLeased  leaseStatus = iota // drawn, owned by this function
+	leaseHanded                     // lease definitely transferred
+	leaseUnknown                    // reassigned, escaped, or branch-dependent
+)
+
+type leaseInfo struct {
+	status      leaseStatus
+	drawPos     token.Pos
+	drawDesc    string
+	handoffPos  token.Pos
+	handoffDesc string
+	everHandoff bool
+	everEscape  bool
+	consumer    bool // drawn via Buffer.Get: rows are published/immutable
+}
+
+type leaseAnalysis struct {
+	pass   *Pass
+	fnName string
+	// tracked lease state per batch variable.
+	state map[types.Object]*leaseInfo
+	// pubTuples are tuple variables derived from a consumer-side batch
+	// (range value or index read); writes through them are reported.
+	pubTuples map[types.Object]token.Pos
+}
+
+func runLeaseLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fb := range fileFuncBodies(f) {
+			la := &leaseAnalysis{
+				pass:      pass,
+				fnName:    fb.name,
+				state:     map[types.Object]*leaseInfo{},
+				pubTuples: map[types.Object]token.Pos{},
+			}
+			la.stmts(fb.body.List)
+			la.reportLeaks()
+		}
+	}
+	return nil
+}
+
+// isLeaseDraw classifies a call as a producer- or consumer-side lease draw.
+func (la *leaseAnalysis) isLeaseDraw(call *ast.CallExpr) (consumer, ok bool) {
+	info := la.pass.TypesInfo
+	switch {
+	case isMethodCall(info, call, tbufPath, "SharedOut", "NewBatch"),
+		isMethodCall(info, call, tbufPath, "BatchPool", "Get", "GetCap"):
+		return false, true
+	case isMethodCall(info, call, tbufPath, "Buffer", "Get"):
+		return true, true
+	}
+	return false, false
+}
+
+// isHandoff reports whether call transfers a batch lease through its first
+// argument.
+func (la *leaseAnalysis) isHandoff(call *ast.CallExpr) (desc string, ok bool) {
+	info := la.pass.TypesInfo
+	switch {
+	case isMethodCall(info, call, tbufPath, "SharedOut", "Put"):
+		return "SharedOut.Put", true
+	case isMethodCall(info, call, tbufPath, "Buffer", "Put"):
+		return "Buffer.Put", true
+	case isMethodCall(info, call, tbufPath, "Buffer", "Recycle"):
+		return "Buffer.Recycle", true
+	case isMethodCall(info, call, tbufPath, "BatchPool", "Put"):
+		return "BatchPool.Put", true
+	}
+	return "", false
+}
+
+func (la *leaseAnalysis) reportLeaks() {
+	for _, info := range la.state {
+		if !info.everHandoff && !info.everEscape {
+			la.pass.Reportf(info.drawPos,
+				"batch leased from %s in %s is neither handed off (Put/Recycle/pool.Put) nor passed on — the array lease leaks",
+				info.drawDesc, la.fnName)
+		}
+	}
+}
+
+// ---- statement walk ----------------------------------------------------------
+
+func (la *leaseAnalysis) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		la.stmt(s)
+	}
+}
+
+func (la *leaseAnalysis) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		la.assign(x)
+	case *ast.ExprStmt:
+		la.expr(x.X, false)
+		la.scanHandoffs(x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					la.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			la.expr(r, true)
+		}
+	case *ast.DeferStmt:
+		// Deferred handoffs run at function exit: they satisfy the leak
+		// check but do not change the linear status (uses between here and
+		// the function's end are legal). Uses inside the deferred call are
+		// not ordered with the statements that follow, so they are treated
+		// as captures, not flagged.
+		la.deferredHandoffs(x.Call)
+	case *ast.GoStmt:
+		la.expr(x.Call, true)
+	case *ast.SendStmt:
+		la.expr(x.Chan, false)
+		la.expr(x.Value, true)
+	case *ast.IncDecStmt:
+		la.expr(x.X, false)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			la.stmt(x.Init)
+		}
+		la.expr(x.Cond, false)
+		la.scanHandoffs(x.Cond)
+		before := la.snapshot()
+		la.branch(x.Body.List, before)
+		if x.Else != nil {
+			la.branch([]ast.Stmt{x.Else}, before)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			la.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			la.expr(x.Cond, false)
+		}
+		before := la.snapshot()
+		body := x.Body.List
+		if x.Post != nil {
+			body = append(body[:len(body):len(body)], x.Post)
+		}
+		la.branch(body, before)
+	case *ast.RangeStmt:
+		la.rangeStmt(x)
+	case *ast.BlockStmt:
+		la.stmts(x.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			la.stmt(x.Init)
+		}
+		if x.Tag != nil {
+			la.expr(x.Tag, false)
+		}
+		before := la.snapshot()
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				la.branch(cc.Body, before)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		before := la.snapshot()
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				la.branch(cc.Body, before)
+			}
+		}
+	case *ast.SelectStmt:
+		before := la.snapshot()
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				body := cc.Body
+				if cc.Comm != nil {
+					body = append([]ast.Stmt{cc.Comm}, body...)
+				}
+				la.branch(body, before)
+			}
+		}
+	case *ast.LabeledStmt:
+		la.stmt(x.Stmt)
+	}
+}
+
+// branch analyzes a conditional body starting from the snapshot, then
+// merges: any variable whose status the branch changed becomes unknown —
+// the branch may not execute, so neither "still leased" nor "handed" can be
+// asserted afterwards. Reports inside the branch fire with full precision.
+func (la *leaseAnalysis) branch(body []ast.Stmt, before map[types.Object]leaseStatus) {
+	la.stmts(body)
+	for obj, info := range la.state {
+		if st, ok := before[obj]; ok && st != info.status {
+			info.status = leaseUnknown
+		} else if !ok {
+			// Drawn inside the branch: its fate was decided there (leak
+			// check still applies via everHandoff/everEscape).
+			info.status = leaseUnknown
+		}
+	}
+}
+
+func (la *leaseAnalysis) snapshot() map[types.Object]leaseStatus {
+	m := make(map[types.Object]leaseStatus, len(la.state))
+	for obj, info := range la.state {
+		m[obj] = info.status
+	}
+	return m
+}
+
+func (la *leaseAnalysis) valueSpec(vs *ast.ValueSpec) {
+	for _, v := range vs.Values {
+		la.expr(v, false)
+	}
+	if len(vs.Names) >= 1 && len(vs.Values) == 1 {
+		if call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			la.trackDraw(vs.Names[0], call)
+		}
+	}
+}
+
+func (la *leaseAnalysis) assign(x *ast.AssignStmt) {
+	// Published-row mutation: writing through an index of a consumer batch
+	// or of a tuple derived from one.
+	for _, lhs := range x.Lhs {
+		la.checkPublishedWrite(lhs)
+	}
+
+	// Uses and handoffs on the RHS first (pre-assignment order).
+	appendTargets := map[types.Object]bool{}
+	for i, rhs := range x.Rhs {
+		// b = append(b, ...) grows the leased array in place and keeps the
+		// lease; don't count the self-reference as an escape.
+		if i < len(x.Lhs) {
+			if id, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(la.pass.TypesInfo, call) {
+					if first, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && first.Name == id.Name {
+						if obj := objOf(la.pass.TypesInfo, id); obj != nil {
+							appendTargets[obj] = true
+						}
+					}
+				}
+			}
+		}
+		la.exprSkipAppendBase(rhs, appendTargets)
+		la.scanHandoffs(rhs)
+	}
+
+	// Then the effects of the assignment itself.
+	for i, lhs := range x.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			la.expr(lhs, false)
+			// Storing into a field, slice element or dereference hands the
+			// lease to whatever owns the destination (the cursor idiom:
+			// c.batch = b, recycled by a later release()).
+			if len(x.Lhs) == len(x.Rhs) {
+				la.markEscapes(x.Rhs[i])
+			}
+			continue
+		}
+		obj := objOf(la.pass.TypesInfo, id)
+		if obj == nil || id.Name == "_" {
+			continue
+		}
+		// Fresh draw?
+		if len(x.Rhs) == 1 && i == 0 {
+			if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+				if la.trackDraw(id, call) {
+					continue
+				}
+			}
+		}
+		if info, tracked := la.state[obj]; tracked && !appendTargets[obj] {
+			// Reassigned: the old array's fate was decided elsewhere
+			// (commonly `b = nil` after a manual transfer).
+			info.status = leaseUnknown
+			info.everEscape = true
+		}
+		// Derived tuple? t := batch[i] over a consumer batch.
+		if len(x.Rhs) == 1 && i < len(x.Rhs) {
+			la.trackDerivedTuple(id, x.Rhs[i])
+		}
+	}
+}
+
+// trackDraw registers id as a leased batch if call is a lease draw.
+func (la *leaseAnalysis) trackDraw(id *ast.Ident, call *ast.CallExpr) bool {
+	consumer, ok := la.isLeaseDraw(call)
+	if !ok {
+		return false
+	}
+	obj := objOf(la.pass.TypesInfo, id)
+	if obj == nil || id.Name == "_" {
+		return true
+	}
+	fn := calleeFunc(la.pass.TypesInfo, call)
+	desc := "pool"
+	if fn != nil {
+		_, recvName := recvTypeName(fn)
+		desc = recvName + "." + fn.Name()
+	}
+	la.state[obj] = &leaseInfo{
+		status:   leaseLeased,
+		drawPos:  id.Pos(),
+		drawDesc: desc,
+		consumer: consumer,
+	}
+	return true
+}
+
+// trackDerivedTuple marks id as a published tuple when rhs reads an element
+// of a consumer-side batch.
+func (la *leaseAnalysis) trackDerivedTuple(id *ast.Ident, rhs ast.Expr) {
+	idx, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(idx.X).(*ast.Ident)
+	if !ok {
+		return
+	}
+	baseObj := objOf(la.pass.TypesInfo, base)
+	if info, tracked := la.state[baseObj]; tracked && info.consumer {
+		if obj := objOf(la.pass.TypesInfo, id); obj != nil {
+			la.pubTuples[obj] = id.Pos()
+		}
+	}
+}
+
+// checkPublishedWrite reports writes through published (immutable) rows:
+// batch[i][j] = v, or t[j] = v for t derived from a consumer batch.
+func (la *leaseAnalysis) checkPublishedWrite(lhs ast.Expr) {
+	// Strip field selectors: t[0].I = v writes through the row just like
+	// t[0] = v does.
+	e := ast.Unparen(lhs)
+	for {
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			e = ast.Unparen(sel.X)
+			continue
+		}
+		break
+	}
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return
+	}
+	switch base := ast.Unparen(idx.X).(type) {
+	case *ast.Ident:
+		if _, pub := la.pubTuples[objOf(la.pass.TypesInfo, base)]; pub {
+			la.pass.Reportf(lhs.Pos(),
+				"write through tuple %s read from a Buffer.Get batch: rows are immutable once published (shared by reference with OSP satellites and the replay window)",
+				base.Name)
+		}
+	case *ast.IndexExpr:
+		if inner, ok := ast.Unparen(base.X).(*ast.Ident); ok {
+			if info, tracked := la.state[objOf(la.pass.TypesInfo, inner)]; tracked && info.consumer {
+				la.pass.Reportf(lhs.Pos(),
+					"write into row of consumer batch %s: rows are immutable once published (shared by reference with OSP satellites and the replay window)",
+					inner.Name)
+			}
+		}
+	}
+}
+
+// rangeStmt handles `for i, t := range batch`: the range expression is a
+// read; over a consumer batch, the value variable becomes a published
+// tuple.
+func (la *leaseAnalysis) rangeStmt(x *ast.RangeStmt) {
+	la.expr(x.X, false)
+	if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+		if info, tracked := la.state[objOf(la.pass.TypesInfo, id)]; tracked && info.consumer {
+			if v, ok := x.Value.(*ast.Ident); ok && v.Name != "_" {
+				if obj := objOf(la.pass.TypesInfo, v); obj != nil {
+					la.pubTuples[obj] = v.Pos()
+				}
+			}
+		}
+	}
+	before := la.snapshot()
+	la.branch(x.Body.List, before)
+}
+
+// deferredHandoffs records lease handoffs inside a defer for the leak
+// check without advancing the linear status.
+func (la *leaseAnalysis) deferredHandoffs(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := la.isHandoff(c); !ok {
+			return true
+		}
+		if len(c.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(c.Args[0]).(*ast.Ident); ok {
+			if info, tracked := la.state[objOf(la.pass.TypesInfo, id)]; tracked {
+				info.everHandoff = true
+			}
+		}
+		return true
+	})
+}
+
+// scanHandoffs marks tracked batches handed off by any handoff call inside
+// e, recording position and kind for later use-after-handoff reports.
+func (la *leaseAnalysis) scanHandoffs(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are captures, handled by expr()
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc, ok := la.isHandoff(call)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if info, tracked := la.state[objOf(la.pass.TypesInfo, id)]; tracked {
+			info.status = leaseHanded
+			info.handoffPos = call.Pos()
+			info.handoffDesc = desc
+			info.everHandoff = true
+		}
+		return true
+	})
+}
+
+// ---- expression walk ---------------------------------------------------------
+
+// expr walks e reporting uses of handed-off batches; escape=true marks
+// occurrences that transfer the value out of the function's hands.
+func (la *leaseAnalysis) expr(e ast.Expr, escape bool) {
+	la.exprSkipAppendBase(e, nil)
+	if escape {
+		la.markEscapes(e)
+	}
+}
+
+// exprSkipAppendBase walks e; appendKeep lists objects whose use as
+// append's first argument (self-append) must not count as an escape.
+func (la *leaseAnalysis) exprSkipAppendBase(e ast.Expr, appendKeep map[types.Object]bool) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *ast.Ident:
+		la.useIdent(x, false)
+	case *ast.ParenExpr:
+		la.exprSkipAppendBase(x.X, appendKeep)
+	case *ast.SelectorExpr:
+		la.exprSkipAppendBase(x.X, appendKeep)
+	case *ast.IndexExpr:
+		la.exprSkipAppendBase(x.X, appendKeep)
+		la.exprSkipAppendBase(x.Index, appendKeep)
+	case *ast.SliceExpr:
+		// Slicing aliases the array; treat the base as escaping unless the
+		// result feeds a handoff (covered by scanHandoffs on ident args
+		// only, so slices stay conservative).
+		la.markEscapes(x.X)
+		la.exprSkipAppendBase(x.Low, appendKeep)
+		la.exprSkipAppendBase(x.High, appendKeep)
+		la.exprSkipAppendBase(x.Max, appendKeep)
+	case *ast.StarExpr:
+		la.exprSkipAppendBase(x.X, appendKeep)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			la.markEscapes(x.X)
+		} else {
+			la.exprSkipAppendBase(x.X, appendKeep)
+		}
+	case *ast.BinaryExpr:
+		la.exprSkipAppendBase(x.X, appendKeep)
+		la.exprSkipAppendBase(x.Y, appendKeep)
+	case *ast.TypeAssertExpr:
+		la.exprSkipAppendBase(x.X, appendKeep)
+	case *ast.KeyValueExpr:
+		la.exprSkipAppendBase(x.Value, appendKeep)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			la.markEscapes(el)
+			la.exprSkipAppendBase(el, appendKeep)
+		}
+	case *ast.FuncLit:
+		// Captured by a closure: ownership becomes non-local. The closure
+		// body is analyzed as its own function scope by runLeaseLint.
+		la.markEscapes(x)
+	case *ast.CallExpr:
+		la.callExpr(x, appendKeep)
+	}
+}
+
+func (la *leaseAnalysis) callExpr(x *ast.CallExpr, appendKeep map[types.Object]bool) {
+	info := la.pass.TypesInfo
+	if isBuiltinAppend(info, x) {
+		// append(b, ...): the base slot is a use, not an escape, when the
+		// result is assigned back to b (appendKeep); appended *elements*
+		// always escape.
+		if id, ok := ast.Unparen(x.Args[0]).(*ast.Ident); ok {
+			keep := appendKeep != nil && appendKeep[objOf(info, id)]
+			la.useIdent(id, !keep)
+		} else {
+			la.exprSkipAppendBase(x.Args[0], appendKeep)
+		}
+		for _, a := range x.Args[1:] {
+			la.markEscapes(a)
+			la.exprSkipAppendBase(a, appendKeep)
+		}
+		return
+	}
+	if isBuiltinLenCap(info, x) {
+		for _, a := range x.Args {
+			la.exprSkipAppendBase(a, appendKeep)
+		}
+		return
+	}
+	if _, ok := la.isHandoff(x); ok {
+		// The batch argument's use is legitimate here (this IS the
+		// handoff); still flag a batch already handed off — a double Put.
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+			la.exprSkipAppendBase(sel.X, appendKeep)
+		}
+		for _, a := range x.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+				la.useIdent(id, false)
+			} else {
+				la.exprSkipAppendBase(a, appendKeep)
+			}
+		}
+		return
+	}
+	// Any other call: arguments escape (lease assumed to travel with
+	// them).
+	la.exprSkipAppendBase(x.Fun, appendKeep)
+	for _, a := range x.Args {
+		la.markEscapes(a)
+		la.exprSkipAppendBase(a, appendKeep)
+	}
+}
+
+// useIdent reports a use of a handed-off batch and records escapes.
+func (la *leaseAnalysis) useIdent(id *ast.Ident, escape bool) {
+	obj := objOf(la.pass.TypesInfo, id)
+	info, tracked := la.state[obj]
+	if !tracked {
+		return
+	}
+	if info.status == leaseHanded {
+		la.pass.Reportf(id.Pos(),
+			"batch %s used after its lease was handed off by %s at %s",
+			id.Name, info.handoffDesc, la.pass.Fset.Position(info.handoffPos))
+		info.status = leaseUnknown // one report per handoff, not a cascade
+	}
+	if escape {
+		info.everEscape = true
+		if info.status == leaseLeased {
+			info.status = leaseUnknown
+		}
+	}
+}
+
+// markEscapes flags every tracked identifier inside e as escaping.
+func (la *leaseAnalysis) markEscapes(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if info, tracked := la.state[objOf(la.pass.TypesInfo, id)]; tracked {
+				info.everEscape = true
+				if info.status == leaseLeased {
+					info.status = leaseUnknown
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isBuiltinLenCap(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && (b.Name() == "len" || b.Name() == "cap")
+}

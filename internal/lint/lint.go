@@ -1,0 +1,161 @@
+// Package lint implements qpipe-lint: a suite of static analyzers that
+// mechanically enforce the engine invariants the README and three past PRs
+// otherwise leave to reviewers' heads — the batch-lease protocol, the
+// no-error-swallowing emitter idiom, temp-spill registration-before-write,
+// signature purity with respect to parallelism/batch hints, and context
+// threading into operator sub-workers.
+//
+// The package mirrors the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic, object facts, an analysistest-style test
+// runner) but is built on the standard library alone: packages are loaded
+// with `go list` plus go/parser and go/types, and stdlib dependencies are
+// imported from build-cache export data. That keeps the linter runnable in
+// hermetic environments with nothing but the Go toolchain, and the API
+// close enough to x/tools that migrating onto the real framework later is a
+// mechanical substitution.
+//
+// Every diagnostic can be suppressed at the line it fires on (or the line
+// directly above) with an explicit, justified directive:
+//
+//	//qpipelint:ignore <analyzer> <reason>
+//
+// Unknown analyzer names and directives missing a reason are themselves
+// diagnostics — a typoed suppression must never become a silent one.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. The shape deliberately
+// matches golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //qpipelint:ignore directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph description shown by `qpipe-lint -list`.
+	Doc string
+
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package, again
+// shaped after analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	facts *FactStore
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportObjectFact attaches a fact about obj, visible to later passes of the
+// same analyzer over packages that import this one. Packages are analyzed in
+// dependency order, so facts flow strictly downstream.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.facts.set(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact retrieves a fact previously exported about obj by this
+// analyzer (possibly while analyzing a dependency package).
+func (p *Pass) ImportObjectFact(obj types.Object) (any, bool) {
+	return p.facts.get(p.Analyzer.Name, obj)
+}
+
+// FactStore holds per-analyzer object facts across the packages of one run.
+// The loader type-checks every in-module package from source with one shared
+// FileSet and importer, so types.Object identities are stable across
+// packages and can key the store directly.
+type FactStore struct {
+	m map[string]map[types.Object]any
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore { return &FactStore{m: map[string]map[types.Object]any{}} }
+
+func (s *FactStore) set(analyzer string, obj types.Object, fact any) {
+	byObj := s.m[analyzer]
+	if byObj == nil {
+		byObj = map[types.Object]any{}
+		s.m[analyzer] = byObj
+	}
+	byObj[obj] = fact
+}
+
+func (s *FactStore) get(analyzer string, obj types.Object) (any, bool) {
+	fact, ok := s.m[analyzer][obj]
+	return fact, ok
+}
+
+// Run executes every analyzer over every package, in the given package
+// order (the loader returns dependency order, which facts rely on), and
+// returns the raw diagnostics sorted by position. Ignore directives are NOT
+// applied here — see ApplyDirectives — so tests can assert on the unfiltered
+// stream.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s failed on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}

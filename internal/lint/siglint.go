@@ -1,0 +1,173 @@
+// siglint enforces signature purity (PR 2, pinned again by PR 6): plan
+// Signature()/BuildSignature() renderings and the normalization pipeline
+// are the OSP sharing key — two queries share work iff their signatures are
+// byte-identical — while parallelism and batch-size hints are per-query
+// execution knobs. A signature that reads a hint field fragments sharing
+// (equal plans with different hints stop overlapping), which silently
+// defeats the optimizer objective PR 6 built. The engine therefore keeps
+// hints strictly outside signatures, and this analyzer makes that
+// mechanical: no function reachable from a Signature/BuildSignature method
+// or a Normalize* function may read a plan hint field (Parallelism,
+// BatchSize).
+//
+// Reachability crosses function and package boundaries through analyzer
+// facts: when a package exports a helper that reads a hint field, the fact
+// travels with the helper's object, and a downstream package's Signature
+// method calling it is flagged at its own declaration. Packages are
+// analyzed in dependency order, so facts always arrive before their
+// importers.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SigLint is the signature hint-purity analyzer.
+var SigLint = &Analyzer{
+	Name: "siglint",
+	Doc: "check that Signature()/BuildSignature() and Normalize* functions never read " +
+		"plan parallelism/batch-size hint fields (hints are per-query knobs excluded from " +
+		"the OSP sharing key), tracking taint across helpers and packages via facts",
+	Run: runSigLint,
+}
+
+// hintFieldNames are the plan-node fields that carry per-query execution
+// hints rather than plan identity.
+var hintFieldNames = map[string]bool{
+	"Parallelism": true,
+	"BatchSize":   true,
+}
+
+// hintTaint is the fact recorded for a function that (transitively) reads a
+// hint field.
+type hintTaint struct {
+	Field string // which hint field
+	Via   string // human-readable witness: who actually reads it
+}
+
+func runSigLint(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: direct hint-field reads and the static call graph, per
+	// declared function.
+	taint := map[*types.Func]*hintTaint{}
+	callees := map[*types.Func][]*types.Func{}
+	var decls []*ast.FuncDecl
+	declOf := map[*types.Func]*ast.FuncDecl{}
+
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fd)
+			declOf[fn] = fd
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					if field, ok := hintFieldRead(info, parents, x); ok {
+						if taint[fn] == nil {
+							taint[fn] = &hintTaint{Field: field, Via: funcDisplayName(fn)}
+						}
+					}
+				case *ast.CallExpr:
+					if callee := calleeFunc(info, x); callee != nil {
+						callees[fn] = append(callees[fn], callee)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: propagate taint to a fixed point through the in-package call
+	// graph, folding in facts exported by dependency packages.
+	for changed := true; changed; {
+		changed = false
+		for fn, calls := range callees {
+			if taint[fn] != nil {
+				continue
+			}
+			for _, callee := range calls {
+				var ct *hintTaint
+				if t, ok := taint[callee]; ok {
+					ct = t
+				} else if fact, ok := pass.ImportObjectFact(callee); ok {
+					ct, _ = fact.(*hintTaint)
+				}
+				if ct != nil {
+					taint[fn] = &hintTaint{Field: ct.Field, Via: funcDisplayName(callee) + " -> " + ct.Via}
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Pass 3: export facts and report tainted entry points.
+	for fn, t := range taint {
+		pass.ExportObjectFact(fn, t)
+		if !isSignatureEntryPoint(fn) {
+			continue
+		}
+		fd := declOf[fn]
+		if fd == nil {
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"%s must be hint-pure (it is the OSP sharing key) but reads plan hint field %s via %s",
+			funcDisplayName(fn), t.Field, t.Via)
+	}
+	return nil
+}
+
+// hintFieldRead reports whether sel reads (not writes) a hint field of a
+// plan-package struct.
+func hintFieldRead(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) (string, bool) {
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return "", false
+	}
+	field := selection.Obj()
+	if !hintFieldNames[field.Name()] || !pkgMatches(field.Pkg(), planPath) {
+		return "", false
+	}
+	// A selector that is an assignment target (and only that) is a write —
+	// WithParallelism-style setters stay clean.
+	if assign, ok := parents[sel].(*ast.AssignStmt); ok {
+		for _, lhs := range assign.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return "", false
+			}
+		}
+	}
+	return field.Name(), true
+}
+
+// isSignatureEntryPoint reports whether fn is part of the signature /
+// normalization surface that must stay hint-pure.
+func isSignatureEntryPoint(fn *types.Func) bool {
+	name := fn.Name()
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() != nil {
+		return name == "Signature" || name == "BuildSignature"
+	}
+	return len(name) > len("Normalize") && name[:9] == "Normalize" || name == "Normalize" ||
+		len(name) > len("normalize") && name[:9] == "normalize" || name == "normalize"
+}
+
+// funcDisplayName renders fn as Type.Method or pkg-local name.
+func funcDisplayName(fn *types.Func) string {
+	if _, recvName := recvTypeName(fn); recvName != "" {
+		return recvName + "." + fn.Name()
+	}
+	return fn.Name()
+}

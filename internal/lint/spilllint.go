@@ -1,0 +1,179 @@
+// spilllint enforces temp-spill registration-before-write (PR 2): every
+// spill writer (the hjb/hjp partition files and sortrun/sorted files of the
+// hybrid hash join and external sort) must be covered by a DropTemp
+// registration — in practice a defer that drops the temp name(s) —
+// installed before the writer's first write. A writer that spills pages
+// before any cleanup is registered leaks its temp file on every error path
+// between the first write and the (too late or absent) registration; PR 2
+// closed exactly such windows in partitionedJoin and the sort run spiller.
+//
+// Mechanically, within the function that calls newSpillWriter:
+//
+//   - find the first write through the returned writer (an .add or .close
+//     call whose receiver is the writer variable, or an element of the
+//     writer slice it was stored into);
+//   - require a defer statement that mentions DropTemp, positioned before
+//     that first write (a function-level cleanup defer installed up front
+//     qualifies, as does a defer right after creation).
+//
+// A writer with no DropTemp defer anywhere in the function is flagged even
+// if it is never written: creation itself creates the file on disk.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpillLint is the temp-spill registration analyzer.
+var SpillLint = &Analyzer{
+	Name: "spilllint",
+	Doc: "check that every spill/temp-file writer (newSpillWriter) is covered by a DropTemp " +
+		"defer registered before its first write, so error paths cannot leak temp files",
+	Run: runSpillLint,
+}
+
+func runSpillLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fb := range fileFuncBodies(f) {
+			// Only declaration scopes: checkSpillFunc descends into nested
+			// closures itself, so a run-spiller closure is analyzed with the
+			// enclosing function's cleanup defers in view (the external-sort
+			// idiom) instead of as a defer-less scope of its own.
+			if fb.decl != nil {
+				checkSpillFunc(pass, fb)
+			}
+		}
+	}
+	return nil
+}
+
+type spillCreation struct {
+	pos token.Pos
+	// owner is the variable the writer (or the slice of writers) was
+	// assigned to; writes are matched through it.
+	owner types.Object
+}
+
+func checkSpillFunc(pass *Pass, fb funcBody) {
+	info := pass.TypesInfo
+
+	// Gather creations, defers mentioning DropTemp, and writer uses, all
+	// with positions; nested closures count (a cleanup closure and a
+	// partition worker both belong to the creating function's scope).
+	var creations []spillCreation
+	var dropDefers []token.Pos
+	writeUses := map[types.Object]token.Pos{} // earliest .add/.close through each owner
+
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if mentionsDropTemp(x) {
+				dropDefers = append(dropDefers, x.Pos())
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isNewSpillWriter(info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				if owner := assignOwner(info, x.Lhs[i]); owner != nil {
+					creations = append(creations, spillCreation{pos: call.Pos(), owner: owner})
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name != "add" && sel.Sel.Name != "close" && sel.Sel.Name != "Append" {
+				return true
+			}
+			if owner := receiverOwner(info, sel.X); owner != nil {
+				if prev, ok := writeUses[owner]; !ok || x.Pos() < prev {
+					writeUses[owner] = x.Pos()
+				}
+			}
+		}
+		return true
+	})
+
+	for _, c := range creations {
+		firstWrite, hasWrite := writeUses[c.owner]
+		covered := false
+		for _, dp := range dropDefers {
+			if !hasWrite || dp < firstWrite {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		if len(dropDefers) == 0 {
+			pass.Reportf(c.pos,
+				"spill writer created without any DropTemp defer in %s: the temp file leaks on every error path",
+				fb.name)
+		} else {
+			pass.Reportf(c.pos,
+				"spill writer is written before its DropTemp defer is installed in %s: a failed write in between leaks the temp file",
+				fb.name)
+		}
+	}
+}
+
+// isNewSpillWriter matches calls to a function named newSpillWriter (the
+// engine's single spill-file constructor; the name is the contract).
+func isNewSpillWriter(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == "newSpillWriter"
+}
+
+// mentionsDropTemp reports whether the defer's subtree (including a
+// deferred closure's body) calls something named DropTemp.
+func mentionsDropTemp(d *ast.DeferStmt) bool {
+	found := false
+	ast.Inspect(d, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "DropTemp" {
+			found = true
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == "DropTemp" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// assignOwner resolves the variable a writer lands in: a plain identifier,
+// or the base slice for buildFiles[i] = newSpillWriter(...).
+func assignOwner(info *types.Info, lhs ast.Expr) types.Object {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return nil
+		}
+		return objOf(info, x)
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return objOf(info, base)
+		}
+	}
+	return nil
+}
+
+// receiverOwner resolves a write receiver back to the owning variable:
+// w.add -> w, buildFiles[p].add -> buildFiles.
+func receiverOwner(info *types.Info, recv ast.Expr) types.Object {
+	switch x := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		return objOf(info, x)
+	case *ast.IndexExpr:
+		if base, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			return objOf(info, base)
+		}
+	}
+	return nil
+}

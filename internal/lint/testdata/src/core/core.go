@@ -1,0 +1,8 @@
+// Package core is the analysistest stand-in for qpipe/internal/core.
+package core
+
+// MicroEngine mirrors the engine type whose SpawnSub spawns sub-workers.
+type MicroEngine struct{}
+
+// SpawnSub runs fn as a sub-worker goroutine.
+func (e *MicroEngine) SpawnSub(fn func()) { go fn() }

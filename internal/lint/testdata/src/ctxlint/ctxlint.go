@@ -1,0 +1,50 @@
+// Test cases for ctxlint: context threading into µEngine sub-workers.
+package ctxlint
+
+import (
+	"context"
+
+	"core"
+)
+
+// badBackground: a sub-worker manufacturing its own root context detaches
+// from query cancellation.
+func badBackground(e *core.MicroEngine) {
+	e.SpawnSub(func() {
+		ctx := context.Background() // want `sub-worker creates context.Background`
+		_ = ctx
+	})
+}
+
+// badTODO: context.TODO is the same detachment with a different name.
+func badTODO(e *core.MicroEngine) {
+	e.SpawnSub(func() {
+		_ = context.TODO() // want `sub-worker creates context.TODO`
+	})
+}
+
+// badSpawnerHook: the func(func()) spawner hooks the parallel helpers
+// thread around are spawn points too.
+func badSpawnerHook(spawn func(func())) {
+	spawn(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 0) // want `sub-worker creates context.Background`
+		defer cancel()
+		<-ctx.Done()
+	})
+}
+
+// cleanThreaded: the sub-worker derives everything from the packet's
+// context captured from the enclosing scope.
+func cleanThreaded(e *core.MicroEngine, ctx context.Context) {
+	e.SpawnSub(func() {
+		sub, cancel := context.WithCancel(ctx)
+		defer cancel()
+		<-sub.Done()
+	})
+}
+
+// cleanNonSpawn: creating a root context outside any spawned closure is
+// not this analyzer's business (main() and tests do it legitimately).
+func cleanNonSpawn() context.Context {
+	return context.Background()
+}

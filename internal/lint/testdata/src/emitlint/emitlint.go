@@ -1,0 +1,78 @@
+// Test cases for emitlint: Put error checking and ErrConsumersGone
+// sentinel discipline.
+package emitlint
+
+import (
+	"errors"
+
+	"tbuf"
+)
+
+// discard: Put as a bare expression statement drops the error.
+func discard(out *tbuf.SharedOut, b tbuf.Batch) {
+	out.Put(b) // want `SharedOut.Put error discarded`
+}
+
+// discardBuffer: same for the producer-side buffer port.
+func discardBuffer(buf *tbuf.Buffer, b tbuf.Batch) {
+	buf.Put(b) // want `Buffer.Put error discarded`
+}
+
+// blank: assigning to the blank identifier is a discard with extra steps.
+func blank(out *tbuf.SharedOut, b tbuf.Batch) {
+	_ = out.Put(b) // want `SharedOut.Put error assigned to blank`
+}
+
+// nilCompare: a raw nil-comparison cannot separate the clean-stop sentinel
+// from a hard failure.
+func nilCompare(out *tbuf.SharedOut, b tbuf.Batch) bool {
+	return out.Put(b) != nil // want `reduced to a nil-comparison`
+}
+
+// localCollapse: the error is consumed entirely inside the function without
+// ever naming tbuf.ErrConsumersGone — a clean early stop reads as failure.
+func localCollapse(out *tbuf.SharedOut, b tbuf.Batch) bool {
+	err := out.Put(b) // want `consumed locally without distinguishing tbuf.ErrConsumersGone`
+	if err != nil {
+		return false
+	}
+	return true
+}
+
+// deferredDiscard: defer drops the call's results.
+func deferredDiscard(out *tbuf.SharedOut, b tbuf.Batch) {
+	defer out.Put(b) // want `SharedOut.Put error discarded \(deferred/async`
+}
+
+// cleanSentinel: the canonical emit idiom — check the error and treat
+// ErrConsumersGone as a clean stop.
+func cleanSentinel(out *tbuf.SharedOut, b tbuf.Batch) error {
+	if err := out.Put(b); err != nil {
+		if errors.Is(err, tbuf.ErrConsumersGone) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// cleanPropagate: returning the error verbatim hands the sentinel decision
+// to the caller (the emitResult idiom).
+func cleanPropagate(out *tbuf.SharedOut, b tbuf.Batch) error {
+	return out.Put(b)
+}
+
+// cleanDelegate: passing the error to another function is propagation too.
+func cleanDelegate(out *tbuf.SharedOut, b tbuf.Batch, classify func(error) error) error {
+	err := out.Put(b)
+	return classify(err)
+}
+
+// cleanBufferChecked: Buffer.Put errors only need to be checked; no
+// sentinel discipline applies to the intra-stage port.
+func cleanBufferChecked(buf *tbuf.Buffer, b tbuf.Batch) error {
+	if err := buf.Put(b); err != nil {
+		return err
+	}
+	return nil
+}

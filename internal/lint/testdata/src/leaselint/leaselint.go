@@ -1,0 +1,154 @@
+// Test cases for leaselint: batch lease handoff and published-row
+// immutability.
+package leaselint
+
+import (
+	"tbuf"
+	"tuple"
+)
+
+// useAfterPut: straight-line use of a batch after its lease was handed to
+// SharedOut.Put.
+func useAfterPut(out *tbuf.SharedOut) {
+	b := out.NewBatch(4)
+	b = append(b, tuple.Tuple{{I: 1}})
+	_ = out.Put(b)
+	b = append(b, tuple.Tuple{{I: 2}}) // want `batch b used after its lease was handed off by SharedOut.Put`
+	_ = b
+}
+
+// doublePut: the second Put hands off a lease the function no longer holds.
+func doublePut(out *tbuf.SharedOut, pool *tbuf.BatchPool) {
+	b := pool.Get()
+	_ = out.Put(b)
+	_ = out.Put(b) // want `batch b used after its lease was handed off by SharedOut.Put`
+}
+
+// useAfterIfInitPut: handoff inside an if-init statement still consumes the
+// lease for the code after the if.
+func useAfterIfInitPut(out *tbuf.SharedOut) error {
+	b := out.NewBatch(2)
+	if err := out.Put(b); err != nil {
+		return err
+	}
+	return recycleUse(b) // want `batch b used after its lease was handed off by SharedOut.Put`
+}
+
+func recycleUse(b tbuf.Batch) error { return nil }
+
+// leak: a leased batch that never reaches a handoff and never escapes.
+func leak(pool *tbuf.BatchPool) {
+	b := pool.GetCap(8) // want `the array lease leaks`
+	b = append(b, tuple.Tuple{{I: 3}})
+}
+
+// mutatePublished: rows drawn from a consumer-side Buffer.Get are shared by
+// reference and must not be written.
+func mutatePublished(buf *tbuf.Buffer) error {
+	batch, err := buf.Get()
+	if err != nil {
+		return err
+	}
+	t := batch[0]
+	t[0] = tuple.Value{I: 9} // want `rows are immutable once published`
+	buf.Recycle(batch)
+	return nil
+}
+
+// mutatePublishedDeep: writing through a nested index or a field of a row
+// is the same violation.
+func mutatePublishedDeep(buf *tbuf.Buffer) error {
+	batch, err := buf.Get()
+	if err != nil {
+		return err
+	}
+	batch[0][1] = tuple.Value{I: 7} // want `rows are immutable once published`
+	buf.Recycle(batch)
+	return nil
+}
+
+// mutateRangeRow: range values over a consumer batch are published rows too.
+func mutateRangeRow(buf *tbuf.Buffer) error {
+	batch, err := buf.Get()
+	if err != nil {
+		return err
+	}
+	for _, t := range batch {
+		t[0].I = 42 // want `rows are immutable once published`
+	}
+	buf.Recycle(batch)
+	return nil
+}
+
+// cleanEmit: draw, fill, hand off once — the canonical producer loop body.
+func cleanEmit(out *tbuf.SharedOut) error {
+	b := out.NewBatch(4)
+	for i := 0; i < 4; i++ {
+		b = append(b, tuple.Tuple{{I: int64(i)}})
+	}
+	return out.Put(b)
+}
+
+// cleanRecycle: the canonical consumer loop body — read rows, recycle the
+// batch, never touch it again.
+func cleanRecycle(buf *tbuf.Buffer) (int64, error) {
+	batch, err := buf.Get()
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, t := range batch {
+		sum += t[0].I
+	}
+	buf.Recycle(batch)
+	return sum, nil
+}
+
+// cleanPassOn: handing the batch to another function transfers the lease
+// with it; the callee owns the handoff.
+func cleanPassOn(pool *tbuf.BatchPool, sink func(tbuf.Batch) error) error {
+	b := pool.Get()
+	b = append(b, tuple.Tuple{{I: 5}})
+	return sink(b)
+}
+
+// cleanDeferRecycle: a deferred handoff covers the lease for the whole
+// function body.
+func cleanDeferRecycle(buf *tbuf.Buffer) (int, error) {
+	batch, err := buf.Get()
+	if err != nil {
+		return 0, err
+	}
+	defer buf.Recycle(batch)
+	return len(batch), nil
+}
+
+// holder owns batches stored into it and recycles them later.
+type holder struct {
+	b tbuf.Batch
+	i int
+}
+
+// cleanStoreToField: storing the drawn batch into a struct field transfers
+// the lease to the destination's owner (the cursor idiom: c.batch, c.i =
+// b, 0, recycled by a later release()).
+func cleanStoreToField(h *holder, buf *tbuf.Buffer) error {
+	b, err := buf.Get()
+	if err != nil {
+		return err
+	}
+	h.b, h.i = b, 0
+	return nil
+}
+
+// cleanBranchyHandoff: a handoff on one branch demotes the lease to
+// unknown, so the later use is not flagged (conservative, not unsound: the
+// analyzer only reports definite violations).
+func cleanBranchyHandoff(out *tbuf.SharedOut, flush bool) tbuf.Batch {
+	b := out.NewBatch(1)
+	if flush {
+		_ = out.Put(b)
+		b = nil
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+// Test cases for siglint, in-package half: the plan stand-in with hint
+// fields, signature methods, and helpers of both kinds.
+package plan
+
+// Scan is a plan node with identity fields and per-query hint fields.
+type Scan struct {
+	Table       string
+	Parallelism int
+	BatchSize   int
+}
+
+// Signature is hint-pure: identity fields only.
+func (s *Scan) Signature() string { return "scan(" + s.Table + ")" }
+
+// WithParallelism writes a hint field; writes are not reads and stay clean.
+func (s *Scan) WithParallelism(n int) *Scan {
+	s.Parallelism = n
+	return s
+}
+
+// hintOf reads a hint field. Not an entry point itself, but it taints every
+// signature that calls it.
+func hintOf(s *Scan) int { return s.Parallelism }
+
+// HintedWidth is an exported tainted helper: the taint travels to other
+// packages as an analyzer fact.
+func HintedWidth(s *Scan) int { return s.BatchSize * 8 }
+
+// BadScan reads a hint field directly inside its Signature.
+type BadScan struct {
+	Table       string
+	Parallelism int
+}
+
+func (s *BadScan) Signature() string { // want `BadScan.Signature must be hint-pure .* reads plan hint field Parallelism`
+	if s.Parallelism > 1 {
+		return s.Table + "!"
+	}
+	return s.Table
+}
+
+// ChainScan reaches a hint read through an in-package helper.
+type ChainScan struct{ S *Scan }
+
+func (c *ChainScan) Signature() string { // want `ChainScan.Signature must be hint-pure .* reads plan hint field Parallelism via hintOf`
+	if hintOf(c.S) > 0 {
+		return "par"
+	}
+	return "seq"
+}
+
+// Normalize is part of the normalization pipeline and must be hint-pure
+// too; this one peeks at BatchSize.
+func Normalize(s *Scan) *Scan { // want `Normalize must be hint-pure .* reads plan hint field BatchSize`
+	if s.BatchSize > 0 {
+		return s
+	}
+	return s
+}
+
+// NormalizeName is hint-pure normalization: identity fields only.
+func NormalizeName(s *Scan) *Scan {
+	if s.Table == "" {
+		s.Table = "?"
+	}
+	return s
+}

@@ -1,0 +1,28 @@
+// Test cases for siglint, cross-package half: taint imported through
+// analyzer facts from the plan stand-in.
+package siguser
+
+import (
+	"plan"
+)
+
+// Wrapper reaches a hint read only through plan.HintedWidth — the taint
+// arrives as a fact exported when the plan package was analyzed.
+type Wrapper struct{ S *plan.Scan }
+
+func (w *Wrapper) Signature() string { // want `Wrapper.Signature must be hint-pure .* reads plan hint field BatchSize via HintedWidth`
+	if plan.HintedWidth(w.S) > 64 {
+		return "wide"
+	}
+	return "narrow"
+}
+
+// Explain reads a hint field directly but is not part of the signature /
+// normalization surface: reading hints to display them is exactly what
+// EXPLAIN should do.
+func Explain(s *plan.Scan) int { return s.Parallelism }
+
+// CleanWrapper renders identity only.
+type CleanWrapper struct{ S *plan.Scan }
+
+func (w *CleanWrapper) Signature() string { return w.S.Signature() }

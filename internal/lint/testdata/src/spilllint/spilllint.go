@@ -1,0 +1,100 @@
+// Test cases for spilllint: DropTemp registration before first spill
+// write.
+package spilllint
+
+// Local stand-ins for the engine's disk manager and spill writer: the
+// analyzer matches by the names newSpillWriter and DropTemp, which are the
+// contract.
+
+type disk struct{}
+
+func (d *disk) DropTemp(name string) {}
+
+type spillWriter struct{}
+
+func (w *spillWriter) add(v int) error { return nil }
+func (w *spillWriter) close() error    { return nil }
+
+func newSpillWriter(d *disk, name string) *spillWriter { return &spillWriter{} }
+
+// noDefer: pages spill with no cleanup registered anywhere — the temp file
+// leaks on every error path.
+func noDefer(d *disk) error {
+	w := newSpillWriter(d, "run-0") // want `without any DropTemp defer`
+	if err := w.add(1); err != nil {
+		return err
+	}
+	return w.close()
+}
+
+// lateDefer: cleanup registered only after the first write leaves a leak
+// window in between.
+func lateDefer(d *disk) error {
+	w := newSpillWriter(d, "run-1") // want `written before its DropTemp defer`
+	if err := w.add(1); err != nil {
+		return err
+	}
+	defer d.DropTemp("run-1")
+	return w.close()
+}
+
+// cleanImmediateDefer: the sort-run idiom — register right after creation,
+// before any write.
+func cleanImmediateDefer(d *disk) error {
+	w := newSpillWriter(d, "run-2")
+	defer d.DropTemp("run-2")
+	if err := w.add(1); err != nil {
+		return err
+	}
+	return w.close()
+}
+
+// cleanUpfrontLoopDefer: the partitioned-join idiom — one function-level
+// cleanup defer installed before the writers are even created, dropping
+// every name accumulated since.
+func cleanUpfrontLoopDefer(d *disk) error {
+	var names []string
+	defer func() {
+		for _, n := range names {
+			d.DropTemp(n)
+		}
+	}()
+	ws := make([]*spillWriter, 4)
+	for i := range ws {
+		ws[i] = newSpillWriter(d, "part")
+		names = append(names, "part")
+	}
+	if err := ws[0].add(1); err != nil {
+		return err
+	}
+	return ws[0].close()
+}
+
+// cleanClosureSpill: the external-sort idiom — the run spiller is a
+// closure, and the enclosing function's cleanup defer (installed before any
+// run can spill) covers the writers it creates.
+func cleanClosureSpill(d *disk) error {
+	var names []string
+	defer func() {
+		for _, n := range names {
+			d.DropTemp(n)
+		}
+	}()
+	spill := func() error {
+		names = append(names, "run")
+		w := newSpillWriter(d, "run")
+		if err := w.add(1); err != nil {
+			return err
+		}
+		return w.close()
+	}
+	return spill()
+}
+
+// cleanNeverWritten: created but never written; the defer still covers the
+// file creation itself.
+func cleanNeverWritten(d *disk) *spillWriter {
+	w := newSpillWriter(d, "run-3")
+	defer d.DropTemp("run-3")
+	return w
+}

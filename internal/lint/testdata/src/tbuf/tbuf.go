@@ -1,0 +1,38 @@
+// Package tbuf is the analysistest stand-in for qpipe/internal/core/tbuf:
+// same type and method names, no behavior.
+package tbuf
+
+import (
+	"errors"
+
+	"tuple"
+)
+
+// Batch mirrors the engine's leased batch array.
+type Batch = []tuple.Tuple
+
+// ErrConsumersGone mirrors the clean-early-stop sentinel.
+var ErrConsumersGone = errors.New("tbuf: all consumers gone")
+
+// ErrAbandoned mirrors the abandoned-consumer error.
+var ErrAbandoned = errors.New("tbuf: consumer abandoned buffer")
+
+// BatchPool mirrors the runtime batch pool.
+type BatchPool struct{ size int }
+
+func (p *BatchPool) Get() Batch         { return nil }
+func (p *BatchPool) GetCap(n int) Batch { return make(Batch, 0, n) }
+func (p *BatchPool) Put(b Batch)        {}
+
+// Buffer mirrors the bounded producer/consumer queue.
+type Buffer struct{ pool *BatchPool }
+
+func (b *Buffer) Get() (Batch, error)   { return nil, nil }
+func (b *Buffer) Put(batch Batch) error { return nil }
+func (b *Buffer) Recycle(batch Batch)   {}
+
+// SharedOut mirrors the fan-out output port.
+type SharedOut struct{ pool *BatchPool }
+
+func (s *SharedOut) NewBatch(n int) Batch  { return make(Batch, 0, n) }
+func (s *SharedOut) Put(batch Batch) error { return nil }

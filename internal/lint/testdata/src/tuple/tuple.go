@@ -1,0 +1,8 @@
+// Package tuple is the analysistest stand-in for qpipe/internal/tuple.
+package tuple
+
+// Value is a minimal stand-in for the engine's tagged-union value.
+type Value struct{ I int64 }
+
+// Tuple is a flat row of values, immutable once published.
+type Tuple []Value

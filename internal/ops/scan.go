@@ -15,6 +15,7 @@
 package ops
 
 import (
+	"errors"
 	"sync"
 
 	"qpipe/internal/core"
@@ -306,8 +307,15 @@ func (s *scanner) serve(c *scanConsumer, k int, tuples []tuple.Tuple) {
 	out := applyFilterProject(tuples, c.filter, c.project, s.pool)
 	if len(out) > 0 {
 		if err := c.pkt.Out.Put(out); err != nil {
-			// Consumer gone (query cancelled or absorbed elsewhere).
-			s.detach(c, nil)
+			if errors.Is(err, tbuf.ErrConsumersGone) || errors.Is(err, tbuf.ErrAbandoned) {
+				// Consumer gone (query cancelled or absorbed elsewhere):
+				// a clean early stop for this packet.
+				s.detach(c, nil)
+			} else {
+				// Hard failure delivering pages: surface it on the
+				// consumer's packet instead of reporting a clean stop.
+				s.detach(c, err)
+			}
 			return
 		}
 	} else {

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Out-of-module consumer smoke: proves the public API is embeddable without
 # any qpipe/internal import. Builds a tiny module OUTSIDE this repository
 # that depends on qpipe via a go.mod replace directive, compiles it (the Go
@@ -6,7 +6,7 @@
 # leak of internal types through the public surface fails this build), and
 # runs it end to end. Also greps the examples for internal imports — they
 # must stay on the public surface too.
-set -eu
+set -euo pipefail
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
@@ -83,7 +83,7 @@ func main() {
 }
 EOF
 
-cd "$dir"
+cd "$dir" || exit 1
 go mod init consumer-smoke >/dev/null
 go mod edit -require 'qpipe@v0.0.0' -replace "qpipe=$repo"
 go build -o consumer .
@@ -94,7 +94,7 @@ go build -o consumer .
 dir2=$(mktemp -d)
 trap 'rm -rf "$dir" "$dir2"' EXIT
 cp "$repo/examples/sqlshell/main.go" "$dir2/main.go"
-cd "$dir2"
+cd "$dir2" || exit 1
 go mod init sqlshell-smoke >/dev/null
 go mod edit -require 'qpipe@v0.0.0' -replace "qpipe=$repo"
 go build -o sqlshell .

@@ -1,4 +1,4 @@
-#!/usr/bin/env sh
+#!/usr/bin/env bash
 # Doc-link checker: fails CI when README.md or ARCHITECTURE.md reference
 # repo files or CLI flags that do not exist, so the docs cannot silently rot
 # as the code moves.
@@ -10,27 +10,28 @@
 #      files — bare filenames may live anywhere in the tree.
 #   3. '-flag' tokens in fenced shell blocks exist as defined flags in the
 #      cmd/ binaries (or are standard 'go test' flags).
-set -eu
+set -euo pipefail
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-cd "$repo"
+cd "$repo" || exit 1
 
-docs="README.md ARCHITECTURE.md"
-fail=0
+docs=(README.md ARCHITECTURE.md)
 
 # Placeholder names used in usage examples, not expected to exist.
 ignored="my_mix.sql FILE file.sql script.sql mix.sql"
 
 is_ignored() {
+    # shellcheck disable=SC2086  # $ignored is a deliberate word list
     for ig in $ignored; do
         if [ "$1" = "$ig" ]; then return 0; fi
     done
     return 1
 }
 
-# 1. Relative markdown links.
-for doc in $docs; do
-    grep -oE '\]\([^)#][^)]*\)' "$doc" | sed 's/^](//; s/)$//' | while read -r target; do
+# 1. Relative markdown links. (grep finding nothing is fine: || true keeps
+# pipefail from treating an empty document section as an error.)
+for doc in "${docs[@]}"; do
+    { grep -oE '\]\([^)#][^)]*\)' "$doc" || true; } | sed 's/^](//; s/)$//' | while read -r target; do
         case "$target" in
             http://*|https://*|mailto:*) continue ;;
         esac
@@ -42,8 +43,8 @@ for doc in $docs; do
 done
 
 # 2. Path-like tokens anywhere in the docs.
-for doc in $docs; do
-    grep -oE '(\./)?(cmd|internal|examples|sql|tools)/[A-Za-z0-9_./-]+|[A-Za-z0-9_-]+\.(go|md|sql|sh|json|yml)' "$doc" \
+for doc in "${docs[@]}"; do
+    { grep -oE '(\./)?(cmd|internal|examples|sql|tools)/[A-Za-z0-9_./-]+|[A-Za-z0-9_-]+\.(go|md|sql|sh|json|yml)' "$doc" || true; } \
         | sed 's|^\./||; s|[/.]$||' | sort -u | while read -r tok; do
         if is_ignored "$tok"; then continue; fi
         case "$tok" in
@@ -70,10 +71,11 @@ known_flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z_]+"' cmd/qpipe-bench/main.go cmd
     | sed 's/.*("\([a-z_]*\)".*/\1/' | sort -u)
 go_test_flags="bench benchtime benchmem run race fuzz fuzztime update v count timeout cover"
 
-for doc in $docs; do
+for doc in "${docs[@]}"; do
     awk '/^```/{in_block=!in_block; next} in_block' "$doc" \
-        | grep -oE '(^| )-[a-z][a-z_]*' | sed 's/^ *-//' | sort -u | while read -r f; do
+        | { grep -oE '(^| )-[a-z][a-z_]*' || true; } | sed 's/^ *-//' | sort -u | while read -r f; do
         found=0
+        # shellcheck disable=SC2086  # deliberate word lists
         for k in $known_flags $go_test_flags; do
             if [ "$f" = "$k" ]; then found=1; break; fi
         done
