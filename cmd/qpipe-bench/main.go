@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, api, sqlmix or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, overload, api, sqlmix or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	batch := flag.Int("batch", 0, "engine batch size (tuples per batch and recycling-pool array size; 0 = default 64)")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
@@ -45,6 +45,12 @@ func main() {
 	gcWorkers := flag.String("gcworkers", "1,8", "comma-separated fan-out list (fig gc)")
 	gcRows := flag.Int("gcrows", 100_000, "rows per table in the GC-pressure run (fig gc)")
 	gcOut := flag.String("gcout", "BENCH_GC.json", "output path for the GC-pressure JSON report (fig gc)")
+	ovClients := flag.String("ovclients", "2,4,8,16", "comma-separated closed-loop client sweep (fig overload)")
+	ovQueries := flag.Int("ovqueries", 6, "queries attempted per client (fig overload)")
+	ovMax := flag.Int("ovmax", 4, "governed arm: admission slots (fig overload)")
+	ovQueue := flag.Int("ovqueue", 0, "governed arm: FIFO wait-queue depth, 0 = 2x slots (fig overload)")
+	ovTimeout := flag.Int("ovtimeout", 0, "governed arm: per-query statement timeout in ms, 0 = none (fig overload)")
+	overloadOut := flag.String("overloadout", "BENCH_OVERLOAD.json", "output path for the overload JSON report (fig overload)")
 	mixFile := flag.String("mixfile", "", "path to a .sql query mix (fig sqlmix; default: the embedded tpchmix)")
 	mixClients := flag.Int("mixclients", 6, "concurrent clients (fig sqlmix)")
 	mixQueries := flag.Int("mixqueries", 2, "queries per client (fig sqlmix)")
@@ -225,6 +231,42 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *gcOut)
+			return []harness.Figure{f}, nil
+		})
+	}
+
+	if want("overload") {
+		run("Overload (resource governance)", func() ([]harness.Figure, error) {
+			clientList, err := parseIntList(*ovClients)
+			if err != nil {
+				return nil, err
+			}
+			env, err := harness.NewWisconsinEnv(sc)
+			if err != nil {
+				return nil, err
+			}
+			defer env.Close()
+			f, report, err := harness.Overload(env, harness.OverloadParams{
+				Clients:          clientList,
+				QueriesPerClient: *ovQueries,
+				MaxConcurrent:    *ovMax,
+				Queue:            *ovQueue,
+				Timeout:          time.Duration(*ovTimeout) * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			report.BigRows = sc.BigRows
+			for _, arm := range report.Arms {
+				for _, pt := range arm.Points {
+					fmt.Printf("%-11s %3d clients  p50 %8.2f ms  p99 %8.2f ms  %6.1f q/s  (%d ok, %d shed, %d timed out)\n",
+						arm.Name, pt.Clients, pt.P50Ms, pt.P99Ms, pt.ThroughputQPS, pt.Completed, pt.Shed, pt.TimedOut)
+				}
+			}
+			if err := harness.WriteOverloadJSON(*overloadOut, report); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *overloadOut)
 			return []harness.Figure{f}, nil
 		})
 	}

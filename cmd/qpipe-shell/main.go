@@ -310,6 +310,8 @@ func (sh *shell) meta(line string) bool {
 	case "\\stats":
 		st := sh.db.Stats()
 		fmt.Fprintf(sh.out, "queries: %d  OSP shares by operator: %v\n", st.Queries, st.SharesByOp)
+		fmt.Fprintf(sh.out, "governance: %d in flight, %d queued, %d shed, %d statement timeouts, %d panics quarantined\n",
+			st.InFlight, st.AdmissionQueued, st.Shed, st.DeadlineTimeouts, st.Panics)
 		d := sh.db.DiskStats()
 		fmt.Fprintf(sh.out, "disk: %d blocks read (%d sequential), %d written\n", d.Reads, d.SeqReads, d.Writes)
 	case "\\help":
@@ -318,6 +320,7 @@ func (sh *shell) meta(line string) bool {
   CREATE TABLE / CREATE INDEX / INSERT DDL and loading (through db.Exec)
   ANALYZE [table]                      rebuild planner statistics
   SET parallelism|batch_size|osp = v   session options for later queries
+  SET statement_timeout = '500ms'      per-query deadline (0 turns it off)
 meta commands:
   \d [table]   list tables / show a table's schema and statistics
   \i FILE      run a .sql script

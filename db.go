@@ -64,6 +64,19 @@ type Options struct {
 	// lowering). An escape hatch for debugging and for measuring what the
 	// optimizer buys (qpipe-bench -fig planshare -no-opt).
 	DisableOptimizer bool
+	// MaxConcurrentQueries caps how many queries execute at once (admission
+	// control). Excess submissions park in a bounded FIFO wait queue; once
+	// that is full too, Run sheds the query with a typed *OverloadedError.
+	// 0 (the default) disables governance.
+	MaxConcurrentQueries int
+	// AdmissionQueue bounds the admission wait queue, in queries (0 =
+	// 2×MaxConcurrentQueries; negative = no queue, shed immediately at the
+	// concurrency limit). Only meaningful with MaxConcurrentQueries > 0.
+	AdmissionQueue int
+	// DrainTimeout bounds how long Close waits for in-flight queries to
+	// finish before cancelling the stragglers (0 = 5s; negative = cancel
+	// immediately).
+	DrainTimeout time.Duration
 }
 
 // DB is an embedded QPipe database: storage manager plus engine.
@@ -99,6 +112,15 @@ func Open(opts Options) (*DB, error) {
 	if opts.WorkersPerEngine != 0 {
 		cfg.WorkersPerEngine = opts.WorkersPerEngine
 	}
+	if opts.MaxConcurrentQueries != 0 {
+		cfg.MaxConcurrentQueries = opts.MaxConcurrentQueries
+	}
+	if opts.AdmissionQueue != 0 {
+		cfg.AdmissionQueue = opts.AdmissionQueue
+	}
+	if opts.DrainTimeout != 0 {
+		cfg.DrainTimeout = opts.DrainTimeout
+	}
 	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: opts.BlockSize}, PoolPages: poolPages})
 	eng := New(mgr, cfg)
 	if opts.ResultCacheTuples > 0 {
@@ -107,7 +129,9 @@ func Open(opts Options) (*DB, error) {
 	return &DB{mgr: mgr, eng: eng, stats: stats.NewRegistry(), noOpt: opts.DisableOptimizer}, nil
 }
 
-// Close shuts the engine down, cancelling outstanding queries.
+// Close shuts the engine down gracefully: new queries are rejected with
+// ErrClosed immediately, in-flight ones get up to Options.DrainTimeout to
+// finish, and stragglers are then cancelled.
 func (db *DB) Close() { db.eng.Close() }
 
 // Engine exposes the underlying engine for advanced callers (precompiled

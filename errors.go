@@ -10,7 +10,28 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"qpipe/internal/core"
 )
+
+// OverloadedError is returned by Run/Query when the engine is at its
+// Options.MaxConcurrentQueries limit and the admission queue is full: the
+// query was shed without executing. Back off and retry.
+type OverloadedError = core.OverloadedError
+
+// DeadlineError is the terminal error of a query whose deadline expired
+// (WithTimeout/WithDeadline, SQL SET statement_timeout, or the caller's
+// context). It unwraps to context.DeadlineExceeded.
+type DeadlineError = core.DeadlineError
+
+// PanicError is the terminal error of a query whose operator panicked; the
+// engine quarantined the panic (satellites rescued, µEngine still serving)
+// and failed only this query.
+type PanicError = core.PanicError
+
+// ErrClosed is returned by Run/Query once DB.Close has begun: new queries
+// are rejected while in-flight ones drain.
+var ErrClosed = core.ErrClosed
 
 // UnknownTableError reports a query or DDL statement against a table the
 // catalog does not know.

@@ -160,7 +160,7 @@ func ExampleSession() {
 	fmt.Println(sess.String())
 	fmt.Println("options:", len(sess.Options()))
 	// Output:
-	// parallelism=4 batch_size=default osp=off
+	// parallelism=4 batch_size=default osp=off statement_timeout=off
 	// options: 2
 }
 

@@ -100,6 +100,82 @@ func TestSortSpillErrorPropagates(t *testing.T) {
 	}
 }
 
+func TestSortSpillWriteFaultFailsClean(t *testing.T) {
+	// A write fault mid-spill (while the sort is writing its run files) must
+	// fail the query cleanly: the error surfaces to the caller, every temp
+	// file written so far is dropped, and the engine keeps serving.
+	mgr := newTestDB(t, 20_000) // > sortRunSize so run files spill
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	mgr.Disk.InjectWriteFaults("tmp:sortrun:", 1, errInjected)
+	defer mgr.Disk.ClearFaults()
+
+	scan := plan.NewTableScan("t", tableSchema(mgr), nil, nil, false)
+	res, err := eng.Query(context.Background(), plan.NewSort(scan, []int{0}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.All(); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("sort with failing spill write should surface the injected error, got %v", err)
+	}
+	_ = res.q.Wait()
+	waitNoTempFiles(t, func() []string { return mgr.Disk.FilesWithPrefix("tmp:sortrun:") }, "sort-run")
+	waitNoTempFiles(t, func() []string { return mgr.Disk.FilesWithPrefix("tmp:sorted:") }, "sorted-output")
+
+	// Engine stays healthy once the fault is cleared.
+	mgr.Disk.ClearFaults()
+	res2, err := eng.Query(context.Background(), plan.NewAggregate(
+		plan.NewTableScan("t", tableSchema(mgr), nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res2.All()
+	if err != nil || rows[0][0].I != 20_000 {
+		t.Fatalf("engine unusable after write fault: %v %v", rows, err)
+	}
+}
+
+func TestHashJoinSpillWriteFaultFailsClean(t *testing.T) {
+	// Same contract for the hybrid hash join: a faulted build-partition
+	// write fails the query and leaks no hjb/hjp partition files.
+	if testing.Short() {
+		t.Skip("large build side")
+	}
+	mgr := newTestDB(t, 70_000) // large enough to take the partitioned path
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	mgr.Disk.InjectWriteFaults("tmp:hjb:", 1, errInjected)
+	defer mgr.Disk.ClearFaults()
+
+	l := plan.NewTableScan("t", tableSchema(mgr), nil, []int{0, 1}, false)
+	r := plan.NewTableScan("t", tableSchema(mgr), nil, []int{0, 2}, false)
+	j := plan.NewHashJoin(l, r, 0, 0).WithParallelism(4)
+	agg := plan.NewAggregate(j, []expr.AggSpec{{Kind: expr.AggCount}})
+	res, err := eng.Query(context.Background(), agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.All(); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("join with failing build spill should surface the injected error, got %v", err)
+	}
+	_ = res.q.Wait()
+	waitNoTempFiles(t, func() []string { return mgr.Disk.FilesWithPrefix("tmp:hjb:") }, "build-side")
+	waitNoTempFiles(t, func() []string { return mgr.Disk.FilesWithPrefix("tmp:hjp:") }, "probe-side")
+
+	mgr.Disk.ClearFaults()
+	res2, err := eng.Query(context.Background(), plan.NewAggregate(
+		plan.NewTableScan("t", tableSchema(mgr), nil, nil, false),
+		[]expr.AggSpec{{Kind: expr.AggCount}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res2.All()
+	if err != nil || rows[0][0].I != 70_000 {
+		t.Fatalf("engine unusable after write fault: %v %v", rows, err)
+	}
+}
+
 func TestVolcanoErrorPropagates(t *testing.T) {
 	mgr := newTestDB(t, 2000)
 	vol := volcano.New(mgr)

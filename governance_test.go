@@ -1,0 +1,309 @@
+package qpipe
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"qpipe/internal/core"
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
+	"qpipe/sql"
+)
+
+// Resource-governance tests: admission control (typed shedding, FIFO queue,
+// recovery), per-query deadlines (typed errors through every submission and
+// execution path), and graceful drain — all through the public facade.
+
+// waitStat polls a Stats gauge until it reaches want.
+func waitStat(t *testing.T, db *DB, get func(Stats) int64, want int64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for get(db.Stats()) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d (timed out)", what, get(db.Stats()), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// governedDB opens a DB whose result buffers are small enough that an
+// undrained query reliably stays in flight (holding its admission slot).
+func governedDB(t *testing.T, rows int, opts Options) *DB {
+	t.Helper()
+	opts.PoolPages = 64
+	opts.BufferCapacity = 2
+	opts.BatchSize = 16
+	opts.ScanParallelism = 1
+	return openTestDB(t, rows, opts)
+}
+
+func TestAdmissionControlShedsTyped(t *testing.T) {
+	db := governedDB(t, 3000, Options{MaxConcurrentQueries: 1, AdmissionQueue: -1, DrainTimeout: -1})
+	ctx := context.Background()
+	res1, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.InFlight }, 1, "InFlight")
+	// The only slot is held and there is no queue: the next query is shed.
+	_, err = db.Scan("t").Run(ctx)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overloaded submit: got %v, want *OverloadedError", err)
+	}
+	if oe.MaxConcurrent != 1 || oe.QueueDepth != 0 {
+		t.Fatalf("OverloadedError fields: %+v", oe)
+	}
+	if got := db.Stats().Shed; got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+	// Draining the holder frees the slot; a retry then succeeds (the typed
+	// error is the back-off-and-retry signal).
+	if _, err := res1.All(); err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.InFlight }, 0, "InFlight")
+	res2, err := db.Scan("t").Aggregate(Count()).Run(ctx)
+	if err != nil {
+		t.Fatalf("post-shed query: %v", err)
+	}
+	rows, err := res2.All()
+	if err != nil || rows[0][0].I != 3000 {
+		t.Fatalf("post-shed result: %v %v", rows, err)
+	}
+}
+
+func TestAdmissionQueueAdmitsInOrder(t *testing.T) {
+	db := governedDB(t, 3000, Options{MaxConcurrentQueries: 1, AdmissionQueue: 2, DrainTimeout: -1})
+	ctx := context.Background()
+	res1, err := db.Scan("t").Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.InFlight }, 1, "InFlight")
+	// Two queries park in the admission queue, in order.
+	order := make(chan int, 2)
+	for i := 1; i <= 2; i++ {
+		i := i
+		go func() {
+			res, err := db.Scan("t").Aggregate(Count()).Run(ctx)
+			if err != nil {
+				return
+			}
+			order <- i
+			res.Discard()
+		}()
+		waitStat(t, db, func(s Stats) int64 { return s.AdmissionQueued }, int64(i), "AdmissionQueued")
+	}
+	// Queue full: the next query is shed.
+	if _, err := db.Scan("t").Run(ctx); !errors.As(err, new(*OverloadedError)) {
+		t.Fatalf("queue-full submit: got %v, want *OverloadedError", err)
+	}
+	// Draining the holder admits the queued queries FIFO.
+	if _, err := res1.All(); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-order; got != 1 {
+		t.Fatalf("first admitted waiter = %d, want 1 (FIFO)", got)
+	}
+	if got := <-order; got != 2 {
+		t.Fatalf("second admitted waiter = %d, want 2 (FIFO)", got)
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.AdmissionQueued }, 0, "AdmissionQueued")
+}
+
+func TestWithTimeoutFailsTyped(t *testing.T) {
+	db := openTestDB(t, 8000, Options{PoolPages: 64, ScanParallelism: 1})
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetDiskLatency(2*time.Millisecond, 2*time.Millisecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+	res, err := db.Scan("t").Sort("k").Run(context.Background(), WithTimeout(25*time.Millisecond))
+	if err == nil {
+		_, err = res.All()
+	}
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("timed-out query: got %v, want *DeadlineError", err)
+	}
+	if de.Timeout != 25*time.Millisecond {
+		t.Fatalf("DeadlineError.Timeout = %v", de.Timeout)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("DeadlineError must unwrap to context.DeadlineExceeded")
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.DeadlineTimeouts }, 1, "DeadlineTimeouts")
+	// No temp spill files survive the timed-out sort, and the engine stays
+	// healthy.
+	mgr := db.mgr
+	waitNoTempFiles(t, func() []string { return mgr.Disk.FilesWithPrefix("tmp:") }, "timed-out query")
+	db.SetDiskLatency(0, 0, 0)
+	res2, err := db.Scan("t").Aggregate(Count()).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res2.All()
+	if err != nil || rows[0][0].I != 8000 {
+		t.Fatalf("engine unusable after timeout: %v %v", rows, err)
+	}
+}
+
+func TestDeadlineExpiresInAdmissionQueue(t *testing.T) {
+	db := governedDB(t, 3000, Options{MaxConcurrentQueries: 1, AdmissionQueue: 4, DrainTimeout: -1})
+	ctx := context.Background()
+	res1, err := db.Scan("t").Run(ctx) // holds the only slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.InFlight }, 1, "InFlight")
+	// A queued query whose deadline fires while waiting must fail with the
+	// typed *DeadlineError — not hang, not return a context error.
+	_, err = db.Scan("t").Run(ctx, WithTimeout(30*time.Millisecond))
+	var de *DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("queued timeout: got %v, want *DeadlineError", err)
+	}
+	if got := db.Stats().DeadlineTimeouts; got < 1 {
+		t.Fatalf("DeadlineTimeouts = %d", got)
+	}
+	if _, err := res1.All(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlineOptionValidation(t *testing.T) {
+	db := openTestDB(t, 10, Options{PoolPages: 64})
+	var oe *OptionError
+	if _, err := db.Scan("t").Run(context.Background(), WithTimeout(0)); !errors.As(err, &oe) {
+		t.Fatalf("WithTimeout(0): got %v, want *OptionError", err)
+	}
+	if _, err := db.Scan("t").Run(context.Background(), WithDeadline(time.Time{})); !errors.As(err, &oe) {
+		t.Fatalf("WithDeadline(zero): got %v, want *OptionError", err)
+	}
+	// An already-expired absolute deadline fails typed (at submit or on the
+	// first drain — both are legal), never silently truncates.
+	res, err := db.Scan("t").Run(context.Background(), WithDeadline(time.Now().Add(-time.Second)))
+	if err == nil {
+		_, err = res.All()
+	}
+	if !errors.As(err, new(*DeadlineError)) {
+		t.Fatalf("expired deadline: got %v, want *DeadlineError", err)
+	}
+}
+
+func TestStatementTimeoutSession(t *testing.T) {
+	db := openTestDB(t, 8000, Options{PoolPages: 64, ScanParallelism: 1})
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	db.SetDiskLatency(2*time.Millisecond, 2*time.Millisecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+	var sess Session
+	stmt, err := sql.Parse("SET statement_timeout = 25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Apply(stmt.(*sql.Set)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(context.Background(), "SELECT * FROM t ORDER BY k", sess.Options()...)
+	if err == nil {
+		_, err = res.All()
+	}
+	if !errors.As(err, new(*DeadlineError)) {
+		t.Fatalf("SET statement_timeout query: got %v, want *DeadlineError", err)
+	}
+	waitStat(t, db, func(s Stats) int64 { return s.DeadlineTimeouts }, 1, "DeadlineTimeouts")
+}
+
+func TestSatelliteRescuedFromTimedOutHost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-dependent")
+	}
+	// A query absorbed as a satellite onto a host that times out before
+	// emitting must be rescued — re-dispatched and completed with the full
+	// result — exactly like the cancelled-host path.
+	mgr := newTestDB(t, 8000)
+	mgr.Pool.Invalidate()
+	mgr.Disk.SetLatency(time.Millisecond, time.Millisecond, 0)
+	defer mgr.Disk.SetLatency(0, 0, 0)
+	eng := New(mgr, DefaultConfig())
+	defer eng.Close()
+	mk := func() plan.Node {
+		return plan.NewAggregate(
+			plan.NewTableScan("t", tableSchema(mgr), nil, nil, false),
+			[]expr.AggSpec{{Kind: expr.AggCount}})
+	}
+	qH, err := eng.Runtime().SubmitOpts(context.Background(), mk(),
+		core.QueryOptions{Timeout: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // let the host aggregate start
+	qS, err := eng.Runtime().Submit(context.Background(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The host times out; the satellite must still deliver the exact count.
+	b, err := qS.Result.Get()
+	if err != nil {
+		t.Fatalf("satellite after host timeout: %v", err)
+	}
+	if b[0][0].I != 8000 {
+		t.Fatalf("satellite count = %d, want 8000", b[0][0].I)
+	}
+	if err := qS.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qH.Wait(); !errors.As(err, new(*DeadlineError)) {
+		t.Fatalf("host error = %v, want *DeadlineError", err)
+	}
+}
+
+func TestGracefulDrainServesInFlight(t *testing.T) {
+	db := governedDB(t, 3000, Options{DrainTimeout: 30 * time.Second})
+	res, err := db.Scan("t").Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		rows, err := res.All()
+		if err == nil && len(rows) != 3000 {
+			err = errors.New("short result")
+		}
+		drained <- err
+	}()
+	db.Close() // waits for the in-flight query
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("in-flight query during drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drained query never completed")
+	}
+	// New queries are rejected once the drain began.
+	if _, err := db.Scan("t").Run(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close submit: got %v, want ErrClosed", err)
+	}
+}
+
+func TestDrainTimeoutCancelsStragglers(t *testing.T) {
+	db := governedDB(t, 3000, Options{DrainTimeout: 100 * time.Millisecond})
+	res, err := db.Scan("t").Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	db.Close() // the undrained query cannot finish — the timeout must fire
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v with a 100ms DrainTimeout", elapsed)
+	}
+	if _, err := res.All(); err == nil {
+		t.Fatal("straggler survived Close without an error")
+	}
+}

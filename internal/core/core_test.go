@@ -166,7 +166,7 @@ func TestNoShareAcrossSameQuery(t *testing.T) {
 		},
 	}
 	rt := newTestRuntime(t, op)
-	q := newQuery(context.Background())
+	q := newQuery(context.Background(), QueryOptions{})
 	buf1 := tbuf.New(2)
 	q.addBuffer(buf1)
 	node := &fakeNode{op: "x", sig: "same"}
@@ -327,7 +327,7 @@ func TestDeadlockDetectorBreaksCycle(t *testing.T) {
 	rt := NewRuntime(mgr, Config{OSP: true, BufferCapacity: 1, DeadlockInterval: 5 * time.Millisecond}, nil)
 	defer rt.Close()
 
-	q := newQuery(context.Background())
+	q := newQuery(context.Background(), QueryOptions{})
 	// Producer A feeds bufA1 (consumer 100) and bufA2 (consumer 200);
 	// producer B feeds bufB1 (consumer 100) and bufB2 (consumer 200).
 	// Consumer 100 drains A then B; consumer 200 drains B then A. With

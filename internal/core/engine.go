@@ -5,7 +5,6 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +44,7 @@ type EngineStats struct {
 	Satellites int64 // packets absorbed by OSP instead of executing
 	SubWorkers int64 // sub-workers spawned by running packets (scan partitions)
 	Errors     int64
+	Panics     int64 // operator panics quarantined (packet failed, µEngine kept serving)
 }
 
 // MicroEngine serves one operator type from a queue. Two worker models are
@@ -72,11 +72,12 @@ type MicroEngine struct {
 
 	wg sync.WaitGroup
 
-	enq  atomic.Int64
-	done atomic.Int64
-	sats atomic.Int64
-	subs atomic.Int64
-	errs atomic.Int64
+	enq    atomic.Int64
+	done   atomic.Int64
+	sats   atomic.Int64
+	subs   atomic.Int64
+	errs   atomic.Int64
+	panics atomic.Int64
 }
 
 func newMicroEngine(rt *Runtime, impl Operator, workers int) *MicroEngine {
@@ -101,6 +102,7 @@ func (e *MicroEngine) Stats() EngineStats {
 		Satellites: e.sats.Load(),
 		SubWorkers: e.subs.Load(),
 		Errors:     e.errs.Load(),
+		Panics:     e.panics.Load(),
 	}
 }
 
@@ -240,7 +242,12 @@ func (e *MicroEngine) runPacket(pkt *Packet) {
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				err = fmt.Errorf("µEngine %s: packet %s panicked: %v", e.op, pkt, r)
+				// Panic quarantine: the packet fails with a typed error, its
+				// satellites are detached and rescued below exactly like the
+				// cancel path, and this worker returns normally so the µEngine
+				// keeps serving subsequent packets.
+				err = &PanicError{Op: e.op, Value: r}
+				e.panics.Add(1)
 			}
 		}()
 		return e.impl.Run(e.rt, pkt)

@@ -10,9 +10,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"qpipe/internal/core/tbuf"
 	"qpipe/internal/plan"
@@ -245,6 +247,16 @@ type QueryOptions struct {
 	// BatchSize overrides Config.BatchSize for this query's operators
 	// (0 = inherit).
 	BatchSize int
+	// Deadline is an absolute per-query deadline (zero = none). The runtime
+	// derives the query context from it, so expiry tears the query down
+	// through the same active-cancellation path as a caller cancel, and the
+	// terminal error is a typed *DeadlineError.
+	Deadline time.Time
+	// Timeout is a relative per-query budget (0 = none), measured from
+	// Submit. When both Timeout and Deadline are set the earlier instant
+	// wins. Kept distinct from Deadline so the *DeadlineError can report
+	// the configured budget.
+	Timeout time.Duration
 }
 
 // Query is one client request in flight.
@@ -253,6 +265,10 @@ type Query struct {
 	Opts QueryOptions
 	ctx  context.Context
 	stop context.CancelFunc
+	// deadline/timeout mirror the resolved per-query deadline (zero when
+	// none was set); CancelErr uses them to type the expiry error.
+	deadline time.Time
+	timeout  time.Duration
 	// finished closes once the root packet's chain completes (set by the
 	// runtime's cleanup goroutine); the context watcher exits on it.
 	finished chan struct{}
@@ -274,10 +290,35 @@ type Query struct {
 	gated   []*Packet
 }
 
-func newQuery(ctx context.Context) *Query {
-	qctx, cancel := context.WithCancel(ctx)
-	return &Query{ID: querySeq.Add(1), ctx: qctx, stop: cancel, finished: make(chan struct{})}
+func newQuery(ctx context.Context, opts QueryOptions) *Query {
+	q := &Query{ID: querySeq.Add(1), Opts: opts, finished: make(chan struct{})}
+	// Resolve the per-query deadline: the earlier of the absolute Deadline
+	// and Submit-time + Timeout. The caller's own context deadline (if any)
+	// still applies through context derivation.
+	q.deadline, q.timeout = opts.Deadline, opts.Timeout
+	if opts.Timeout > 0 {
+		if d := time.Now().Add(opts.Timeout); q.deadline.IsZero() || d.Before(q.deadline) {
+			q.deadline = d
+		}
+	}
+	var cancel context.CancelFunc
+	if !q.deadline.IsZero() {
+		// WithDeadline's cancel releases the timer; folding it into stop
+		// keeps the query's single teardown hook.
+		ctx, cancel = context.WithDeadline(ctx, q.deadline)
+	}
+	qctx, stop := context.WithCancel(ctx)
+	q.ctx = qctx
+	if cancel != nil {
+		q.stop = func() { stop(); cancel() }
+	} else {
+		q.stop = stop
+	}
+	return q
 }
+
+// Deadline returns the query's resolved absolute deadline (zero when none).
+func (q *Query) Deadline() time.Time { return q.deadline }
 
 // Ctx returns the query's context.
 func (q *Query) Ctx() context.Context { return q.ctx }
@@ -294,10 +335,17 @@ func (q *Query) CancelErr() error {
 	if !q.userCancelled.Load() {
 		return nil
 	}
-	if err := q.ctx.Err(); err != nil {
-		return err
+	err := q.ctx.Err()
+	if err == nil {
+		err = context.Canceled
 	}
-	return context.Canceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		// A deadline expiry — the query's own Deadline/Timeout option, or
+		// the caller context's — surfaces as the typed error (which still
+		// unwraps to context.DeadlineExceeded).
+		return &DeadlineError{Timeout: q.timeout, Deadline: q.deadline}
+	}
+	return err
 }
 
 // Cancel aborts the query: all its buffers wake with abandonment so blocked
@@ -347,6 +395,13 @@ func (q *Query) Buffers() []*tbuf.Buffer {
 // Wait blocks until the root packet (or its host chain) finishes and
 // returns its terminal error. The result buffer may still hold undrained
 // batches; callers normally Drain first.
+//
+// A cancelled (or timed-out) query tears its buffers down under its
+// operators, so the root packet's recorded error may be buffer-teardown
+// shrapnel rather than the cause; Wait normalizes exactly that shrapnel to
+// the typed cancellation error (CancelErr). Genuine operator errors — a
+// packet that failed before the teardown — are never masked, even when the
+// caller cancels afterwards.
 func (q *Query) Wait() error {
 	root := q.Root
 	for {
@@ -357,6 +412,12 @@ func (q *Query) Wait() error {
 				continue
 			}
 		}
-		return root.Err()
+		err := root.Err()
+		if err != nil && (errors.Is(err, tbuf.ErrAbandoned) || errors.Is(err, tbuf.ErrConsumersGone)) {
+			if cerr := q.CancelErr(); cerr != nil {
+				return cerr
+			}
+		}
+		return err
 	}
 }

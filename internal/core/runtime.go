@@ -49,6 +49,20 @@ type Config struct {
 	// LateActivation gates merge-join children until the join decides how
 	// to evaluate them (§4.3.1/§4.3.2). Meaningful only with OSP.
 	LateActivation bool
+	// MaxConcurrentQueries caps how many queries execute at once
+	// (admission control). Excess submissions park in a bounded FIFO wait
+	// queue; once that is full too, Submit sheds the query with a typed
+	// *OverloadedError. 0 (the default) disables governance.
+	MaxConcurrentQueries int
+	// AdmissionQueue bounds the admission wait queue, in queries (only
+	// meaningful with MaxConcurrentQueries > 0; 0 defaults to
+	// 2×MaxConcurrentQueries, negative means no queue — shed immediately
+	// at the concurrency limit).
+	AdmissionQueue int
+	// DrainTimeout bounds how long Close waits for in-flight queries to
+	// finish before cancelling the stragglers (graceful drain; 0 defaults
+	// to 5s, negative cancels immediately — the pre-governance behavior).
+	DrainTimeout time.Duration
 }
 
 // DefaultBatchSize is the default Config.BatchSize: the single source of
@@ -72,6 +86,18 @@ func (c Config) withDefaults() Config {
 	if c.DeadlockInterval == 0 {
 		c.DeadlockInterval = 25 * time.Millisecond
 	}
+	if c.AdmissionQueue == 0 {
+		c.AdmissionQueue = 2 * c.MaxConcurrentQueries
+	}
+	if c.AdmissionQueue < 0 {
+		c.AdmissionQueue = 0
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.DrainTimeout < 0 {
+		c.DrainTimeout = 0
+	}
 	return c
 }
 
@@ -93,6 +119,13 @@ type RuntimeStats struct {
 	EngineStats   map[plan.OpType]EngineStats
 	DeadlocksSeen int64
 	Materialized  int64 // buffers switched to unbounded by the detector
+
+	// Resource-governance counters.
+	InFlight         int64 // gauge: queries currently admitted and running
+	AdmissionQueued  int64 // gauge: queries parked in the admission queue
+	Shed             int64 // queries rejected with *OverloadedError
+	DeadlineTimeouts int64 // queries terminated by their deadline
+	Panics           int64 // operator panics quarantined across µEngines
 }
 
 // Runtime is the assembled QPipe engine: one µEngine per operator type, a
@@ -106,9 +139,19 @@ type Runtime struct {
 	// protocol, one array size — Cfg.BatchSize).
 	batchPool *tbuf.BatchPool
 
+	// admit is the query admission controller (nil-safe no-op when
+	// MaxConcurrentQueries is 0).
+	admit *admission
+
 	mu      sync.Mutex
 	queries map[int64]*Query
-	closed  bool
+	// draining rejects NEW submissions while Close waits for in-flight
+	// queries; closed additionally stops internal re-dispatch (rescues).
+	draining bool
+	closed   bool
+	// idle is signalled whenever the queries map empties (Close's drain
+	// wait).
+	idle *sync.Cond
 
 	shareMu sync.Mutex
 	shares  map[plan.OpType]int64
@@ -116,6 +159,7 @@ type Runtime struct {
 	nQueries     atomic.Int64
 	deadlocks    atomic.Int64
 	materialized atomic.Int64
+	timeouts     atomic.Int64
 
 	detector *detector
 }
@@ -132,7 +176,9 @@ func NewRuntime(s *sm.Manager, cfg Config, operators []Operator) *Runtime {
 		batchPool: tbuf.NewBatchPool(cfg.BatchSize),
 		queries:   make(map[int64]*Query),
 		shares:    make(map[plan.OpType]int64),
+		admit:     newAdmission(cfg.MaxConcurrentQueries, cfg.AdmissionQueue),
 	}
+	rt.idle = sync.NewCond(&rt.mu)
 	for _, op := range operators {
 		if _, dup := rt.engines[op.Op()]; dup {
 			panic(fmt.Sprintf("core: duplicate operator for %s", op.Op()))
@@ -161,16 +207,24 @@ func (rt *Runtime) Submit(ctx context.Context, node plan.Node) (*Query, error) {
 // global config.
 func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOptions) (*Query, error) {
 	rt.mu.Lock()
-	if rt.closed {
+	if rt.draining || rt.closed {
 		rt.mu.Unlock()
-		return nil, fmt.Errorf("core: runtime closed")
+		return nil, ErrClosed
 	}
 	rt.mu.Unlock()
 	if err := rt.validate(node); err != nil {
 		return nil, err
 	}
-	q := newQuery(ctx)
-	q.Opts = opts
+	q := newQuery(ctx, opts)
+	// Admission control: acquire a query slot (FIFO-queued at the limit)
+	// before any lock, buffer or packet exists, so a shed query costs the
+	// engine nothing. The wait is bounded by the query's own context — a
+	// deadline expiring in the queue surfaces as the typed *DeadlineError,
+	// never a hang.
+	if err := rt.admit.Acquire(q.ctx); err != nil {
+		q.stop()
+		return nil, rt.typedSubmitErr(q, err)
+	}
 	// Query-level read locking (§4.3.4): acquire a shared lock on every
 	// table the plan reads *before* any packet is dispatched, released when
 	// the query finishes. Taking the whole read set up front — instead of
@@ -188,7 +242,8 @@ func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOpt
 				rt.SM.Locks.Unlock(held, lock.Shared)
 			}
 			q.stop()
-			return nil, err
+			rt.admit.Release()
+			return nil, rt.typedSubmitErr(q, err)
 		}
 	}
 	result := tbuf.New(rt.Cfg.BufferCapacity).UsePool(rt.batchPool)
@@ -203,7 +258,7 @@ func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOpt
 	rt.nQueries.Add(1)
 
 	go func() {
-		q.Wait()
+		err := q.Wait()
 		for _, tb := range tables {
 			rt.SM.Locks.Unlock(tb, lock.Shared)
 		}
@@ -215,7 +270,15 @@ func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOpt
 		q.stop()
 		rt.mu.Lock()
 		delete(rt.queries, q.ID)
+		if len(rt.queries) == 0 {
+			rt.idle.Broadcast()
+		}
 		rt.mu.Unlock()
+		rt.admit.Release()
+		var de *DeadlineError
+		if errors.As(err, &de) {
+			rt.timeouts.Add(1)
+		}
 	}()
 	// Context watcher: cancellation through the caller's context must tear
 	// the query down actively (abandon its buffers, flag its packets) —
@@ -234,6 +297,18 @@ func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOpt
 		}
 	}()
 	return q, nil
+}
+
+// typedSubmitErr maps a submit-time context failure onto the query's typed
+// terminal error: a deadline that expired while the query was parked in the
+// admission queue (or waiting for its table locks) is a statement timeout,
+// counted and reported exactly like one that fired mid-execution.
+func (rt *Runtime) typedSubmitErr(q *Query, err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		rt.timeouts.Add(1)
+		return &DeadlineError{Timeout: q.timeout, Deadline: q.deadline}
+	}
+	return err
 }
 
 // readTables returns the distinct tables a plan reads, sorted (the query's
@@ -417,19 +492,27 @@ func (rt *Runtime) liveQueries() []*Query {
 // Stats snapshots runtime counters.
 func (rt *Runtime) Stats() RuntimeStats {
 	st := RuntimeStats{
-		Queries:       rt.nQueries.Load(),
-		SharesByOp:    make(map[plan.OpType]int64),
-		EngineStats:   make(map[plan.OpType]EngineStats),
-		DeadlocksSeen: rt.deadlocks.Load(),
-		Materialized:  rt.materialized.Load(),
+		Queries:          rt.nQueries.Load(),
+		SharesByOp:       make(map[plan.OpType]int64),
+		EngineStats:      make(map[plan.OpType]EngineStats),
+		DeadlocksSeen:    rt.deadlocks.Load(),
+		Materialized:     rt.materialized.Load(),
+		AdmissionQueued:  rt.admit.Queued(),
+		Shed:             rt.admit.Shed(),
+		DeadlineTimeouts: rt.timeouts.Load(),
 	}
+	rt.mu.Lock()
+	st.InFlight = int64(len(rt.queries))
+	rt.mu.Unlock()
 	rt.shareMu.Lock()
 	for k, v := range rt.shares {
 		st.SharesByOp[k] = v
 	}
 	rt.shareMu.Unlock()
 	for op, e := range rt.engines {
-		st.EngineStats[op] = e.Stats()
+		es := e.Stats()
+		st.EngineStats[op] = es
+		st.Panics += es.Panics
 	}
 	return st
 }
@@ -445,14 +528,34 @@ func (rt *Runtime) TotalShares() int64 {
 	return n
 }
 
-// Close drains the engines and stops the detector. Outstanding queries are
-// cancelled.
+// Close shuts the runtime down with a graceful drain: new submissions are
+// rejected with ErrClosed immediately, in-flight queries get up to
+// Cfg.DrainTimeout to finish (internal re-dispatch, e.g. satellite rescue,
+// keeps working during the drain), and any stragglers are then cancelled
+// before the µEngines stop.
 func (rt *Runtime) Close() {
 	rt.mu.Lock()
-	if rt.closed {
+	if rt.draining || rt.closed {
 		rt.mu.Unlock()
 		return
 	}
+	rt.draining = true
+
+	// Drain wait: idle is broadcast whenever the queries map empties. A
+	// timer goroutine bounds the wait by broadcasting too; `expired` tells
+	// the cond loop apart from a genuine drain.
+	var expired atomic.Bool
+	if len(rt.queries) > 0 && rt.Cfg.DrainTimeout > 0 {
+		timer := time.AfterFunc(rt.Cfg.DrainTimeout, func() {
+			expired.Store(true)
+			rt.idle.Broadcast()
+		})
+		for len(rt.queries) > 0 && !expired.Load() {
+			rt.idle.Wait()
+		}
+		timer.Stop()
+	}
+
 	rt.closed = true
 	qs := make([]*Query, 0, len(rt.queries))
 	for _, q := range rt.queries {

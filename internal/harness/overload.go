@@ -1,0 +1,252 @@
+// Overload experiment: resource governance under saturation. Not a paper
+// figure — the paper's testbed never pushes past capacity — but the
+// governance layer's payoff is only visible there: closed-loop clients
+// sweep the offered load well past the engine's concurrency sweet spot,
+// once with admission control + statement timeouts (governed) and once
+// wide open (ungoverned). The governed arm should hold its p99 roughly
+// flat and shed the excess with typed errors; the ungoverned arm's tail
+// latency collapses as every query fights for the pool at once.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"qpipe"
+	"qpipe/internal/core"
+	"qpipe/internal/plan"
+)
+
+// OverloadPoint is one (arm, client-count) measurement.
+type OverloadPoint struct {
+	Clients   int `json:"clients"`
+	Attempted int `json:"attempted"`
+	Completed int `json:"completed"`
+	// Shed counts *OverloadedError rejections, TimedOut counts
+	// *DeadlineError terminations (both zero on the ungoverned arm).
+	Shed     int `json:"shed"`
+	TimedOut int `json:"timed_out"`
+	// Latency percentiles over completed queries, measured from submit to
+	// fully drained — admission-queue wait included.
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+}
+
+// OverloadArm is one governance configuration's load sweep.
+type OverloadArm struct {
+	Name          string          `json:"name"`
+	MaxConcurrent int             `json:"max_concurrent"`
+	Queue         int             `json:"admission_queue"`
+	TimeoutMs     int64           `json:"statement_timeout_ms"`
+	Points        []OverloadPoint `json:"points"`
+}
+
+// OverloadReport is the JSON document WriteOverloadJSON emits
+// (BENCH_OVERLOAD.json).
+type OverloadReport struct {
+	BigRows          int           `json:"big_rows"`
+	QueriesPerClient int           `json:"queries_per_client"`
+	Arms             []OverloadArm `json:"arms"`
+}
+
+// OverloadParams parameterizes the sweep (zero values take defaults).
+type OverloadParams struct {
+	Clients          []int         // client counts to sweep (default 2,4,8,16)
+	QueriesPerClient int           // closed-loop attempts per client (default 6)
+	MaxConcurrent    int           // governed arm: admission slots (default 4)
+	Queue            int           // governed arm: FIFO wait-queue depth (default 2×slots)
+	Timeout          time.Duration // governed arm: per-query deadline (0 = none)
+}
+
+// overloadPlan is the per-client query: sort BIG1 by unique2. Sorts always
+// materialize through temp files, so concurrent copies genuinely contend
+// for pool pages, disk bandwidth and the sort µEngine — the saturation the
+// sweep needs. OSP is disabled per query (see overloadRun) so sharing
+// cannot absorb the load.
+func overloadPlan(sys System) plan.Node {
+	schema := sys.Manager().MustTable("BIG1").Schema
+	scan := plan.NewTableScan("BIG1", schema, nil, []int{0, 1}, false)
+	return plan.NewSort(scan, []int{1}, false)
+}
+
+// Overload runs the load sweep over a Wisconsin environment, returning the
+// p99-vs-clients figure and the full report.
+func Overload(env *Env, p OverloadParams) (Figure, *OverloadReport, error) {
+	if len(p.Clients) == 0 {
+		p.Clients = []int{2, 4, 8, 16}
+	}
+	if p.QueriesPerClient <= 0 {
+		p.QueriesPerClient = 6
+	}
+	if p.MaxConcurrent <= 0 {
+		p.MaxConcurrent = 4
+	}
+	if p.Queue <= 0 {
+		p.Queue = 2 * p.MaxConcurrent
+	}
+	fig := Figure{
+		Name:   "Overload",
+		Title:  fmt.Sprintf("p99 latency vs offered load (governed: %d slots + %d queue)", p.MaxConcurrent, p.Queue),
+		XLabel: "closed-loop clients",
+		YLabel: "p99 latency (ms)",
+	}
+	report := &OverloadReport{QueriesPerClient: p.QueriesPerClient}
+
+	arms := []struct {
+		name string
+		cfg  func() core.Config
+	}{
+		{"governed", func() core.Config {
+			cfg := qpipe.DefaultConfig()
+			cfg.MaxConcurrentQueries = p.MaxConcurrent
+			cfg.AdmissionQueue = p.Queue
+			return cfg
+		}},
+		{"ungoverned", qpipe.DefaultConfig},
+	}
+	var series []Series
+	for _, arm := range arms {
+		sys, err := env.NewQPipeWith("QPipe "+arm.name, arm.cfg())
+		if err != nil {
+			return fig, report, err
+		}
+		qsys, ok := sys.(*QPipeSystem)
+		if !ok {
+			return fig, report, fmt.Errorf("overload: unexpected system type %T", sys)
+		}
+		if err := warmup(env, sys, overloadPlan(sys)); err != nil {
+			return fig, report, err
+		}
+		armReport := OverloadArm{Name: arm.name}
+		if arm.name == "governed" {
+			armReport.MaxConcurrent = p.MaxConcurrent
+			armReport.Queue = p.Queue
+			armReport.TimeoutMs = p.Timeout.Milliseconds()
+		}
+		s := Series{Label: arm.name}
+		for _, clients := range p.Clients {
+			pt, err := overloadRun(qsys, clients, p.QueriesPerClient, armReport.TimeoutMs)
+			if err != nil {
+				return fig, report, err
+			}
+			armReport.Points = append(armReport.Points, pt)
+			s.Points = append(s.Points, Point{X: float64(clients), Y: pt.P99Ms})
+		}
+		report.Arms = append(report.Arms, armReport)
+		series = append(series, s)
+	}
+	fig.Series = series
+	return fig, report, nil
+}
+
+// overloadRun drives one closed-loop point: `clients` goroutines each
+// attempt `perClient` queries back to back, retiring shed attempts with a
+// short client-side backoff (the retry a governed client would do).
+func overloadRun(sys *QPipeSystem, clients, perClient int, timeoutMs int64) (OverloadPoint, error) {
+	var mu sync.Mutex
+	pt := OverloadPoint{Clients: clients}
+	var lats []time.Duration
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rt := sys.Eng.Runtime()
+			for i := 0; i < perClient; i++ {
+				opts := core.QueryOptions{DisableOSP: true}
+				if timeoutMs > 0 {
+					opts.Timeout = time.Duration(timeoutMs) * time.Millisecond
+				}
+				qStart := time.Now()
+				q, err := rt.SubmitOpts(context.Background(), overloadPlan(sys), opts)
+				if err != nil {
+					var oe *core.OverloadedError
+					var de *core.DeadlineError
+					switch {
+					case errors.As(err, &oe):
+						mu.Lock()
+						pt.Attempted++
+						pt.Shed++
+						mu.Unlock()
+						time.Sleep(500 * time.Microsecond) // client retry backoff
+						continue
+					case errors.As(err, &de):
+						mu.Lock()
+						pt.Attempted++
+						pt.TimedOut++
+						mu.Unlock()
+						continue
+					default:
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+				_, derr := q.Result.Drain()
+				werr := q.Wait()
+				lat := time.Since(qStart)
+				mu.Lock()
+				pt.Attempted++
+				var de *core.DeadlineError
+				switch {
+				case werr == nil && derr == nil:
+					pt.Completed++
+					lats = append(lats, lat)
+				case errors.As(werr, &de) || errors.As(derr, &de):
+					pt.TimedOut++
+				default:
+					if firstErr == nil {
+						firstErr = fmt.Errorf("overload client: drain %v, wait %v", derr, werr)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return pt, firstErr
+	}
+	pt.P50Ms = percentileMs(lats, 0.50)
+	pt.P99Ms = percentileMs(lats, 0.99)
+	if wall > 0 {
+		pt.ThroughputQPS = float64(pt.Completed) / wall.Seconds()
+	}
+	return pt, nil
+}
+
+// percentileMs returns the q-th latency percentile in milliseconds
+// (nearest-rank over the sorted sample; 0 for an empty sample).
+func percentileMs(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(q * float64(len(lats)-1))
+	return float64(lats[idx]) / float64(time.Millisecond)
+}
+
+// WriteOverloadJSON writes the overload report as indented JSON
+// (BENCH_OVERLOAD.json), tracked PR over PR like the other artifacts.
+func WriteOverloadJSON(path string, report *OverloadReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadShape runs a miniature load sweep end to end: both arms
+// measured, every attempt accounted for (completed + shed + timed out =
+// attempted), the governed arm sheds once the offered load exceeds
+// slots + queue, and the ungoverned arm never sheds.
+func TestOverloadShape(t *testing.T) {
+	sc := SmallScale()
+	sc.BigRows = 2000
+	env, err := NewWisconsinEnv(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	fig, report, err := Overload(env, OverloadParams{
+		Clients:          []int{2, 8},
+		QueriesPerClient: 3,
+		MaxConcurrent:    2,
+		Queue:            2,
+		Timeout:          5 * time.Second, // generous: exercises the plumbing, not expiry
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 || len(report.Arms) != 2 {
+		t.Fatalf("arms: %d series, %d report arms", len(fig.Series), len(report.Arms))
+	}
+	for _, arm := range report.Arms {
+		if len(arm.Points) != 2 {
+			t.Fatalf("%s: %d points", arm.Name, len(arm.Points))
+		}
+		for _, pt := range arm.Points {
+			if pt.Completed+pt.Shed+pt.TimedOut != pt.Attempted {
+				t.Fatalf("%s @%d clients: %d+%d+%d != %d attempted",
+					arm.Name, pt.Clients, pt.Completed, pt.Shed, pt.TimedOut, pt.Attempted)
+			}
+			if pt.Completed == 0 {
+				t.Fatalf("%s @%d clients: nothing completed", arm.Name, pt.Clients)
+			}
+			if pt.P99Ms < pt.P50Ms {
+				t.Fatalf("%s @%d clients: p99 %f < p50 %f", arm.Name, pt.Clients, pt.P99Ms, pt.P50Ms)
+			}
+			if arm.Name == "ungoverned" && (pt.Shed != 0 || pt.TimedOut != 0) {
+				t.Fatalf("ungoverned arm shed/timed out: %+v", pt)
+			}
+		}
+	}
+	// 8 closed-loop clients against 2 slots + 2 queue must shed.
+	governed := report.Arms[0]
+	if got := governed.Points[1].Shed; got == 0 {
+		t.Fatalf("governed arm @8 clients shed nothing (completed %d)", governed.Points[1].Completed)
+	}
+}

@@ -8,6 +8,7 @@ func All() []*Analyzer {
 		SpillLint,
 		SigLint,
 		CtxLint,
+		DeadlineLint,
 	}
 }
 

@@ -29,3 +29,7 @@ func TestSigLint(t *testing.T) {
 func TestCtxLint(t *testing.T) {
 	RunTest(t, "testdata", CtxLint, "ctxlint")
 }
+
+func TestDeadlineLint(t *testing.T) {
+	RunTest(t, "testdata", DeadlineLint, "deadlinelint")
+}

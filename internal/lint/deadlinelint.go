@@ -1,0 +1,90 @@
+// deadlinelint enforces packet-context derivation: code holding a
+// *core.Packet or *core.Query runs on behalf of a governed query whose
+// deadline and cancellation live in the query context (Query.Ctx, reached
+// from a packet as pkt.Query.Ctx()). A function that manufactures its own
+// root context — context.Background() or context.TODO() — while carrying
+// query state detaches that work from the query's deadline: a statement
+// timeout or client cancel would tear the buffers down while the detached
+// work runs on, exactly the hang-or-leak the governance layer exists to
+// prevent.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeadlineLint is the packet-context derivation analyzer.
+var DeadlineLint = &Analyzer{
+	Name: "deadlinelint",
+	Doc: "check that functions holding query state (*core.Packet / *core.Query) derive " +
+		"contexts from the query context instead of creating context.Background()/context.TODO(), " +
+		"so per-query deadlines and cancellation reach every piece of the query's work",
+	Run: runDeadlineLint,
+}
+
+func runDeadlineLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !carriesQueryState(pass.TypesInfo, decl) {
+				continue
+			}
+			// The whole body counts, nested literals included: a closure
+			// inside a packet-carrying function still works for that query.
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.TypesInfo, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+					return true
+				}
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					pass.Reportf(call.Pos(),
+						"%s holds query state but creates context.%s(): packet work must derive from the query context (pkt.Query.Ctx) so deadlines and cancellation reach it",
+						decl.Name.Name, fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// carriesQueryState reports whether the function's receiver or any
+// parameter is a *core.Packet or *core.Query (engine package or testdata
+// stand-in).
+func carriesQueryState(info *types.Info, decl *ast.FuncDecl) bool {
+	var fields []*ast.Field
+	if decl.Recv != nil {
+		fields = append(fields, decl.Recv.List...)
+	}
+	if decl.Type.Params != nil {
+		fields = append(fields, decl.Type.Params.List...)
+	}
+	for _, field := range fields {
+		if isQueryStateType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isQueryStateType matches core.Packet and core.Query, through pointers.
+func isQueryStateType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return (obj.Name() == "Packet" || obj.Name() == "Query") && pkgMatches(obj.Pkg(), corePath)
+}

@@ -6,3 +6,9 @@ type MicroEngine struct{}
 
 // SpawnSub runs fn as a sub-worker goroutine.
 func (e *MicroEngine) SpawnSub(fn func()) { go fn() }
+
+// Query mirrors the engine's per-request handle (deadlinelint).
+type Query struct{}
+
+// Packet mirrors the engine's unit of work (deadlinelint).
+type Packet struct{ Query *Query }

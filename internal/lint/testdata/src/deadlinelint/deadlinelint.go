@@ -1,0 +1,51 @@
+// Test cases for deadlinelint: packet-context derivation.
+package deadlinelint
+
+import (
+	"context"
+
+	"core"
+)
+
+// badPacketBackground: operator code holding a packet must not manufacture
+// a root context — the query's deadline would never reach the derived work.
+func badPacketBackground(pkt *core.Packet) {
+	ctx, cancel := context.WithCancel(context.Background()) // want `holds query state but creates context.Background`
+	defer cancel()
+	<-ctx.Done()
+}
+
+// badQueryTODO: the same detachment via TODO on a query-carrying helper.
+func badQueryTODO(q *core.Query) {
+	_ = context.TODO() // want `holds query state but creates context.TODO`
+}
+
+// badMethodReceiver: methods on query state count like parameters.
+type runner struct{}
+
+func (r *runner) run(pkt *core.Packet, f func()) { f() }
+
+// badNestedClosure: a closure inside a packet-carrying function still works
+// for that query; hiding the root context one level down changes nothing.
+func badNestedClosure(pkt *core.Packet) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 0) // want `holds query state but creates context.Background`
+		defer cancel()
+		<-ctx.Done()
+	}()
+}
+
+// cleanDerived: deriving from a caller-threaded context is the contract.
+func cleanDerived(pkt *core.Packet, ctx context.Context) {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	<-sub.Done()
+}
+
+// cleanNoQueryState: functions without packet or query state may create
+// root contexts (Submit callers, main, tests).
+func cleanNoQueryState() context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	return ctx
+}

@@ -11,6 +11,7 @@ package disk
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
@@ -43,6 +44,8 @@ type Stats struct {
 	SeqReads   int64 // reads that were sequential w.r.t. the previous read of the same file
 	ByFile     map[string]int64
 	SleepTotal time.Duration // total simulated latency charged
+
+	FaultsInjected int64 // injected I/O faults that actually fired (tests/chaos)
 }
 
 // Disk is a simulated block device. All methods are safe for concurrent use.
@@ -66,37 +69,184 @@ type Disk struct {
 	// spindles is a semaphore bounding concurrent latency charges.
 	spindles chan struct{}
 
-	// Fault injection (tests): while remaining > 0, reads of matching
-	// files fail and decrement the counter.
-	faultMu        sync.Mutex
-	faultFile      string
-	faultRemaining int64
-	faultErr       error
+	// Fault injection (tests and chaos): counted per-file rules for reads
+	// and writes, plus an optional seeded probabilistic schedule. All state
+	// behind faultMu; the hot path is a single cheap armed-check.
+	faultMu    sync.Mutex
+	readFault  faultRule
+	writeFault faultRule
+	sched      *FaultSchedule
+	schedRng   *rand.Rand
+	schedCount int64
+	faultsHit  atomic.Int64
+
+	// Latency jitter (SetLatencyJitter): charged latencies are multiplied
+	// by a seeded random factor in [1-frac, 1+frac].
+	jitterMu   sync.Mutex
+	jitterFrac float64
+	jitterRng  *rand.Rand
 }
 
-// InjectReadFaults makes the next n reads of the named file fail with err
-// (an empty name matches every file). Used by failure-injection tests to
-// verify that I/O errors propagate cleanly through both engines.
+// faultRule is one counted fault arm: while remaining > 0, matching I/O
+// fails with err and decrements the counter. An empty file matches every
+// file; otherwise it is a name *prefix*, so "tmp:" arms every spill file and
+// "tmp:sortrun:" only sort runs. (Exact names remain their own prefix, so
+// existing exact-name callers behave unchanged.)
+type faultRule struct {
+	file      string
+	remaining int64
+	err       error
+}
+
+func (r *faultRule) take(name string) error {
+	if r.remaining <= 0 || !faultMatch(name, r.file) {
+		return nil
+	}
+	r.remaining--
+	return r.err
+}
+
+func faultMatch(name, pat string) bool {
+	return pat == "" || strings.HasPrefix(name, pat)
+}
+
+// FaultSchedule is a deterministic seeded stream of injected I/O faults:
+// each read (write) of a file matching ReadFile (WriteFile) fails with
+// probability ReadProb (WriteProb), decided by a PRNG seeded with Seed so a
+// chaos run replays identically. Max bounds the total faults injected
+// (0 = unlimited); Err is the error returned (required).
+type FaultSchedule struct {
+	Seed      int64
+	ReadProb  float64 // per-read fault probability for matching files
+	ReadFile  string  // name prefix filter for reads ("" = every file)
+	WriteProb float64 // per-write fault probability for matching files
+	WriteFile string  // name prefix filter for writes ("" = every file)
+	Max       int64   // total fault budget across reads and writes (0 = unlimited)
+	Err       error   // error injected faults return
+}
+
+// InjectReadFaults makes the next n reads of files matching the given name
+// prefix fail with err (an empty prefix matches every file). Used by
+// failure-injection tests to verify that I/O errors propagate cleanly
+// through both engines.
 func (d *Disk) InjectReadFaults(file string, n int64, err error) {
 	d.faultMu.Lock()
 	defer d.faultMu.Unlock()
-	d.faultFile = file
-	d.faultRemaining = n
-	d.faultErr = err
+	d.readFault = faultRule{file: file, remaining: n, err: err}
 }
 
-// takeFault consumes one injected fault if armed for this file.
+// InjectWriteFaults makes the next n writes (Append or Write) of files
+// matching the given name prefix fail with err. The block is NOT persisted
+// when the fault fires — a failed write failed. Arms mid-spill failure
+// tests: "tmp:" faults the next spill write wherever it lands.
+func (d *Disk) InjectWriteFaults(file string, n int64, err error) {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	d.writeFault = faultRule{file: file, remaining: n, err: err}
+}
+
+// InjectFaultSchedule arms a deterministic probabilistic fault schedule (see
+// FaultSchedule). A nil schedule disarms it. Counted rules from
+// InjectReadFaults/InjectWriteFaults fire first; the schedule decides any
+// I/O they pass.
+func (d *Disk) InjectFaultSchedule(s *FaultSchedule) {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	d.sched = s
+	d.schedCount = 0
+	if s != nil {
+		d.schedRng = rand.New(rand.NewSource(s.Seed))
+	} else {
+		d.schedRng = nil
+	}
+}
+
+// ClearFaults disarms all fault injection (counted rules and schedule).
+func (d *Disk) ClearFaults() {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	d.readFault = faultRule{}
+	d.writeFault = faultRule{}
+	d.sched = nil
+	d.schedRng = nil
+	d.schedCount = 0
+}
+
+// FaultsInjected returns the total number of faults injected so far (counted
+// rules plus schedule hits) — chaos tests assert the schedule actually bit.
+func (d *Disk) FaultsInjected() int64 { return d.faultsHit.Load() }
+
+// takeFault consumes one injected read fault if armed for this file.
 func (d *Disk) takeFault(name string) error {
 	d.faultMu.Lock()
 	defer d.faultMu.Unlock()
-	if d.faultRemaining <= 0 {
+	if err := d.readFault.take(name); err != nil {
+		d.faultsHit.Add(1)
+		return err
+	}
+	return d.takeScheduled(name, false)
+}
+
+// takeWriteFault consumes one injected write fault if armed for this file.
+func (d *Disk) takeWriteFault(name string) error {
+	d.faultMu.Lock()
+	defer d.faultMu.Unlock()
+	if err := d.writeFault.take(name); err != nil {
+		d.faultsHit.Add(1)
+		return err
+	}
+	return d.takeScheduled(name, true)
+}
+
+// takeScheduled rolls the armed fault schedule for one I/O (faultMu held).
+func (d *Disk) takeScheduled(name string, write bool) error {
+	s := d.sched
+	if s == nil || (s.Max > 0 && d.schedCount >= s.Max) {
 		return nil
 	}
-	if d.faultFile != "" && d.faultFile != name {
+	prob, pat := s.ReadProb, s.ReadFile
+	if write {
+		prob, pat = s.WriteProb, s.WriteFile
+	}
+	if prob <= 0 || !faultMatch(name, pat) {
 		return nil
 	}
-	d.faultRemaining--
-	return d.faultErr
+	if d.schedRng.Float64() >= prob {
+		return nil
+	}
+	d.schedCount++
+	d.faultsHit.Add(1)
+	return s.Err
+}
+
+// SetLatencyJitter multiplies every charged latency by a random factor in
+// [1-frac, 1+frac], drawn from a PRNG seeded with seed (deterministic
+// sequence, though interleaving across goroutines is not). frac <= 0
+// disables jitter. Chaos tests use it to perturb I/O timing without changing
+// the mean latency model.
+func (d *Disk) SetLatencyJitter(frac float64, seed int64) {
+	d.jitterMu.Lock()
+	defer d.jitterMu.Unlock()
+	if frac <= 0 {
+		d.jitterFrac, d.jitterRng = 0, nil
+		return
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	d.jitterFrac = frac
+	d.jitterRng = rand.New(rand.NewSource(seed))
+}
+
+// jitter applies the armed latency jitter to one charge.
+func (d *Disk) jitter(lat time.Duration) time.Duration {
+	d.jitterMu.Lock()
+	defer d.jitterMu.Unlock()
+	if d.jitterFrac <= 0 || lat <= 0 {
+		return lat
+	}
+	f := 1 + d.jitterFrac*(2*d.jitterRng.Float64()-1)
+	return time.Duration(float64(lat) * f)
 }
 
 type file struct {
@@ -211,6 +361,9 @@ func (d *Disk) Append(name string, buf []byte) (int64, error) {
 	if len(buf) > d.cfg.BlockSize {
 		return 0, fmt.Errorf("disk: block of %d bytes exceeds block size %d", len(buf), d.cfg.BlockSize)
 	}
+	if ferr := d.takeWriteFault(name); ferr != nil {
+		return 0, ferr
+	}
 	b := make([]byte, d.cfg.BlockSize)
 	copy(b, buf)
 	f.mu.Lock()
@@ -230,6 +383,9 @@ func (d *Disk) Write(name string, blockNo int64, buf []byte) error {
 	}
 	if len(buf) > d.cfg.BlockSize {
 		return fmt.Errorf("disk: block of %d bytes exceeds block size %d", len(buf), d.cfg.BlockSize)
+	}
+	if ferr := d.takeWriteFault(name); ferr != nil {
+		return ferr
 	}
 	f.mu.Lock()
 	if blockNo < 0 || blockNo >= int64(len(f.blocks)) {
@@ -306,6 +462,7 @@ func (d *Disk) Read(name string, blockNo int64) ([]byte, error) {
 const spinThreshold = 500 * time.Microsecond
 
 func (d *Disk) charge(lat time.Duration) {
+	lat = d.jitter(lat)
 	if lat <= 0 {
 		return
 	}
@@ -334,11 +491,12 @@ func (d *Disk) Stats() Stats {
 	}
 	d.mu.RUnlock()
 	return Stats{
-		Reads:      d.reads.Load(),
-		Writes:     d.writes.Load(),
-		SeqReads:   d.seqReads.Load(),
-		ByFile:     byFile,
-		SleepTotal: time.Duration(d.sleepNS.Load()),
+		Reads:          d.reads.Load(),
+		Writes:         d.writes.Load(),
+		SeqReads:       d.seqReads.Load(),
+		ByFile:         byFile,
+		SleepTotal:     time.Duration(d.sleepNS.Load()),
+		FaultsInjected: d.faultsHit.Load(),
 	}
 }
 

@@ -227,3 +227,116 @@ func TestSpindleBoundSerializesLatency(t *testing.T) {
 		t.Errorf("2 spindles should overlap: %v", parallel)
 	}
 }
+
+func TestInjectWriteFaults(t *testing.T) {
+	d := New(Config{BlockSize: 32})
+	d.Create("tmp:sortrun:1")
+	d.Create("tbl:t")
+	boom := fmt.Errorf("boom")
+	// Prefix matching: "tmp:" arms every spill file, leaves tables alone.
+	d.InjectWriteFaults("tmp:", 2, boom)
+	if _, err := d.Append("tbl:t", []byte{1}); err != nil {
+		t.Fatalf("unaffected file failed: %v", err)
+	}
+	if _, err := d.Append("tmp:sortrun:1", []byte{1}); err != boom {
+		t.Fatalf("want injected write fault, got %v", err)
+	}
+	// The faulted block must NOT have been persisted.
+	if n := d.NumBlocks("tmp:sortrun:1"); n != 0 {
+		t.Fatalf("faulted append persisted %d blocks", n)
+	}
+	// Write (overwrite) path is faulted too.
+	d.Append("tbl:t", []byte{2})
+	if err := d.Write("tmp:sortrun:1", 0, []byte{3}); err != boom {
+		t.Fatalf("want injected overwrite fault, got %v", err)
+	}
+	// Budget exhausted: writes succeed again.
+	if _, err := d.Append("tmp:sortrun:1", []byte{4}); err != nil {
+		t.Fatalf("budget exhausted but write failed: %v", err)
+	}
+	if got := d.FaultsInjected(); got != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", got)
+	}
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	run := func() []bool {
+		d := New(Config{BlockSize: 32})
+		d.Create("f")
+		d.Append("f", []byte{1})
+		d.InjectFaultSchedule(&FaultSchedule{Seed: 42, ReadProb: 0.3, WriteProb: 0.3, Err: boom})
+		var hits []bool
+		for i := 0; i < 50; i++ {
+			_, err := d.Read("f", 0)
+			hits = append(hits, err != nil)
+			_, err = d.Append("f", []byte{byte(i)})
+			hits = append(hits, err != nil)
+		}
+		return hits
+	}
+	a, b := run(), run()
+	var n int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic at step %d", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Fatalf("schedule hit %d/%d I/Os — expected a mix", n, len(a))
+	}
+}
+
+func TestFaultScheduleMaxAndClear(t *testing.T) {
+	boom := fmt.Errorf("boom")
+	d := New(Config{BlockSize: 32})
+	d.Create("f")
+	d.Append("f", []byte{1})
+	d.InjectFaultSchedule(&FaultSchedule{Seed: 1, ReadProb: 1, Max: 3, Err: boom})
+	var hits int64
+	for i := 0; i < 10; i++ {
+		if _, err := d.Read("f", 0); err != nil {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("Max=3 schedule injected %d faults", hits)
+	}
+	if got := d.Stats().FaultsInjected; got != 3 {
+		t.Fatalf("Stats.FaultsInjected = %d, want 3", got)
+	}
+	d.InjectFaultSchedule(&FaultSchedule{Seed: 1, ReadProb: 1, Err: boom})
+	d.InjectReadFaults("f", 1, boom)
+	d.ClearFaults()
+	if _, err := d.Read("f", 0); err != nil {
+		t.Fatalf("ClearFaults left injection armed: %v", err)
+	}
+}
+
+func TestLatencyJitter(t *testing.T) {
+	d := New(Config{BlockSize: 32, RandRead: 100 * time.Microsecond, SeqRead: 100 * time.Microsecond})
+	d.Create("f")
+	d.Append("f", []byte{1})
+	d.SetLatencyJitter(0.5, 7)
+	for i := 0; i < 20; i++ {
+		d.Read("f", 0)
+	}
+	st := d.Stats()
+	// 20 reads at 100µs ±50%: total charged must land inside [1ms, 3ms] and
+	// essentially never on exactly 2ms.
+	if st.SleepTotal < 1*time.Millisecond || st.SleepTotal > 3*time.Millisecond {
+		t.Fatalf("jittered SleepTotal = %v out of range", st.SleepTotal)
+	}
+	if st.SleepTotal == 2*time.Millisecond {
+		t.Fatalf("SleepTotal exactly nominal — jitter not applied")
+	}
+	d.SetLatencyJitter(0, 0) // disable
+	d.ResetStats()
+	d.Read("f", 0)
+	if got := d.Stats().SleepTotal; got != 100*time.Microsecond {
+		t.Fatalf("jitter disabled but SleepTotal = %v", got)
+	}
+}

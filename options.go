@@ -4,7 +4,11 @@
 // with different parallelism, batch size, OSP participation and caching.
 package qpipe
 
-import "qpipe/internal/core"
+import (
+	"time"
+
+	"qpipe/internal/core"
+)
 
 // QueryOption tunes the execution of a single Run/RunBatch call.
 type QueryOption func(*queryOpts)
@@ -16,8 +20,10 @@ type queryOpts struct {
 	sharedScan bool
 
 	// validation bookkeeping (checked in resolve)
-	badPar   bool
-	badBatch bool
+	badPar      bool
+	badBatch    bool
+	badTimeout  bool
+	badDeadline bool
 }
 
 // WithParallelism sets the intra-operator fan-out for every operator of this
@@ -67,6 +73,29 @@ func WithResultCache() QueryOption {
 	return func(o *queryOpts) { o.useCache = true }
 }
 
+// WithTimeout bounds the query's execution to a relative budget measured
+// from submission — the statement timeout. A query that exceeds it fails
+// with a typed *DeadlineError (errors.Is-matching context.DeadlineExceeded),
+// torn down exactly like a cancellation: buffers abandoned, satellites of
+// the timed-out host rescued, no hang, no silent truncation. Combines with
+// WithDeadline and the caller's context; the earliest instant wins. Values
+// <= 0 yield an *OptionError at Run.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(o *queryOpts) {
+		o.core.Timeout = d
+		o.badTimeout = d <= 0
+	}
+}
+
+// WithDeadline bounds the query's execution to an absolute instant (see
+// WithTimeout for semantics). A zero time yields an *OptionError at Run.
+func WithDeadline(t time.Time) QueryOption {
+	return func(o *queryOpts) {
+		o.core.Deadline = t
+		o.badDeadline = t.IsZero()
+	}
+}
+
 // resolve folds the options and validates values and combinations, returning
 // a distinct *OptionError per failure mode.
 func resolveOpts(opts []QueryOption) (queryOpts, error) {
@@ -79,6 +108,10 @@ func resolveOpts(opts []QueryOption) (queryOpts, error) {
 		return o, &OptionError{Option: "WithParallelism", Reason: "parallelism must be >= 1"}
 	case o.badBatch:
 		return o, &OptionError{Option: "WithBatchSize", Reason: "batch size must be >= 1"}
+	case o.badTimeout:
+		return o, &OptionError{Option: "WithTimeout", Reason: "timeout must be > 0"}
+	case o.badDeadline:
+		return o, &OptionError{Option: "WithDeadline", Reason: "deadline must be non-zero"}
 	case o.sharedScan && o.core.DisableOSP:
 		return o, &OptionError{Option: "WithSharedScan", Reason: "conflicts with WithoutOSP: scan sharing is an OSP mechanism"}
 	}

@@ -86,6 +86,16 @@ func (r *Result) Next() ([]Row, error) {
 	}
 	b, err := r.q.Result.Get()
 	if err != nil {
+		if err != io.EOF {
+			// A cancelled (or timed-out) query tears its buffers down under
+			// the reader, so Get surfaces teardown shrapnel ("buffer
+			// abandoned"). Normalize to the query's terminal cancellation
+			// error — the typed *DeadlineError / context.Canceled the caller
+			// can branch on.
+			if cerr := r.q.CancelErr(); cerr != nil {
+				err = cerr
+			}
+		}
 		return nil, err
 	}
 	if r.limit > 0 && r.delivered+int64(len(b)) >= r.limit {

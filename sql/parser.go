@@ -410,6 +410,8 @@ func (p *parser) parseSet() *Set {
 		return &Set{Name: name, Value: t.Text}
 	case tokKeyword: // SET osp = ON parses ON as a keyword
 		return &Set{Name: name, Value: t.Text}
+	case tokString: // SET statement_timeout = '500ms'
+		return &Set{Name: name, Value: t.Text}
 	default:
 		p.errf(t.Pos, "expected a value, found %s", t.describe())
 		return nil

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"qpipe/sql"
 )
@@ -1019,9 +1020,10 @@ func lowerNary(scope *sqlScope, ps []sql.Pred, combine func(...Pred) Pred) (Pred
 // reaches it. The qpipe-shell REPL and the SQL workload runner keep one
 // Session per connection and pass Options() to every Query/Run call:
 //
-//	SET parallelism = 8;    -- WithParallelism(8)
-//	SET batch_size = 128;   -- WithBatchSize(128)
-//	SET osp = off;          -- WithoutOSP()
+//	SET parallelism = 8;           -- WithParallelism(8)
+//	SET batch_size = 128;          -- WithBatchSize(128)
+//	SET osp = off;                 -- WithoutOSP()
+//	SET statement_timeout = 500ms; -- WithTimeout(500ms); bare ints are ms
 //
 // The zero Session means "engine defaults" and yields no options.
 type Session struct {
@@ -1033,6 +1035,9 @@ type Session struct {
 	BatchSize int
 	// OSPOff opts queries out of on-demand simultaneous pipelining.
 	OSPOff bool
+	// StatementTimeout bounds each query's execution (WithTimeout); queries
+	// exceeding it fail with a *DeadlineError. 0 = no timeout.
+	StatementTimeout time.Duration
 }
 
 // Apply folds one SET statement into the session. Unknown settings and bad
@@ -1061,9 +1066,25 @@ func (s *Session) Apply(st *sql.Set) error {
 		default:
 			return &OptionError{Option: "SET osp", Reason: "must be on or off"}
 		}
+	case "statement_timeout":
+		// Postgres convention: a bare integer is milliseconds; duration
+		// strings ("500ms", "2s") work too. 0 disables the timeout.
+		var d time.Duration
+		if n, err := strconv.Atoi(val); err == nil {
+			d = time.Duration(n) * time.Millisecond
+		} else if pd, err := time.ParseDuration(val); err == nil {
+			d = pd
+		} else {
+			return &OptionError{Option: "SET statement_timeout",
+				Reason: "must be a duration (500ms, 2s) or integer milliseconds"}
+		}
+		if d < 0 {
+			return &OptionError{Option: "SET statement_timeout", Reason: "must be >= 0"}
+		}
+		s.StatementTimeout = d
 	default:
 		return &OptionError{Option: "SET " + st.Name,
-			Reason: "unknown setting (supported: parallelism, batch_size, osp)"}
+			Reason: "unknown setting (supported: parallelism, batch_size, osp, statement_timeout)"}
 	}
 	return nil
 }
@@ -1080,6 +1101,9 @@ func (s *Session) Options() []QueryOption {
 	if s.OSPOff {
 		opts = append(opts, WithoutOSP())
 	}
+	if s.StatementTimeout > 0 {
+		opts = append(opts, WithTimeout(s.StatementTimeout))
+	}
 	return opts
 }
 
@@ -1095,5 +1119,9 @@ func (s *Session) String() string {
 	if s.OSPOff {
 		osp = "off"
 	}
-	return fmt.Sprintf("parallelism=%s batch_size=%s osp=%s", par, batch, osp)
+	timeout := "off"
+	if s.StatementTimeout > 0 {
+		timeout = s.StatementTimeout.String()
+	}
+	return fmt.Sprintf("parallelism=%s batch_size=%s osp=%s statement_timeout=%s", par, batch, osp, timeout)
 }

@@ -402,11 +402,14 @@ func TestSession(t *testing.T) {
 	if err := apply("SET osp = off"); err != nil {
 		t.Fatal(err)
 	}
-	if got := s.String(); got != "parallelism=4 batch_size=128 osp=off" {
+	if err := apply("SET statement_timeout = '250ms'"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.String(); got != "parallelism=4 batch_size=128 osp=off statement_timeout=250ms" {
 		t.Errorf("session = %q", got)
 	}
-	if n := len(s.Options()); n != 3 {
-		t.Errorf("options = %d, want 3", n)
+	if n := len(s.Options()); n != 4 {
+		t.Errorf("options = %d, want 4", n)
 	}
 	var oe *OptionError
 	if err := apply("SET parallelism = 0"); !errors.As(err, &oe) {
