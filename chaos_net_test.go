@@ -1,0 +1,208 @@
+// The network storm: the chaos suite's adversarial conditions (random
+// disconnects, statement timeouts, seeded disk faults) driven through real
+// loopback TCP connections instead of in-process calls. External test
+// package — it rides the client package, which imports qpipe back.
+//
+// Invariants, run under -race in CI:
+//   - queries fail ONLY with governed, typed errors or connection-level
+//     errors the storm itself caused,
+//   - the server never panics and never wedges,
+//   - after the storm and drain, the engine's gauges converge to zero and
+//     no temp files remain,
+//   - a fresh connection still gets correct results afterwards.
+package qpipe_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qpipe"
+	"qpipe/client"
+	"qpipe/internal/storage/disk"
+	"qpipe/wire"
+)
+
+func TestChaosNetworkStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	srv, db, addr := startServer(t, 8000, qpipe.Options{
+		MaxConcurrentQueries: 6,
+		AdmissionQueue:       8,
+		DrainTimeout:         2 * time.Second,
+	}, qpipe.ServerOptions{ShutdownGrace: 10 * time.Second})
+
+	d := qpipe.DiskOf(db)
+	d.SetLatency(5*time.Microsecond, 8*time.Microsecond, 0)
+	defer d.SetLatency(0, 0, 0)
+	d.SetLatencyJitter(0.4, 99)
+	defer d.SetLatencyJitter(0, 0)
+	// Seeded faults on spill writes: sorts trip over them, heap scans do not.
+	injected := errors.New("injected disk fault")
+	d.InjectFaultSchedule(&disk.FaultSchedule{
+		Seed: 42, WriteProb: 0.05, WriteFile: "tmp:", Err: injected,
+	})
+	defer d.ClearFaults()
+
+	// tolerated: governed typed errors, the injected fault, and the
+	// connection-level shrapnel the storm's own disconnects cause.
+	tolerated := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		var oe *qpipe.OverloadedError
+		var de *qpipe.DeadlineError
+		var ne net.Error
+		var pe *wire.ProtocolError
+		return errors.As(err, &oe) || errors.As(err, &de) ||
+			errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+			errors.As(err, &ne) || errors.As(err, &pe) ||
+			strings.Contains(err.Error(), "injected") ||
+			strings.Contains(err.Error(), "cancel") ||
+			strings.Contains(err.Error(), "closed")
+	}
+
+	queries := []string{
+		"SELECT count(*) AS n FROM t",
+		"SELECT grp, count(*) AS n FROM t GROUP BY grp",
+		"SELECT id, amount FROM t ORDER BY amount DESC", // spills: faults fire here
+		"SELECT id FROM t WHERE id < 2000",
+		"SELECT count(*) AS n FROM t WHERE grp = 3",
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	deadline := time.After(120 * time.Second)
+	done := make(chan struct{})
+
+	// Each worker runs its own connections through random fates: clean
+	// completion, protocol cancel, tight statement timeouts, or a hard
+	// socket close mid-stream.
+	worker := func(seed int64) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		ctx := context.Background()
+		for iter := 0; iter < 12; iter++ {
+			conn, err := client.Connect(ctx, addr)
+			if err != nil {
+				if tolerated(err) {
+					continue
+				}
+				errs <- fmt.Errorf("worker %d iter %d connect: %w", seed, iter, err)
+				return
+			}
+			// A few requests per connection, each with a random fate.
+			nreq := 1 + rng.Intn(3)
+			hardClosed := false
+			for r := 0; r < nreq && !hardClosed; r++ {
+				q := queries[rng.Intn(len(queries))]
+				var opts []client.Option
+				if rng.Intn(3) == 0 {
+					opts = append(opts, client.WithTimeout(time.Duration(1+rng.Intn(15))*time.Millisecond))
+				}
+				if rng.Intn(4) == 0 {
+					opts = append(opts, client.WithBatchSize(8+rng.Intn(64)))
+				}
+				rows, err := conn.Query(ctx, q, opts...)
+				if err != nil {
+					if !tolerated(err) {
+						errs <- fmt.Errorf("worker %d iter %d query: %w", seed, iter, err)
+						conn.Close()
+						return
+					}
+					break // connection may be poisoned; next iteration dials anew
+				}
+				switch rng.Intn(4) {
+				case 0: // hard disconnect mid-stream
+					rows.Next()
+					conn.Close()
+					hardClosed = true
+				case 1: // protocol cancel, connection stays usable
+					rows.Next()
+					if err := rows.Close(); err != nil && !tolerated(err) {
+						errs <- fmt.Errorf("worker %d iter %d cancel: %w", seed, iter, err)
+						conn.Close()
+						return
+					}
+				default: // drain fully
+					if _, err := rows.Discard(); err != nil && !tolerated(err) {
+						errs <- fmt.Errorf("worker %d iter %d drain: %w", seed, iter, err)
+						conn.Close()
+						return
+					}
+				}
+			}
+			if !hardClosed {
+				conn.Close()
+			}
+		}
+	}
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go worker(int64(1000 + i))
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case err := <-errs:
+		t.Fatal(err)
+	case <-deadline:
+		t.Fatal("network storm hung")
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Calm the disk; the gauges and temp files must converge to zero.
+	d.ClearFaults()
+	d.SetLatencyJitter(0, 0)
+	d.SetLatency(0, 0, 0)
+	convergeDeadline := time.Now().Add(20 * time.Second)
+	for {
+		st := db.Stats()
+		tmp := d.FilesWithPrefix("tmp:")
+		if st.InFlight == 0 && st.AdmissionQueued == 0 && len(tmp) == 0 {
+			break
+		}
+		if time.Now().After(convergeDeadline) {
+			t.Fatalf("storm did not converge: in-flight=%d queued=%d tmp=%v",
+				st.InFlight, st.AdmissionQueued, tmp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The server is still fully serviceable.
+	conn, err := client.Connect(context.Background(), addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rows, err := conn.Query(context.Background(), "SELECT count(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := rows.All()
+	if err != nil || len(all) != 1 || all[0][0].I != 8000 {
+		t.Fatalf("post-storm count: %v, %v", all, err)
+	}
+	sstats := srv.Stats()
+	t.Logf("network storm: %d conns, %d queries, %d rows sent, %d errors sent, %d protocol errors; engine shed=%d timeouts=%d faults=%d",
+		sstats.ConnsAccepted, sstats.QueriesServed, sstats.RowsSent, sstats.ErrorsSent,
+		sstats.ProtocolErrors, db.Stats().Shed, db.Stats().DeadlineTimeouts, d.Stats().FaultsInjected)
+}

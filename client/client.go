@@ -1,0 +1,555 @@
+// Package client is the Go client for qpipe-server: Connect dials the wire
+// protocol, Query streams results batch-by-batch, Prepare/Exec mirror the
+// embedded API. Server-side errors arrive as the same concrete exported
+// types the embedded API returns (via qpipe.UnmarshalWireError), so
+// errors.As branches — *qpipe.OverloadedError back-off, *qpipe.DeadlineError
+// retry — work unchanged a network away.
+//
+// A connection runs one request at a time (the protocol is strictly
+// request/response with a streamed body); Rows must be drained or closed
+// before the next call. For concurrency, open more connections — that is
+// the point of the server: many connections means many concurrent queries
+// means OSP sharing opportunities.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"qpipe"
+	"qpipe/internal/tuple"
+	"qpipe/wire"
+)
+
+// Row is one result row (an alias of qpipe.Row: shared, immutable values).
+type Row = qpipe.Row
+
+// Option adjusts one remote query's execution, mirroring the embedded
+// functional options that make sense over the wire.
+type Option func(*wire.ExecOpts)
+
+// WithTimeout bounds the query's server-side execution; exceeding it fails
+// the query with a *qpipe.DeadlineError. The wire carries milliseconds:
+// sub-millisecond values round up to 1ms rather than silently dropping the
+// timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(o *wire.ExecOpts) {
+		ms := uint64(d / time.Millisecond)
+		if ms == 0 && d > 0 {
+			ms = 1
+		}
+		o.TimeoutMs = ms
+	}
+}
+
+// WithParallelism sets the intra-operator fan-out.
+func WithParallelism(n int) Option {
+	return func(o *wire.ExecOpts) { o.Parallelism = uint32(n) }
+}
+
+// WithBatchSize sets the tuples-per-batch target.
+func WithBatchSize(n int) Option {
+	return func(o *wire.ExecOpts) { o.BatchSize = uint32(n) }
+}
+
+// WithoutOSP opts the query out of on-demand simultaneous pipelining.
+func WithoutOSP() Option {
+	return func(o *wire.ExecOpts) { o.NoOSP = true }
+}
+
+func execOpts(opts []Option) wire.ExecOpts {
+	var o wire.ExecOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Conn is one client connection. Not safe for concurrent use: a connection
+// serves one request at a time. Open one Conn per worker.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	// readBuf is the reusable frame payload buffer; encBuf the reusable
+	// encode buffer; arena amortizes row allocations across batches.
+	readBuf []byte
+	encBuf  []byte
+	arena   tuple.RowArena
+
+	// rows is the in-flight result stream, if any; it must finish before
+	// the next request starts.
+	rows *Rows
+
+	closed bool
+}
+
+// Connect dials a qpipe-server and performs the protocol handshake. The
+// context bounds dialing and the handshake only, not the connection's life.
+func Connect(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn := &Conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	if dl, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(dl)
+	}
+	hello := wire.Hello{Version: wire.ProtocolVersion, Client: "qpipe/client"}
+	if err := conn.request(wire.MsgHello, hello.Encode(nil)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	t, payload, err := conn.readFrame()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch t {
+	case wire.MsgWelcome:
+		if _, err := wire.DecodeWelcome(payload); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	case wire.MsgError:
+		nc.Close()
+		return nil, conn.decodeErr(payload)
+	default:
+		nc.Close()
+		return nil, &wire.ProtocolError{Reason: fmt.Sprintf("expected Welcome, got %s", t)}
+	}
+	nc.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// Close sends a best-effort Quit and closes the socket. A Conn with an
+// unfinished Rows is closed hard (the server cancels the query).
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.rows == nil {
+		// Clean close: the server sees Quit and ends the connection.
+		if err := wire.WriteFrame(c.bw, wire.MsgQuit, nil); err == nil {
+			c.bw.Flush()
+		}
+	}
+	return c.c.Close()
+}
+
+// request writes one frame and flushes.
+func (c *Conn) request(t wire.MsgType, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	if cap(payload) > cap(c.encBuf) {
+		c.encBuf = payload[:0]
+	}
+	return c.bw.Flush()
+}
+
+// readFrame reads one frame into the connection's reusable buffer.
+func (c *Conn) readFrame() (wire.MsgType, []byte, error) {
+	t, payload, buf, err := wire.ReadFrame(c.br, c.readBuf)
+	c.readBuf = buf
+	return t, payload, err
+}
+
+// decodeErr turns a MsgError payload into the concrete exported error type.
+func (c *Conn) decodeErr(payload []byte) error {
+	we, err := wire.DecodeError(payload)
+	if err != nil {
+		return err
+	}
+	return qpipe.UnmarshalWireError(we)
+}
+
+// ready guards request entry: the previous stream must have finished.
+func (c *Conn) ready() error {
+	if c.closed {
+		return qpipe.ErrClosed
+	}
+	if c.rows != nil {
+		return fmt.Errorf("qpipe/client: a result stream is still open — drain or Close it first")
+	}
+	return nil
+}
+
+// applyCtx arms the socket deadline from ctx for the duration of one
+// request; the returned restore func clears it.
+func (c *Conn) applyCtx(ctx context.Context) (restore func()) {
+	if dl, ok := ctx.Deadline(); ok {
+		c.c.SetDeadline(dl)
+		return func() { c.c.SetDeadline(time.Time{}) }
+	}
+	return func() {}
+}
+
+// Query submits one SQL statement that returns rows (SELECT or EXPLAIN; a
+// SET adjusts the connection's server-side session and returns an empty
+// Rows). The context's deadline bounds the whole stream client-side; pass
+// WithTimeout to bound server-side execution with a typed error.
+func (c *Conn) Query(ctx context.Context, sqlText string, opts ...Option) (*Rows, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	restore := c.applyCtx(ctx)
+	q := wire.Query{SQL: sqlText, Opts: execOpts(opts)}
+	if err := c.request(wire.MsgQuery, q.Encode(c.encBuf[:0])); err != nil {
+		restore()
+		return nil, err
+	}
+	return c.startRows(restore)
+}
+
+// startRows consumes the response head: RowDesc opens a stream; a bare
+// Complete yields an exhausted Rows (SET, empty statements); Error fails.
+func (c *Conn) startRows(restore func()) (*Rows, error) {
+	t, payload, err := c.readFrame()
+	if err != nil {
+		restore()
+		return nil, err
+	}
+	switch t {
+	case wire.MsgRowDesc:
+		desc, err := wire.DecodeRowDesc(payload)
+		if err != nil {
+			restore()
+			return nil, err
+		}
+		r := &Rows{conn: c, desc: desc, restore: restore}
+		c.rows = r
+		return r, nil
+	case wire.MsgComplete:
+		comp, err := wire.DecodeComplete(payload)
+		if err != nil {
+			restore()
+			return nil, err
+		}
+		restore()
+		return &Rows{done: true, rowCount: comp.Rows}, nil
+	case wire.MsgError:
+		restore()
+		return nil, c.decodeErr(payload)
+	default:
+		restore()
+		return nil, &wire.ProtocolError{Reason: fmt.Sprintf("expected RowDesc, got %s", t)}
+	}
+}
+
+// Exec runs a script of statements that do not return rows (CREATE TABLE,
+// CREATE INDEX, INSERT, ANALYZE) and returns the affected row count.
+func (c *Conn) Exec(ctx context.Context, script string) (int64, error) {
+	if err := c.ready(); err != nil {
+		return 0, err
+	}
+	restore := c.applyCtx(ctx)
+	defer restore()
+	e := wire.Exec{SQL: script}
+	if err := c.request(wire.MsgExec, e.Encode(c.encBuf[:0])); err != nil {
+		return 0, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	switch t {
+	case wire.MsgComplete:
+		comp, err := wire.DecodeComplete(payload)
+		if err != nil {
+			return 0, err
+		}
+		return comp.Rows, nil
+	case wire.MsgError:
+		return 0, c.decodeErr(payload)
+	default:
+		return 0, &wire.ProtocolError{Reason: fmt.Sprintf("expected Complete, got %s", t)}
+	}
+}
+
+// Stats fetches the server's counters (engine, OSP sharing, governance,
+// disk and per-server) as stable name → value pairs.
+func (c *Conn) Stats(ctx context.Context) (map[string]int64, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	restore := c.applyCtx(ctx)
+	defer restore()
+	if err := c.request(wire.MsgStats, nil); err != nil {
+		return nil, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case wire.MsgStatsResult:
+		sr, err := wire.DecodeStatsResult(payload)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]int64, len(sr.Stats))
+		for _, s := range sr.Stats {
+			out[s.Name] = s.Value
+		}
+		return out, nil
+	case wire.MsgError:
+		return nil, c.decodeErr(payload)
+	default:
+		return nil, &wire.ProtocolError{Reason: fmt.Sprintf("expected StatsResult, got %s", t)}
+	}
+}
+
+// Stmt is a prepared SELECT on the server, reusable across executions.
+type Stmt struct {
+	conn *Conn
+	id   uint32
+	desc wire.RowDesc
+}
+
+// Prepare compiles a SELECT server-side for repeated execution.
+func (c *Conn) Prepare(ctx context.Context, sqlText string) (*Stmt, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	restore := c.applyCtx(ctx)
+	defer restore()
+	p := wire.Prepare{SQL: sqlText}
+	if err := c.request(wire.MsgPrepare, p.Encode(c.encBuf[:0])); err != nil {
+		return nil, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case wire.MsgPrepared:
+		pr, err := wire.DecodePrepared(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{conn: c, id: pr.ID, desc: pr.Desc}, nil
+	case wire.MsgError:
+		return nil, c.decodeErr(payload)
+	default:
+		return nil, &wire.ProtocolError{Reason: fmt.Sprintf("expected Prepared, got %s", t)}
+	}
+}
+
+// Query executes the prepared statement.
+func (s *Stmt) Query(ctx context.Context, opts ...Option) (*Rows, error) {
+	c := s.conn
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	restore := c.applyCtx(ctx)
+	e := wire.Execute{ID: s.id, Opts: execOpts(opts)}
+	if err := c.request(wire.MsgExecute, e.Encode(c.encBuf[:0])); err != nil {
+		restore()
+		return nil, err
+	}
+	return c.startRows(restore)
+}
+
+// Close frees the statement server-side.
+func (s *Stmt) Close(ctx context.Context) error {
+	c := s.conn
+	if err := c.ready(); err != nil {
+		return err
+	}
+	restore := c.applyCtx(ctx)
+	defer restore()
+	cs := wire.CloseStmt{ID: s.id}
+	if err := c.request(wire.MsgCloseStmt, cs.Encode(c.encBuf[:0])); err != nil {
+		return err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	switch t {
+	case wire.MsgComplete:
+		return nil
+	case wire.MsgError:
+		return c.decodeErr(payload)
+	default:
+		return &wire.ProtocolError{Reason: fmt.Sprintf("expected Complete, got %s", t)}
+	}
+}
+
+// Rows streams one query's result. Drive it with Next (or All/Discard) to
+// io.EOF, or Close it early — either way the connection is reusable
+// afterwards.
+type Rows struct {
+	conn    *Conn
+	desc    wire.RowDesc
+	restore func()
+
+	batch []Row // decoded rows not yet handed out
+	off   int
+
+	done      bool
+	rowCount  int64
+	err       error
+	cancelled bool
+}
+
+// Schema returns the result's column names and kinds as a qpipe.Schema.
+func (r *Rows) Schema() *qpipe.Schema {
+	cols := make([]tuple.Column, len(r.desc.Cols))
+	for i, c := range r.desc.Cols {
+		cols[i] = tuple.Column{Name: c.Name, Kind: c.Kind}
+	}
+	return &tuple.Schema{Cols: cols}
+}
+
+// finish detaches the stream from the connection.
+func (r *Rows) finish() {
+	if r.conn != nil {
+		r.conn.rows = nil
+		r.conn = nil
+	}
+	if r.restore != nil {
+		r.restore()
+		r.restore = nil
+	}
+}
+
+// fail records a terminal error. A wire-level failure (not a typed server
+// error frame) poisons the connection: the stream cannot be resynchronized.
+func (r *Rows) fail(err error, poison bool) error {
+	r.done = true
+	r.err = err
+	if poison && r.conn != nil {
+		r.conn.closed = true
+		r.conn.c.Close()
+	}
+	r.finish()
+	return err
+}
+
+// Next returns the next batch of rows; io.EOF signals completion. The rows
+// are immutable (decoded fresh client-side, but the same read-only
+// convention as the embedded API); the batch slice is valid until the next
+// Next call.
+func (r *Rows) Next() ([]Row, error) {
+	if r.off < len(r.batch) {
+		b := r.batch[r.off:]
+		r.off = len(r.batch)
+		return b, nil
+	}
+	if r.done {
+		if r.err != nil {
+			return nil, r.err
+		}
+		return nil, io.EOF
+	}
+	for {
+		t, payload, err := r.conn.readFrame()
+		if err != nil {
+			return nil, r.fail(err, true)
+		}
+		switch t {
+		case wire.MsgRowBatch:
+			batch, err := wire.DecodeRowBatch(payload, &r.conn.arena)
+			if err != nil {
+				return nil, r.fail(err, true)
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			r.batch, r.off = batch, len(batch)
+			r.rowCount += int64(len(batch))
+			return batch, nil
+		case wire.MsgComplete:
+			comp, err := wire.DecodeComplete(payload)
+			if err != nil {
+				return nil, r.fail(err, true)
+			}
+			r.done = true
+			r.rowCount = comp.Rows
+			r.finish()
+			return nil, io.EOF
+		case wire.MsgError:
+			serr := r.conn.decodeErr(payload)
+			return nil, r.fail(serr, false)
+		default:
+			return nil, r.fail(&wire.ProtocolError{
+				Reason: fmt.Sprintf("expected RowBatch, got %s", t)}, true)
+		}
+	}
+}
+
+// All drains the stream and returns every row.
+func (r *Rows) All() ([]Row, error) {
+	var out []Row
+	for {
+		b, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, b...)
+	}
+}
+
+// Discard drains and drops the stream, returning the row count.
+func (r *Rows) Discard() (int64, error) {
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			return r.rowCount, nil
+		}
+		if err != nil {
+			return r.rowCount, err
+		}
+	}
+}
+
+// Err returns the stream's terminal error (nil after clean completion).
+func (r *Rows) Err() error { return r.err }
+
+// Close ends the stream early: it sends a Cancel and drains the server's
+// remaining frames (usually one error or completion), leaving the
+// connection ready for the next request. Closing a finished stream is a
+// no-op. The query's typed terminal error (e.g. the cancellation) is
+// discarded — use Next/Discard when it matters.
+func (r *Rows) Close() error {
+	if r.done || r.conn == nil {
+		r.finish()
+		return nil
+	}
+	if !r.cancelled {
+		r.cancelled = true
+		if err := r.conn.request(wire.MsgCancel, nil); err != nil {
+			return r.fail(err, true)
+		}
+	}
+	for {
+		t, payload, err := r.conn.readFrame()
+		if err != nil {
+			return r.fail(err, true)
+		}
+		switch t {
+		case wire.MsgRowBatch:
+			// Residual batches in flight: drop them.
+		case wire.MsgComplete, wire.MsgError:
+			_ = payload
+			r.done = true
+			r.finish()
+			return nil
+		default:
+			return r.fail(&wire.ProtocolError{
+				Reason: fmt.Sprintf("expected RowBatch, got %s", t)}, true)
+		}
+	}
+}

@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, overload, api, sqlmix or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1a, 4a, 8, 9, 10, 11, 12, 13, scanpar, joinpar, gc, overload, api, sqlmix, planshare, server or all")
 	scaleName := flag.String("scale", "small", "experiment scale: small or paper")
 	batch := flag.Int("batch", 0, "engine batch size (tuples per batch and recycling-pool array size; 0 = default 64)")
 	clients := flag.Int("clients", 0, "override client count list max (fig 12)")
@@ -58,6 +58,13 @@ func main() {
 	noOpt := flag.Bool("no-opt", false, "escape hatch: disable the cost-based planner in both planshare arms")
 	planshareOut := flag.String("planshareout", "BENCH_PLANSHARE.json", "output path for the plan-sharing JSON report (fig planshare)")
 	assertShare := flag.Bool("assertshare", false, "fig planshare: exit non-zero unless the optimized arm folds more signatures and shares strictly more than the -no-opt arm")
+	svClients := flag.String("svclients", "8,16,32,64,128", "comma-separated client-connection sweep (fig server)")
+	svQueries := flag.Int("svqueries", 4, "queries per connection (fig server)")
+	svRows := flag.Int("svrows", 20_000, "orders rows in the server sweep dataset (fig server)")
+	svMax := flag.Int("svmax", 16, "engine admission slots behind the server (fig server)")
+	svQueue := flag.Int("svqueue", 0, "admission wait-queue depth, 0 = 4x slots (fig server)")
+	svOut := flag.String("svout", "BENCH_SERVER.json", "output path for the server sweep JSON report (fig server)")
+	svAssert := flag.Bool("svassert", false, "fig server: exit non-zero unless the OSP arm beats the no-OSP arm on shares and p99 at the largest swept count (>= 64 connections)")
 	flag.Parse()
 
 	var sc harness.Scale
@@ -267,6 +274,41 @@ func main() {
 				return nil, err
 			}
 			fmt.Printf("wrote %s\n", *overloadOut)
+			return []harness.Figure{f}, nil
+		})
+	}
+
+	if want("server") {
+		run("Server (multi-client OSP over the wire)", func() ([]harness.Figure, error) {
+			clientList, err := parseIntList(*svClients)
+			if err != nil {
+				return nil, err
+			}
+			f, report, err := harness.Server(harness.ServerParams{
+				Clients:          clientList,
+				QueriesPerClient: *svQueries,
+				Rows:             *svRows,
+				MaxConcurrent:    *svMax,
+				Queue:            *svQueue,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, arm := range report.Arms {
+				for _, pt := range arm.Points {
+					fmt.Printf("%-8s %4d conns  p50 %8.2f ms  p99 %8.2f ms  %6.1f q/s  (%d ok, %d shed, %d shares)\n",
+						arm.Name, pt.Clients, pt.P50Ms, pt.P99Ms, pt.ThroughputQPS, pt.Completed, pt.Shed, pt.Shares)
+				}
+			}
+			if err := harness.WriteServerJSON(*svOut, report); err != nil {
+				return nil, err
+			}
+			fmt.Printf("wrote %s\n", *svOut)
+			if *svAssert {
+				if err := assertServerPayoff(report); err != nil {
+					return nil, err
+				}
+			}
 			return []harness.Figure{f}, nil
 		})
 	}
@@ -599,6 +641,40 @@ func planshareFigure(rows int, noOpt bool, outPath string, assertShare bool) ([]
 			opt.DistinctPlans, lit.DistinctPlans, opt.Shares, lit.Shares)
 	}
 	return []harness.Figure{f}, nil
+}
+
+// assertServerPayoff enforces the server figure's acceptance bar: at the
+// largest swept connection count — which must be at least 64, where the
+// paper's concurrency story kicks in — the OSP arm shares strictly more
+// and holds a strictly lower p99 than the opted-out arm.
+func assertServerPayoff(report *harness.ServerReport) error {
+	var on, off *harness.ServerPoint
+	for i := range report.Arms {
+		arm := &report.Arms[i]
+		if len(arm.Points) == 0 {
+			return fmt.Errorf("svassert: arm %s has no points", arm.Name)
+		}
+		last := &arm.Points[len(arm.Points)-1]
+		if arm.OSP {
+			on = last
+		} else {
+			off = last
+		}
+	}
+	if on == nil || off == nil {
+		return fmt.Errorf("svassert: report is missing an arm")
+	}
+	switch {
+	case on.Clients < 64:
+		return fmt.Errorf("svassert: largest swept count is %d connections, need >= 64", on.Clients)
+	case on.Shares <= off.Shares:
+		return fmt.Errorf("svassert: OSP shares (%d) did not beat the no-OSP arm (%d) at %d connections", on.Shares, off.Shares, on.Clients)
+	case on.P99Ms >= off.P99Ms:
+		return fmt.Errorf("svassert: OSP p99 (%.2f ms) did not beat the no-OSP arm (%.2f ms) at %d connections", on.P99Ms, off.P99Ms, on.Clients)
+	}
+	fmt.Printf("svassert ok at %d connections: %d shares (vs %d), p99 %.2f ms (vs %.2f ms)\n",
+		on.Clients, on.Shares, off.Shares, on.P99Ms, off.P99Ms)
+	return nil
 }
 
 func parseIntList(s string) ([]int, error) {

@@ -1,0 +1,101 @@
+// qpipe-server serves a qpipe database over TCP speaking the qpipe/wire
+// protocol: one session per connection, streaming row batches, typed errors
+// across the wire, and the engine's resource governance (admission control,
+// statement timeouts) underneath. SIGTERM/SIGINT triggers a graceful drain:
+// the listener closes, in-flight queries finish (bounded by -drain), and
+// clients receive their final frames before the process exits.
+//
+//	qpipe-server -demo                      # serve the tpchmix demo dataset
+//	qpipe-server -listen :5433 -max-queries 16 -max-conns 256
+//	qpipe-shell -connect localhost:5433     # then connect a REPL
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qpipe"
+	"qpipe/internal/workload/sqlmix"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:5433", "listen address (host:port)")
+	demo := flag.Bool("demo", false, "load the tpchmix demo dataset (orders/customers)")
+	demoRows := flag.Int("rows", 60_000, "demo dataset: orders rows")
+	demoCusts := flag.Int("customers", 4_000, "demo dataset: customers rows")
+	initScript := flag.String("init", "", "run a .sql script before serving (DDL, loads)")
+	pool := flag.Int("pool", 4096, "buffer pool pages")
+	maxQueries := flag.Int("max-queries", 0, "admission control: max concurrent queries (0 = unlimited)")
+	queue := flag.Int("queue", 0, "admission queue bound (0 = 2x max-queries)")
+	maxConns := flag.Int("max-conns", 0, "max concurrent client connections (0 = unlimited)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-drain budget for in-flight queries on shutdown")
+	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "qpipe-server: ", log.LstdFlags)
+
+	db, err := qpipe.Open(qpipe.Options{
+		PoolPages:            *pool,
+		MaxConcurrentQueries: *maxQueries,
+		AdmissionQueue:       *queue,
+		DrainTimeout:         *drain,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	if *demo {
+		logger.Printf("loading demo dataset: %d orders, %d customers ...", *demoRows, *demoCusts)
+		if err := sqlmix.Populate(db, *demoRows, *demoCusts); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	if *initScript != "" {
+		text, err := os.ReadFile(*initScript)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if _, err := db.Exec(context.Background(), string(text)); err != nil {
+			logger.Fatalf("-init %s: %v", *initScript, err)
+		}
+	}
+
+	opts := qpipe.ServerOptions{
+		MaxConns:      *maxConns,
+		Banner:        fmt.Sprintf("qpipe-server (%d tables)", len(db.Tables())),
+		ShutdownGrace: *drain + 2*time.Second,
+	}
+	if !*quiet {
+		opts.Logf = logger.Printf
+	}
+	srv := qpipe.NewServer(db, opts)
+
+	// SIGTERM/SIGINT → graceful drain. A second signal kills the process
+	// the usual way (the handler is one-shot).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		s := <-sig
+		signal.Stop(sig)
+		logger.Printf("%s: draining (%s budget) ...", s, *drain)
+		srv.Shutdown()
+		close(done)
+	}()
+
+	logger.Printf("serving on %s (governance: max-queries=%d, max-conns=%d)",
+		*listen, *maxQueries, *maxConns)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		logger.Fatal(err)
+	}
+	<-done
+	st := srv.Stats()
+	logger.Printf("drained: %d conns served, %d queries, %d rows sent, %d errors sent",
+		st.ConnsAccepted, st.QueriesServed, st.RowsSent, st.ErrorsSent)
+}

@@ -5,6 +5,12 @@
 //	qpipe-shell -demo                  # REPL over the tpchmix demo dataset
 //	qpipe-shell -demo -f internal/workload/sqlmix/tpchmix.sql
 //	qpipe-shell -c "SELECT 1 + 2 AS three FROM t"
+//	qpipe-shell -connect localhost:5433  # same REPL against a qpipe-server
+//
+// With -connect the shell speaks the qpipe/wire protocol instead of
+// embedding a database: statements execute server-side under the
+// connection's session, and \stats shows the server's counters fetched
+// over the wire.
 //
 //	qpipe> CREATE TABLE t (a INT, b TEXT);
 //	qpipe> INSERT INTO t VALUES (1, 'x'), (2, 'y');
@@ -21,11 +27,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"qpipe"
+	"qpipe/client"
 	"qpipe/internal/workload/sqlmix"
 	"qpipe/sql"
 )
@@ -38,7 +47,39 @@ func main() {
 	command := flag.String("c", "", "execute one SQL statement, then exit")
 	pool := flag.Int("pool", 1024, "buffer pool pages")
 	timing := flag.Bool("timing", false, "start with \\timing on")
+	connect := flag.String("connect", "", "connect to a qpipe-server at host:port instead of embedding a database")
 	flag.Parse()
+
+	sh := &shell{timing: *timing, out: os.Stdout}
+	if *connect != "" {
+		if *demo {
+			fatal(fmt.Errorf("-demo is embedded-only; start qpipe-server -demo instead"))
+		}
+		conn, err := client.Connect(context.Background(), *connect)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		sh.remote = conn
+		switch {
+		case *command != "":
+			if !sh.runScript(*command) {
+				os.Exit(1)
+			}
+		case *script != "":
+			text, err := os.ReadFile(*script)
+			if err != nil {
+				fatal(err)
+			}
+			if !sh.runScript(string(text)) {
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(sh.out, "connected to %s\n", *connect)
+			sh.repl()
+		}
+		return
+	}
 
 	db, err := qpipe.Open(qpipe.Options{PoolPages: *pool})
 	if err != nil {
@@ -46,7 +87,7 @@ func main() {
 	}
 	defer db.Close()
 
-	sh := &shell{db: db, timing: *timing, out: os.Stdout}
+	sh.db = db
 	if *demo {
 		fmt.Fprintf(sh.out, "loading demo dataset: %d orders, %d customers ...\n", *demoRows, *demoCusts)
 		if err := sqlmix.Populate(db, *demoRows, *demoCusts); err != nil {
@@ -77,10 +118,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// shell holds the REPL's connection state: the database, the session
-// settings SQL SET adjusts, and the \timing toggle.
+// shell holds the REPL's connection state: an embedded database OR a remote
+// connection (exactly one is set), the session settings SQL SET adjusts,
+// and the \timing toggle.
 type shell struct {
-	db     *qpipe.DB
+	db     *qpipe.DB    // embedded mode
+	remote *client.Conn // -connect mode
 	sess   qpipe.Session
 	timing bool
 	out    *os.File
@@ -178,6 +221,9 @@ func (sh *shell) runScript(text string) bool {
 // db.Query (with the session's options), DDL/INSERT via db.Exec, SET into
 // the session.
 func (sh *shell) exec(stmt sql.Statement) error {
+	if sh.remote != nil {
+		return sh.execRemote(stmt)
+	}
 	ctx := context.Background()
 	start := time.Now()
 	switch s := stmt.(type) {
@@ -228,6 +274,101 @@ func (sh *shell) exec(stmt sql.Statement) error {
 	}
 }
 
+// execRemote runs one parsed statement over the wire: SELECT/EXPLAIN via
+// conn.Query, DDL/INSERT via conn.Exec. SET forwards to the server (its
+// session owns execution) and mirrors into the local session so \set shows
+// the settings without a round trip.
+func (sh *shell) execRemote(stmt sql.Statement) error {
+	ctx := context.Background()
+	start := time.Now()
+	switch s := stmt.(type) {
+	case *sql.Set:
+		if err := sh.sess.Apply(s); err != nil {
+			return err
+		}
+		rows, err := sh.remote.Query(ctx, s.String())
+		if err != nil {
+			return err
+		}
+		if _, err := rows.Discard(); err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "SET —", sh.sess.String())
+		return nil
+	case *sql.Explain:
+		rows, err := sh.remote.Query(ctx, s.String())
+		if err != nil {
+			return err
+		}
+		all, err := rows.All()
+		if err != nil {
+			return err
+		}
+		for _, r := range all {
+			fmt.Fprintln(sh.out, r[0].S)
+		}
+		return nil
+	case *sql.Select:
+		rows, err := sh.remote.Query(ctx, s.String())
+		if err != nil {
+			return err
+		}
+		n, err := sh.printRemote(rows)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "(%d rows)\n", n)
+		sh.reportTiming(start)
+		return nil
+	default:
+		affected, err := sh.remote.Exec(ctx, stmt.String())
+		if err != nil {
+			return err
+		}
+		switch stmt.(type) {
+		case *sql.Insert:
+			fmt.Fprintf(sh.out, "INSERT %d\n", affected)
+		default:
+			fmt.Fprintln(sh.out, "ok")
+		}
+		sh.reportTiming(start)
+		return nil
+	}
+}
+
+// printRemote streams a remote result to the terminal, same rendering as
+// printResult.
+func (sh *shell) printRemote(rows *client.Rows) (int64, error) {
+	if s := rows.Schema(); s != nil && s.Len() > 0 {
+		names := make([]string, s.Len())
+		for i, c := range s.Cols {
+			names[i] = c.Name
+		}
+		header := strings.Join(names, " | ")
+		fmt.Fprintln(sh.out, header)
+		fmt.Fprintln(sh.out, strings.Repeat("-", len(header)))
+	}
+	var n int64
+	for {
+		b, err := rows.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		for _, row := range b {
+			vals := make([]string, len(row))
+			for i, v := range row {
+				vals[i] = v.String()
+			}
+			fmt.Fprintln(sh.out, strings.Join(vals, " | "))
+			n++
+		}
+	}
+	return n, nil
+}
+
 // printResult streams a result to the terminal with a header row from the
 // result schema.
 func (sh *shell) printResult(res *qpipe.Result) (int64, error) {
@@ -271,6 +412,10 @@ func (sh *shell) meta(line string) bool {
 	case "\\set":
 		fmt.Fprintln(sh.out, sh.sess.String())
 	case "\\d":
+		if sh.remote != nil {
+			fmt.Fprintln(sh.out, "\\d is not available over -connect (catalog lives server-side)")
+			break
+		}
 		if arg == "" {
 			for _, t := range sh.db.Tables() {
 				fmt.Fprintln(sh.out, t)
@@ -306,8 +451,16 @@ func (sh *shell) meta(line string) bool {
 		}
 		sh.runScript(string(text))
 	case "\\mix":
+		if sh.remote != nil {
+			fmt.Fprintln(sh.out, "\\mix is embedded-only; drive a server with qpipe-bench -fig server")
+			break
+		}
 		sh.runMix()
 	case "\\stats":
+		if sh.remote != nil {
+			sh.remoteStats()
+			break
+		}
 		st := sh.db.Stats()
 		fmt.Fprintf(sh.out, "queries: %d  OSP shares by operator: %v\n", st.Queries, st.SharesByOp)
 		fmt.Fprintf(sh.out, "governance: %d in flight, %d queued, %d shed, %d statement timeouts, %d panics quarantined\n",
@@ -357,6 +510,24 @@ func (sh *shell) runMix() {
 	}
 	fmt.Fprintf(sh.out, "%d queries, %d rows in %s — %d blocks read, %d OSP shares\n",
 		res.Queries, res.Rows, res.Elapsed.Round(time.Millisecond), res.BlocksRead, res.Shares)
+}
+
+// remoteStats fetches and prints the server's counters over the wire.
+func (sh *shell) remoteStats() {
+	stats, err := sh.remote.Stats(context.Background())
+	if err != nil {
+		fmt.Fprintln(sh.out, "error:", err)
+		return
+	}
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(sh.out, "server counters:")
+	for _, name := range names {
+		fmt.Fprintf(sh.out, "  %-20s %d\n", name, stats[name])
+	}
 }
 
 func onOff(b bool) string {

@@ -1,0 +1,9 @@
+package qpipe
+
+import "qpipe/internal/storage/disk"
+
+// DiskOf exposes a DB's simulated disk to the external (package qpipe_test)
+// network tests, which need fault injection and the temp-file leak check
+// but cannot live in package qpipe: they import qpipe/client, which imports
+// qpipe back.
+func DiskOf(db *DB) *disk.Disk { return db.mgr.Disk }

@@ -216,6 +216,13 @@ func (rt *Runtime) SubmitOpts(ctx context.Context, node plan.Node, opts QueryOpt
 		return nil, err
 	}
 	q := newQuery(ctx, opts)
+	// A context that is already dead — an expired deadline, a cancelled
+	// caller — fails here, deterministically: otherwise a small query can
+	// race to a clean completion before the context watcher ever runs.
+	if err := q.ctx.Err(); err != nil {
+		q.stop()
+		return nil, rt.typedSubmitErr(q, err)
+	}
 	// Admission control: acquire a query slot (FIFO-queued at the limit)
 	// before any lock, buffer or packet exists, so a shed query costs the
 	// engine nothing. The wait is bounded by the query's own context — a

@@ -1,0 +1,323 @@
+// Server experiment: the multi-client OSP payoff measured end to end over
+// the network front end. The paper's central claim — sharing opportunities
+// grow with concurrency — is only visible when many independent clients
+// hit the engine at once, which is exactly what a network server provides:
+// each swept point dials N real loopback connections, deals the tpchmix
+// workload round-robin across them, and records share count, shed count
+// and latency percentiles, once with OSP and once with every query opted
+// out. The OSP arm should win on both shares and tail latency once the
+// client count clears the engine's admission width.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"qpipe"
+	"qpipe/client"
+	"qpipe/internal/workload/sqlmix"
+	"qpipe/sql"
+)
+
+// ServerPoint is one (arm, connection-count) measurement. Latency is
+// measured client-side from Query submit to fully drained rows, so it
+// includes admission-queue wait, wire framing and the row stream.
+type ServerPoint struct {
+	Clients   int `json:"clients"`
+	Attempted int `json:"attempted"`
+	Completed int `json:"completed"`
+	// Shed counts *qpipe.OverloadedError rejections surfaced through the
+	// wire error frames (errors.As matches across the network boundary).
+	Shed int   `json:"shed"`
+	Rows int64 `json:"rows"`
+	// Shares is the osp_shares delta over the point, read from the wire
+	// stats endpoint by a monitor connection.
+	Shares        int64   `json:"shares"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+}
+
+// ServerArm is one sharing configuration's connection sweep.
+type ServerArm struct {
+	Name   string        `json:"name"`
+	OSP    bool          `json:"osp"`
+	Points []ServerPoint `json:"points"`
+}
+
+// ServerReport is the JSON document WriteServerJSON emits
+// (BENCH_SERVER.json).
+type ServerReport struct {
+	OrdersRows       int         `json:"orders_rows"`
+	QueriesPerClient int         `json:"queries_per_client"`
+	MaxConcurrent    int         `json:"max_concurrent"`
+	AdmissionQueue   int         `json:"admission_queue"`
+	Arms             []ServerArm `json:"arms"`
+}
+
+// ServerParams parameterizes the sweep (zero values take defaults).
+type ServerParams struct {
+	Clients          []int // connection counts to sweep (default 8,16,32,64,128)
+	QueriesPerClient int   // queries per connection (default 4)
+	Rows             int   // orders rows in the tpchmix dataset (default 20000)
+	MaxConcurrent    int   // engine admission slots (default 16)
+	Queue            int   // admission wait-queue depth (default 4×slots)
+}
+
+// Server runs the network sweep, returning the p99-vs-connections figure
+// and the full report. Each arm gets a fresh engine and an in-process
+// server on a loopback listener; clients are real TCP connections through
+// the public client package, so the measured path is the one a remote
+// application would take.
+func Server(p ServerParams) (Figure, *ServerReport, error) {
+	if len(p.Clients) == 0 {
+		p.Clients = []int{8, 16, 32, 64, 128}
+	}
+	if p.QueriesPerClient <= 0 {
+		p.QueriesPerClient = 4
+	}
+	if p.Rows <= 0 {
+		p.Rows = 20_000
+	}
+	if p.MaxConcurrent <= 0 {
+		p.MaxConcurrent = 16
+	}
+	if p.Queue <= 0 {
+		p.Queue = 4 * p.MaxConcurrent
+	}
+	fig := Figure{
+		Name:   "Server",
+		Title:  fmt.Sprintf("p99 latency vs client connections (%d admission slots + %d queue)", p.MaxConcurrent, p.Queue),
+		XLabel: "client connections",
+		YLabel: "p99 latency (ms)",
+	}
+	report := &ServerReport{
+		OrdersRows:       p.Rows,
+		QueriesPerClient: p.QueriesPerClient,
+		MaxConcurrent:    p.MaxConcurrent,
+		AdmissionQueue:   p.Queue,
+	}
+
+	// The mix's SET statements travel over the wire per connection; the
+	// SELECTs are dealt round-robin, so neighbouring connections run the
+	// same statement and give OSP something to share.
+	sets, queries, err := splitMix(sqlmix.TPCHMix())
+	if err != nil {
+		return fig, report, err
+	}
+
+	arms := []struct {
+		name string
+		osp  bool
+	}{
+		{"osp-on", true},
+		{"osp-off", false},
+	}
+	for _, arm := range arms {
+		armReport := ServerArm{Name: arm.name, OSP: arm.osp}
+		err := func() error {
+			db, err := qpipe.Open(qpipe.Options{
+				PoolPages:            256,
+				MaxConcurrentQueries: p.MaxConcurrent,
+				AdmissionQueue:       p.Queue,
+			})
+			if err != nil {
+				return err
+			}
+			defer db.Close()
+			if err := sqlmix.Populate(db, p.Rows, p.Rows/15+1); err != nil {
+				return err
+			}
+			srv := qpipe.NewServer(db, qpipe.ServerOptions{})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return err
+			}
+			go srv.Serve(ln)
+			defer srv.Shutdown()
+			addr := ln.Addr().String()
+
+			for _, clients := range p.Clients {
+				pt, err := serverRun(db, addr, clients, p.QueriesPerClient, sets, queries, arm.osp)
+				if err != nil {
+					return err
+				}
+				armReport.Points = append(armReport.Points, pt)
+			}
+			return nil
+		}()
+		if err != nil {
+			return fig, report, err
+		}
+		report.Arms = append(report.Arms, armReport)
+		s := Series{Label: arm.name}
+		for _, pt := range armReport.Points {
+			s.Points = append(s.Points, Point{X: float64(pt.Clients), Y: pt.P99Ms})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, report, nil
+}
+
+// serverRun drives one point: `clients` loopback connections each running
+// `perClient` queries back to back. Shed attempts are retired with a short
+// client-side backoff, mirroring the overload sweep's closed loop.
+func serverRun(db *qpipe.DB, addr string, clients, perClient int, sets, queries []string, osp bool) (ServerPoint, error) {
+	if err := db.DropCaches(); err != nil {
+		return ServerPoint{}, err
+	}
+	db.SetDiskLatency(25*time.Microsecond, 40*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+
+	ctx := context.Background()
+	monitor, err := client.Connect(ctx, addr)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	defer monitor.Close()
+	before, err := monitor.Stats(ctx)
+	if err != nil {
+		return ServerPoint{}, err
+	}
+
+	var opts []client.Option
+	if !osp {
+		opts = append(opts, client.WithoutOSP())
+	}
+
+	var mu sync.Mutex
+	pt := ServerPoint{Clients: clients}
+	var lats []time.Duration
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := dialRetry(ctx, addr)
+			if err != nil {
+				fail(fmt.Errorf("client %d connect: %w", c, err))
+				return
+			}
+			defer conn.Close()
+			for _, set := range sets {
+				rows, err := conn.Query(ctx, set)
+				if err == nil {
+					_, err = rows.Discard()
+				}
+				if err != nil {
+					fail(fmt.Errorf("client %d %q: %w", c, set, err))
+					return
+				}
+			}
+			for i := 0; i < perClient; i++ {
+				q := queries[(c+i)%len(queries)]
+				qStart := time.Now()
+				rows, err := conn.Query(ctx, q, opts...)
+				var n int64
+				if err == nil {
+					n, err = rows.Discard()
+				}
+				lat := time.Since(qStart)
+				if err != nil {
+					var oe *qpipe.OverloadedError
+					if errors.As(err, &oe) {
+						mu.Lock()
+						pt.Attempted++
+						pt.Shed++
+						mu.Unlock()
+						time.Sleep(500 * time.Microsecond) // client retry backoff
+						continue
+					}
+					fail(fmt.Errorf("client %d query %q: %w", c, q, err))
+					return
+				}
+				mu.Lock()
+				pt.Attempted++
+				pt.Completed++
+				pt.Rows += n
+				lats = append(lats, lat)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return pt, firstErr
+	}
+
+	after, err := monitor.Stats(ctx)
+	if err != nil {
+		return pt, err
+	}
+	pt.Shares = after["osp_shares"] - before["osp_shares"]
+	pt.P50Ms = percentileMs(lats, 0.50)
+	pt.P99Ms = percentileMs(lats, 0.99)
+	if wall > 0 {
+		pt.ThroughputQPS = float64(pt.Completed) / wall.Seconds()
+	}
+	return pt, nil
+}
+
+// dialRetry absorbs the transient accept-queue pressure of launching
+// hundreds of simultaneous dials against one listener.
+func dialRetry(ctx context.Context, addr string) (*client.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		conn, err := client.Connect(ctx, addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(time.Duration(1+attempt) * 2 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+// splitMix parses a mix script into its SET statements and SELECT queries,
+// both rendered canonically for transmission over the wire.
+func splitMix(text string) (sets, queries []string, err error) {
+	stmts, err := sql.ParseScript(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *sql.Set:
+			sets = append(sets, s.String())
+		case *sql.Select:
+			queries = append(queries, s.String())
+		default:
+			return nil, nil, fmt.Errorf("server sweep: mix files hold SELECT and SET statements only, got %T (%s)", stmt, stmt)
+		}
+	}
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("server sweep: no SELECT statements in mix")
+	}
+	return sets, queries, nil
+}
+
+// WriteServerJSON writes the server sweep report as indented JSON
+// (BENCH_SERVER.json), tracked PR over PR like the other artifacts.
+func WriteServerJSON(path string, report *ServerReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

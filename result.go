@@ -111,14 +111,20 @@ func (r *Result) Next() ([]Row, error) {
 	return b, nil
 }
 
-// recycle returns a batch array obtained from Next to the engine's pool
+// Recycle returns a batch array obtained from Next to the engine's pool
 // (no-op in materialized mode). Rows copied or retained from the batch stay
-// valid; only the carrier array is recycled.
-func (r *Result) recycle(b []Row) {
+// valid; only the carrier array is recycled. Callers driving Next directly —
+// the qpipe-server row streamer encodes each batch onto the wire and hands
+// the array straight back — should Recycle every batch exactly once;
+// All/Discard/Rows do it internally.
+func (r *Result) Recycle(b []Row) {
 	if r.q != nil {
 		r.q.Result.Recycle(b)
 	}
 }
+
+// recycle is the internal spelling (All/Discard/Rows predate Recycle).
+func (r *Result) recycle(b []Row) { r.Recycle(b) }
 
 // finish resolves the result's terminal error after EOF: nil for
 // materialized results and satisfied limits, the query's own terminal error

@@ -1,0 +1,663 @@
+// Server: the network front end. It owns a TCP listener, one goroutine per
+// connection, and one qpipe.Session per connection (SET statements arriving
+// as Query frames adjust it), translating wire frames into the embedded
+// API. The interesting part is the row streamer: result batches come out of
+// Result.Next carrying the engine's array lease, get encoded straight onto
+// the wire (rows are already in the page layer's binary form — no per-tuple
+// conversion or allocation), and the array goes back to the engine pool via
+// Result.Recycle. The paper's multi-query concurrency — the traffic OSP
+// needs to pay off — thus arrives over real sockets, while admission
+// control, statement timeouts and graceful drain (PR 8) govern it
+// engine-side.
+package qpipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qpipe/sql"
+	"qpipe/wire"
+)
+
+// ServerOptions configures a Server. The zero value serves on the DB's
+// defaults with no connection limit.
+type ServerOptions struct {
+	// MaxConns caps concurrent client connections (0 = unlimited). The
+	// cap is checked at handshake: over-limit connections are refused with
+	// a CodeOverloaded error before any query runs, layering on the
+	// engine's MaxConcurrentQueries which governs queries, not sockets.
+	MaxConns int
+	// Banner is the human-readable server identification sent in Welcome.
+	Banner string
+	// ShutdownGrace bounds how long Shutdown waits for per-connection
+	// handlers to finish after the engine drain, before force-closing
+	// their sockets (0 = 5s).
+	ShutdownGrace time.Duration
+	// Logf receives connection-level diagnostics (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// ServerStats aggregates server-wide counters. Snapshot via Server.Stats.
+type ServerStats struct {
+	// ConnsAccepted counts connections accepted since start.
+	ConnsAccepted int64
+	// ConnsRefused counts connections refused at the MaxConns limit.
+	ConnsRefused int64
+	// ActiveConns is a gauge of connections currently being served.
+	ActiveConns int64
+	// QueriesServed counts Query/Execute requests that reached the engine.
+	QueriesServed int64
+	// RowsSent counts result rows streamed to clients.
+	RowsSent int64
+	// BatchesSent counts RowBatch frames streamed to clients.
+	BatchesSent int64
+	// ErrorsSent counts MsgError frames sent (shed, timeout, parse, ...).
+	ErrorsSent int64
+	// ProtocolErrors counts connections dropped for wire-protocol
+	// violations (malformed frames, handshake mismatches).
+	ProtocolErrors int64
+}
+
+// Server serves a DB over a TCP listener speaking the qpipe/wire protocol.
+// Create one with NewServer, start it with Serve or ListenAndServe, stop it
+// with Shutdown. All methods are safe for concurrent use.
+type Server struct {
+	db   *DB
+	opts ServerOptions
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+
+	// shutdown is closed when Shutdown begins: handlers treat it as "stop
+	// after the in-flight request".
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+
+	connsAccepted  atomic.Int64
+	connsRefused   atomic.Int64
+	activeConns    atomic.Int64
+	queriesServed  atomic.Int64
+	rowsSent       atomic.Int64
+	batchesSent    atomic.Int64
+	errorsSent     atomic.Int64
+	protocolErrors atomic.Int64
+}
+
+// NewServer wraps db in a wire-protocol server. The db stays usable
+// embedded-side; Shutdown closes it.
+func NewServer(db *DB, opts ServerOptions) *Server {
+	if opts.Banner == "" {
+		opts.Banner = "qpipe-server"
+	}
+	if opts.ShutdownGrace == 0 {
+		opts.ShutdownGrace = 5 * time.Second
+	}
+	return &Server{
+		db:       db,
+		opts:     opts,
+		conns:    make(map[net.Conn]struct{}),
+		shutdown: make(chan struct{}),
+	}
+}
+
+// logf forwards to the configured logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown closes it, spawning one
+// handler goroutine per connection. It returns nil after a clean Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClosed
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return nil
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.connsAccepted.Add(1)
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Addr returns the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener == nil {
+		return nil
+	}
+	return s.listener.Addr()
+}
+
+// Stats snapshots the server-wide counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ConnsAccepted:  s.connsAccepted.Load(),
+		ConnsRefused:   s.connsRefused.Load(),
+		ActiveConns:    s.activeConns.Load(),
+		QueriesServed:  s.queriesServed.Load(),
+		RowsSent:       s.rowsSent.Load(),
+		BatchesSent:    s.batchesSent.Load(),
+		ErrorsSent:     s.errorsSent.Load(),
+		ProtocolErrors: s.protocolErrors.Load(),
+	}
+}
+
+// Shutdown stops the server gracefully: the listener closes (no new
+// connections), the DB drains via Close (in-flight queries finish within
+// the engine's DrainTimeout, new ones are rejected with ErrClosed), then
+// connection handlers get ShutdownGrace to send their final frames before
+// stragglers are force-closed. Idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.shutdown)
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.mu.Unlock()
+
+	// Drain the engine: streams in flight either complete or end with
+	// a cancellation the handler forwards as a typed error frame.
+	s.db.Close()
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.opts.ShutdownGrace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+}
+
+// track registers a live connection for Shutdown's force-close pass;
+// returns false if the server is already shutting down.
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// ---- Per-connection handler --------------------------------------------------
+
+// serverConn is the per-connection state: the socket, its session, its
+// prepared statements, and the reusable encode/decode buffers.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+
+	sess  Session
+	stmts map[uint32]*Query
+
+	// ctx is the connection's lifetime: cancelled when the peer goes away
+	// (read loop error) or the server shuts down. In-flight queries run
+	// under it, so a mid-stream disconnect cancels the query and releases
+	// its leases and locks.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// frames delivers (copied) incoming frames from the read-loop
+	// goroutine; readErr holds its terminal error once closed.
+	frames  chan frame
+	readErr error
+
+	// encBuf and writes: frames are encoded into encBuf and written by the
+	// handler goroutine only.
+	encBuf []byte
+}
+
+type frame struct {
+	t       wire.MsgType
+	payload []byte
+}
+
+// handle owns one connection from accept to close.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	if !s.track(conn) {
+		return // raced with Shutdown: the engine is draining
+	}
+	defer s.untrack(conn)
+	s.activeConns.Add(1)
+	defer s.activeConns.Add(-1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := &serverConn{
+		srv:    s,
+		conn:   conn,
+		stmts:  make(map[uint32]*Query),
+		ctx:    ctx,
+		cancel: cancel,
+		frames: make(chan frame, 4),
+	}
+	if err := c.run(); err != nil {
+		var pe *wire.ProtocolError
+		if errors.As(err, &pe) {
+			s.protocolErrors.Add(1)
+			// Best-effort: tell the peer why before hanging up.
+			c.sendError(pe)
+		}
+		if err != io.EOF {
+			s.logf("conn %s: %v", conn.RemoteAddr(), err)
+		}
+	}
+}
+
+// run performs the handshake then serves requests until the peer quits,
+// errors, or the server drains.
+func (c *serverConn) run() error {
+	if err := c.handshake(); err != nil {
+		return err
+	}
+	// After the handshake, a dedicated goroutine owns reads: it feeds
+	// frames to the handler and cancels the connection context on read
+	// failure, so a client disconnect mid-stream aborts the in-flight
+	// query rather than leaving it producing into a dead socket.
+	go c.readLoop()
+	for {
+		var f frame
+		var ok bool
+		select {
+		case f, ok = <-c.frames:
+		case <-c.srv.shutdown:
+			// Engine drain in progress: serve what is already queued, then
+			// stop. Queries already streaming were cancelled by db.Close.
+			select {
+			case f, ok = <-c.frames:
+			default:
+				ok = false
+			}
+		}
+		if !ok {
+			if c.readErr == io.EOF {
+				return io.EOF
+			}
+			select {
+			case <-c.srv.shutdown:
+				return io.EOF // server-initiated close, not a peer error
+			default:
+			}
+			return c.readErr
+		}
+		if done, err := c.serve(f); done || err != nil {
+			return err
+		}
+	}
+}
+
+// handshake reads Hello and answers Welcome (or a versioned refusal). The
+// connection limit is enforced here so a refused client gets a typed error,
+// not a silent close.
+func (c *serverConn) handshake() error {
+	c.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	t, payload, buf, err := wire.ReadFrame(c.conn, nil)
+	c.conn.SetReadDeadline(time.Time{})
+	c.encBuf = buf[:0]
+	if err != nil {
+		return err
+	}
+	if t != wire.MsgHello {
+		return &wire.ProtocolError{Reason: fmt.Sprintf("expected Hello, got %s", t)}
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		return err
+	}
+	if hello.Version != wire.ProtocolVersion {
+		c.sendError(&wire.ProtocolError{Reason: fmt.Sprintf(
+			"protocol version mismatch: client %d, server %d", hello.Version, wire.ProtocolVersion)})
+		return &wire.ProtocolError{Reason: fmt.Sprintf("client version %d unsupported", hello.Version)}
+	}
+	if max := c.srv.opts.MaxConns; max > 0 && c.srv.activeConns.Load() > int64(max) {
+		c.srv.connsRefused.Add(1)
+		c.sendError(&OverloadedError{MaxConcurrent: max})
+		return fmt.Errorf("connection limit reached (%d): %s refused", max, c.conn.RemoteAddr())
+	}
+	w := wire.Welcome{Version: wire.ProtocolVersion, Banner: c.srv.opts.Banner}
+	return c.send(wire.MsgWelcome, w.Encode(c.encBuf[:0]))
+}
+
+// readLoop reads frames off the socket, copies their payloads (the handler
+// consumes them asynchronously) and delivers them until the peer goes away.
+func (c *serverConn) readLoop() {
+	var buf []byte
+	for {
+		t, payload, b, err := wire.ReadFrame(c.conn, buf)
+		buf = b
+		if err != nil {
+			c.readErr = err
+			close(c.frames)
+			// The peer is gone (or sent garbage): abort any in-flight
+			// query so its leases, locks and temp files release now.
+			c.cancel()
+			return
+		}
+		select {
+		case c.frames <- frame{t: t, payload: append([]byte(nil), payload...)}:
+		case <-c.ctx.Done():
+			// The handler is gone (protocol error, shutdown): stop reading
+			// rather than blocking forever on a send nobody receives.
+			return
+		}
+	}
+}
+
+// serve dispatches one request frame. done reports a clean Quit.
+func (c *serverConn) serve(f frame) (done bool, err error) {
+	switch f.t {
+	case wire.MsgQuery:
+		q, err := wire.DecodeQuery(f.payload)
+		if err != nil {
+			return false, err
+		}
+		return false, c.serveQuery(q)
+	case wire.MsgPrepare:
+		p, err := wire.DecodePrepare(f.payload)
+		if err != nil {
+			return false, err
+		}
+		return false, c.servePrepare(p)
+	case wire.MsgExecute:
+		e, err := wire.DecodeExecute(f.payload)
+		if err != nil {
+			return false, err
+		}
+		return false, c.serveExecute(e)
+	case wire.MsgExec:
+		e, err := wire.DecodeExec(f.payload)
+		if err != nil {
+			return false, err
+		}
+		return false, c.serveExec(e)
+	case wire.MsgCloseStmt:
+		cs, err := wire.DecodeCloseStmt(f.payload)
+		if err != nil {
+			return false, err
+		}
+		delete(c.stmts, cs.ID)
+		return false, c.sendComplete(0)
+	case wire.MsgStats:
+		if len(f.payload) != 0 {
+			return false, &wire.ProtocolError{Reason: "Stats carries no payload"}
+		}
+		return false, c.serveStats()
+	case wire.MsgCancel:
+		// No query in flight (mid-stream cancels are consumed by the
+		// streamer): acknowledge-free no-op, matching a cancel that
+		// arrives just after completion.
+		return false, nil
+	case wire.MsgQuit:
+		return true, nil
+	default:
+		return false, &wire.ProtocolError{Reason: fmt.Sprintf("unexpected %s frame", f.t)}
+	}
+}
+
+// execOptions renders the session settings plus the request's wire options
+// as per-query options (wire options win, matching SET-then-override).
+func (c *serverConn) execOptions(o wire.ExecOpts) []QueryOption {
+	opts := c.sess.Options()
+	if o.TimeoutMs > 0 {
+		opts = append(opts, WithTimeout(time.Duration(o.TimeoutMs)*time.Millisecond))
+	}
+	if o.Parallelism > 0 {
+		opts = append(opts, WithParallelism(int(o.Parallelism)))
+	}
+	if o.BatchSize > 0 {
+		opts = append(opts, WithBatchSize(int(o.BatchSize)))
+	}
+	if o.NoOSP {
+		opts = append(opts, WithoutOSP())
+	}
+	return opts
+}
+
+// serveQuery answers a MsgQuery: SET folds into the session (bare
+// Complete), SELECT/EXPLAIN stream a result, anything else is the typed
+// StatementError the embedded API gives.
+func (c *serverConn) serveQuery(q wire.Query) error {
+	stmt, err := sql.Parse(q.SQL)
+	if err != nil {
+		return c.sendError(err)
+	}
+	if set, ok := stmt.(*sql.Set); ok {
+		if err := c.sess.Apply(set); err != nil {
+			return c.sendError(err)
+		}
+		return c.sendComplete(0)
+	}
+	c.srv.queriesServed.Add(1)
+	res, err := c.srv.db.Query(c.ctx, q.SQL, c.execOptions(q.Opts)...)
+	if err != nil {
+		return c.sendError(err)
+	}
+	return c.stream(res)
+}
+
+// servePrepare compiles a SELECT and parks it under a connection-local id.
+func (c *serverConn) servePrepare(p wire.Prepare) error {
+	q, err := c.srv.db.Prepare(p.SQL)
+	if err != nil {
+		return c.sendError(err)
+	}
+	id := uint32(len(c.stmts) + 1)
+	for c.stmts[id] != nil { // ids are never reused within a connection
+		id++
+	}
+	c.stmts[id] = q
+	msg := wire.Prepared{ID: id, Desc: rowDesc(q.Schema())}
+	return c.send(wire.MsgPrepared, msg.Encode(c.encBuf[:0]))
+}
+
+// serveExecute runs a prepared statement.
+func (c *serverConn) serveExecute(e wire.Execute) error {
+	q, ok := c.stmts[e.ID]
+	if !ok {
+		return c.sendError(&StatementError{Stmt: "EXECUTE",
+			Reason: fmt.Sprintf("unknown prepared statement id %d", e.ID)})
+	}
+	c.srv.queriesServed.Add(1)
+	res, err := q.Run(c.ctx, c.execOptions(e.Opts)...)
+	if err != nil {
+		return c.sendError(err)
+	}
+	return c.stream(res)
+}
+
+// serveExec runs a DDL/INSERT script and answers with the affected count.
+func (c *serverConn) serveExec(e wire.Exec) error {
+	n, err := c.srv.db.Exec(c.ctx, e.SQL)
+	if err != nil {
+		return c.sendError(err)
+	}
+	return c.sendComplete(n)
+}
+
+// serveStats answers MsgStats with the server's counter set: engine,
+// sharing, governance, disk and server-wide counters under stable names.
+func (c *serverConn) serveStats() error {
+	es := c.srv.db.Stats()
+	ds := c.srv.db.DiskStats()
+	ss := c.srv.Stats()
+	msg := wire.StatsResult{Stats: []wire.Stat{
+		{Name: "engine_queries", Value: es.Queries},
+		{Name: "osp_shares", Value: c.srv.db.TotalShares()},
+		{Name: "deadlocks_seen", Value: es.DeadlocksSeen},
+		{Name: "materialized", Value: es.Materialized},
+		{Name: "in_flight", Value: es.InFlight},
+		{Name: "admission_queued", Value: es.AdmissionQueued},
+		{Name: "shed", Value: es.Shed},
+		{Name: "deadline_timeouts", Value: es.DeadlineTimeouts},
+		{Name: "panics", Value: es.Panics},
+		{Name: "disk_reads", Value: ds.Reads},
+		{Name: "disk_seq_reads", Value: ds.SeqReads},
+		{Name: "disk_writes", Value: ds.Writes},
+		{Name: "conns_accepted", Value: ss.ConnsAccepted},
+		{Name: "conns_refused", Value: ss.ConnsRefused},
+		{Name: "active_conns", Value: ss.ActiveConns},
+		{Name: "queries_served", Value: ss.QueriesServed},
+		{Name: "rows_sent", Value: ss.RowsSent},
+		{Name: "batches_sent", Value: ss.BatchesSent},
+		{Name: "errors_sent", Value: ss.ErrorsSent},
+		{Name: "protocol_errors", Value: ss.ProtocolErrors},
+	}}
+	return c.send(wire.MsgStatsResult, msg.Encode(c.encBuf[:0]))
+}
+
+// stream sends a result as RowDesc, RowBatch*, Complete — the lease-safe
+// hand-off: each batch array from Next is encoded onto the wire (rows are
+// already in tuple binary form; no per-tuple conversion) and immediately
+// recycled into the engine's pool. A MsgCancel arriving between batches
+// aborts the query; the client then sees its terminal error frame.
+func (c *serverConn) stream(res *Result) error {
+	desc := rowDesc(res.Schema())
+	if err := c.send(wire.MsgRowDesc, desc.Encode(c.encBuf[:0])); err != nil {
+		res.Cancel()
+		drainResult(res)
+		return err
+	}
+	var rows int64
+	for {
+		// Between batches: consume a pending Cancel (or notice the peer
+		// vanished — readLoop cancelled c.ctx, the engine is tearing the
+		// query down and Next will surface its terminal error).
+		select {
+		case f, ok := <-c.frames:
+			if ok && f.t == wire.MsgCancel {
+				res.Cancel()
+			} else if ok {
+				res.Cancel()
+				drainResult(res)
+				return &wire.ProtocolError{Reason: fmt.Sprintf(
+					"%s frame while a result was streaming", f.t)}
+			}
+		default:
+		}
+		b, err := res.Next()
+		if err == io.EOF {
+			if ferr := res.finish(); ferr != nil {
+				return c.sendError(ferr)
+			}
+			return c.sendComplete(rows)
+		}
+		if err != nil {
+			return c.sendError(err)
+		}
+		payload := wire.AppendRowBatch(c.encBuf[:0], b)
+		rows += int64(len(b))
+		res.Recycle(b)
+		werr := wire.WriteFrame(c.conn, wire.MsgRowBatch, payload)
+		c.encBuf = payload[:0]
+		if werr != nil {
+			// Client gone mid-stream: cancel and fully drain so every
+			// lease, lock and temp file is released before we hang up.
+			res.Cancel()
+			drainResult(res)
+			return werr
+		}
+		c.srv.batchesSent.Add(1)
+		c.srv.rowsSent.Add(int64(len(b)))
+	}
+}
+
+// drainResult consumes a cancelled result to its end so buffers tear down.
+func drainResult(res *Result) {
+	for {
+		b, err := res.Next()
+		if err != nil {
+			return
+		}
+		res.Recycle(b)
+	}
+}
+
+// rowDesc renders a result schema as the wire's RowDesc.
+func rowDesc(s *Schema) wire.RowDesc {
+	if s == nil {
+		return wire.RowDesc{}
+	}
+	cols := make([]wire.Col, len(s.Cols))
+	for i, col := range s.Cols {
+		cols[i] = wire.Col{Name: col.Name, Kind: col.Kind}
+	}
+	return wire.RowDesc{Cols: cols}
+}
+
+// send writes one frame (the payload normally lives in c.encBuf).
+func (c *serverConn) send(t wire.MsgType, payload []byte) error {
+	err := wire.WriteFrame(c.conn, t, payload)
+	if cap(payload) > cap(c.encBuf) {
+		c.encBuf = payload[:0]
+	}
+	return err
+}
+
+// sendComplete ends a successful request.
+func (c *serverConn) sendComplete(rows int64) error {
+	msg := wire.Complete{Rows: rows}
+	return c.send(wire.MsgComplete, msg.Encode(c.encBuf[:0]))
+}
+
+// sendError ends a failed request with the marshalled typed error.
+func (c *serverConn) sendError(err error) error {
+	c.srv.errorsSent.Add(1)
+	return c.send(wire.MsgError, MarshalWireError(err).Encode(c.encBuf[:0]))
+}

@@ -1,0 +1,571 @@
+// Lifecycle tests for the network front end, exercising the real stack —
+// TCP loopback, wire framing, the per-connection session — from the
+// client's side of the socket. External test package: these tests import
+// qpipe/client, which imports qpipe back, so they cannot live in package
+// qpipe itself.
+package qpipe_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qpipe"
+	"qpipe/client"
+	"qpipe/sql"
+	"qpipe/wire"
+)
+
+// startServer opens a DB, loads n rows into table t, and serves it on a
+// loopback listener. Cleanup shuts the server (and DB) down.
+func startServer(t testing.TB, n int, dbOpts qpipe.Options, srvOpts qpipe.ServerOptions) (*qpipe.Server, *qpipe.DB, string) {
+	t.Helper()
+	db, err := qpipe.Open(dbOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 {
+		schema := qpipe.NewSchema(
+			qpipe.ColDef("id", qpipe.KindInt),
+			qpipe.ColDef("grp", qpipe.KindInt),
+			qpipe.ColDef("amount", qpipe.KindFloat),
+			qpipe.ColDef("note", qpipe.KindString),
+		)
+		if err := db.CreateTable("t", schema); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]qpipe.Row, n)
+		for i := range rows {
+			rows[i] = qpipe.R(i, i%10, float64(i)*1.5, fmt.Sprintf("row-%d", i))
+		}
+		if err := db.Load("t", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := qpipe.NewServer(db, srvOpts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Shutdown()
+		if err := <-serveErr; err != nil {
+			t.Errorf("Serve returned %v after Shutdown, want nil", err)
+		}
+	})
+	return srv, db, ln.Addr().String()
+}
+
+func TestServerQueryRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t, 1000, qpipe.Options{}, qpipe.ServerOptions{})
+	ctx := context.Background()
+	conn, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	rows, err := conn.Query(ctx, "SELECT id, note FROM t WHERE id < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rows.Schema(); s.Len() != 2 || s.Cols[0].Name != "id" || s.Cols[1].Name != "note" {
+		t.Fatalf("schema = %v", rows.Schema())
+	}
+	all, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("got %d rows, want 5", len(all))
+	}
+	if all[0][0].I != 0 || all[0][1].S != "row-0" {
+		t.Fatalf("first row = %v", all[0])
+	}
+
+	// DDL + INSERT through Exec, then read it back.
+	if _, err := conn.Exec(ctx, "CREATE TABLE u (a INT, b TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Exec(ctx, "INSERT INTO u VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("INSERT affected %d, want 2", n)
+	}
+	got, err := conn.Query(ctx, "SELECT count(*) AS n FROM u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err = got.All()
+	if err != nil || len(all) != 1 || all[0][0].I != 2 {
+		t.Fatalf("count = %v, %v", all, err)
+	}
+
+	// SET is absorbed by the server-side session.
+	setRows, err := conn.Query(ctx, "SET batch_size = 32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setRows.Discard(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prepared statement, executed twice.
+	stmt, err := conn.Prepare(ctx, "SELECT count(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := stmt.Query(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := r.All()
+		if err != nil || len(all) != 1 || all[0][0].I != 1000 {
+			t.Fatalf("exec %d: %v, %v", i, all, err)
+		}
+	}
+	if err := stmt.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server counters over the wire.
+	stats, err := conn.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["queries_served"] < 4 {
+		t.Fatalf("queries_served = %d, want >= 4", stats["queries_served"])
+	}
+	if stats["rows_sent"] < 7 {
+		t.Fatalf("rows_sent = %d, want >= 7", stats["rows_sent"])
+	}
+	if stats["active_conns"] != 1 {
+		t.Fatalf("active_conns = %d, want 1", stats["active_conns"])
+	}
+}
+
+// TestServerTypedErrors: the error family crosses the wire as concrete
+// types a client matches with errors.As/Is.
+func TestServerTypedErrors(t *testing.T) {
+	_, db, addr := startServer(t, 100, qpipe.Options{}, qpipe.ServerOptions{})
+	ctx := context.Background()
+	conn, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Unknown table.
+	_, err = conn.Query(ctx, "SELECT a FROM missing")
+	var ut *qpipe.UnknownTableError
+	if !errors.As(err, &ut) || ut.Table != "missing" {
+		t.Fatalf("unknown table: got %[1]T %[1]v", err)
+	}
+	// Parse error, with its position.
+	_, err = conn.Query(ctx, "SELEC a FROM t")
+	var pe *sql.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("parse: got %[1]T %[1]v", err)
+	}
+	// Unknown column.
+	_, err = conn.Query(ctx, "SELECT nope FROM t")
+	var uc *qpipe.UnknownColumnError
+	if !errors.As(err, &uc) || uc.Column != "nope" {
+		t.Fatalf("unknown column: got %[1]T %[1]v", err)
+	}
+	// Statement misrouting (SELECT through Exec).
+	_, err = conn.Exec(ctx, "SELECT id FROM t")
+	var se *qpipe.StatementError
+	if !errors.As(err, &se) {
+		t.Fatalf("misroute: got %[1]T %[1]v", err)
+	}
+	// Bad SET value.
+	_, err = conn.Query(ctx, "SET parallelism = 0")
+	var oe *qpipe.OptionError
+	if !errors.As(err, &oe) {
+		t.Fatalf("bad SET: got %[1]T %[1]v", err)
+	}
+	// Statement timeout → typed DeadlineError that unwraps to
+	// context.DeadlineExceeded, exactly like the embedded API. Slow the
+	// disk so the 1ms budget reliably expires mid-query.
+	db.SetDiskLatency(300*time.Microsecond, 500*time.Microsecond, 0)
+	rows, err := conn.Query(ctx, "SELECT id FROM t ORDER BY amount",
+		client.WithTimeout(time.Millisecond))
+	if err == nil {
+		_, err = rows.Discard()
+	}
+	db.SetDiskLatency(0, 0, 0)
+	var de *qpipe.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("timeout: got %[1]T %[1]v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout error lost its unwrap: %v", err)
+	}
+	// The connection survived every one of those failures.
+	r, err := conn.Query(ctx, "SELECT count(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all, err := r.All(); err != nil || all[0][0].I != 100 {
+		t.Fatalf("connection unusable after errors: %v, %v", all, err)
+	}
+}
+
+// TestServerConnLimit: connections over MaxConns are refused with a typed
+// *OverloadedError at handshake.
+func TestServerConnLimit(t *testing.T) {
+	_, _, addr := startServer(t, 10, qpipe.Options{}, qpipe.ServerOptions{MaxConns: 1})
+	ctx := context.Background()
+	c1, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+
+	var refused *qpipe.OverloadedError
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = client.Connect(ctx, addr)
+		if errors.As(err, &refused) {
+			break
+		}
+		// The first handler may not have registered active yet; retry
+		// briefly rather than flake.
+		if time.Now().After(deadline) {
+			t.Fatalf("second connection: got %[1]T %[1]v, want *OverloadedError", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if refused.MaxConcurrent != 1 {
+		t.Fatalf("refusal carries MaxConcurrent=%d, want 1", refused.MaxConcurrent)
+	}
+	// Closing the first connection frees the slot.
+	c1.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		c3, err := client.Connect(ctx, addr)
+		if err == nil {
+			c3.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerClientDisconnectMidStream: a client vanishing mid-stream must
+// cancel the query server-side and release every lease — the in-flight
+// gauge returns to zero and no temp files remain.
+func TestServerClientDisconnectMidStream(t *testing.T) {
+	srv, db, addr := startServer(t, 20_000, qpipe.Options{}, qpipe.ServerOptions{})
+	// Slow the disk so the stream is still in flight when we sever it.
+	db.SetDiskLatency(30*time.Microsecond, 50*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+
+	ctx := context.Background()
+	conn, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A big sort keeps temp files and leases in play mid-stream.
+	rows, err := conn.Query(ctx, "SELECT id, note FROM t ORDER BY amount DESC", client.WithBatchSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Hard close: no Cancel frame, no Quit — the socket just dies.
+	conn.Close()
+
+	// The server must notice, cancel the query, release leases and locks,
+	// and clean up its temp files.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := db.Stats()
+		tmp := qpipe.DiskOf(db).FilesWithPrefix("tmp:")
+		if st.InFlight == 0 && st.AdmissionQueued == 0 && len(tmp) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("disconnect did not clean up: in-flight=%d queued=%d tmp=%v",
+				st.InFlight, st.AdmissionQueued, tmp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the server keeps serving new connections.
+	conn2, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	r, err := conn2.Query(ctx, "SELECT count(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all, err := r.All(); err != nil || all[0][0].I != 20_000 {
+		t.Fatalf("post-disconnect query: %v, %v", all, err)
+	}
+	if srv.Stats().ActiveConns != 1 {
+		t.Fatalf("active conns = %d, want 1", srv.Stats().ActiveConns)
+	}
+}
+
+// TestServerCancelMidStream: the protocol-level cancel (Rows.Close) aborts
+// the query and leaves the connection reusable.
+func TestServerCancelMidStream(t *testing.T) {
+	_, db, addr := startServer(t, 20_000, qpipe.Options{}, qpipe.ServerOptions{})
+	db.SetDiskLatency(20*time.Microsecond, 30*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+
+	ctx := context.Background()
+	conn, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rows, err := conn.Query(ctx, "SELECT id FROM t ORDER BY amount", client.WithBatchSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Same connection, next query: works.
+	r, err := conn.Query(ctx, "SELECT count(*) AS n FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all, err := r.All(); err != nil || all[0][0].I != 20_000 {
+		t.Fatalf("post-cancel query: %v, %v", all, err)
+	}
+	// Leases drained server-side.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := db.Stats()
+		if st.InFlight == 0 && len(qpipe.DiskOf(db).FilesWithPrefix("tmp:")) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancel did not clean up: in-flight=%d", st.InFlight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerDrainWithInFlightStream: Shutdown while a stream is in flight
+// must not hang; the client sees either a clean completion or a typed
+// error, and Serve returns nil.
+func TestServerDrainWithInFlightStream(t *testing.T) {
+	srv, db, addr := startServer(t, 20_000, qpipe.Options{DrainTimeout: 500 * time.Millisecond},
+		qpipe.ServerOptions{ShutdownGrace: 5 * time.Second})
+	db.SetDiskLatency(20*time.Microsecond, 30*time.Microsecond, 0)
+	defer db.SetDiskLatency(0, 0, 0)
+
+	ctx := context.Background()
+	conn, err := client.Connect(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rows, err := conn.Query(ctx, "SELECT id FROM t ORDER BY amount", client.WithBatchSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rows.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		srv.Shutdown() // idempotent with the cleanup's call
+		close(shutdownDone)
+	}()
+
+	// Keep consuming: the stream either completes (drain let it finish) or
+	// fails with the engine's cancellation/closed error — never hangs, never
+	// panics.
+	_, derr := rows.Discard()
+	if derr != nil {
+		ok := errors.Is(derr, context.Canceled) || errors.Is(derr, qpipe.ErrClosed) ||
+			errors.Is(derr, io.EOF) || errors.Is(derr, io.ErrUnexpectedEOF) ||
+			strings.Contains(derr.Error(), "cancel")
+		var de *qpipe.DeadlineError
+		var ne net.Error
+		ok = ok || errors.As(derr, &de) || errors.As(derr, &ne)
+		if !ok {
+			t.Fatalf("drain surfaced an ungoverned error: %[1]T %[1]v", derr)
+		}
+	}
+	select {
+	case <-shutdownDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Shutdown hung with an in-flight stream")
+	}
+	// New connections are refused once drained (accept loop closed).
+	if _, err := client.Connect(ctx, addr); err == nil {
+		t.Fatal("connect succeeded after Shutdown")
+	}
+}
+
+// TestServerMalformedFrames: protocol violations get a typed error frame
+// (where a response is still possible) and a closed connection — never a
+// panic, never a hang.
+func TestServerMalformedFrames(t *testing.T) {
+	_, _, addr := startServer(t, 10, qpipe.Options{}, qpipe.ServerOptions{})
+
+	dial := func() net.Conn {
+		t.Helper()
+		nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc.SetDeadline(time.Now().Add(10 * time.Second))
+		return nc
+	}
+	handshake := func(nc net.Conn) {
+		t.Helper()
+		hello := wire.Hello{Version: wire.ProtocolVersion, Client: "raw"}
+		if err := wire.WriteFrame(nc, wire.MsgHello, hello.Encode(nil)); err != nil {
+			t.Fatal(err)
+		}
+		mt, _, _, err := wire.ReadFrame(nc, nil)
+		if err != nil || mt != wire.MsgWelcome {
+			t.Fatalf("handshake: %v %v", mt, err)
+		}
+	}
+	expectProtocolError := func(nc net.Conn) {
+		t.Helper()
+		// The server sends a CodeProtocol error frame (best effort) and
+		// closes. Reading to EOF must yield at most that one frame.
+		for {
+			mt, payload, _, err := wire.ReadFrame(nc, nil)
+			if err != nil {
+				return // closed — fine
+			}
+			if mt != wire.MsgError {
+				continue // residual frames of an earlier response
+			}
+			we, err := wire.DecodeError(payload)
+			if err != nil {
+				t.Fatalf("undecodable error frame: %v", err)
+			}
+			if we.Code != wire.CodeProtocol {
+				t.Fatalf("error code = %d, want CodeProtocol", we.Code)
+			}
+			return
+		}
+	}
+
+	t.Run("garbage-hello", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		nc.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+		// Either a protocol-error frame or a straight close; never a hang.
+		expectProtocolError(nc)
+	})
+	t.Run("zero-length-frame", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		handshake(nc)
+		nc.Write([]byte{0, 0, 0, 0})
+		expectProtocolError(nc)
+	})
+	t.Run("oversized-frame", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		handshake(nc)
+		nc.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+		expectProtocolError(nc)
+	})
+	t.Run("truncated-frame", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		handshake(nc)
+		// Claims 100 bytes, delivers 3, then dies.
+		nc.Write([]byte{0, 0, 0, 100, byte(wire.MsgQuery), 'S', 'E'})
+		nc.Close()
+	})
+	t.Run("unknown-type", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		handshake(nc)
+		wire.WriteFrame(nc, wire.MsgType(0xEE), nil)
+		expectProtocolError(nc)
+	})
+	t.Run("version-mismatch", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		hello := wire.Hello{Version: 999, Client: "future"}
+		wire.WriteFrame(nc, wire.MsgHello, hello.Encode(nil))
+		expectProtocolError(nc)
+	})
+	t.Run("truncated-payload", func(t *testing.T) {
+		nc := dial()
+		defer nc.Close()
+		handshake(nc)
+		// A Query frame whose payload is valid framing but garbage content.
+		wire.WriteFrame(nc, wire.MsgQuery, []byte{0xFF, 0xFF})
+		expectProtocolError(nc)
+	})
+}
+
+// TestServerConcurrentConns: many connections at once, each its own
+// session; results do not interleave across sockets.
+func TestServerConcurrentConns(t *testing.T) {
+	_, _, addr := startServer(t, 2000, qpipe.Options{}, qpipe.ServerOptions{})
+	ctx := context.Background()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := client.Connect(ctx, addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < 5; i++ {
+				r, err := conn.Query(ctx, fmt.Sprintf("SELECT count(*) AS n FROM t WHERE grp = %d", w%10))
+				if err != nil {
+					errs <- err
+					return
+				}
+				all, err := r.All()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(all) != 1 || all[0][0].I != 200 {
+					errs <- fmt.Errorf("worker %d: got %v, want 200", w, all)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -67,20 +67,20 @@ for doc in "${docs[@]}"; do
 done
 
 # 3. CLI flags in fenced shell blocks.
-known_flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z_]+"' cmd/qpipe-bench/main.go cmd/qpipe-shell/main.go \
-    | sed 's/.*("\([a-z_]*\)".*/\1/' | sort -u)
+known_flags=$(grep -ohE 'flag\.[A-Za-z]+\("[a-z_-]+"' cmd/qpipe-bench/main.go cmd/qpipe-shell/main.go cmd/qpipe-server/main.go \
+    | sed 's/.*("\([a-z_-]*\)".*/\1/' | sort -u)
 go_test_flags="bench benchtime benchmem run race fuzz fuzztime update v count timeout cover"
 
 for doc in "${docs[@]}"; do
     awk '/^```/{in_block=!in_block; next} in_block' "$doc" \
-        | { grep -oE '(^| )-[a-z][a-z_]*' || true; } | sed 's/^ *-//' | sort -u | while read -r f; do
+        | { grep -oE '(^| )-[a-z][a-z_-]*' || true; } | sed 's/^ *-//' | sort -u | while read -r f; do
         found=0
         # shellcheck disable=SC2086  # deliberate word lists
         for k in $known_flags $go_test_flags; do
             if [ "$f" = "$k" ]; then found=1; break; fi
         done
         if [ "$found" = 0 ]; then
-            echo "$doc: unknown CLI flag -> -$f (not defined in cmd/qpipe-bench or cmd/qpipe-shell)"
+            echo "$doc: unknown CLI flag -> -$f (not defined in cmd/qpipe-bench, cmd/qpipe-shell or cmd/qpipe-server)"
             touch "$repo/.doccheck-failed"
         fi
     done

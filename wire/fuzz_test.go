@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"qpipe/internal/tuple"
+)
+
+// FuzzFrameDecode drives the full read path — frame parsing plus every
+// message decoder — over arbitrary byte streams. The invariant under test is
+// the package guarantee: malformed input returns an error (usually a
+// *ProtocolError), it never panics, and decoding never allocates
+// proportionally to a hostile length claim.
+func FuzzFrameDecode(f *testing.F) {
+	// Seed with one valid frame per message type so the fuzzer starts from
+	// well-formed streams and mutates toward the edges.
+	seed := func(t MsgType, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, t, payload); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(MsgHello, (&Hello{Version: ProtocolVersion, Client: "fuzz"}).Encode(nil))
+	seed(MsgWelcome, (&Welcome{Version: ProtocolVersion, Banner: "qpipe"}).Encode(nil))
+	seed(MsgQuery, (&Query{SQL: "SELECT a FROM t", Opts: ExecOpts{TimeoutMs: 100, Parallelism: 2, BatchSize: 64, NoOSP: true}}).Encode(nil))
+	seed(MsgPrepare, (&Prepare{SQL: "SELECT 1"}).Encode(nil))
+	seed(MsgPrepared, (&Prepared{ID: 1, Desc: RowDesc{Cols: []Col{{"a", tuple.KindInt}}}}).Encode(nil))
+	seed(MsgExecute, (&Execute{ID: 1}).Encode(nil))
+	seed(MsgExec, (&Exec{SQL: "CREATE TABLE t (a INT)"}).Encode(nil))
+	seed(MsgCloseStmt, (&CloseStmt{ID: 1}).Encode(nil))
+	seed(MsgRowDesc, (&RowDesc{Cols: []Col{{"a", tuple.KindInt}, {"s", tuple.KindString}}}).Encode(nil))
+	seed(MsgRowBatch, AppendRowBatch(nil, []Row{
+		{tuple.I64(7), tuple.Str("x"), tuple.F64(1.5), tuple.Date(20_000)},
+	}))
+	seed(MsgComplete, (&Complete{Rows: 42}).Encode(nil))
+	seed(MsgError, (&Error{Code: CodeOverloaded, Msg: "shed", Fields: map[string]string{"max_concurrent": "8"}}).Encode(nil))
+	seed(MsgStatsResult, (&StatsResult{Stats: []Stat{{"queries_served", 3}}}).Encode(nil))
+	seed(MsgCancel, nil)
+	seed(MsgQuit, nil)
+	// And two frames back to back, to exercise stream resumption.
+	var two bytes.Buffer
+	_ = WriteFrame(&two, MsgStats, nil)
+	_ = WriteFrame(&two, MsgQuit, nil)
+	f.Add(two.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			mt, payload, b, err := ReadFrame(r, buf)
+			buf = b
+			if err != nil {
+				if err != io.EOF && err != io.ErrUnexpectedEOF {
+					var pe *ProtocolError
+					if !errors.As(err, &pe) {
+						t.Fatalf("ReadFrame: unexpected error type %T: %v", err, err)
+					}
+				}
+				return
+			}
+			if msg, err := DecodeMessage(mt, payload); err != nil {
+				var pe *ProtocolError
+				if !errors.As(err, &pe) {
+					t.Fatalf("DecodeMessage(%s): unexpected error type %T: %v", mt, err, err)
+				}
+			} else if mt == MsgRowBatch {
+				// A batch that decoded must re-encode to the same bytes.
+				rows, ok := msg.([]Row)
+				if !ok {
+					t.Fatalf("RowBatch decoded to %T", msg)
+				}
+				if re := AppendRowBatch(nil, rows); !bytes.Equal(re, payload) {
+					t.Fatalf("RowBatch did not round-trip:\n in: %x\nout: %x", payload, re)
+				}
+			}
+		}
+	})
+}
