@@ -245,7 +245,10 @@ func (c *Conn) startRows(restore func()) (*Rows, error) {
 }
 
 // Exec runs a script of statements that do not return rows (CREATE TABLE,
-// CREATE INDEX, INSERT, ANALYZE) and returns the affected row count.
+// CREATE INDEX, INSERT, UPDATE, DELETE, ANALYZE, BEGIN/COMMIT/ROLLBACK) and
+// returns the affected row count. Transaction-control statements operate on
+// this connection's server-side session: writes between BEGIN and COMMIT
+// stage invisibly and commit atomically; a dropped connection rolls back.
 func (c *Conn) Exec(ctx context.Context, script string) (int64, error) {
 	if err := c.ready(); err != nil {
 		return 0, err
@@ -272,6 +275,25 @@ func (c *Conn) Exec(ctx context.Context, script string) (int64, error) {
 	default:
 		return 0, &wire.ProtocolError{Reason: fmt.Sprintf("expected Complete, got %s", t)}
 	}
+}
+
+// Begin opens a transaction on this connection's server-side session.
+// Subsequent Exec writes stage into it until Commit or Rollback.
+func (c *Conn) Begin(ctx context.Context) error {
+	_, err := c.Exec(ctx, "BEGIN")
+	return err
+}
+
+// Commit commits the connection's open transaction.
+func (c *Conn) Commit(ctx context.Context) error {
+	_, err := c.Exec(ctx, "COMMIT")
+	return err
+}
+
+// Rollback discards the connection's open transaction.
+func (c *Conn) Rollback(ctx context.Context) error {
+	_, err := c.Exec(ctx, "ROLLBACK")
+	return err
 }
 
 // Stats fetches the server's counters (engine, OSP sharing, governance,

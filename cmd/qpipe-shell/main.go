@@ -88,6 +88,7 @@ func main() {
 	defer db.Close()
 
 	sh.db = db
+	defer sh.sess.Close() // roll back an abandoned transaction on exit
 	if *demo {
 		fmt.Fprintf(sh.out, "loading demo dataset: %d orders, %d customers ...\n", *demoRows, *demoCusts)
 		if err := sqlmix.Populate(db, *demoRows, *demoCusts); err != nil {
@@ -218,8 +219,9 @@ func (sh *shell) runScript(text string) bool {
 }
 
 // exec runs one parsed statement through the public API: SELECT/EXPLAIN via
-// db.Query (with the session's options), DDL/INSERT via db.Exec, SET into
-// the session.
+// db.Query (with the session's options), everything else — DDL, INSERT,
+// UPDATE/DELETE, BEGIN/COMMIT/ROLLBACK, SET — via db.ExecSession so the
+// shell's session carries transactions exactly like a server connection.
 func (sh *shell) exec(stmt sql.Statement) error {
 	if sh.remote != nil {
 		return sh.execRemote(stmt)
@@ -247,6 +249,9 @@ func (sh *shell) exec(stmt sql.Statement) error {
 		}
 		return nil
 	case *sql.Select:
+		if err := sh.sess.GuardQuery(s); err != nil {
+			return err
+		}
 		res, err := sh.db.Query(ctx, s.String(), sh.sess.Options()...)
 		if err != nil {
 			return err
@@ -259,18 +264,34 @@ func (sh *shell) exec(stmt sql.Statement) error {
 		sh.reportTiming(start)
 		return nil
 	default:
-		affected, err := sh.db.Exec(ctx, stmt.String())
+		affected, err := sh.db.ExecSession(ctx, &sh.sess, stmt.String())
 		if err != nil {
 			return err
 		}
-		switch stmt.(type) {
-		case *sql.Insert:
-			fmt.Fprintf(sh.out, "INSERT %d\n", affected)
-		default:
-			fmt.Fprintln(sh.out, "ok")
-		}
+		sh.reportExec(stmt, affected)
 		sh.reportTiming(start)
 		return nil
+	}
+}
+
+// reportExec prints a mutation statement's tag the way psql does: the verb,
+// plus the affected-row count where one is meaningful.
+func (sh *shell) reportExec(stmt sql.Statement, affected int64) {
+	switch stmt.(type) {
+	case *sql.Insert:
+		fmt.Fprintf(sh.out, "INSERT %d\n", affected)
+	case *sql.Update:
+		fmt.Fprintf(sh.out, "UPDATE %d\n", affected)
+	case *sql.Delete:
+		fmt.Fprintf(sh.out, "DELETE %d\n", affected)
+	case *sql.Begin:
+		fmt.Fprintln(sh.out, "BEGIN")
+	case *sql.Commit:
+		fmt.Fprintln(sh.out, "COMMIT")
+	case *sql.Rollback:
+		fmt.Fprintln(sh.out, "ROLLBACK")
+	default:
+		fmt.Fprintln(sh.out, "ok")
 	}
 }
 
@@ -325,12 +346,7 @@ func (sh *shell) execRemote(stmt sql.Statement) error {
 		if err != nil {
 			return err
 		}
-		switch stmt.(type) {
-		case *sql.Insert:
-			fmt.Fprintf(sh.out, "INSERT %d\n", affected)
-		default:
-			fmt.Fprintln(sh.out, "ok")
-		}
+		sh.reportExec(stmt, affected)
 		sh.reportTiming(start)
 		return nil
 	}
@@ -470,7 +486,9 @@ func (sh *shell) meta(line string) bool {
 	case "\\help":
 		fmt.Fprint(sh.out, `statements end with ';' (multi-line input is fine):
   SELECT ... / EXPLAIN SELECT ...      query (through db.Query)
-  CREATE TABLE / CREATE INDEX / INSERT DDL and loading (through db.Exec)
+  CREATE TABLE / CREATE INDEX / INSERT DDL and loading
+  UPDATE ... / DELETE FROM ...         transactional mutations
+  BEGIN; ...; COMMIT | ROLLBACK        multi-statement transactions
   ANALYZE [table]                      rebuild planner statistics
   SET parallelism|batch_size|osp = v   session options for later queries
   SET statement_timeout = '500ms'      per-query deadline (0 turns it off)

@@ -1,0 +1,159 @@
+package qpipe
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// Kill-9 chaos test: a real child process commits transactions against a
+// durable database (Options.Dir — real fsynced files) and is killed with
+// SIGKILL mid-workload, wherever it happens to be. The parent then reopens
+// the directory and requires recovery to land on an exact committed prefix:
+// every transaction the child acknowledged on stdout before the kill is
+// fully present, later transactions are fully present or fully absent, and
+// nothing is torn. This is the unsimulated counterpart of the crash-point
+// matrix in internal/storage/wal/crashtest.
+
+// Geometry shared by child and parent: the backing files are raw block
+// images, so both processes must agree on the block size.
+const (
+	crashChildEnv   = "QPIPE_CRASH_CHILD"
+	crashDirEnv     = "QPIPE_CRASH_DIR"
+	crashBlockSize  = 512
+	crashSegBlocks  = 8
+	crashRowsPerTx  = 3
+	crashKillAfter  = 8 // acknowledged commits before the parent pulls the trigger
+	crashChildLimit = 30 * time.Second
+)
+
+// TestCrashKill9Child is the workload process. It only runs when re-executed
+// by TestCrashKill9 (env-gated); in a normal test run it skips.
+func TestCrashKill9Child(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "" {
+		t.Skip("child process for TestCrashKill9")
+	}
+	dir := os.Getenv(crashDirEnv)
+	db, err := Open(Options{Dir: dir, BlockSize: crashBlockSize, WALSegmentBlocks: crashSegBlocks, PoolPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("kt", NewSchema(ColDef("id", KindInt), ColDef("name", KindString))); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Commit forever (the parent kills us): transaction i inserts rows
+	// i*10+{0,1,2} and rewrites the first row of the previous transaction,
+	// acknowledging each commit on stdout. Direct writes to os.Stdout are
+	// not buffered by the testing framework, so the parent sees each line
+	// as soon as the commit is durable.
+	start := time.Now()
+	for i := 0; time.Since(start) < crashChildLimit; i++ {
+		tx := db.Begin()
+		script := fmt.Sprintf("INSERT INTO kt VALUES (%d, 'c'), (%d, 'c'), (%d, 'c')",
+			i*10, i*10+1, i*10+2)
+		if i > 0 {
+			script += fmt.Sprintf("; UPDATE kt SET name = 'u' WHERE id = %d", (i-1)*10)
+		}
+		if _, err := tx.Exec(ctx, script); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("QPIPE-COMMIT %d\n", i)
+	}
+	t.Fatal("child was never killed")
+}
+
+func TestCrashKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashKill9Child$")
+	cmd.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Watchdog: whatever happens, the child dies.
+	stopWatch := time.AfterFunc(crashChildLimit+30*time.Second, func() { _ = cmd.Process.Kill() })
+	defer stopWatch.Stop()
+
+	// Read acknowledgements until enough commits landed, then SIGKILL the
+	// child wherever it is — possibly mid-commit, mid-fsync, mid-rotation.
+	lastAcked := -1
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		var i int
+		if _, err := fmt.Sscanf(sc.Text(), "QPIPE-COMMIT %d", &i); err == nil {
+			lastAcked = i
+			if i+1 >= crashKillAfter {
+				if err := cmd.Process.Kill(); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+	}
+	for sc.Scan() {
+	} // drain until the pipe closes
+	_ = cmd.Wait() // "signal: killed" is the expected outcome
+	if lastAcked+1 < crashKillAfter {
+		t.Fatalf("child exited after only %d commits:\n%s", lastAcked+1, stderr.String())
+	}
+
+	// Reopen: recovery must reproduce an exact committed prefix.
+	db, err := Open(Options{Dir: dir, BlockSize: crashBlockSize, WALSegmentBlocks: crashSegBlocks, PoolPages: 64})
+	if err != nil {
+		t.Fatalf("reopening after kill: %v", err)
+	}
+	defer db.Close()
+	res, err := db.Query(context.Background(), "SELECT id, name FROM kt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := res.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := make(map[int64]string, len(rows))
+	m := -1 // highest transaction index with any surviving row
+	for _, r := range rows {
+		byID[r[0].I] = r[1].S
+		if tx := int(r[0].I / 10); tx > m {
+			m = tx
+		}
+	}
+	if m < lastAcked {
+		t.Fatalf("acknowledged transaction %d lost: recovered only through %d", lastAcked, m)
+	}
+	if len(byID) != crashRowsPerTx*(m+1) {
+		t.Fatalf("recovered %d rows, want %d (complete transactions 0..%d)",
+			len(byID), crashRowsPerTx*(m+1), m)
+	}
+	for i := 0; i <= m; i++ {
+		for j := 0; j < crashRowsPerTx; j++ {
+			id := int64(i*10 + j)
+			want := "c"
+			if j == 0 && i < m {
+				want = "u" // rewritten by transaction i+1
+			}
+			if got, ok := byID[id]; !ok || got != want {
+				t.Fatalf("transaction %d torn: row id=%d got %q/%v, want %q",
+					i, id, got, ok, want)
+			}
+		}
+	}
+}

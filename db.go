@@ -15,6 +15,7 @@ import (
 	"qpipe/internal/stats"
 	"qpipe/internal/storage/disk"
 	"qpipe/internal/storage/sm"
+	"qpipe/internal/storage/wal"
 	"qpipe/internal/tuple"
 )
 
@@ -77,17 +78,33 @@ type Options struct {
 	// finish before cancelling the stragglers (0 = 5s; negative = cancel
 	// immediately).
 	DrainTimeout time.Duration
+	// Dir, when non-empty, makes the database durable: committed state is
+	// mirrored to real fsynced files in that directory, and Open recovers
+	// whatever a previous process (even one killed mid-commit) durably
+	// committed there — replaying the write-ahead log past the last
+	// checkpoint. Empty (the default) keeps everything in memory; the WAL
+	// still runs (transactions work identically) but nothing survives the
+	// process. Statistics are not persisted: run ANALYZE after reopening if
+	// the optimizer should see fresh cardinalities.
+	Dir string
+	// WALSegmentBlocks sizes write-ahead-log segments, in disk blocks
+	// (0 = 256). Smaller segments checkpoint-truncate sooner; tests use
+	// small values to exercise rotation.
+	WALSegmentBlocks int
 }
 
 // DB is an embedded QPipe database: storage manager plus engine.
 type DB struct {
-	mgr   *sm.Manager
-	eng   *Engine
-	stats *stats.Registry
-	noOpt bool
+	mgr     *sm.Manager
+	eng     *Engine
+	stats   *stats.Registry
+	noOpt   bool
+	durable bool
 }
 
-// Open creates a fresh in-memory database and starts its engine.
+// Open creates a database and starts its engine: a fresh in-memory one by
+// default, or — with Options.Dir set — a durable one recovered from that
+// directory's files and write-ahead log.
 func Open(opts Options) (*DB, error) {
 	poolPages := opts.PoolPages
 	if poolPages <= 0 {
@@ -121,18 +138,59 @@ func Open(opts Options) (*DB, error) {
 	if opts.DrainTimeout != 0 {
 		cfg.DrainTimeout = opts.DrainTimeout
 	}
-	mgr := sm.New(sm.Config{Disk: disk.Config{BlockSize: opts.BlockSize}, PoolPages: poolPages})
+	var mgr *sm.Manager
+	if opts.Dir != "" {
+		d, err := disk.Open(disk.Config{BlockSize: opts.BlockSize, BackingDir: opts.Dir})
+		if err != nil {
+			return nil, err
+		}
+		mgr = sm.NewSharedDisk(d, poolPages, nil)
+	} else {
+		mgr = sm.New(sm.Config{Disk: disk.Config{BlockSize: opts.BlockSize}, PoolPages: poolPages})
+	}
+	l, err := wal.Open(mgr.Disk, wal.Options{SegmentBlocks: opts.WALSegmentBlocks})
+	if err != nil {
+		return nil, err
+	}
+	mgr.EnableWAL(l)
+	reg := stats.NewRegistry()
+	if opts.Dir != "" {
+		if err := mgr.Recover(); err != nil {
+			return nil, fmt.Errorf("qpipe: recovering %q: %w", opts.Dir, err)
+		}
+		// Recovered tables get empty stats (persisting them is out of scope);
+		// ANALYZE refreshes the optimizer's view.
+		for _, name := range mgr.Tables() {
+			if t, err := mgr.Table(name); err == nil {
+				reg.Create(name, t.Schema.Len())
+			}
+		}
+	}
 	eng := New(mgr, cfg)
 	if opts.ResultCacheTuples > 0 {
 		eng.EnableResultCache(opts.ResultCacheTuples, opts.ResultCacheMaxEntry)
 	}
-	return &DB{mgr: mgr, eng: eng, stats: stats.NewRegistry(), noOpt: opts.DisableOptimizer}, nil
+	return &DB{mgr: mgr, eng: eng, stats: reg,
+		noOpt: opts.DisableOptimizer, durable: opts.Dir != ""}, nil
 }
 
 // Close shuts the engine down gracefully: new queries are rejected with
 // ErrClosed immediately, in-flight ones get up to Options.DrainTimeout to
-// finish, and stragglers are then cancelled.
-func (db *DB) Close() { db.eng.Close() }
+// finish, and stragglers are then cancelled. A durable database is
+// checkpointed on the way out (best-effort — an unclean exit recovers from
+// the WAL anyway).
+func (db *DB) Close() {
+	db.eng.Close()
+	if db.durable {
+		_ = db.mgr.Checkpoint()
+	}
+}
+
+// Checkpoint flushes all committed state to the durable store and truncates
+// the write-ahead log: recovery after a crash replays only what committed
+// since. It waits for in-flight commits to complete. Only meaningful on a
+// durable database (Options.Dir), but harmless on an in-memory one.
+func (db *DB) Checkpoint() error { return db.mgr.Checkpoint() }
 
 // Engine exposes the underlying engine for advanced callers (precompiled
 // plans, harnesses). Everyday embedders never need it.
@@ -190,10 +248,11 @@ func checkRows(table string, s *Schema, rows []Row) error {
 	return nil
 }
 
-// Load bulk-appends rows into a table (no locking — use it to populate
-// tables before querying; use Insert for concurrent writes). Rows are
-// validated against the schema. Cached results over the table are
-// invalidated.
+// Load bulk-appends rows into a table as one committed transaction. It
+// takes the table's exclusive lock, so it is safe on a live database —
+// concurrent readers see either none or all of the rows — but Insert is
+// the better fit for small concurrent writes. Rows are validated against
+// the schema. Cached results over the table are invalidated.
 func (db *DB) Load(table string, rows []Row) error {
 	t, err := db.mgr.Table(table)
 	if err != nil {

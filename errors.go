@@ -157,3 +157,36 @@ func (e *BatchError) Unwrap() []error {
 	}
 	return append(out, e.Teardown...)
 }
+
+// TxStateError reports a transaction-control statement in the wrong state:
+// BEGIN with a transaction already open, or COMMIT/ROLLBACK with none.
+type TxStateError struct {
+	// Stmt is the statement ("BEGIN", "COMMIT", "ROLLBACK").
+	Stmt string
+	// Open says whether a transaction was open when the statement arrived.
+	Open bool
+}
+
+// Error implements error.
+func (e *TxStateError) Error() string {
+	if e.Open {
+		return fmt.Sprintf("qpipe: %s: a transaction is already open on this session", e.Stmt)
+	}
+	return fmt.Sprintf("qpipe: %s: no transaction is open on this session", e.Stmt)
+}
+
+// TxConflictError reports a read that would self-deadlock: a SELECT inside
+// an open transaction over a table that transaction has written. The
+// transaction holds the table's exclusive lock until COMMIT/ROLLBACK, and
+// the lock manager tracks no owners, so the read would wait on the session's
+// own lock forever. Commit or roll back first, or read other tables.
+type TxConflictError struct {
+	// Table is the written table the read touches.
+	Table string
+}
+
+// Error implements error.
+func (e *TxConflictError) Error() string {
+	return fmt.Sprintf("qpipe: cannot read table %q inside the transaction that is writing it "+
+		"(commit or roll back first)", e.Table)
+}

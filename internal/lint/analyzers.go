@@ -9,6 +9,7 @@ func All() []*Analyzer {
 		SigLint,
 		CtxLint,
 		DeadlineLint,
+		WALLint,
 	}
 }
 

@@ -33,3 +33,10 @@ func TestCtxLint(t *testing.T) {
 func TestDeadlineLint(t *testing.T) {
 	RunTest(t, "testdata", DeadlineLint, "deadlinelint")
 }
+
+// TestWALLint loads the heap stand-in plus both halves of the contract:
+// the sm package (mutators legal only in apply functions) and an outside
+// package (mutators never legal).
+func TestWALLint(t *testing.T) {
+	RunTest(t, "testdata", WALLint, "heap", "sm", "walint")
+}

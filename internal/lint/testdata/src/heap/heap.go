@@ -1,0 +1,24 @@
+// Stand-in for qpipe/internal/storage/heap: just enough surface for the
+// walint test cases (matched by package base name and type/method names).
+package heap
+
+// RID addresses a tuple.
+type RID struct {
+	Page int64
+	Slot int
+}
+
+// File is a heap file of slotted pages.
+type File struct{}
+
+// Append adds a tuple, returning its RID.
+func (f *File) Append(row []byte) (RID, error) { return RID{}, nil }
+
+// ReplaceAt overwrites the tuple at rid in place.
+func (f *File) ReplaceAt(rid RID, row []byte) error { return nil }
+
+// DeleteAt tombstones the tuple at rid.
+func (f *File) DeleteAt(rid RID) error { return nil }
+
+// ReadTuple reads the tuple at rid (not a mutator; walint ignores it).
+func (f *File) ReadTuple(rid RID) ([]byte, error) { return nil, nil }

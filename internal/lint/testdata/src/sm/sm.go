@@ -1,0 +1,67 @@
+// Test cases for walint, storage-manager half: inside sm, heap mutators
+// are legal only in the allowlisted apply functions.
+package sm
+
+import (
+	"heap"
+)
+
+type txTable struct {
+	f       *heap.File
+	inserts [][]byte
+	deletes []heap.RID
+}
+
+type Manager struct{ wal *int }
+
+// applyTable is the sanctioned applier: called after the commit batch is
+// durable. Every mutator here is clean, including ones inside closures.
+func (m *Manager) applyTable(tt *txTable) error {
+	for _, rid := range tt.deletes {
+		if err := tt.f.DeleteAt(rid); err != nil {
+			return err
+		}
+	}
+	apply := func(row []byte) error {
+		_, err := tt.f.Append(row)
+		return err
+	}
+	for _, row := range tt.inserts {
+		if err := apply(row); err != nil {
+			return err
+		}
+	}
+	return tt.f.ReplaceAt(heap.RID{}, nil) // still inside applyTable
+}
+
+// Load's direct arm is the documented no-WAL fallback.
+func (m *Manager) Load(f *heap.File, rows [][]byte) error {
+	for _, r := range rows {
+		if _, err := f.Append(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fastInsert is the bug class: a convenience helper that touches the page
+// without any logged transaction behind it.
+func (m *Manager) fastInsert(f *heap.File, row []byte) error {
+	_, err := f.Append(row) // want `outside the WAL apply path`
+	return err
+}
+
+// compact rewrites pages in place outside the apply path.
+func (m *Manager) compact(f *heap.File, rids []heap.RID) error {
+	for _, rid := range rids {
+		if err := f.DeleteAt(rid); err != nil { // want `outside the WAL apply path`
+			return err
+		}
+	}
+	return nil
+}
+
+// readOnly never mutates: reads are not the analyzer's business.
+func (m *Manager) readOnly(f *heap.File, rid heap.RID) ([]byte, error) {
+	return f.ReadTuple(rid)
+}

@@ -1,0 +1,23 @@
+// Test cases for walint, outside-the-storage-manager half: no package but
+// sm may touch heap pages at all, apply-shaped or not.
+package walint
+
+import (
+	"heap"
+)
+
+// updateOp models an operator that shortcuts the update µEngine and writes
+// the page directly — even a function named like the sanctioned applier
+// fires outside sm.
+func applyTable(f *heap.File, rid heap.RID, row []byte) error {
+	if err := f.DeleteAt(rid); err != nil { // want `outside the storage manager`
+		return err
+	}
+	_, err := f.Append(row) // want `outside the storage manager`
+	return err
+}
+
+// inspect only reads; clean.
+func inspect(f *heap.File, rid heap.RID) ([]byte, error) {
+	return f.ReadTuple(rid)
+}

@@ -1,0 +1,98 @@
+// walint enforces the write-ahead log's "log before mutate" contract on
+// heap-page mutation sites. The recovery invariant (redo-only, no undo)
+// only holds if every page mutation is the application of an
+// already-durable WAL record: per table, log order equals apply order, and
+// nothing ever reaches a page without a commit record behind it. The code
+// shape that guarantees this is narrow — all staging goes through sm
+// transactions, and exactly one function (applyTable, called from Commit
+// after the batch is flushed and from recovery redo) touches pages.
+//
+// Mechanically:
+//
+//   - any call to a heap.File mutator (Append, ReplaceAt, DeleteAt)
+//     outside the storage-manager package is flagged: operators and the
+//     facade must stage through transactions, never write pages;
+//   - inside the storage manager, the call must sit in an allowlisted
+//     apply function. Everything else — convenience helpers, new fast
+//     paths — is exactly the "mutate first, log later (or never)" bug
+//     class this analyzer exists to stop.
+//
+// The allowlist is part of the contract: applyTable (the single commit/
+// redo applier) and Load's explicitly-unlogged no-WAL fallback.
+
+package lint
+
+import (
+	"go/ast"
+)
+
+// WALLint is the log-before-mutate analyzer.
+var WALLint = &Analyzer{
+	Name: "walint",
+	Doc: "check that heap pages are mutated only by the storage manager's WAL apply path " +
+		"(applyTable after a durable commit record), never directly by operators or helpers",
+	Run: runWALLint,
+}
+
+const (
+	heapPath = "qpipe/internal/storage/heap"
+	smPath   = "qpipe/internal/storage/sm"
+)
+
+// walApplyFuncs are the storage-manager functions allowed to call heap
+// mutators. applyTable runs strictly after the commit batch is durable
+// (Commit holds the WAL flush before it; recovery redoes from the log).
+// Load's direct arm is the documented no-WAL fallback — with a WAL
+// attached it routes through a transaction instead.
+var walApplyFuncs = map[string]bool{
+	"applyTable": true,
+	"Load":       true,
+}
+
+// heapMutators are the heap.File methods that change page contents.
+var heapMutators = []string{"Append", "ReplaceAt", "DeleteAt"}
+
+func runWALLint(pass *Pass) error {
+	inSM := pkgMatches(pass.Pkg, smPath)
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isMethodCall(pass.TypesInfo, call, heapPath, "File", heapMutators...) {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !inSM {
+				pass.Reportf(call.Pos(),
+					"heap page mutation (File.%s) outside the storage manager: writes must stage "+
+						"through an sm transaction so they are WAL-logged before touching pages",
+					fn.Name())
+				return true
+			}
+			if name := outermostFuncName(parents, call); !walApplyFuncs[name] {
+				pass.Reportf(call.Pos(),
+					"heap page mutation (File.%s) in %s, outside the WAL apply path: log before "+
+						"mutate — stage the write in a transaction and let applyTable touch the "+
+						"page after the commit record is durable",
+					fn.Name(), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// outermostFuncName climbs to the top-level declaration enclosing n:
+// closures inside an allowlisted applier belong to it.
+func outermostFuncName(parents map[ast.Node]ast.Node, n ast.Node) string {
+	name := "func literal"
+	for cur := n; cur != nil; cur = parents[cur] {
+		if fd, ok := cur.(*ast.FuncDecl); ok {
+			name = fd.Name.Name
+		}
+	}
+	return name
+}

@@ -13,6 +13,7 @@
 package ops
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -235,11 +236,22 @@ func (o *IndexScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		return err
 	}
 	// The query's shared lock on the table was acquired at submit (see
-	// Runtime.Submit's query-level read locking).
+	// Runtime.Submit's query-level read locking). The fence mirrors the
+	// table-scan one: index scans and their satellites read one committed
+	// state, pinned by the commit counter.
+	fence := tb.CommitSeq()
 	if node.Clustered {
-		return o.runClustered(rt, pkt, tb, node)
+		err = o.runClustered(rt, pkt, tb, node)
+	} else {
+		err = o.runUnclustered(rt, pkt, tb, node)
 	}
-	return o.runUnclustered(rt, pkt, tb, node)
+	if err != nil {
+		return err
+	}
+	if end := tb.CommitSeq(); end != fence {
+		return &sm.TornScanError{Table: node.Table, Start: fence, End: end}
+	}
+	return nil
 }
 
 func (o *IndexScanOp) runClustered(rt *core.Runtime, pkt *core.Packet, tb *sm.Table, node *plan.IndexScan) error {
@@ -342,18 +354,23 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 	if tr == nil {
 		return fmt.Errorf("ops: table %q has no unclustered index on %q", node.Table, node.Col)
 	}
-	// Phase 1: probe the index, building the RID list. Full overlap: any
-	// identical packet arriving now attaches via TryShare since no output
-	// has been produced.
-	var rids []heap.RID
+	// Phase 1: probe the index, building the RID list (with each entry's
+	// key — see the ghost re-check below). Full overlap: any identical
+	// packet arriving now attaches via TryShare since no output has been
+	// produced.
+	type entry struct {
+		rid heap.RID
+		key tuple.Value
+	}
+	var entries []entry
 	var derr error
-	err := tr.Range(node.Lo, node.Hi, func(_ tuple.Value, payload []byte) bool {
+	err := tr.Range(node.Lo, node.Hi, func(key tuple.Value, payload []byte) bool {
 		rid, e := sm.DecodeRID(payload)
 		if e != nil {
 			derr = e
 			return false
 		}
-		rids = append(rids, rid)
+		entries = append(entries, entry{rid: rid, key: key})
 		return !pkt.Cancelled()
 	})
 	if err != nil {
@@ -364,38 +381,42 @@ func (o *IndexScanOp) runUnclustered(rt *core.Runtime, pkt *core.Packet, tb *sm.
 	}
 	if !node.Ordered {
 		// Sort RIDs in ascending page order to visit each heap page once.
-		sort.Slice(rids, func(i, j int) bool { return rids[i].Less(rids[j]) })
+		sort.Slice(entries, func(i, j int) bool { return entries[i].rid.Less(entries[j].rid) })
 	}
-	// Phase 2: fetch. Group consecutive same-page RIDs so each heap page is
-	// pinned once. Fetched rows are freshly decoded and immutable, so they
-	// flow to the emitter by reference; projections carve from an arena.
+	// Phase 2: fetch. Unclustered indexes are maintained lazily under
+	// transactional mutation: deletes leave the entry behind (the heap slot
+	// is tombstoned) and updates that change the key add a new entry without
+	// removing the old. Both ghosts are filtered here — a tombstoned RID is
+	// skipped, and a fetched row whose indexed column no longer equals the
+	// entry's key belongs to a newer version reachable through its own entry.
+	keyIx := tb.Schema.MustColIndex(node.Col)
 	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
 	var arena tuple.RowArena
-	i := 0
-	for i < len(rids) {
+	for _, e := range entries {
 		if cerr := pkt.Query.CancelErr(); cerr != nil {
 			return cerr
 		}
 		if pkt.Cancelled() {
 			return nil
 		}
-		pno := rids[i].Page
-		rows, err := tb.Heap.ReadPage(pno)
+		row, err := tb.Heap.ReadTuple(e.rid)
 		if err != nil {
+			if errors.Is(err, heap.ErrDeleted) {
+				continue
+			}
 			return err
 		}
-		for i < len(rids) && rids[i].Page == pno {
-			row := rows[rids[i].Slot]
-			if node.Filter == nil || node.Filter.Test(row) {
-				out := row
-				if node.Project != nil {
-					out = arena.Project(row, node.Project)
-				}
-				if err := em.add(out); err != nil {
-					return emitResult(err)
-				}
+		if tuple.Compare(row[keyIx], e.key) != 0 {
+			continue // ghost: key changed since this entry was made
+		}
+		if node.Filter == nil || node.Filter.Test(row) {
+			out := row
+			if node.Project != nil {
+				out = arena.Project(row, node.Project)
 			}
-			i++
+			if err := em.add(out); err != nil {
+				return emitResult(err)
+			}
 		}
 	}
 	return emitResult(em.flush())

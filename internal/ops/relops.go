@@ -6,11 +6,15 @@
 package ops
 
 import (
+	"context"
+	"fmt"
+
 	"qpipe/internal/core"
 	"qpipe/internal/core/tbuf"
 	"qpipe/internal/expr"
 	"qpipe/internal/plan"
-	"qpipe/internal/storage/lock"
+	"qpipe/internal/storage/heap"
+	"qpipe/internal/storage/sm"
 	"qpipe/internal/tuple"
 )
 
@@ -337,8 +341,9 @@ func (o *GroupByOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	return emitResult(em.flush())
 }
 
-// UpdateOp inserts rows under a table X lock. It deliberately implements
-// neither Sharer nor Admitter: update packets are never shared.
+// UpdateOp runs table mutations (INSERT/UPDATE/DELETE) as storage-manager
+// transactions. It deliberately implements neither Sharer nor Admitter:
+// mutation packets are never shared.
 type UpdateOp struct{}
 
 // NewUpdateOp creates the update µEngine implementation.
@@ -347,21 +352,85 @@ func NewUpdateOp() *UpdateOp { return &UpdateOp{} }
 // Op implements core.Operator.
 func (*UpdateOp) Op() plan.OpType { return plan.OpUpdate }
 
-// Run implements core.Operator.
+// Run implements core.Operator: stage the mutation in a fresh transaction
+// and commit it (the autocommit path — explicit transactions stage through
+// StageMutation with the session's transaction instead, bypassing the
+// engine).
 func (*UpdateOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 	node := pkt.Node.(*plan.Update)
-	if err := rt.SM.Locks.Lock(pkt.Query.Ctx(), node.Table, lock.Exclusive); err != nil {
+	ctx := pkt.Query.Ctx()
+	tx := rt.SM.Begin()
+	n, err := StageMutation(ctx, tx, node)
+	if err != nil {
+		tx.Rollback()
 		return err
 	}
-	defer rt.SM.Locks.Unlock(node.Table, lock.Exclusive)
-	for _, row := range node.Rows {
-		if err := rt.SM.Insert(node.Table, row); err != nil {
-			return err
-		}
+	if err := tx.Commit(ctx); err != nil {
+		return err
 	}
 	em := newEmitter(pkt, rt.BatchSizeFor(pkt.Query))
-	if err := em.add(tuple.Tuple{tuple.I64(int64(len(node.Rows)))}); err != nil {
+	if err := em.add(tuple.Tuple{tuple.I64(n)}); err != nil {
 		return emitResult(err)
 	}
 	return emitResult(em.flush())
+}
+
+// StageMutation stages one plan.Update node's effect into tx, returning the
+// number of affected rows. It does not commit — the caller owns the
+// transaction (UpdateOp commits immediately; the facade's explicit
+// transactions accumulate statements and commit on COMMIT). UPDATE and
+// DELETE scan through the transaction's own overlay, so later statements in
+// a transaction see earlier ones' effects.
+func StageMutation(ctx context.Context, tx *sm.Tx, node *plan.Update) (int64, error) {
+	switch node.Kind {
+	case plan.MutInsert:
+		for _, row := range node.Rows {
+			if err := tx.StageInsert(ctx, node.Table, row); err != nil {
+				return 0, err
+			}
+		}
+		return int64(len(node.Rows)), nil
+	case plan.MutUpdate:
+		var n int64
+		var stageErr error
+		err := tx.ScanEffective(ctx, node.Table, func(rid heap.RID, row tuple.Tuple) bool {
+			if node.Where != nil && !node.Where.Test(row) {
+				return true
+			}
+			// All assignments evaluate against the old row (SQL semantics:
+			// SET a=b, b=a swaps).
+			newRow := row.Clone()
+			for _, a := range node.Set {
+				newRow[a.Col] = a.E.Eval(row)
+			}
+			if stageErr = tx.StageUpdate(ctx, node.Table, rid, newRow); stageErr != nil {
+				return false
+			}
+			n++
+			return true
+		})
+		if err == nil {
+			err = stageErr
+		}
+		return n, err
+	case plan.MutDelete:
+		var n int64
+		var stageErr error
+		err := tx.ScanEffective(ctx, node.Table, func(rid heap.RID, row tuple.Tuple) bool {
+			if node.Where != nil && !node.Where.Test(row) {
+				return true
+			}
+			if stageErr = tx.StageDelete(ctx, node.Table, rid); stageErr != nil {
+				return false
+			}
+			n++
+			return true
+		})
+		if err == nil {
+			err = stageErr
+		}
+		return n, err
+	default:
+		return 0, fmt.Errorf("ops: unknown mutation kind %v", node.Kind)
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"qpipe/internal/core/tbuf"
 	"qpipe/internal/expr"
 	"qpipe/internal/plan"
+	"qpipe/internal/storage/sm"
 	"qpipe/internal/tuple"
 )
 
@@ -502,7 +503,19 @@ func (o *TableScanOp) Run(rt *core.Runtime, pkt *core.Packet) error {
 		o.reg.add(key, s)
 		defer o.reg.remove(key, s)
 	}
-	return s.run()
+	// Snapshot fence: the scan group (host plus any satellites that attach
+	// mid-flight) must observe one committed state of the table. The overlap
+	// chain of query-level shared locks excludes committing writers for the
+	// group's whole life; checking the commit counter turns a violation of
+	// that invariant into a hard error instead of silently torn results.
+	fence := tb.CommitSeq()
+	if err := s.run(); err != nil {
+		return err
+	}
+	if end := tb.CommitSeq(); end != fence {
+		return &sm.TornScanError{Table: node.Table, Start: fence, End: end}
+	}
+	return nil
 }
 
 var _ interface {

@@ -495,20 +495,57 @@ func (g *GroupBy) Signature() string {
 
 // ---- Updates -----------------------------------------------------------------
 
-// Update inserts rows into a table. Updates are never shared (§3.2: sharing
-// would violate transactional semantics); the update µEngine has no OSP
-// functionality and serializes through the lock manager (§4.3.4).
+// MutationKind says what an Update node does to its table.
+type MutationKind uint8
+
+const (
+	// MutInsert appends Rows to the table.
+	MutInsert MutationKind = iota
+	// MutUpdate rewrites rows matching Where using the Set assignments.
+	MutUpdate
+	// MutDelete removes rows matching Where.
+	MutDelete
+)
+
+func (k MutationKind) String() string {
+	return [...]string{"insert", "update", "delete"}[k]
+}
+
+// Assign is one SET clause of an UPDATE: target column index and the
+// expression computing its new value over the old row.
+type Assign struct {
+	Col int
+	E   expr.Expr
+}
+
+// Update mutates a table: insert, update or delete. Mutations are never
+// shared (§3.2: sharing would violate transactional semantics); the update
+// µEngine has no OSP functionality and serializes through the lock manager
+// (§4.3.4).
 type Update struct {
+	Kind  MutationKind
 	Table string
-	Rows  []tuple.Tuple
-	seq   int64 // distinguishes otherwise-identical updates in signatures
+	Rows  []tuple.Tuple // MutInsert: rows to append
+	Where expr.Pred     // MutUpdate/MutDelete: row filter (nil = all rows)
+	Set   []Assign      // MutUpdate: assignments applied to matching rows
+	seq   int64         // distinguishes otherwise-identical mutations in signatures
 }
 
 var updateSeq atomic.Int64
 
 // NewUpdate builds an insert node.
 func NewUpdate(table string, rows []tuple.Tuple) *Update {
-	return &Update{Table: table, Rows: rows, seq: updateSeq.Add(1)}
+	return &Update{Kind: MutInsert, Table: table, Rows: rows, seq: updateSeq.Add(1)}
+}
+
+// NewUpdateWhere builds an UPDATE ... SET ... WHERE node.
+func NewUpdateWhere(table string, where expr.Pred, set []Assign) *Update {
+	return &Update{Kind: MutUpdate, Table: table, Where: where, Set: set, seq: updateSeq.Add(1)}
+}
+
+// NewDelete builds a DELETE FROM ... WHERE node.
+func NewDelete(table string, where expr.Pred) *Update {
+	return &Update{Kind: MutDelete, Table: table, Where: where, seq: updateSeq.Add(1)}
 }
 
 // Op implements Node.
@@ -517,15 +554,28 @@ func (u *Update) Op() OpType { return OpUpdate }
 // Children implements Node.
 func (u *Update) Children() []Node { return nil }
 
-// Schema implements Node: one row with the count of inserted tuples.
+// Schema implements Node: one row counting the affected tuples. The insert
+// column name is kept for compatibility with existing consumers.
 func (u *Update) Schema() *tuple.Schema {
-	return tuple.NewSchema(tuple.Col("inserted", tuple.KindInt))
+	if u.Kind == MutInsert {
+		return tuple.NewSchema(tuple.Col("inserted", tuple.KindInt))
+	}
+	return tuple.NewSchema(tuple.Col("affected", tuple.KindInt))
 }
 
 // Signature implements Node. Includes a sequence number: two textually
-// identical updates must never match as overlapping work.
+// identical mutations must never match as overlapping work.
 func (u *Update) Signature() string {
-	return fmt.Sprintf("update(%s;%d;#%d)", u.Table, len(u.Rows), u.seq)
+	switch u.Kind {
+	case MutUpdate, MutDelete:
+		w := "true"
+		if u.Where != nil {
+			w = u.Where.Signature()
+		}
+		return fmt.Sprintf("%s(%s;%s;#%d)", u.Kind, u.Table, w, u.seq)
+	default:
+		return fmt.Sprintf("update(%s;%d;#%d)", u.Table, len(u.Rows), u.seq)
+	}
 }
 
 // Walk visits the plan tree depth-first (children before parents).

@@ -12,6 +12,7 @@ package disk
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -32,6 +33,12 @@ type Config struct {
 	// modelling aggregate device bandwidth (the paper's testbed was a
 	// 4-disk RAID-0 array — Spindles=4). Default 4.
 	Spindles int
+	// BackingDir, when non-empty, mirrors durable state to real OS files in
+	// that directory (written and fsynced by Sync), and New loads any
+	// existing files from it. This is what lets a kill -9'd process be
+	// recovered by a fresh one; the in-memory durable/volatile model works
+	// without it. See durable.go.
+	BackingDir string
 }
 
 // DefaultBlockSize is used when Config.BlockSize is zero.
@@ -252,6 +259,13 @@ func (d *Disk) jitter(lat time.Duration) time.Duration {
 type file struct {
 	mu     sync.RWMutex
 	blocks [][]byte
+	// Durability model (see durable.go): blocks[:durableLen] survive a
+	// crash; saved holds pre-overwrite images of durable blocks dirtied
+	// since the last Sync; durableExists is whether the file survives a
+	// CrashDropVolatile at all.
+	durableLen    int64
+	durableExists bool
+	saved         map[int64][]byte
 	// lastRead tracks the most recent block read for sequential detection.
 	lastRead atomic.Int64
 	reads    atomic.Int64
@@ -277,6 +291,19 @@ func New(cfg Config) *Disk {
 	d.randLat.Store(int64(cfg.RandRead))
 	d.writeLat.Store(int64(cfg.Write))
 	return d
+}
+
+// Open is New plus recovery of durable state from Config.BackingDir (which
+// New ignores on its own): existing backed files become durable device
+// files. Use it to reattach to the image a crashed process left behind.
+func Open(cfg Config) (*Disk, error) {
+	d := New(cfg)
+	if cfg.BackingDir != "" {
+		if err := d.loadBacking(); err != nil {
+			return nil, fmt.Errorf("disk: loading backing dir %q: %w", cfg.BackingDir, err)
+		}
+	}
+	return d, nil
 }
 
 // SetLatency changes the latency model at run time (harnesses load data
@@ -323,11 +350,16 @@ func (d *Disk) FilesWithPrefix(prefix string) []string {
 	return out
 }
 
-// Remove deletes a file. Removing a missing file is a no-op.
+// Remove deletes a file. Removing a missing file is a no-op. Removal is
+// durable immediately (file metadata operations are journalled by the host
+// filesystem, not by this device's write cache).
 func (d *Disk) Remove(name string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.files, name)
+	if d.cfg.BackingDir != "" {
+		os.Remove(d.backingPath(name))
+	}
 }
 
 func (d *Disk) get(name string) (*file, error) {
@@ -392,6 +424,7 @@ func (d *Disk) Write(name string, blockNo int64, buf []byte) error {
 		f.mu.Unlock()
 		return fmt.Errorf("disk: write to %q block %d out of range [0,%d)", name, blockNo, len(f.blocks))
 	}
+	f.markOverwriteLocked(blockNo)
 	copy(f.blocks[blockNo], buf)
 	for i := len(buf); i < d.cfg.BlockSize; i++ {
 		f.blocks[blockNo][i] = 0

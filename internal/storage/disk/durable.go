@@ -1,0 +1,217 @@
+// Durability model for the simulated device. Writes (Append/Write) land in
+// a volatile region first, exactly like a real disk's write cache: they are
+// visible to subsequent reads but do not survive a crash until Sync(name)
+// promotes them. Crash() reconstructs the image a real machine would reboot
+// with, which is what the WAL's recovery path is tested against: the
+// crash-point harness drops volatile state (the strict model, nothing
+// un-fsynced survives) or keeps it (the lenient model, the write cache made
+// it to the platter anyway) — recovery must land on the committed prefix
+// under both.
+//
+// With Config.BackingDir set, durable state is additionally mirrored to real
+// OS files (written and fsynced on Sync), so a kill -9 of the whole process
+// can be recovered from by a fresh process pointed at the same directory.
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// CrashMode selects what a simulated crash does to volatile (un-synced)
+// state.
+type CrashMode int
+
+const (
+	// CrashDropVolatile discards everything not promoted by Sync: un-synced
+	// appends vanish, overwritten blocks revert to their durable image, and
+	// files never synced disappear entirely. The strict model.
+	CrashDropVolatile CrashMode = iota
+	// CrashKeepVolatile keeps volatile writes — the device's write cache
+	// happened to reach the platter before power loss. Recovery must not be
+	// confused by data beyond the last fsync (torn or unreferenced tails).
+	CrashKeepVolatile
+)
+
+func (m CrashMode) String() string {
+	if m == CrashKeepVolatile {
+		return "keep-volatile"
+	}
+	return "drop-volatile"
+}
+
+// markOverwriteLocked saves the durable image of a block about to be
+// overwritten, so CrashDropVolatile can restore it. Caller holds f.mu.
+func (f *file) markOverwriteLocked(blockNo int64) {
+	if blockNo >= f.durableLen {
+		return // block is itself volatile; nothing durable to preserve
+	}
+	if f.saved == nil {
+		f.saved = make(map[int64][]byte)
+	}
+	if _, ok := f.saved[blockNo]; !ok {
+		img := make([]byte, len(f.blocks[blockNo]))
+		copy(img, f.blocks[blockNo])
+		f.saved[blockNo] = img
+	}
+}
+
+// Sync promotes all of the named file's blocks to durable, the simulated
+// fsync. With a backing directory configured, the durable image is also
+// written to the OS file and fsynced for real. Injected write faults apply:
+// a failed fsync leaves durability exactly where it was.
+func (d *Disk) Sync(name string) error {
+	f, err := d.get(name)
+	if err != nil {
+		return err
+	}
+	if ferr := d.takeWriteFault(name); ferr != nil {
+		return ferr
+	}
+	f.mu.Lock()
+	f.durableLen = int64(len(f.blocks))
+	f.durableExists = true
+	f.saved = nil
+	var img []byte
+	if d.cfg.BackingDir != "" {
+		img = make([]byte, 0, len(f.blocks)*d.cfg.BlockSize)
+		for _, b := range f.blocks {
+			img = append(img, b...)
+		}
+	}
+	f.mu.Unlock()
+	d.writes.Add(1)
+	d.charge(time.Duration(d.writeLat.Load()))
+	if d.cfg.BackingDir != "" {
+		return d.persist(name, img)
+	}
+	return nil
+}
+
+// persist writes one file's durable image to the backing directory and
+// fsyncs it (write to a temp name, fsync, rename — the standard atomic
+// pattern, so a kill -9 mid-persist leaves the previous image intact).
+func (d *Disk) persist(name string, img []byte) error {
+	path := d.backingPath(name)
+	tmp := path + ".tmp"
+	fh, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("disk: persist %q: %w", name, err)
+	}
+	if _, err := fh.Write(img); err != nil {
+		fh.Close()
+		return fmt.Errorf("disk: persist %q: %w", name, err)
+	}
+	if err := fh.Sync(); err != nil {
+		fh.Close()
+		return fmt.Errorf("disk: persist %q: %w", name, err)
+	}
+	if err := fh.Close(); err != nil {
+		return fmt.Errorf("disk: persist %q: %w", name, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("disk: persist %q: %w", name, err)
+	}
+	return nil
+}
+
+// backingPath maps a device file name to an OS path. ':' separates
+// namespaces in device names; it is legal in Linux filenames, but '%' keeps
+// the mapping unambiguous anyway.
+func (d *Disk) backingPath(name string) string {
+	return filepath.Join(d.cfg.BackingDir, strings.ReplaceAll(name, "/", "%2F"))
+}
+
+// loadBacking populates the device from an existing backing directory: every
+// regular file becomes a durable device file. Called by New.
+func (d *Disk) loadBacking() error {
+	entries, err := os.ReadDir(d.cfg.BackingDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return os.MkdirAll(d.cfg.BackingDir, 0o755)
+		}
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		name := strings.ReplaceAll(e.Name(), "%2F", "/")
+		img, err := os.ReadFile(filepath.Join(d.cfg.BackingDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		f := &file{}
+		f.lastRead.Store(-2)
+		for off := 0; off < len(img); off += d.cfg.BlockSize {
+			end := off + d.cfg.BlockSize
+			if end > len(img) {
+				end = len(img)
+			}
+			b := make([]byte, d.cfg.BlockSize)
+			copy(b, img[off:end])
+			f.blocks = append(f.blocks, b)
+		}
+		f.durableLen = int64(len(f.blocks))
+		f.durableExists = true
+		d.files[name] = f
+	}
+	return nil
+}
+
+// Crash reconstructs the post-crash image in place: volatile state is
+// resolved per mode, and what survives becomes the new durable baseline
+// (the rebooted machine's disk contents). Callers discard every layer above
+// the disk (pools, managers, WAL handles) and re-open.
+func (d *Disk) Crash(mode CrashMode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for name, f := range d.files {
+		f.mu.Lock()
+		if mode == CrashDropVolatile {
+			if !f.durableExists {
+				f.mu.Unlock()
+				delete(d.files, name)
+				continue
+			}
+			f.blocks = f.blocks[:f.durableLen]
+			for no, img := range f.saved {
+				copy(f.blocks[no], img)
+			}
+		}
+		f.durableLen = int64(len(f.blocks))
+		f.durableExists = true
+		f.saved = nil
+		f.mu.Unlock()
+	}
+}
+
+// Truncate shrinks a file to nblocks blocks (a recovery-time operation: the
+// restart discards log/heap tails beyond the recovered prefix). Growing is
+// not supported; truncating past the end is a no-op.
+func (d *Disk) Truncate(name string, nblocks int64) error {
+	f, err := d.get(name)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if nblocks < 0 {
+		nblocks = 0
+	}
+	if nblocks < int64(len(f.blocks)) {
+		f.blocks = f.blocks[:nblocks]
+	}
+	if f.durableLen > int64(len(f.blocks)) {
+		f.durableLen = int64(len(f.blocks))
+	}
+	for no := range f.saved {
+		if no >= int64(len(f.blocks)) {
+			delete(f.saved, no)
+		}
+	}
+	return nil
+}

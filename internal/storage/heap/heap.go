@@ -5,6 +5,7 @@
 package heap
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -128,7 +129,14 @@ func (f *File) ReadPage(pno int64) ([]tuple.Tuple, error) {
 	return p.Tuples(f.Schema.Len())
 }
 
-// ReadTuple fetches a single tuple by RID.
+// ErrDeleted is returned by ReadTuple for a tombstoned RID. Unclustered
+// indexes keep ghost entries for deleted rows (cleaned up only by a rebuild),
+// so index fetch paths filter on this error rather than treating it as
+// failure.
+var ErrDeleted = errors.New("heap: tuple deleted")
+
+// ReadTuple fetches a single tuple by RID. Returns ErrDeleted (possibly
+// wrapped) if the slot is tombstoned.
 func (f *File) ReadTuple(rid RID) (tuple.Tuple, error) {
 	id := buffer.PageID{File: f.Name, Block: rid.Page}
 	raw, err := f.pool.Pin(id)
@@ -137,22 +145,102 @@ func (f *File) ReadTuple(rid RID) (tuple.Tuple, error) {
 	}
 	defer f.pool.Unpin(id)
 	p := page.FromBytes(raw)
+	if p.Tombstone(rid.Slot) {
+		return nil, fmt.Errorf("heap: %s slot %d: %w", f.Name, rid.Slot, ErrDeleted)
+	}
 	return p.Tuple(rid.Slot, f.Schema.Len())
 }
 
-// Scan iterates all tuples in page order, invoking fn per tuple. fn
-// returning false stops the scan early.
+// ReplaceAt overwrites the tuple at rid in place (same RID after the
+// update). The page is mutated through the buffer pool and marked dirty;
+// durability comes from the WAL, not from an immediate disk write. Only
+// flushed pages can be mutated — the storage manager syncs tails at commit,
+// so every committed row lives in a flushed page.
+func (f *File) ReplaceAt(rid RID, t tuple.Tuple) error {
+	if err := f.checkFlushed(rid); err != nil {
+		return err
+	}
+	id := buffer.PageID{File: f.Name, Block: rid.Page}
+	raw, err := f.pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer f.pool.Unpin(id)
+	p := page.FromBytes(raw)
+	if err := p.ReplaceAt(rid.Slot, t.Encode(nil)); err != nil {
+		return err
+	}
+	f.pool.MarkDirty(id)
+	return nil
+}
+
+// DeleteAt tombstones the tuple at rid. Deleting an already-deleted slot is
+// a no-op (redo idempotence). See ReplaceAt for the mutation discipline.
+func (f *File) DeleteAt(rid RID) error {
+	if err := f.checkFlushed(rid); err != nil {
+		return err
+	}
+	id := buffer.PageID{File: f.Name, Block: rid.Page}
+	raw, err := f.pool.Pin(id)
+	if err != nil {
+		return err
+	}
+	defer f.pool.Unpin(id)
+	p := page.FromBytes(raw)
+	if err := p.DeleteAt(rid.Slot); err != nil {
+		return err
+	}
+	f.pool.MarkDirty(id)
+	return nil
+}
+
+func (f *File) checkFlushed(rid RID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if rid.Page < 0 || rid.Page >= f.npages {
+		return fmt.Errorf("heap: %s: rid %s not in flushed pages [0,%d)", f.Name, rid, f.npages)
+	}
+	return nil
+}
+
+// Scan iterates all live tuples in page order, invoking fn per tuple with
+// its true RID (tombstoned slots are skipped, so RIDs are slot-accurate even
+// on pages with deletions). fn returning false stops the scan early.
 func (f *File) Scan(fn func(rid RID, t tuple.Tuple) bool) error {
 	n := f.NumPages()
+	ncols := f.Schema.Len()
 	for pno := int64(0); pno < n; pno++ {
-		ts, err := f.ReadPage(pno)
+		id := buffer.PageID{File: f.Name, Block: pno}
+		raw, err := f.pool.Pin(id)
 		if err != nil {
 			return err
 		}
-		for slot, t := range ts {
-			if !fn(RID{Page: pno, Slot: slot}, t) {
-				return nil
+		p := page.FromBytes(raw)
+		stop := false
+		var arena tuple.RowArena
+		arena.Grow(p.NumSlots() * ncols)
+		for slot := 0; slot < p.NumSlots(); slot++ {
+			if p.Tombstone(slot) {
+				continue
 			}
+			payload, err := p.Payload(slot)
+			if err != nil {
+				f.pool.Unpin(id)
+				return err
+			}
+			t, _, err := tuple.DecodeArena(payload, ncols, &arena)
+			if err != nil {
+				f.pool.Unpin(id)
+				return err
+			}
+			if !fn(RID{Page: pno, Slot: slot}, t) {
+				stop = true
+				break
+			}
+		}
+		f.pool.Unpin(id)
+		if stop {
+			return nil
 		}
 	}
 	return nil

@@ -101,6 +101,77 @@ func (p *Page) Payload(i int) ([]byte, error) {
 	return p.buf[off : off+ln], nil
 }
 
+// Tombstone reports whether slot i holds a deleted tuple. Slot numbers are
+// stable identifiers (RIDs reference them), so deletion zeroes the slot
+// entry instead of compacting the directory; payloads grow from the page
+// end, so offset 0 can never belong to a live payload.
+func (p *Page) Tombstone(i int) bool {
+	if i < 0 || i >= p.NumSlots() {
+		return false
+	}
+	off, ln := p.slot(i)
+	return off == 0 && ln == 0
+}
+
+// DeleteAt tombstones slot i. The payload bytes become dead space until the
+// next ReplaceAt repacks the page. Deleting a tombstone is a no-op (replay
+// idempotence).
+func (p *Page) DeleteAt(i int) error {
+	if i < 0 || i >= p.NumSlots() {
+		return fmt.Errorf("page: slot %d out of range [0,%d)", i, p.NumSlots())
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// ReplaceAt overwrites slot i's payload, repacking the whole page: live
+// payloads (with slot i's replaced) are rewritten from the back, slot
+// numbers preserved, tombstones kept as tombstones and their dead space
+// reclaimed. Fails without modifying the page if the new payload does not
+// fit.
+func (p *Page) ReplaceAt(i int, payload []byte) error {
+	n := p.NumSlots()
+	if i < 0 || i >= n {
+		return fmt.Errorf("page: slot %d out of range [0,%d)", i, n)
+	}
+	if p.Tombstone(i) {
+		return fmt.Errorf("page: slot %d is deleted", i)
+	}
+	payloads := make([][]byte, n)
+	need := headerSize + n*slotSize
+	for s := 0; s < n; s++ {
+		if p.Tombstone(s) {
+			continue
+		}
+		if s == i {
+			payloads[s] = payload
+		} else {
+			raw, err := p.Payload(s)
+			if err != nil {
+				return err
+			}
+			// Copy: the repack below overwrites the payload region the raw
+			// slices alias.
+			payloads[s] = append([]byte(nil), raw...)
+		}
+		need += len(payloads[s])
+	}
+	if need > len(p.buf) {
+		return fmt.Errorf("page: replacement of %d bytes does not fit (need %d, page %d)", len(payload), need, len(p.buf))
+	}
+	off := uint16(len(p.buf))
+	for s := 0; s < n; s++ {
+		if p.Tombstone(s) {
+			continue
+		}
+		off -= uint16(len(payloads[s]))
+		copy(p.buf[off:], payloads[s])
+		p.setSlot(s, off, uint16(len(payloads[s])))
+	}
+	p.setFreeOff(off)
+	return nil
+}
+
 // InsertTuple encodes and inserts a tuple, returning its slot number.
 // Bulk loaders should prefer InsertTupleScratch, which reuses one encode
 // buffer across rows instead of allocating per insert.
@@ -126,16 +197,21 @@ func (p *Page) Tuple(i, ncols int) (tuple.Tuple, error) {
 	return t, err
 }
 
-// Tuples decodes every tuple in the page. All rows carve out of one arena
-// chunk (one allocation per page rather than one per row); they are
-// independent of the page buffer and immutable, per the engine's tuple
-// lease protocol.
+// Tuples decodes every live tuple in the page, skipping tombstoned slots
+// (the returned list is compacted, so positions do not correspond to slot
+// numbers — use Tombstone/Tuple for RID-accurate iteration). All rows carve
+// out of one arena chunk (one allocation per page rather than one per row);
+// they are independent of the page buffer and immutable, per the engine's
+// tuple lease protocol.
 func (p *Page) Tuples(ncols int) ([]tuple.Tuple, error) {
 	n := p.NumSlots()
 	out := make([]tuple.Tuple, 0, n)
 	var arena tuple.RowArena
 	arena.Grow(n * ncols)
 	for i := 0; i < n; i++ {
+		if p.Tombstone(i) {
+			continue
+		}
 		raw, err := p.Payload(i)
 		if err != nil {
 			return nil, err

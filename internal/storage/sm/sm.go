@@ -8,15 +8,18 @@
 package sm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"qpipe/internal/storage/btree"
 	"qpipe/internal/storage/buffer"
 	"qpipe/internal/storage/disk"
 	"qpipe/internal/storage/heap"
 	"qpipe/internal/storage/lock"
+	"qpipe/internal/storage/wal"
 	"qpipe/internal/tuple"
 )
 
@@ -34,7 +37,16 @@ type Table struct {
 	// Unclustered maps an indexed column name to a B+tree whose payloads
 	// are encoded heap RIDs.
 	Unclustered map[string]*btree.Tree
+
+	// commitSeq counts committed transactions that touched this table — the
+	// OSP snapshot fence. A scan that must be snapshot-consistent records it
+	// at start and checks it at end; query-level S locks make a change
+	// mid-scan impossible, and the check pins that.
+	commitSeq atomic.Int64
 }
+
+// CommitSeq returns the table's committed-transaction counter.
+func (t *Table) CommitSeq() int64 { return t.commitSeq.Load() }
 
 // Manager is the storage manager.
 type Manager struct {
@@ -47,6 +59,19 @@ type Manager struct {
 	// tempSeq numbers temporary spill files (sort runs, materialized
 	// buffers) so names never collide.
 	tempSeq int64
+
+	// wal, when non-nil, makes every catalog and data mutation durable
+	// (EnableWAL). The engine's internal harnesses leave it nil — pure
+	// in-memory benchmarking pays no logging cost.
+	wal  *wal.Log
+	txid atomic.Int64
+
+	// gate orders commits against checkpoints: a commit holds it shared from
+	// its WAL append through its heap apply; a checkpoint holds it exclusive
+	// while snapshotting. No transaction batch can straddle a checkpoint
+	// record, so "redo everything after the checkpoint LSN" is exact.
+	// Lock order: gate before mu.
+	gate sync.RWMutex
 }
 
 // Config sizes a storage manager.
@@ -79,13 +104,52 @@ func NewSharedDisk(d *disk.Disk, poolPages int, policy buffer.Policy) *Manager {
 	}
 }
 
-// CreateTable registers a new table backed by a fresh heap file.
+// EnableWAL attaches a write-ahead log: from here on, DDL, loads and
+// transaction commits are logged (and flushed) before they mutate the
+// catalog or heaps. Call before any tables exist, or after Recover.
+func (m *Manager) EnableWAL(l *wal.Log) { m.wal = l }
+
+// WAL returns the attached log (nil when durability is off).
+func (m *Manager) WAL() *wal.Log { return m.wal }
+
+// logAutocommit appends a single-statement transaction (begin, the given
+// entries, commit) to the WAL and flushes it. Callers hold the apply gate
+// (shared) across this call and the mutation it precedes.
+func (m *Manager) logAutocommit(entries []wal.Entry) error {
+	if m.wal == nil {
+		return nil
+	}
+	id := m.txid.Add(1)
+	batch := make([]wal.Entry, 0, len(entries)+2)
+	batch = append(batch, wal.Entry{Type: wal.TypeBegin, Payload: encodeBegin(id)})
+	batch = append(batch, entries...)
+	batch = append(batch, wal.Entry{Type: wal.TypeCommit, Payload: encodeBegin(id)})
+	_, end, err := m.wal.Append(batch)
+	if err != nil {
+		return err
+	}
+	return m.wal.Flush(end)
+}
+
+// CreateTable registers a new table backed by a fresh heap file. With a WAL
+// attached the DDL is logged (and flushed) first.
 func (m *Manager) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.tables[name]; ok {
 		return nil, fmt.Errorf("sm: table %q already exists", name)
 	}
+	if err := m.logAutocommit([]wal.Entry{{Type: wal.TypeDDL, Payload: encodeDDLTable(name, schema)}}); err != nil {
+		return nil, err
+	}
+	return m.createTableLocked(name, schema), nil
+}
+
+// createTableLocked is CreateTable minus logging and locking — the shared
+// path for user DDL and recovery redo. Caller holds m.mu.
+func (m *Manager) createTableLocked(name string, schema *tuple.Schema) *Table {
 	t := &Table{
 		Name:        name,
 		Schema:      schema,
@@ -93,7 +157,7 @@ func (m *Manager) CreateTable(name string, schema *tuple.Schema) (*Table, error)
 		Unclustered: make(map[string]*btree.Tree),
 	}
 	m.tables[name] = t
-	return t, nil
+	return t
 }
 
 // AttachTable registers a table backed by existing files on a shared disk
@@ -184,8 +248,21 @@ func (m *Manager) Tables() []string {
 	return names
 }
 
-// Load bulk-appends tuples into the table's heap and syncs.
+// Load bulk-appends tuples into the table's heap and syncs. With a WAL
+// attached, the load is one logged transaction (committed before the heap
+// is touched, like any other write). The caller is responsible for
+// excluding concurrent readers — the facade takes the table X lock.
 func (m *Manager) Load(table string, rows []tuple.Tuple) error {
+	if m.wal != nil {
+		tx := m.Begin()
+		for _, r := range rows {
+			if err := tx.StageInsert(context.Background(), table, r); err != nil {
+				tx.Rollback()
+				return err
+			}
+		}
+		return tx.Commit(context.Background())
+	}
 	t, err := m.Table(table)
 	if err != nil {
 		return err
@@ -195,30 +272,23 @@ func (m *Manager) Load(table string, rows []tuple.Tuple) error {
 			return err
 		}
 	}
-	return t.Heap.Sync()
-}
-
-// Insert appends a single tuple (update µEngine path) and maintains any
-// unclustered indexes. The caller must hold the table X lock.
-func (m *Manager) Insert(table string, row tuple.Tuple) error {
-	t, err := m.Table(table)
-	if err != nil {
-		return err
-	}
-	rid, err := t.Heap.Append(row)
-	if err != nil {
-		return err
-	}
 	if err := t.Heap.Sync(); err != nil {
 		return err
 	}
-	for col, tr := range t.Unclustered {
-		ix := t.Schema.MustColIndex(col)
-		if err := tr.Insert(row[ix], EncodeRID(rid)); err != nil {
-			return err
-		}
-	}
+	t.commitSeq.Add(1)
 	return nil
+}
+
+// Insert runs a single-row autocommit transaction: the row is logged,
+// flushed, applied and index-maintained, with the table X lock taken and
+// released internally.
+func (m *Manager) Insert(table string, row tuple.Tuple) error {
+	tx := m.Begin()
+	if err := tx.StageInsert(context.Background(), table, row); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit(context.Background())
 }
 
 // BuildClustered builds a clustered B+tree over the table: all tuples sorted
@@ -226,6 +296,15 @@ func (m *Manager) Insert(table string, row tuple.Tuple) error {
 // heap itself sorted; a clustered B+tree gives the same key-ordered,
 // page-granular access path the experiments need.)
 func (m *Manager) BuildClustered(table, keyCol string) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	if err := m.logAutocommit([]wal.Entry{{Type: wal.TypeDDL, Payload: encodeDDLIndex(table, keyCol, true)}}); err != nil {
+		return err
+	}
+	return m.buildClustered(table, keyCol)
+}
+
+func (m *Manager) buildClustered(table, keyCol string) error {
 	t, err := m.Table(table)
 	if err != nil {
 		return err
@@ -259,6 +338,15 @@ func (m *Manager) BuildClustered(table, keyCol string) error {
 // BuildUnclustered builds an unclustered B+tree mapping keyCol values to
 // heap RIDs.
 func (m *Manager) BuildUnclustered(table, keyCol string) error {
+	m.gate.RLock()
+	defer m.gate.RUnlock()
+	if err := m.logAutocommit([]wal.Entry{{Type: wal.TypeDDL, Payload: encodeDDLIndex(table, keyCol, false)}}); err != nil {
+		return err
+	}
+	return m.buildUnclustered(table, keyCol)
+}
+
+func (m *Manager) buildUnclustered(table, keyCol string) error {
 	t, err := m.Table(table)
 	if err != nil {
 		return err

@@ -1,0 +1,125 @@
+// WAL record payload encodings. The log stores opaque payloads; this file
+// defines what the storage manager puts in them, reusing the engine's tuple
+// encoding (already length-prefixed and versioned by column kind) rather
+// than inventing a second serialization format.
+//
+// Record shapes:
+//
+//	begin       tuple{txid}
+//	insert      tuple{table} ++ row
+//	update      tuple{table, page, slot} ++ row
+//	delete      tuple{table, page, slot}
+//	ddl         tuple{kind, a, b, n} ++ n × tuple{name, colKind}
+//	              kind="table": a=table name, n=#columns (trailer = schema)
+//	              kind="index": a=table, b=key column, n=1 if clustered
+//	checkpoint  catalog snapshot (see recover.go)
+package sm
+
+import (
+	"fmt"
+
+	"qpipe/internal/storage/heap"
+	"qpipe/internal/tuple"
+)
+
+func encodeBegin(txid int64) []byte {
+	return tuple.Tuple{tuple.I64(txid)}.Encode(nil)
+}
+
+func encodeInsert(table string, row tuple.Tuple) []byte {
+	b := tuple.Tuple{tuple.Str(table)}.Encode(nil)
+	return row.Encode(b)
+}
+
+// decodeInsert returns the table name and the undecoded row bytes — the
+// caller decodes them against the table's schema (payloads do not carry
+// column counts).
+func decodeInsert(b []byte) (table string, rowBytes []byte, err error) {
+	hdr, n, err := tuple.Decode(b, 1)
+	if err != nil {
+		return "", nil, fmt.Errorf("sm: insert record: %w", err)
+	}
+	return hdr[0].S, b[n:], nil
+}
+
+func encodeUpdate(table string, rid heap.RID, row tuple.Tuple) []byte {
+	b := tuple.Tuple{tuple.Str(table), tuple.I64(rid.Page), tuple.I64(int64(rid.Slot))}.Encode(nil)
+	return row.Encode(b)
+}
+
+func decodeUpdate(b []byte) (table string, rid heap.RID, rowBytes []byte, err error) {
+	hdr, n, err := tuple.Decode(b, 3)
+	if err != nil {
+		return "", heap.RID{}, nil, fmt.Errorf("sm: update record: %w", err)
+	}
+	return hdr[0].S, heap.RID{Page: hdr[1].I, Slot: int(hdr[2].I)}, b[n:], nil
+}
+
+func encodeDelete(table string, rid heap.RID) []byte {
+	return tuple.Tuple{tuple.Str(table), tuple.I64(rid.Page), tuple.I64(int64(rid.Slot))}.Encode(nil)
+}
+
+func decodeDelete(b []byte) (table string, rid heap.RID, err error) {
+	hdr, _, err := tuple.Decode(b, 3)
+	if err != nil {
+		return "", heap.RID{}, fmt.Errorf("sm: delete record: %w", err)
+	}
+	return hdr[0].S, heap.RID{Page: hdr[1].I, Slot: int(hdr[2].I)}, nil
+}
+
+const (
+	ddlKindTable = "table"
+	ddlKindIndex = "index"
+)
+
+func encodeDDLTable(name string, schema *tuple.Schema) []byte {
+	b := tuple.Tuple{tuple.Str(ddlKindTable), tuple.Str(name), tuple.Str(""), tuple.I64(int64(schema.Len()))}.Encode(nil)
+	for _, c := range schema.Cols {
+		b = tuple.Tuple{tuple.Str(c.Name), tuple.I64(int64(c.Kind))}.Encode(b)
+	}
+	return b
+}
+
+func encodeDDLIndex(table, col string, clustered bool) []byte {
+	n := int64(0)
+	if clustered {
+		n = 1
+	}
+	return tuple.Tuple{tuple.Str(ddlKindIndex), tuple.Str(table), tuple.Str(col), tuple.I64(n)}.Encode(nil)
+}
+
+// ddlRecord is a decoded DDL payload.
+type ddlRecord struct {
+	kind      string
+	table     string
+	col       string // index DDL only
+	clustered bool   // index DDL only
+	schema    *tuple.Schema
+}
+
+func decodeDDL(b []byte) (ddlRecord, error) {
+	hdr, n, err := tuple.Decode(b, 4)
+	if err != nil {
+		return ddlRecord{}, fmt.Errorf("sm: ddl record: %w", err)
+	}
+	rec := ddlRecord{kind: hdr[0].S, table: hdr[1].S, col: hdr[2].S}
+	switch rec.kind {
+	case ddlKindTable:
+		cols := make([]tuple.Column, 0, hdr[3].I)
+		rest := b[n:]
+		for i := int64(0); i < hdr[3].I; i++ {
+			ct, cn, err := tuple.Decode(rest, 2)
+			if err != nil {
+				return ddlRecord{}, fmt.Errorf("sm: ddl record column %d: %w", i, err)
+			}
+			cols = append(cols, tuple.Column{Name: ct[0].S, Kind: tuple.Kind(ct[1].I)})
+			rest = rest[cn:]
+		}
+		rec.schema = tuple.NewSchema(cols...)
+	case ddlKindIndex:
+		rec.clustered = hdr[3].I == 1
+	default:
+		return ddlRecord{}, fmt.Errorf("sm: ddl record: unknown kind %q", rec.kind)
+	}
+	return rec, nil
+}

@@ -1,0 +1,17 @@
+package crashtest
+
+import "testing"
+
+// TestCrashPointMatrix runs the full crash matrix: every named WAL crash
+// site × both post-crash disk images. Each cell simulates a kill exactly at
+// that site, recovers, and requires the recovered state to be exactly the
+// committed prefix (the in-flight transaction all-or-nothing).
+func TestCrashPointMatrix(t *testing.T) {
+	for _, site := range Sites {
+		for _, mode := range Modes {
+			t.Run(site+"/"+mode.String(), func(t *testing.T) {
+				Run(t, site, mode)
+			})
+		}
+	}
+}

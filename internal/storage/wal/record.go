@@ -1,0 +1,155 @@
+// Record framing for the write-ahead log. A record is
+//
+//	[0:4)  uint32 payload length (little-endian)
+//	[4:8)  uint32 CRC-32C over type byte + payload
+//	[8]    record type
+//	[9:9+len) payload
+//
+// packed back to back in a byte stream that spans disk blocks. Blocks are
+// zero-filled, so an all-zero header marks the end of written data (no
+// record has payload length 0 with type 0). The CRC makes torn tails —
+// a crash mid-record — detectable: the header or payload that never finished
+// writing fails the checksum and replay stops at the last intact record.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// RecordType tags what a record carries. The WAL treats payloads as opaque
+// bytes; the storage manager defines their encoding.
+type RecordType byte
+
+// Record types. TypeCommit is the commit point: a transaction whose commit
+// record is durable is redone at recovery, anything else is discarded.
+const (
+	typeInvalid    RecordType = 0 // zero padding; never written
+	TypeBegin      RecordType = 1
+	TypeInsert     RecordType = 2
+	TypeUpdate     RecordType = 3
+	TypeDelete     RecordType = 4
+	TypeCommit     RecordType = 5
+	TypeDDL        RecordType = 6
+	TypeCheckpoint RecordType = 7
+	maxRecordType  RecordType = 7
+)
+
+func (t RecordType) String() string {
+	switch t {
+	case TypeBegin:
+		return "begin"
+	case TypeInsert:
+		return "insert"
+	case TypeUpdate:
+		return "update"
+	case TypeDelete:
+		return "delete"
+	case TypeCommit:
+		return "commit"
+	case TypeDDL:
+		return "ddl"
+	case TypeCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("type(%d)", byte(t))
+	}
+}
+
+// headerSize is the fixed record prefix: length, CRC, type.
+const headerSize = 9
+
+// MaxPayload bounds a single record's payload. Anything larger in a length
+// header is corruption, not a record — the bound keeps a corrupt header from
+// driving a huge allocation.
+const MaxPayload = 1 << 26 // 64 MiB
+
+// castagnoli is the CRC-32C table (the polynomial storage systems use; it
+// detects the short burst errors torn writes produce).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptRecordError reports a record that failed validation: a CRC
+// mismatch, an impossible length, an unknown type, or a truncated frame.
+// Recovery treats a corrupt record in the final segment as the torn tail of
+// the log (replay stops there); anywhere else it is real corruption.
+type CorruptRecordError struct {
+	LSN    int64  // position of the bad record (0 when decoding raw bytes)
+	Reason string // what failed
+}
+
+func (e *CorruptRecordError) Error() string {
+	return fmt.Sprintf("wal: corrupt record at lsn %d: %s", e.LSN, e.Reason)
+}
+
+// Record is one decoded log record.
+type Record struct {
+	Type    RecordType
+	Payload []byte
+	LSN     int64 // start offset, set by the log reader
+}
+
+// AppendRecord encodes one record onto dst and returns the extended slice.
+func AppendRecord(dst []byte, typ RecordType, payload []byte) []byte {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	crc := crc32.Update(crc32.Update(0, castagnoli, []byte{byte(typ)}), castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	hdr[8] = byte(typ)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeRecord decodes the record at the start of b. It returns the record,
+// the number of bytes consumed, and an error: io.EOF at a clean end of log
+// (empty input or zero padding), or a *CorruptRecordError for anything that
+// is not a whole, checksummed record. The returned payload aliases b.
+//
+// This is the single entry point recovery reads the log through, and the
+// contract the FuzzWALDecode fuzzer pins: arbitrary bytes produce a record,
+// io.EOF, or *CorruptRecordError — never a panic.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) == 0 {
+		return Record{}, 0, io.EOF
+	}
+	if len(b) < headerSize {
+		if allZero(b) {
+			return Record{}, 0, io.EOF
+		}
+		return Record{}, 0, &CorruptRecordError{Reason: fmt.Sprintf("truncated header (%d bytes)", len(b))}
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	crc := binary.LittleEndian.Uint32(b[4:8])
+	typ := RecordType(b[8])
+	if typ == typeInvalid {
+		if n == 0 && crc == 0 {
+			return Record{}, 0, io.EOF // zero padding: end of written data
+		}
+		return Record{}, 0, &CorruptRecordError{Reason: "record type 0"}
+	}
+	if typ > maxRecordType {
+		return Record{}, 0, &CorruptRecordError{Reason: fmt.Sprintf("unknown record type %d", byte(typ))}
+	}
+	if n > MaxPayload {
+		return Record{}, 0, &CorruptRecordError{Reason: fmt.Sprintf("payload length %d exceeds maximum %d", n, MaxPayload)}
+	}
+	if int(n) > len(b)-headerSize {
+		return Record{}, 0, &CorruptRecordError{Reason: fmt.Sprintf("payload length %d overruns data (%d bytes left)", n, len(b)-headerSize)}
+	}
+	payload := b[headerSize : headerSize+int(n)]
+	want := crc32.Update(crc32.Update(0, castagnoli, b[8:9]), castagnoli, payload)
+	if want != crc {
+		return Record{}, 0, &CorruptRecordError{Reason: fmt.Sprintf("crc mismatch (stored %08x, computed %08x)", crc, want)}
+	}
+	return Record{Type: typ, Payload: payload}, headerSize + int(n), nil
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

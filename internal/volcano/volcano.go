@@ -855,14 +855,19 @@ func (u *updateIter) Next() (tuple.Tuple, bool, error) {
 		return nil, false, nil
 	}
 	u.done = true
-	if err := u.eng.SM.Locks.Lock(u.ctx, u.node.Table, lock.Exclusive); err != nil {
-		return nil, false, err
-	}
-	defer u.eng.SM.Locks.Unlock(u.node.Table, lock.Exclusive)
+	// One storage-manager transaction for the whole row set: staging takes
+	// the table X lock at first touch and Commit releases it, so the rows
+	// land atomically. (Locking externally and calling SM.Insert per row
+	// would self-deadlock — Insert is itself an autocommit transaction.)
+	tx := u.eng.SM.Begin()
 	for _, row := range u.node.Rows {
-		if err := u.eng.SM.Insert(u.node.Table, row); err != nil {
+		if err := tx.StageInsert(u.ctx, u.node.Table, row); err != nil {
+			tx.Rollback()
 			return nil, false, err
 		}
+	}
+	if err := tx.Commit(u.ctx); err != nil {
+		return nil, false, err
 	}
 	return tuple.Tuple{tuple.I64(int64(len(u.node.Rows)))}, true, nil
 }

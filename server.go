@@ -288,6 +288,9 @@ func (s *Server) handle(conn net.Conn) {
 		cancel: cancel,
 		frames: make(chan frame, 4),
 	}
+	// A disconnect mid-transaction must not leak the transaction's table
+	// locks: roll back whatever the session left open.
+	defer c.sess.Close()
 	if err := c.run(); err != nil {
 		var pe *wire.ProtocolError
 		if errors.As(err, &pe) {
@@ -484,6 +487,11 @@ func (c *serverConn) serveQuery(q wire.Query) error {
 		}
 		return c.sendComplete(0)
 	}
+	// Inside an open transaction, a SELECT over a table the transaction has
+	// written would block on the session's own lock — reject it typed.
+	if err := c.sess.guardQuery(stmt); err != nil {
+		return c.sendError(err)
+	}
 	c.srv.queriesServed.Add(1)
 	res, err := c.srv.db.Query(c.ctx, q.SQL, c.execOptions(q.Opts)...)
 	if err != nil {
@@ -522,9 +530,11 @@ func (c *serverConn) serveExecute(e wire.Execute) error {
 	return c.stream(res)
 }
 
-// serveExec runs a DDL/INSERT script and answers with the affected count.
+// serveExec runs a DDL/DML script through the session — so remote
+// BEGIN/COMMIT/ROLLBACK control a per-connection transaction — and answers
+// with the affected count.
 func (c *serverConn) serveExec(e wire.Exec) error {
-	n, err := c.srv.db.Exec(c.ctx, e.SQL)
+	n, err := c.srv.db.ExecSession(c.ctx, &c.sess, e.SQL)
 	if err != nil {
 		return c.sendError(err)
 	}

@@ -458,3 +458,84 @@ func (*Set) isStatement() {}
 
 // String implements Statement.
 func (s *Set) String() string { return "SET " + s.Name + " = " + s.Value }
+
+// Assignment is one "col = expr" clause of an UPDATE's SET list.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+func (a Assignment) String() string { return a.Column + " = " + a.Value.String() }
+
+// Update is an UPDATE ... SET ... [WHERE ...] statement. Assignments may
+// reference the table's columns (all reads see the pre-update row). A nil
+// Where updates every row.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where Pred
+}
+
+func (*Update) isStatement() {}
+
+// String implements Statement.
+func (u *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(u.Table)
+	b.WriteString(" SET ")
+	for i, a := range u.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	if u.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(u.Where.String())
+	}
+	return b.String()
+}
+
+// Delete is a DELETE FROM ... [WHERE ...] statement. A nil Where deletes
+// every row.
+type Delete struct {
+	Table string
+	Where Pred
+}
+
+func (*Delete) isStatement() {}
+
+// String implements Statement.
+func (d *Delete) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}
+
+// Begin starts an explicit transaction (BEGIN; BEGIN TRANSACTION and BEGIN
+// WORK parse to the same statement).
+type Begin struct{}
+
+func (*Begin) isStatement() {}
+
+// String implements Statement.
+func (*Begin) String() string { return "BEGIN" }
+
+// Commit commits the session's open transaction.
+type Commit struct{}
+
+func (*Commit) isStatement() {}
+
+// String implements Statement.
+func (*Commit) String() string { return "COMMIT" }
+
+// Rollback aborts the session's open transaction.
+type Rollback struct{}
+
+func (*Rollback) isStatement() {}
+
+// String implements Statement.
+func (*Rollback) String() string { return "ROLLBACK" }

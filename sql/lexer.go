@@ -47,6 +47,8 @@ var keywords = map[string]bool{
 	"CLUSTERED": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"EXPLAIN": true, "SET": true, "DATE": true, "ASC": true, "DESC": true,
 	"ANALYZE": true, "DISTINCT": true, "HAVING": true, "UNION": true,
+	"UPDATE": true, "DELETE": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "TRANSACTION": true, "WORK": true,
 }
 
 // lex tokenizes the whole input up front (the parser backtracks by index,

@@ -82,7 +82,7 @@ func (p *parser) expectIdent(what string) token {
 func (p *parser) parseStatement() Statement {
 	t := p.peek()
 	if t.Kind != tokKeyword {
-		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT, ANALYZE or SET), found %s", t.describe())
+		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT, UPDATE, DELETE, ANALYZE, SET, BEGIN, COMMIT or ROLLBACK), found %s", t.describe())
 	}
 	switch t.Text {
 	case "SELECT":
@@ -99,12 +99,63 @@ func (p *parser) parseStatement() Statement {
 		return p.parseAnalyze()
 	case "SET":
 		return p.parseSet()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "BEGIN":
+		p.next()
+		// Tolerate the standard noise words.
+		if !p.gotKw("TRANSACTION") {
+			p.gotKw("WORK")
+		}
+		return &Begin{}
+	case "COMMIT":
+		p.next()
+		p.gotKw("WORK")
+		return &Commit{}
+	case "ROLLBACK":
+		p.next()
+		p.gotKw("WORK")
+		return &Rollback{}
 	case "DISTINCT", "HAVING", "UNION":
 		p.errf(t.Pos, "%s is not supported", t.Text)
 	default:
-		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT, ANALYZE or SET), found %s", t.describe())
+		p.errf(t.Pos, "expected a statement (SELECT, EXPLAIN, CREATE, INSERT, UPDATE, DELETE, ANALYZE, SET, BEGIN, COMMIT or ROLLBACK), found %s", t.describe())
 	}
 	return nil
+}
+
+// parseUpdate parses "UPDATE table SET col = expr, ... [WHERE pred]".
+// Assignment values are full scalar expressions over the table's columns
+// (no aggregates).
+func (p *parser) parseUpdate() *Update {
+	p.expectKw("UPDATE")
+	u := &Update{Table: p.expectIdent("table name").Text}
+	p.expectKw("SET")
+	for {
+		col := p.expectIdent("column name").Text
+		p.expectSym("=")
+		u.Set = append(u.Set, Assignment{Column: col, Value: p.parseExpr(false)})
+		if !p.gotSym(",") {
+			break
+		}
+	}
+	if p.gotKw("WHERE") {
+		u.Where = p.parsePred()
+	}
+	return u
+}
+
+// parseDelete parses "DELETE FROM table [WHERE pred]".
+func (p *parser) parseDelete() *Delete {
+	p.expectKw("DELETE")
+	p.expectKw("FROM")
+	d := &Delete{Table: p.expectIdent("table name").Text}
+	if p.gotKw("WHERE") {
+		d.Where = p.parsePred()
+	}
+	return d
 }
 
 // parseAnalyze parses "ANALYZE [table]" — without a table name, every

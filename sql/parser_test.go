@@ -49,6 +49,18 @@ var roundTrips = []struct {
 	{"INSERT INTO t VALUES (1, 'x', 2.5)", ""},
 	{"INSERT INTO t (b, a) VALUES (1, 2), (3, 4)", ""},
 	{"INSERT INTO t VALUES (-3, DATE '2001-09-09')", ""},
+	{"UPDATE t SET a = 1", ""},
+	{"UPDATE t SET a = 1, b = b + 1 WHERE id = 3", "UPDATE t SET a = 1, b = (b + 1) WHERE id = 3"},
+	{"update t set name = 'x' where id in (1, 2)", "UPDATE t SET name = 'x' WHERE id IN (1, 2)"},
+	{"DELETE FROM t", ""},
+	{"DELETE FROM t WHERE a > 5 AND b = 'x'", ""},
+	{"BEGIN", ""},
+	{"BEGIN TRANSACTION", "BEGIN"},
+	{"begin work", "BEGIN"},
+	{"COMMIT", ""},
+	{"COMMIT WORK", "COMMIT"},
+	{"ROLLBACK", ""},
+	{"rollback work", "ROLLBACK"},
 	{"SET parallelism = 8", ""},
 	{"set osp = off", "SET osp = off"},
 	{"SELECT a -- trailing comment\nFROM t /* block */ WHERE a = 1", "SELECT a FROM t WHERE a = 1"},
@@ -128,7 +140,11 @@ func TestParseErrors(t *testing.T) {
 		{"INSERT INTO t VALUES (a)", Position{1, 23}, "expected a literal"},
 		{"INSERT INTO t VALUES (DATE '99')", Position{1, 28}, "bad date"},
 		{"SELECT a FROM t #", Position{1, 17}, "unexpected character"},
-		{"UPDATE t SET a = 1", Position{1, 1}, "expected a statement"},
+		{"UPDATE t", Position{1, 9}, "expected SET"},
+		{"UPDATE t SET", Position{1, 13}, "column name"},
+		{"UPDATE t SET a", Position{1, 15}, "expected '='"},
+		{"DELETE t", Position{1, 8}, "expected FROM"},
+		{"DELETE FROM t WHERE", Position{1, 20}, "expected an expression"},
 	}
 	for _, tc := range cases {
 		_, err := Parse(tc.in)

@@ -19,6 +19,8 @@ import (
 	"strings"
 	"time"
 
+	"qpipe/internal/expr"
+	"qpipe/internal/plan"
 	"qpipe/sql"
 )
 
@@ -54,10 +56,12 @@ func (db *DB) Query(ctx context.Context, text string, opts ...QueryOption) (*Res
 }
 
 // Exec parses and executes a SQL script of statements that do not return
-// rows: CREATE TABLE, CREATE INDEX, INSERT ... VALUES and ANALYZE
-// (';'-separated; a single statement is a script of one). It returns the
-// total number of rows inserted. SELECT/EXPLAIN are a *StatementError (use Query), as is
-// SET (session statements belong to a qpipe.Session).
+// rows: CREATE TABLE, CREATE INDEX, INSERT ... VALUES, UPDATE, DELETE and
+// ANALYZE (';'-separated; a single statement is a script of one). It
+// returns the total number of rows affected. Each mutation autocommits;
+// for multi-statement transactions use db.Begin or ExecSession.
+// SELECT/EXPLAIN are a *StatementError (use Query), as are SET and
+// BEGIN/COMMIT/ROLLBACK (session statements belong to a qpipe.Session).
 func (db *DB) Exec(ctx context.Context, text string) (int64, error) {
 	stmts, err := sql.ParseScript(text)
 	if err != nil {
@@ -157,6 +161,16 @@ func statementName(stmt sql.Statement) string {
 		return "ANALYZE"
 	case *sql.Set:
 		return "SET"
+	case *sql.Update:
+		return "UPDATE"
+	case *sql.Delete:
+		return "DELETE"
+	case *sql.Begin:
+		return "BEGIN"
+	case *sql.Commit:
+		return "COMMIT"
+	case *sql.Rollback:
+		return "ROLLBACK"
 	default:
 		return "statement"
 	}
@@ -178,11 +192,138 @@ func (db *DB) execStmt(ctx context.Context, stmt sql.Statement) (int64, error) {
 		return db.execInsert(ctx, s)
 	case *sql.Analyze:
 		return 0, db.Analyze(s.Table)
+	case *sql.Update:
+		node, err := db.compileUpdate(s)
+		if err != nil {
+			return 0, err
+		}
+		return db.execMutation(ctx, node)
+	case *sql.Delete:
+		node, err := db.compileDelete(s)
+		if err != nil {
+			return 0, err
+		}
+		return db.execMutation(ctx, node)
 	case *sql.Set:
 		return 0, &StatementError{Stmt: "SET",
 			Reason: "session statement — apply it to a qpipe.Session (the shell does this)"}
+	case *sql.Begin, *sql.Commit, *sql.Rollback:
+		return 0, &StatementError{Stmt: statementName(stmt),
+			Reason: "transaction statement — use db.Begin, or ExecSession with a qpipe.Session"}
 	default:
 		return 0, &StatementError{Stmt: statementName(stmt), Reason: "returns rows; use Query"}
+	}
+}
+
+// ---- UPDATE / DELETE lowering --------------------------------------------------
+
+// mutationScope opens a single-table scope for UPDATE/DELETE lowering.
+func (db *DB) mutationScope(table string) (*sqlScope, *Schema, error) {
+	schema, err := db.Schema(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	scope := &sqlScope{entries: []scopeEntry{{qual: table, table: table, schema: schema}}}
+	return scope, schema, nil
+}
+
+// lowerWhere lowers an optional WHERE predicate to a positional expr.Pred
+// over the table schema (nil = all rows).
+func lowerWhere(scope *sqlScope, schema *Schema, w sql.Pred) (expr.Pred, error) {
+	if w == nil {
+		return nil, nil
+	}
+	p, err := lowerPred(scope, w)
+	if err != nil {
+		return nil, err
+	}
+	return p.resolve(schema)
+}
+
+// compileUpdate lowers UPDATE t SET ... WHERE ... to a mutation plan node.
+// Assignment expressions are evaluated against the pre-update row (standard
+// SQL swap semantics: UPDATE t SET a = b, b = a exchanges the columns).
+func (db *DB) compileUpdate(u *sql.Update) (*plan.Update, error) {
+	scope, schema, err := db.mutationScope(u.Table)
+	if err != nil {
+		return nil, err
+	}
+	where, err := lowerWhere(scope, schema, u.Where)
+	if err != nil {
+		return nil, err
+	}
+	set := make([]plan.Assign, 0, len(u.Set))
+	seen := make(map[int]bool, len(u.Set))
+	for _, a := range u.Set {
+		ix := schema.ColIndex(a.Column)
+		if ix < 0 {
+			return nil, &UnknownColumnError{Column: a.Column, Schema: schema.String()}
+		}
+		if seen[ix] {
+			return nil, &DuplicateColumnError{Column: a.Column}
+		}
+		seen[ix] = true
+		fe, err := lowerExpr(scope, a.Value)
+		if err != nil {
+			return nil, err
+		}
+		ee, kind, err := fe.resolve(schema)
+		if err != nil {
+			return nil, err
+		}
+		want := schema.Cols[ix].Kind
+		if kind != want {
+			// Literal constants widen losslessly (int into float/date
+			// columns), mirroring INSERT; computed expressions must match.
+			ee = widenConst(ee, want)
+			if c, ok := ee.(*expr.Const); ok && c.V.K == want {
+				kind = want
+			}
+		}
+		if kind != want {
+			return nil, &TypeMismatchError{Expr: u.Table + "." + a.Column, Left: want, Right: kind}
+		}
+		set = append(set, plan.Assign{Col: ix, E: ee})
+	}
+	return plan.NewUpdateWhere(u.Table, where, set), nil
+}
+
+// compileDelete lowers DELETE FROM t WHERE ... to a mutation plan node.
+func (db *DB) compileDelete(d *sql.Delete) (*plan.Update, error) {
+	scope, schema, err := db.mutationScope(d.Table)
+	if err != nil {
+		return nil, err
+	}
+	where, err := lowerWhere(scope, schema, d.Where)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewDelete(d.Table, where), nil
+}
+
+// execMutation runs an UPDATE/DELETE plan through the update µEngine (which
+// wraps it in an autocommit transaction) and returns the affected-row count.
+func (db *DB) execMutation(ctx context.Context, node *plan.Update) (int64, error) {
+	res, err := db.eng.Query(ctx, node)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := res.All()
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if len(rows) == 1 && len(rows[0]) == 1 {
+		n = rows[0][0].I
+	}
+	db.invalidateTable(node.Table)
+	return n, nil
+}
+
+// invalidateTable drops cached results over a mutated table.
+func (db *DB) invalidateTable(table string) {
+	if db.eng.cache != nil {
+		db.eng.cache.InvalidateTable(table)
 	}
 }
 
@@ -205,6 +346,19 @@ func (db *DB) execInsert(ctx context.Context, ins *sql.Insert) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	rows, err := buildInsertRows(schema, ins)
+	if err != nil {
+		return 0, err
+	}
+	if err := db.Insert(ctx, ins.Table, rows...); err != nil {
+		return 0, err
+	}
+	return int64(len(rows)), nil
+}
+
+// buildInsertRows materializes an INSERT's VALUES rows in schema order
+// (shared by autocommit INSERT and INSERT inside an explicit transaction).
+func buildInsertRows(schema *Schema, ins *sql.Insert) ([]Row, error) {
 	// Column list: a reordering of the full schema (there are no NULLs, so
 	// every column must be provided).
 	perm := make([]int, schema.Len()) // row position -> schema position
@@ -214,7 +368,7 @@ func (db *DB) execInsert(ctx context.Context, ins *sql.Insert) (int64, error) {
 		}
 	} else {
 		if len(ins.Columns) != schema.Len() {
-			return 0, &StatementError{Stmt: "INSERT", Reason: fmt.Sprintf(
+			return nil, &StatementError{Stmt: "INSERT", Reason: fmt.Sprintf(
 				"%d columns named but %s has %d (every column must be provided; there are no NULLs)",
 				len(ins.Columns), ins.Table, schema.Len())}
 		}
@@ -222,10 +376,10 @@ func (db *DB) execInsert(ctx context.Context, ins *sql.Insert) (int64, error) {
 		for i, name := range ins.Columns {
 			ix := schema.ColIndex(name)
 			if ix < 0 {
-				return 0, &UnknownColumnError{Column: name, Schema: schema.String()}
+				return nil, &UnknownColumnError{Column: name, Schema: schema.String()}
 			}
 			if seen[name] {
-				return 0, &DuplicateColumnError{Column: name}
+				return nil, &DuplicateColumnError{Column: name}
 			}
 			seen[name] = true
 			perm[i] = ix
@@ -234,7 +388,7 @@ func (db *DB) execInsert(ctx context.Context, ins *sql.Insert) (int64, error) {
 	rows := make([]Row, len(ins.Rows))
 	for i, vals := range ins.Rows {
 		if len(vals) != schema.Len() {
-			return 0, &StatementError{Stmt: "INSERT", Reason: fmt.Sprintf(
+			return nil, &StatementError{Stmt: "INSERT", Reason: fmt.Sprintf(
 				"VALUES row has %d values but %s has %d columns", len(vals), ins.Table, schema.Len())}
 		}
 		row := make(Row, schema.Len())
@@ -242,20 +396,17 @@ func (db *DB) execInsert(ctx context.Context, ins *sql.Insert) (int64, error) {
 			col := schema.Cols[perm[j]]
 			v, ok := litValue(lit)
 			if !ok { // unreachable: the parser restricts INSERT rows to literals
-				return 0, &StatementError{Stmt: "INSERT", Reason: "VALUES must be literals"}
+				return nil, &StatementError{Stmt: "INSERT", Reason: "VALUES must be literals"}
 			}
 			cv, err := coerceValue(v, col.Kind, ins.Table+"."+col.Name)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			row[perm[j]] = cv
 		}
 		rows[i] = row
 	}
-	if err := db.Insert(ctx, ins.Table, rows...); err != nil {
-		return 0, err
-	}
-	return int64(len(rows)), nil
+	return rows, nil
 }
 
 // coerceValue widens a literal to the column kind where lossless (int
@@ -1038,6 +1189,10 @@ type Session struct {
 	// StatementTimeout bounds each query's execution (WithTimeout); queries
 	// exceeding it fail with a *DeadlineError. 0 = no timeout.
 	StatementTimeout time.Duration
+
+	// tx is the session's open explicit transaction (nil outside
+	// BEGIN..COMMIT/ROLLBACK). ExecSession maintains it; Close rolls it back.
+	tx *Tx
 }
 
 // Apply folds one SET statement into the session. Unknown settings and bad
